@@ -1,0 +1,223 @@
+(* Benchmark harness.
+
+   Default: regenerate every table and figure of the paper's evaluation
+   (one section per artefact; see DESIGN.md's experiment index) and
+   finish with Bechamel microbenchmarks of the simulator's hot paths.
+
+   Usage:
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- fig7 fig12   # selected experiments
+     dune exec bench/main.exe -- --micro      # microbenchmarks only
+     dune exec bench/main.exe -- --list       # list experiment ids
+     dune exec bench/main.exe -- --scale 0.5  # smaller workloads
+     dune exec bench/main.exe -- --csv out/   # also write CSVs *)
+
+module Experiments = Lockiller.Sim.Experiments
+module Report = Lockiller.Sim.Report
+module Rng = Lockiller.Engine.Rng
+module Event_queue = Lockiller.Engine.Event_queue
+module Sim = Lockiller.Engine.Sim
+module Topology = Lockiller.Mesh.Topology
+module Network = Lockiller.Mesh.Network
+module L1 = Lockiller.Coherence.L1_cache
+module Protocol = Lockiller.Coherence.Protocol
+module Types = Lockiller.Coherence.Types
+module Signature = Lockiller.Mechanisms.Signature
+module Sysconf = Lockiller.Mechanisms.Sysconf
+module Runner = Lockiller.Sim.Runner
+
+(* --- Paper experiments -------------------------------------------------- *)
+
+let run_experiments ~scale ~csv_dir ~ids =
+  let ctx = Experiments.make_context ~scale () in
+  let emit_csv table =
+    match csv_dir with
+    | None -> ()
+    | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let path = Filename.concat dir (Report.csv_filename table) in
+      let oc = open_out path in
+      output_string oc (Report.to_csv table);
+      close_out oc;
+      Printf.printf "(csv: %s)\n" path
+  in
+  let selected =
+    match ids with
+    | [] -> Experiments.all
+    | ids ->
+      List.filter_map
+        (fun id ->
+          match Experiments.find id with
+          | Some e -> Some e
+          | None ->
+            Printf.eprintf "unknown experiment %S (skipped)\n%!" id;
+            None)
+        ids
+  in
+  List.iter
+    (fun e ->
+      Printf.printf "# %s (%s)\n# %s\n\n" e.Experiments.artefact
+        e.Experiments.id e.Experiments.describe;
+      let t0 = Sys.time () in
+      List.iter
+        (fun table ->
+          Report.print table;
+          emit_csv table)
+        (e.Experiments.render ctx);
+      Printf.printf "(rendered in %.1fs cpu)\n\n%!" (Sys.time () -. t0))
+    selected
+
+(* --- Bechamel microbenchmarks ------------------------------------------- *)
+
+open Bechamel
+open Toolkit
+
+let test_event_queue =
+  Test.make ~name:"event-queue push+pop x256"
+    (Staged.stage (fun () ->
+         let q = Event_queue.create () in
+         for i = 0 to 255 do
+           Event_queue.add q ~time:((i * 7919) land 1023) i
+         done;
+         let rec drain () =
+           match Event_queue.pop q with None -> () | Some _ -> drain ()
+         in
+         drain ()))
+
+let test_rng_zipf =
+  let rng = Rng.create 7 in
+  Test.make ~name:"rng zipf draw (n=64, s=0.8)"
+    (Staged.stage (fun () -> ignore (Rng.zipf rng ~n:64 ~s:0.8)))
+
+let test_l1_lookup =
+  let l1 = L1.create ~size_bytes:(32 * 1024) ~ways:4 in
+  for i = 0 to 127 do
+    L1.insert l1 i L1.S
+  done;
+  let counter = ref 0 in
+  Test.make ~name:"l1 lookup (hit)"
+    (Staged.stage (fun () ->
+         counter := (!counter + 1) land 127;
+         ignore (L1.lookup l1 !counter)))
+
+let test_signature =
+  let s = Signature.create () in
+  let counter = ref 0 in
+  Test.make ~name:"signature add+test"
+    (Staged.stage (fun () ->
+         incr counter;
+         Signature.add s !counter;
+         ignore (Signature.test s !counter)))
+
+let test_route =
+  let topo = Topology.create ~rows:4 ~cols:8 in
+  let counter = ref 0 in
+  Test.make ~name:"mesh x-y route (corner to corner)"
+    (Staged.stage (fun () ->
+         counter := (!counter + 1) land 31;
+         ignore (Topology.route topo ~src:!counter ~dst:31)))
+
+let test_protocol_access =
+  Test.make ~name:"protocol access (cold miss, 4 cores)"
+    (Staged.stage (fun () ->
+         let sim = Sim.create () in
+         let net = Network.create (Topology.create ~rows:2 ~cols:2) in
+         let cfg =
+           {
+             Protocol.cores = 4;
+             l1_size = 4 * 1024;
+             l1_ways = 4;
+             l1_hit_latency = 2;
+             llc_size = 64 * 1024;
+             llc_ways = 8;
+             llc_hit_latency = 12;
+             mem_latency = 100;
+      exclusive_state = true;
+      dir_pointers = None;
+           }
+         in
+         let p = Protocol.create ~sim ~network:net cfg in
+         Protocol.access p ~core:0 ~line:5 ~what:Types.Read ~epoch:0
+           ~k:(fun _ -> ());
+         Sim.run sim))
+
+let test_full_sim =
+  Test.make ~name:"full kmeans+ run (LockillerTM, 4 threads, scale 0.2)"
+    (Staged.stage (fun () ->
+         match Lockiller.Stamp.Suite.find "kmeans+" with
+         | None -> assert false
+         | Some w ->
+           ignore
+             (Runner.run ~scale:0.2
+                ~machine:(Lockiller.Sim.Config.machine ~cores:4 ())
+                ~sysconf:Sysconf.lockiller ~workload:w ~threads:4 ())))
+
+let microbenchmarks =
+  [
+    test_event_queue;
+    test_rng_zipf;
+    test_l1_lookup;
+    test_signature;
+    test_route;
+    test_protocol_access;
+    test_full_sim;
+  ]
+
+let run_micro () =
+  Printf.printf "# Microbenchmarks (simulator hot paths)\n\n%!";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      Hashtbl.iter
+        (fun name raw ->
+          let est = Analyze.one ols instance raw in
+          match Analyze.OLS.estimates est with
+          | Some [ ns ] -> Printf.printf "%-55s %12.1f ns/run\n%!" name ns
+          | Some _ | None -> Printf.printf "%-55s (no estimate)\n%!" name)
+        results)
+    microbenchmarks
+
+(* --- entry point --------------------------------------------------------- *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let scale = ref 1.0 in
+  let micro_only = ref false in
+  let skip_micro = ref false in
+  let csv_dir = ref None in
+  let ids = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--micro" :: rest ->
+      micro_only := true;
+      parse rest
+    | "--no-micro" :: rest ->
+      skip_micro := true;
+      parse rest
+    | "--list" :: _ ->
+      List.iter
+        (fun e ->
+          Printf.printf "%-10s %s\n" e.Experiments.id e.Experiments.artefact)
+        Experiments.all;
+      exit 0
+    | "--scale" :: v :: rest ->
+      scale := float_of_string v;
+      parse rest
+    | "--csv" :: dir :: rest ->
+      csv_dir := Some dir;
+      parse rest
+    | id :: rest ->
+      ids := !ids @ [ id ];
+      parse rest
+  in
+  parse args;
+  if not !micro_only then
+    run_experiments ~scale:!scale ~csv_dir:!csv_dir ~ids:!ids;
+  if (not !skip_micro) && !ids = [] then run_micro ()

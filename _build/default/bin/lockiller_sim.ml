@@ -1,0 +1,463 @@
+(* Command-line driver for the LockillerTM simulator.
+
+   lockiller_sim run --system LockillerTM --workload intruder --threads 32
+   lockiller_sim experiment fig7 --scale 0.5
+   lockiller_sim experiment all
+   lockiller_sim list *)
+
+open Cmdliner
+module Sysconf = Lockiller.Mechanisms.Sysconf
+module Runner = Lockiller.Sim.Runner
+module Config = Lockiller.Sim.Config
+module Experiments = Lockiller.Sim.Experiments
+module Report = Lockiller.Sim.Report
+module Accounting = Lockiller.Cpu.Accounting
+module Reason = Lockiller.Htm.Reason
+
+(* --- shared options ---------------------------------------------------- *)
+
+let cache_conv =
+  let parse = function
+    | "typical" -> Ok Config.Typical
+    | "small" -> Ok Config.Small
+    | "large" -> Ok Config.Large
+    | s -> Error (`Msg (Printf.sprintf "unknown cache profile %S" s))
+  in
+  let print ppf c =
+    Format.pp_print_string ppf
+      (match c with
+      | Config.Typical -> "typical"
+      | Config.Small -> "small"
+      | Config.Large -> "large")
+  in
+  Arg.conv (parse, print)
+
+let seed_t =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Deterministic RNG seed.")
+
+let scale_t =
+  Arg.(
+    value
+    & opt float 1.0
+    & info [ "scale" ] ~doc:"Workload size multiplier (transactions/thread).")
+
+let cache_t =
+  Arg.(
+    value
+    & opt cache_conv Config.Typical
+    & info [ "cache" ] ~doc:"Cache profile: typical, small or large.")
+
+let cores_t =
+  Arg.(
+    value
+    & opt int 32
+    & info [ "cores" ] ~doc:"Machine size (2, 4, 8, 16 or 32 tiles).")
+
+(* --- run --------------------------------------------------------------- *)
+
+let print_result (r : Runner.result) =
+  Printf.printf "system        %s\n" r.Runner.system;
+  Printf.printf "workload      %s\n" r.Runner.workload;
+  Printf.printf "threads       %d\n" r.Runner.threads;
+  Printf.printf "cycles        %d\n" r.Runner.cycles;
+  Printf.printf "commit rate   %.1f%%\n" (100.0 *. r.Runner.commit_rate);
+  Printf.printf "htm commits   %d\n" r.Runner.htm_commits;
+  Printf.printf "stl commits   %d\n" r.Runner.stl_commits;
+  Printf.printf "lock commits  %d\n" r.Runner.lock_commits;
+  Printf.printf "aborts        %d\n" r.Runner.aborts;
+  if r.Runner.htm_commits > 0 then
+    Printf.printf "attempts      %.2f per commit\n"
+      r.Runner.avg_attempts_per_commit;
+  List.iter
+    (fun (reason, n) ->
+      if n > 0 then Printf.printf "  %-9s   %d\n" (Reason.label reason) n)
+    r.Runner.abort_mix;
+  Printf.printf "rejects       %d\n" r.Runner.rejects;
+  Printf.printf "parks         %d (wakeups %d)\n" r.Runner.parks
+    r.Runner.wakeups;
+  Printf.printf "switches      %d granted, %d denied, %d lines spilled\n"
+    r.Runner.switches_granted r.Runner.switches_denied r.Runner.spilled_lines;
+  Printf.printf "network       %d messages, %d flits\n" r.Runner.network_messages
+    r.Runner.network_flits;
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 r.Runner.breakdown in
+  Printf.printf "time breakdown:\n";
+  List.iter
+    (fun (cat, n) ->
+      if total > 0 then
+        Printf.printf "  %-10s %6.1f%%  (%d cycles)\n" (Accounting.label cat)
+          (100.0 *. float_of_int n /. float_of_int total)
+          n)
+    r.Runner.breakdown
+
+let stats_t =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"Also dump the raw statistic groups (protocol, runtime, \
+              network).")
+
+let run_cmd =
+  let system =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "system"; "s" ] ~doc:"System to simulate (see 'list').")
+  in
+  let workload =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "workload"; "w" ] ~doc:"Workload to run (see 'list').")
+  in
+  let threads =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "threads"; "t" ] ~doc:"Thread count (2..cores).")
+  in
+  let action system workload threads stats seed scale cache cores =
+    let module Runtime = Lockiller.Mechanisms.Runtime in
+    let module Stats = Lockiller.Engine.Stats in
+    let handle = ref None in
+    match
+      ( Lockiller.Mechanisms.Sysconf.find system,
+        Lockiller.Stamp.Suite.find workload )
+    with
+    | None, _ -> `Error (false, "unknown system " ^ system)
+    | _, None -> `Error (false, "unknown workload " ^ workload)
+    | Some sysconf, Some profile -> (
+      match
+        Runner.run ~seed ~scale
+          ~machine:(Config.machine ~cache ~cores ())
+          ~on_runtime:(fun rt -> handle := Some rt)
+          ~sysconf ~workload:profile ~threads ()
+      with
+      | exception (Failure msg | Invalid_argument msg) -> `Error (false, msg)
+      | r ->
+        print_result r;
+        if stats then begin
+          match !handle with
+          | None -> ()
+          | Some rt ->
+            Format.printf "@.%a@." Stats.pp (Runtime.stats rt);
+            Format.printf "%a@." Stats.pp
+              (Lockiller.Coherence.Protocol.stats (Runtime.protocol rt));
+            Format.printf "%a@." Stats.pp
+              (Lockiller.Mesh.Network.stats
+                 (Lockiller.Coherence.Protocol.network (Runtime.protocol rt)))
+        end;
+        `Ok ())
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ system $ workload $ threads $ stats_t $ seed_t
+       $ scale_t $ cache_t $ cores_t))
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Simulate one system/workload/thread combination")
+    term
+
+(* --- experiment -------------------------------------------------------- *)
+
+let experiment_cmd =
+  let id =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ID"
+          ~doc:"Experiment id (table1, table2, fig1, fig7...fig13, headline, \
+                ablation, txsize, noc, topology) or 'all'.")
+  in
+  let threads_opt =
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "threads" ]
+          ~doc:"Comma-separated thread counts (default 2,4,8,16,32).")
+  in
+  let csv_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~doc:"Also write each table as CSV into this directory.")
+  in
+  let action id threads csv_dir seed scale cores =
+    let ctx = Experiments.make_context ~seed ~scale ~cores ?threads () in
+    let emit_csv table =
+      match csv_dir with
+      | None -> ()
+      | Some dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        let path = Filename.concat dir (Report.csv_filename table) in
+        let oc = open_out path in
+        output_string oc (Report.to_csv table);
+        close_out oc
+    in
+    let render e =
+      Printf.printf "# %s — %s\n%s\n\n" e.Experiments.artefact
+        e.Experiments.id e.Experiments.describe;
+      List.iter
+        (fun t ->
+          Report.print t;
+          emit_csv t)
+        (e.Experiments.render ctx)
+    in
+    if String.lowercase_ascii id = "all" then begin
+      List.iter render Experiments.all;
+      `Ok ()
+    end
+    else
+      match Experiments.find id with
+      | Some e ->
+        render e;
+        `Ok ()
+      | None ->
+        `Error
+          ( false,
+            Printf.sprintf "unknown experiment %S; try: %s" id
+              (String.concat ", "
+                 (List.map (fun e -> e.Experiments.id) Experiments.all)) )
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ id $ threads_opt $ csv_dir $ seed_t $ scale_t
+       $ cores_t))
+  in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:"Regenerate a table or figure of the paper (or 'all')")
+    term
+
+(* --- trace --------------------------------------------------------------- *)
+
+let trace_cmd =
+  let system =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "system"; "s" ] ~doc:"System to simulate.")
+  in
+  let workload =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "workload"; "w" ] ~doc:"Workload to run.")
+  in
+  let threads =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "threads"; "t" ] ~doc:"Thread count.")
+  in
+  let last =
+    Arg.(
+      value
+      & opt int 200
+      & info [ "last"; "n" ] ~doc:"How many trailing events to print.")
+  in
+  let action system workload threads last seed scale cache cores =
+    let module Txtrace = Lockiller.Mechanisms.Txtrace in
+    let module Runtime = Lockiller.Mechanisms.Runtime in
+    match
+      ( Lockiller.Mechanisms.Sysconf.find system,
+        Lockiller.Stamp.Suite.find workload )
+    with
+    | None, _ -> `Error (false, "unknown system " ^ system)
+    | _, None -> `Error (false, "unknown workload " ^ workload)
+    | Some sysconf, Some profile -> (
+      let trace = ref None in
+      match
+        Runner.run ~seed ~scale
+          ~machine:(Config.machine ~cache ~cores ())
+          ~on_runtime:(fun rt -> trace := Some (Runtime.enable_txtrace rt))
+          ~sysconf ~workload:profile ~threads ()
+      with
+      | exception (Failure msg | Invalid_argument msg) -> `Error (false, msg)
+      | r ->
+        (match !trace with
+        | None -> ()
+        | Some tr ->
+          Printf.printf "# %d lifecycle events recorded; last %d:\n"
+            (Txtrace.recorded tr) last;
+          Txtrace.dump ~limit:last Format.std_formatter tr);
+        Printf.printf "\n# run summary: %d cycles, commit rate %.1f%%\n"
+          r.Runner.cycles
+          (100.0 *. r.Runner.commit_rate);
+        `Ok ())
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ system $ workload $ threads $ last $ seed_t $ scale_t
+       $ cache_t $ cores_t))
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run one simulation and dump the transaction-lifecycle trace")
+    term
+
+(* --- sweep --------------------------------------------------------------- *)
+
+let sweep_cmd =
+  let workload =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "workload"; "w" ] ~doc:"Workload to sweep.")
+  in
+  let systems =
+    Arg.(
+      value
+      & opt (list string) [ "CGL"; "Baseline"; "LockillerTM" ]
+      & info [ "systems" ] ~doc:"Comma-separated system names.")
+  in
+  let threads =
+    Arg.(
+      value
+      & opt (list int) [ 2; 4; 8; 16; 32 ]
+      & info [ "threads"; "t" ] ~doc:"Comma-separated thread counts.")
+  in
+  let metric =
+    Arg.(
+      value
+      & opt (enum [ ("cycles", `Cycles); ("speedup", `Speedup);
+                    ("commit-rate", `Rate) ])
+          `Speedup
+      & info [ "metric" ]
+          ~doc:"What to report: cycles, speedup (vs CGL) or commit-rate.")
+  in
+  let action workload systems threads metric seed scale cache cores =
+    let header = "threads," ^ String.concat "," systems in
+    print_endline header;
+    let exit_error = ref None in
+    List.iter
+      (fun t ->
+        let cells =
+          List.map
+            (fun system ->
+              let result =
+                match metric with
+                | `Cycles | `Rate ->
+                  Lockiller.run ~seed ~scale ~cache ~cores ~system ~workload
+                    ~threads:t ()
+                  |> Result.map (fun r ->
+                         match metric with
+                         | `Cycles -> string_of_int r.Runner.cycles
+                         | _ ->
+                           Printf.sprintf "%.4f" r.Runner.commit_rate)
+                | `Speedup ->
+                  Lockiller.speedup_vs_cgl ~seed ~scale ~cache ~cores ~system
+                    ~workload ~threads:t ()
+                  |> Result.map (Printf.sprintf "%.4f")
+              in
+              match result with
+              | Ok v -> v
+              | Error msg ->
+                exit_error := Some msg;
+                "error")
+            systems
+        in
+        Printf.printf "%d,%s\n%!" t (String.concat "," cells))
+      threads;
+    match !exit_error with
+    | None -> `Ok ()
+    | Some msg -> `Error (false, msg)
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ workload $ systems $ threads $ metric $ seed_t
+       $ scale_t $ cache_t $ cores_t))
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Sweep thread counts for one workload and print CSV")
+    term
+
+(* --- custom -------------------------------------------------------------- *)
+
+let custom_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"Program in the text format of Lk_cpu.Program (see \
+                examples/custom_workload.txt).")
+  in
+  let system =
+    Arg.(
+      value
+      & opt string "LockillerTM"
+      & info [ "system"; "s" ] ~doc:"System to simulate.")
+  in
+  let action file system cache cores =
+    let text =
+      let ic = open_in file in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    match Lockiller.Cpu.Program.of_text text with
+    | Error msg -> `Error (false, file ^ ": " ^ msg)
+    | Ok program -> (
+      match Lockiller.Mechanisms.Sysconf.find system with
+      | None -> `Error (false, "unknown system " ^ system)
+      | Some sysconf -> (
+        match
+          Runner.run_program
+            ~machine:(Config.machine ~cache ~cores ())
+            ~name:(Filename.basename file) ~sysconf ~program ()
+        with
+        | exception (Failure msg | Invalid_argument msg) ->
+          `Error (false, msg)
+        | r ->
+          print_result r;
+          `Ok ()))
+  in
+  let term = Term.(ret (const action $ file $ system $ cache_t $ cores_t)) in
+  Cmd.v
+    (Cmd.info "custom" ~doc:"Run a hand-written workload from a text file")
+    term
+
+(* --- list / params ------------------------------------------------------ *)
+
+let list_cmd =
+  let action () =
+    Printf.printf "systems (Table II):\n";
+    List.iter (Printf.printf "  %s\n") Lockiller.systems;
+    Printf.printf "\nworkloads (STAMP):\n";
+    List.iter (Printf.printf "  %s\n") Lockiller.workloads;
+    Printf.printf "\nextra workloads (outside the paper's set):\n";
+    List.iter (Printf.printf "  %s\n") Lockiller.Stamp.Suite.extra_names;
+    Printf.printf "\nexperiments:\n";
+    List.iter
+      (fun e ->
+        Printf.printf "  %-10s %s\n" e.Experiments.id e.Experiments.artefact)
+      Experiments.all
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List systems, workloads and experiments")
+    Term.(const action $ const ())
+
+let params_cmd =
+  let action cache cores =
+    let machine = Config.machine ~cache ~cores () in
+    List.iter
+      (fun (k, v) -> Printf.printf "%-24s %s\n" k v)
+      (Config.table1 machine)
+  in
+  Cmd.v
+    (Cmd.info "params" ~doc:"Print the machine parameters (Table I)")
+    Term.(const action $ cache_t $ cores_t)
+
+let main =
+  let doc = "LockillerTM best-effort HTM simulator" in
+  Cmd.group
+    (Cmd.info "lockiller_sim" ~version:Lockiller.version ~doc)
+    [ run_cmd; experiment_cmd; sweep_cmd; trace_cmd; custom_cmd; list_cmd; params_cmd ]
+
+let () = exit (Cmd.eval main)

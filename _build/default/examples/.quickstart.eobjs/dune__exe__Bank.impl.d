@@ -1,0 +1,1 @@
+examples/bank.ml: Array List Lockiller Printf

@@ -1,0 +1,1 @@
+examples/contention_sweep.ml: List Lockiller Printf

@@ -1,0 +1,1 @@
+examples/friendly_fire.ml: Array List Lockiller Printf

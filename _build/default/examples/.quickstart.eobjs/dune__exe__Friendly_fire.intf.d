@@ -1,0 +1,1 @@
+examples/friendly_fire.mli:

@@ -1,0 +1,1 @@
+examples/noc_heatmap.ml: Array List Lockiller Option Printf

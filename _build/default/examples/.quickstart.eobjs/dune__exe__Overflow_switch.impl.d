@@ -1,0 +1,1 @@
+examples/overflow_switch.ml: List Lockiller Printf

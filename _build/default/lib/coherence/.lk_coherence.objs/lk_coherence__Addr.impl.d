@@ -1,0 +1,1 @@
+lib/coherence/addr.ml: List

@@ -1,0 +1,1 @@
+lib/coherence/client.ml: L1_cache Types

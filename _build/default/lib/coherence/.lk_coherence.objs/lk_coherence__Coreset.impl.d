@@ -1,0 +1,1 @@
+lib/coherence/coreset.ml: Format List Printf String

@@ -1,0 +1,1 @@
+lib/coherence/coreset.mli: Format Types

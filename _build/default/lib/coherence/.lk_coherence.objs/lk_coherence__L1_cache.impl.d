@@ -1,0 +1,1 @@
+lib/coherence/l1_cache.ml: Addr Array Hashtbl List Option Types

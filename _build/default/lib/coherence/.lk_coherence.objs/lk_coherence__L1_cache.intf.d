@@ -1,0 +1,1 @@
+lib/coherence/l1_cache.mli: Types

@@ -1,0 +1,1 @@
+lib/coherence/llc.ml: Addr Array Coreset Option Types

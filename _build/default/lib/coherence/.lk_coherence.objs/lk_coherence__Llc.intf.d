@@ -1,0 +1,1 @@
+lib/coherence/llc.mli: Coreset Types

@@ -1,0 +1,1 @@
+lib/coherence/protocol.ml: Addr Array Client Coreset Format Hashtbl L1_cache List Lk_engine Lk_mesh Llc Printf Queue Types

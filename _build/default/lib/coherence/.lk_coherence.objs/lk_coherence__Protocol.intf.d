@@ -1,0 +1,1 @@
+lib/coherence/protocol.mli: Client L1_cache Lk_engine Lk_mesh Llc Types

@@ -1,0 +1,52 @@
+type t = int
+
+let max_cores = 62
+
+let check c =
+  if c < 0 || c >= max_cores then
+    invalid_arg (Printf.sprintf "Coreset: core id %d out of range" c)
+
+let empty = 0
+
+let singleton c =
+  check c;
+  1 lsl c
+
+let add c s =
+  check c;
+  s lor (1 lsl c)
+
+let remove c s =
+  check c;
+  s land lnot (1 lsl c)
+
+let mem c s =
+  check c;
+  s land (1 lsl c) <> 0
+
+let is_empty s = s = 0
+
+let cardinal s =
+  let rec go s acc = if s = 0 then acc else go (s lsr 1) (acc + (s land 1)) in
+  go s 0
+
+let fold f s init =
+  let rec go c s acc =
+    if s = 0 then acc
+    else
+      let acc = if s land 1 <> 0 then f c acc else acc in
+      go (c + 1) (s lsr 1) acc
+  in
+  go 0 s init
+
+let elements s = List.rev (fold (fun c acc -> c :: acc) s [])
+
+let iter f s = List.iter f (elements s)
+
+let of_list l = List.fold_left (fun s c -> add c s) empty l
+
+let equal (a : t) b = a = b
+
+let pp ppf s =
+  Format.fprintf ppf "{%s}"
+    (String.concat "," (List.map string_of_int (elements s)))

@@ -1,0 +1,24 @@
+(** Compact sets of core ids (directory sharer lists).
+
+    Backed by a single [int] bitset, which caps the system at 62 cores —
+    comfortably above the paper's 32-core machine. *)
+
+type t
+
+val max_cores : int
+
+val empty : t
+val singleton : Types.core_id -> t
+val add : Types.core_id -> t -> t
+val remove : Types.core_id -> t -> t
+val mem : Types.core_id -> t -> bool
+val is_empty : t -> bool
+val cardinal : t -> int
+val elements : t -> Types.core_id list
+(** Ascending order. *)
+
+val iter : (Types.core_id -> unit) -> t -> unit
+val fold : (Types.core_id -> 'a -> 'a) -> t -> 'a -> 'a
+val of_list : Types.core_id list -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,201 @@
+type state = M | E | S
+
+type view = {
+  line : Types.line;
+  state : state;
+  dirty : bool;
+  tx_read : bool;
+  tx_write : bool;
+}
+
+type room = Present | Free | Evict of view
+
+(* One mutable slot per way. [tag = -1] encodes an invalid slot. *)
+type slot = {
+  mutable tag : int;
+  mutable st : state;
+  mutable dirty : bool;
+  mutable tx_read : bool;
+  mutable tx_write : bool;
+  mutable used : int;  (* LRU timestamp *)
+}
+
+type t = {
+  nsets : int;
+  nways : int;
+  slots : slot array;  (* nsets * nways, row-major by set *)
+  mutable tick : int;
+  (* Lines with a tx bit set, for O(tx-set) commit/abort clearing. *)
+  tx_tracked : (Types.line, unit) Hashtbl.t;
+}
+
+let create ~size_bytes ~ways =
+  if ways <= 0 then invalid_arg "L1_cache.create: ways must be positive";
+  let set_bytes = ways * Addr.line_size in
+  if size_bytes <= 0 || size_bytes mod set_bytes <> 0 then
+    invalid_arg "L1_cache.create: size must be a multiple of ways * line size";
+  let nsets = size_bytes / set_bytes in
+  let mk _ =
+    { tag = -1; st = S; dirty = false; tx_read = false; tx_write = false;
+      used = 0 }
+  in
+  {
+    nsets;
+    nways = ways;
+    slots = Array.init (nsets * ways) mk;
+    tick = 0;
+    tx_tracked = Hashtbl.create 64;
+  }
+
+let sets t = t.nsets
+let ways t = t.nways
+
+let set_of t line = line mod t.nsets
+let tag_of t line = line / t.nsets
+let line_of t ~set ~tag = (tag * t.nsets) + set
+
+let slot_range t line =
+  let s = set_of t line in
+  (s * t.nways, ((s + 1) * t.nways) - 1)
+
+let find_slot t line =
+  let lo, hi = slot_range t line in
+  let tag = tag_of t line in
+  let rec go i =
+    if i > hi then None
+    else if t.slots.(i).tag = tag then Some t.slots.(i)
+    else go (i + 1)
+  in
+  go lo
+
+let view_of t ~set slot =
+  {
+    line = line_of t ~set ~tag:slot.tag;
+    state = slot.st;
+    dirty = slot.dirty;
+    tx_read = slot.tx_read;
+    tx_write = slot.tx_write;
+  }
+
+let lookup t line =
+  match find_slot t line with
+  | None -> None
+  | Some slot -> Some (view_of t ~set:(set_of t line) slot)
+
+let bump t slot =
+  t.tick <- t.tick + 1;
+  slot.used <- t.tick
+
+let touch t line =
+  match find_slot t line with None -> () | Some slot -> bump t slot
+
+let room_for t line =
+  match find_slot t line with
+  | Some _ -> Present
+  | None ->
+    let lo, hi = slot_range t line in
+    let free = ref false in
+    let best_non_tx = ref None in
+    let best_tx = ref None in
+    for i = lo to hi do
+      let slot = t.slots.(i) in
+      if slot.tag = -1 then free := true
+      else begin
+        let consider best =
+          match !best with
+          | Some (b : slot) when b.used <= slot.used -> ()
+          | _ -> best := Some slot
+        in
+        if slot.tx_read || slot.tx_write then consider best_tx
+        else consider best_non_tx
+      end
+    done;
+    if !free then Free
+    else
+      let victim =
+        match !best_non_tx with Some s -> s | None -> Option.get !best_tx
+      in
+      Evict (view_of t ~set:(set_of t line) victim)
+
+let insert t line state =
+  (match find_slot t line with
+  | Some _ -> invalid_arg "L1_cache.insert: line already resident"
+  | None -> ());
+  let lo, hi = slot_range t line in
+  let rec free i =
+    if i > hi then invalid_arg "L1_cache.insert: set is full"
+    else if t.slots.(i).tag = -1 then t.slots.(i)
+    else free (i + 1)
+  in
+  let slot = free lo in
+  slot.tag <- tag_of t line;
+  slot.st <- state;
+  slot.dirty <- (state = M);
+  slot.tx_read <- false;
+  slot.tx_write <- false;
+  bump t slot
+
+let with_slot t line name f =
+  match find_slot t line with
+  | None -> invalid_arg ("L1_cache." ^ name ^ ": line not resident")
+  | Some slot -> f slot
+
+let set_state t line state =
+  with_slot t line "set_state" (fun slot ->
+      slot.st <- state;
+      if state = M then slot.dirty <- true)
+
+let mark_dirty t line =
+  with_slot t line "mark_dirty" (fun slot -> slot.dirty <- true)
+
+let clear_dirty t line =
+  with_slot t line "clear_dirty" (fun slot -> slot.dirty <- false)
+
+let mark_tx t line ~write =
+  with_slot t line "mark_tx" (fun slot ->
+      if write then slot.tx_write <- true else slot.tx_read <- true;
+      Hashtbl.replace t.tx_tracked line ())
+
+let remove t line =
+  with_slot t line "remove" (fun slot ->
+      let v = view_of t ~set:(set_of t line) slot in
+      slot.tag <- -1;
+      slot.dirty <- false;
+      slot.tx_read <- false;
+      slot.tx_write <- false;
+      Hashtbl.remove t.tx_tracked line;
+      v)
+
+let resident t line = find_slot t line <> None
+
+let tx_lines t =
+  Hashtbl.fold
+    (fun line () acc ->
+      match lookup t line with
+      | Some v when v.tx_read || v.tx_write -> v :: acc
+      | _ -> acc)
+    t.tx_tracked []
+  |> List.sort (fun a b -> compare a.line b.line)
+
+let clear_tx t ~drop_written =
+  let views = tx_lines t in
+  List.iter
+    (fun (v : view) ->
+      if drop_written && v.tx_write then ignore (remove t v.line)
+      else
+        with_slot t v.line "clear_tx" (fun slot ->
+            slot.tx_read <- false;
+            slot.tx_write <- false))
+    views;
+  Hashtbl.reset t.tx_tracked;
+  views
+
+let occupancy t =
+  Array.fold_left (fun acc slot -> if slot.tag = -1 then acc else acc + 1) 0
+    t.slots
+
+let iter t f =
+  Array.iteri
+    (fun i slot ->
+      if slot.tag <> -1 then f (view_of t ~set:(i / t.nways) slot))
+    t.slots

@@ -1,0 +1,81 @@
+(** Private L1 data cache with transactional metadata.
+
+    Set-associative, LRU within a set. Each resident line carries a
+    MESI state (Invalid is represented by absence), a dirty bit, and
+    the two per-line transactional bits ([tx_read]/[tx_write]) used by
+    best-effort HTM for conflict detection and by HTMLock's TL/STL
+    modes for bookkeeping.
+
+    Victim selection prefers a free way, then the LRU non-transactional
+    line; a transactional line is only chosen when the whole set is
+    transactional — that is precisely the capacity-overflow event the
+    paper's switchingMode mechanism targets. *)
+
+type state = M | E | S
+
+type view = {
+  line : Types.line;
+  state : state;
+  dirty : bool;
+  tx_read : bool;
+  tx_write : bool;
+}
+
+type room =
+  | Present  (** The line is already resident — no allocation needed. *)
+  | Free  (** A way is free in the target set. *)
+  | Evict of view  (** This resident line must be evicted first. *)
+
+type t
+
+val create : size_bytes:int -> ways:int -> t
+(** Line size is fixed by {!Addr.line_size}. [size_bytes] must be a
+    positive multiple of [ways * line_size]. *)
+
+val sets : t -> int
+val ways : t -> int
+
+val lookup : t -> Types.line -> view option
+(** Resident view of a line, without touching LRU state. *)
+
+val touch : t -> Types.line -> unit
+(** Mark the line most-recently used. No-op when absent. *)
+
+val room_for : t -> Types.line -> room
+(** What allocating [line] requires right now. *)
+
+val insert : t -> Types.line -> state -> unit
+(** Install an absent line; requires a free way (evict first). Raises
+    [Invalid_argument] if the line is present or the set is full. The
+    new line is most-recently used and carries no tx bits. *)
+
+val set_state : t -> Types.line -> state -> unit
+(** Change the MESI state of a resident line. [M] implies dirty. *)
+
+val mark_dirty : t -> Types.line -> unit
+
+val clear_dirty : t -> Types.line -> unit
+(** After a writeback: the LLC copy is current again. *)
+
+val mark_tx : t -> Types.line -> write:bool -> unit
+(** Set the transactional read (or write) bit of a resident line. *)
+
+val remove : t -> Types.line -> view
+(** Invalidate a resident line, returning its final view (the caller
+    decides about writebacks). Raises if absent. *)
+
+val resident : t -> Types.line -> bool
+
+val tx_lines : t -> view list
+(** All lines with a transactional bit set. O(tracked lines). *)
+
+val clear_tx : t -> drop_written:bool -> view list
+(** End-of-transaction bulk operation: clear every tx bit. When
+    [drop_written] (abort path) lines that were transactionally written
+    are invalidated — their speculative data is discarded. Returns the
+    views (pre-clear) of all lines that carried tx bits. *)
+
+val occupancy : t -> int
+(** Resident line count (for tests). *)
+
+val iter : t -> (view -> unit) -> unit

@@ -1,0 +1,163 @@
+type dir = Sharers of Coreset.t | Owner of Types.core_id
+
+type view = { line : Types.line; dir : dir; dirty : bool }
+
+type room = Present | Free | Evict of view
+
+type slot = {
+  mutable tag : int;  (* -1 = invalid *)
+  mutable dir : dir;
+  mutable dirty : bool;
+  mutable used : int;
+}
+
+type t = {
+  nbanks : int;
+  nsets : int;  (* per bank *)
+  nways : int;
+  slots : slot array;  (* bank-major, then set, then way *)
+  mutable tick : int;
+}
+
+let create ~banks ~bank_size_bytes ~ways =
+  if banks <= 0 || ways <= 0 then
+    invalid_arg "Llc.create: banks and ways must be positive";
+  let set_bytes = ways * Addr.line_size in
+  if bank_size_bytes <= 0 || bank_size_bytes mod set_bytes <> 0 then
+    invalid_arg "Llc.create: bank size must be a multiple of ways * line size";
+  let nsets = bank_size_bytes / set_bytes in
+  let mk _ = { tag = -1; dir = Sharers Coreset.empty; dirty = false; used = 0 } in
+  {
+    nbanks = banks;
+    nsets;
+    nways = ways;
+    slots = Array.init (banks * nsets * ways) mk;
+    tick = 0;
+  }
+
+let banks t = t.nbanks
+let sets_per_bank t = t.nsets
+
+(* Line decomposition: bank = line mod nbanks (home interleaving), then
+   set = (line / nbanks) mod nsets, tag = remainder. *)
+let bank_of t line = line mod t.nbanks
+let set_of t line = line / t.nbanks mod t.nsets
+let tag_of t line = line / t.nbanks / t.nsets
+
+let line_of t ~bank ~set ~tag = (((tag * t.nsets) + set) * t.nbanks) + bank
+
+let slot_range t line =
+  let base = ((bank_of t line * t.nsets) + set_of t line) * t.nways in
+  (base, base + t.nways - 1)
+
+let find_slot t line =
+  let lo, hi = slot_range t line in
+  let tag = tag_of t line in
+  let rec go i =
+    if i > hi then None
+    else if t.slots.(i).tag = tag then Some t.slots.(i)
+    else go (i + 1)
+  in
+  go lo
+
+let view_of t ~bank ~set slot =
+  { line = line_of t ~bank ~set ~tag:slot.tag; dir = slot.dir; dirty = slot.dirty }
+
+let lookup t line =
+  match find_slot t line with
+  | None -> None
+  | Some slot -> Some (view_of t ~bank:(bank_of t line) ~set:(set_of t line) slot)
+
+let bump t slot =
+  t.tick <- t.tick + 1;
+  slot.used <- t.tick
+
+let has_l1_copies slot =
+  match slot.dir with
+  | Owner _ -> true
+  | Sharers s -> not (Coreset.is_empty s)
+
+let room_for t line =
+  match find_slot t line with
+  | Some _ -> Present
+  | None ->
+    let lo, hi = slot_range t line in
+    let free = ref false in
+    let best_private = ref None in
+    (* lines with L1 copies *)
+    let best_quiet = ref None in
+    (* lines with no L1 copies *)
+    for i = lo to hi do
+      let slot = t.slots.(i) in
+      if slot.tag = -1 then free := true
+      else begin
+        let consider best =
+          match !best with
+          | Some (b : slot) when b.used <= slot.used -> ()
+          | _ -> best := Some slot
+        in
+        if has_l1_copies slot then consider best_private
+        else consider best_quiet
+      end
+    done;
+    if !free then Free
+    else
+      let victim =
+        match !best_quiet with Some s -> s | None -> Option.get !best_private
+      in
+      Evict (view_of t ~bank:(bank_of t line) ~set:(set_of t line) victim)
+
+let insert t line =
+  (match find_slot t line with
+  | Some _ -> invalid_arg "Llc.insert: line already resident"
+  | None -> ());
+  let lo, hi = slot_range t line in
+  let rec free i =
+    if i > hi then invalid_arg "Llc.insert: set is full"
+    else if t.slots.(i).tag = -1 then t.slots.(i)
+    else free (i + 1)
+  in
+  let slot = free lo in
+  slot.tag <- tag_of t line;
+  slot.dir <- Sharers Coreset.empty;
+  slot.dirty <- false;
+  bump t slot
+
+let with_slot t line name f =
+  match find_slot t line with
+  | None -> invalid_arg ("Llc." ^ name ^ ": line not resident")
+  | Some slot -> f slot
+
+let evict t line =
+  with_slot t line "evict" (fun slot ->
+      let v = view_of t ~bank:(bank_of t line) ~set:(set_of t line) slot in
+      slot.tag <- -1;
+      slot.dir <- Sharers Coreset.empty;
+      slot.dirty <- false;
+      v)
+
+let touch t line =
+  match find_slot t line with None -> () | Some slot -> bump t slot
+
+let dir_of t line = with_slot t line "dir_of" (fun slot -> slot.dir)
+
+let set_dir t line dir = with_slot t line "set_dir" (fun slot -> slot.dir <- dir)
+
+let set_dirty t line dirty =
+  with_slot t line "set_dirty" (fun slot -> slot.dirty <- dirty)
+
+let resident t line = find_slot t line <> None
+
+let occupancy t =
+  Array.fold_left (fun acc slot -> if slot.tag = -1 then acc else acc + 1) 0
+    t.slots
+
+let iter t f =
+  Array.iteri
+    (fun i slot ->
+      if slot.tag <> -1 then
+        let per_bank = t.nsets * t.nways in
+        let bank = i / per_bank in
+        let set = i mod per_bank / t.nways in
+        f (view_of t ~bank ~set slot))
+    t.slots

@@ -1,0 +1,55 @@
+(** Shared, banked, inclusive last-level cache with a full-map
+    directory.
+
+    One bank per tile; a line's bank is its home (see {!Addr}). Each
+    resident LLC line embeds its directory state: either unowned with a
+    (possibly empty) sharer set, or exclusively owned by one L1. The
+    LLC is inclusive: every line resident in any L1 is resident here,
+    so evicting an LLC line forces back-invalidation of L1 copies —
+    the protocol layer performs that and must call [evict] only after
+    it has done so. *)
+
+type dir = Sharers of Coreset.t | Owner of Types.core_id
+
+type view = {
+  line : Types.line;
+  dir : dir;
+  dirty : bool;  (** Holds data newer than memory. *)
+}
+
+type room = Present | Free | Evict of view
+
+type t
+
+val create : banks:int -> bank_size_bytes:int -> ways:int -> t
+(** [banks] must equal the tile count of the machine. *)
+
+val banks : t -> int
+val sets_per_bank : t -> int
+
+val lookup : t -> Types.line -> view option
+
+val room_for : t -> Types.line -> room
+(** Allocation requirement for [line] in its home bank. Victim choice
+    prefers lines with no L1 copies (their eviction is invisible to the
+    cores), then LRU. *)
+
+val insert : t -> Types.line -> unit
+(** Install an absent line (clean, no sharers); requires a free way. *)
+
+val evict : t -> Types.line -> view
+(** Remove a resident line, returning its final view. The caller is
+    responsible for back-invalidation and memory writeback. *)
+
+val touch : t -> Types.line -> unit
+
+val dir_of : t -> Types.line -> dir
+(** Directory state of a resident line. Raises if absent. *)
+
+val set_dir : t -> Types.line -> dir -> unit
+val set_dirty : t -> Types.line -> bool -> unit
+
+val resident : t -> Types.line -> bool
+val occupancy : t -> int
+
+val iter : t -> (view -> unit) -> unit

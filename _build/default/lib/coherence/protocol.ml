@@ -1,0 +1,596 @@
+module Sim = Lk_engine.Sim
+module Stats = Lk_engine.Stats
+module Net = Lk_mesh.Network
+module Msg = Lk_mesh.Message
+
+type config = {
+  cores : int;
+  l1_size : int;
+  l1_ways : int;
+  l1_hit_latency : int;
+  llc_size : int;
+  llc_ways : int;
+  llc_hit_latency : int;
+  mem_latency : int;
+  exclusive_state : bool;
+  dir_pointers : int option;
+}
+
+let default_config =
+  {
+    cores = 32;
+    l1_size = 32 * 1024;
+    l1_ways = 4;
+    l1_hit_latency = 2;
+    llc_size = 8 * 1024 * 1024;
+    llc_ways = 16;
+    llc_hit_latency = 12;
+    mem_latency = 100;
+    exclusive_state = true;
+    dir_pointers = None;
+  }
+
+type request = {
+  core : Types.core_id;
+  line : Types.line;
+  what : Types.access;
+  epoch : int;
+  k : Types.outcome -> unit;
+}
+
+type t = {
+  sim : Sim.t;
+  net : Net.t;
+  cfg : config;
+  l1s : L1_cache.t array;
+  llc : Llc.t;
+  mutable client : Client.t;
+  (* Lines with a request being served at their home bank; waiters are
+     served FIFO when the current request completes. *)
+  busy : (Types.line, request Queue.t) Hashtbl.t;
+  stats : Stats.group;
+  s_l1_hits : Stats.counter;
+  s_l1_misses : Stats.counter;
+  s_stale : Stats.counter;
+  s_llc_misses : Stats.counter;
+  s_llc_evictions : Stats.counter;
+  s_owner_rejects : Stats.counter;
+  s_sharer_rejects : Stats.counter;
+  s_sig_rejects : Stats.counter;
+  s_conflict_aborts : Stats.counter;
+  s_invalidations : Stats.counter;
+  s_writebacks : Stats.counter;
+  s_spills : Stats.counter;
+  s_evict_tx_aborts : Stats.counter;
+  s_broadcast_invs : Stats.counter;
+}
+
+let create ~sim ~network cfg =
+  let tiles = Lk_mesh.Topology.tiles (Net.topology network) in
+  if tiles <> cfg.cores then
+    invalid_arg
+      (Printf.sprintf "Protocol.create: %d cores but %d mesh tiles" cfg.cores
+         tiles);
+  if cfg.cores > Coreset.max_cores then
+    invalid_arg "Protocol.create: too many cores for the directory bitset";
+  let stats = Stats.group "protocol" in
+  {
+    sim;
+    net = network;
+    cfg;
+    l1s =
+      Array.init cfg.cores (fun _ ->
+          L1_cache.create ~size_bytes:cfg.l1_size ~ways:cfg.l1_ways);
+    llc =
+      Llc.create ~banks:cfg.cores
+        ~bank_size_bytes:(cfg.llc_size / cfg.cores)
+        ~ways:cfg.llc_ways;
+    client = Client.plain;
+    busy = Hashtbl.create 256;
+    stats;
+    s_l1_hits = Stats.counter stats "l1_hits";
+    s_l1_misses = Stats.counter stats "l1_misses";
+    s_stale = Stats.counter stats "stale_requests";
+    s_llc_misses = Stats.counter stats "llc_misses";
+    s_llc_evictions = Stats.counter stats "llc_evictions";
+    s_owner_rejects = Stats.counter stats "owner_rejects";
+    s_sharer_rejects = Stats.counter stats "sharer_rejects";
+    s_sig_rejects = Stats.counter stats "signature_rejects";
+    s_conflict_aborts = Stats.counter stats "conflict_aborts";
+    s_invalidations = Stats.counter stats "invalidations";
+    s_writebacks = Stats.counter stats "writebacks";
+    s_spills = Stats.counter stats "tx_spills";
+    s_evict_tx_aborts = Stats.counter stats "tx_eviction_aborts";
+    s_broadcast_invs = Stats.counter stats "broadcast_invalidations";
+  }
+
+let set_client t client = t.client <- client
+let sim t = t.sim
+let network t = t.net
+let config t = t.cfg
+let l1 t core = t.l1s.(core)
+let llc t = t.llc
+let stats t = t.stats
+
+let home_of t line = Addr.home_of_line ~tiles:t.cfg.cores line
+
+(* Message helpers. [bg_*] charge traffic for messages that are off the
+   request's critical path (writebacks, unblocks, invalidation sends
+   overlapped with data). *)
+let ctrl t ~src ~dst =
+  Net.send ~now:(Sim.now t.sim) t.net ~src ~dst ~class_:Msg.Control
+
+let data t ~src ~dst =
+  Net.send ~now:(Sim.now t.sim) t.net ~src ~dst ~class_:Msg.Data
+let bg_ctrl t ~src ~dst = ignore (ctrl t ~src ~dst)
+let bg_data t ~src ~dst = ignore (data t ~src ~dst)
+
+let in_tx_mode (party : Types.party) = party.Types.mode <> Types.Non_tx
+
+(* Drop [core] from the directory entry of [line] (silent eviction or
+   speculative-line drop). *)
+let dir_remove_core t line core =
+  if Llc.resident t.llc line then
+    match Llc.dir_of t.llc line with
+    | Llc.Owner o ->
+      if o = core then Llc.set_dir t.llc line (Llc.Sharers Coreset.empty)
+    | Llc.Sharers s ->
+      if Coreset.mem core s then
+        Llc.set_dir t.llc line (Llc.Sharers (Coreset.remove core s))
+
+let commit_flush t core =
+  let views = L1_cache.clear_tx t.l1s.(core) ~drop_written:false in
+  List.length views
+
+let abort_flush t core =
+  let views = L1_cache.clear_tx t.l1s.(core) ~drop_written:true in
+  List.iter
+    (fun (v : L1_cache.view) ->
+      (* Speculatively written lines were dropped by [clear_tx]; the
+         directory must stop naming this core as owner. The LLC still
+         holds the pre-transactional data. *)
+      if v.tx_write then dir_remove_core t v.line core)
+    views;
+  List.length views
+
+(* Invalidate [core]'s copy of [line] (back-invalidation or write
+   request), handling transactional copies through the client's
+   eviction hook. Returns extra latency charged by the directive. *)
+let rec flush_l1_copy t ~core ~line ~extra =
+  let l1 = t.l1s.(core) in
+  match L1_cache.lookup l1 line with
+  | None -> extra
+  | Some v when v.tx_read || v.tx_write -> begin
+    match t.client.Client.on_tx_eviction ~core ~view:v with
+    | Client.Abort_tx e ->
+      Stats.incr t.s_evict_tx_aborts;
+      (* The abort cleared tx metadata; written lines are gone, read
+         lines remain and are flushed below. *)
+      flush_l1_copy t ~core ~line ~extra:(extra + e)
+    | Client.Spill { write; extra = e } ->
+      Stats.incr t.s_spills;
+      ignore write;
+      let v2 = L1_cache.remove l1 line in
+      dir_remove_core t line core;
+      if v2.dirty then begin
+        Stats.incr t.s_writebacks;
+        bg_data t ~src:core ~dst:(home_of t line);
+        Llc.set_dirty t.llc line true
+      end
+      else bg_ctrl t ~src:core ~dst:(home_of t line);
+      extra + e
+  end
+  | Some v ->
+    ignore (L1_cache.remove l1 line);
+    dir_remove_core t line core;
+    Stats.incr t.s_invalidations;
+    if v.dirty then begin
+      Stats.incr t.s_writebacks;
+      bg_data t ~src:core ~dst:(home_of t line);
+      Llc.set_dirty t.llc line true
+    end
+    else bg_ctrl t ~src:core ~dst:(home_of t line);
+    extra
+
+(* Make the line resident in its home LLC bank. Returns extra latency
+   (memory fetch, back-invalidation fallout). *)
+let ensure_llc_resident t line =
+  match Llc.room_for t.llc line with
+  | Llc.Present -> 0
+  | room ->
+    Stats.incr t.s_llc_misses;
+    let extra = ref t.cfg.mem_latency in
+    (match room with
+    | Llc.Present | Llc.Free -> ()
+    | Llc.Evict victim ->
+      Stats.incr t.s_llc_evictions;
+      (* Inclusive LLC: L1 copies of the victim must die first. *)
+      let copies =
+        match victim.dir with
+        | Llc.Owner o -> [ o ]
+        | Llc.Sharers s -> Coreset.elements s
+      in
+      List.iter
+        (fun c -> extra := flush_l1_copy t ~core:c ~line:victim.line ~extra:!extra)
+        copies;
+      let v = Llc.evict t.llc victim.line in
+      if v.dirty then bg_data t ~src:(home_of t victim.line) ~dst:(home_of t victim.line));
+    Llc.insert t.llc line;
+    !extra
+
+(* Make room in the requester's L1 for [line]. Returns extra latency. *)
+let make_room t ~core ~line =
+  let l1 = t.l1s.(core) in
+  let rec go extra guard =
+    if guard > 2 * t.cfg.l1_ways then
+      failwith "Protocol.make_room: cannot free a way";
+    match L1_cache.room_for l1 line with
+    | L1_cache.Present | L1_cache.Free -> extra
+    | L1_cache.Evict v ->
+      let extra = flush_l1_copy t ~core ~line:v.line ~extra in
+      go extra (guard + 1)
+  in
+  go 0 0
+
+(* Install a granted line in the requester's L1 (or upgrade in place).
+   Returns extra latency from evictions. The requester's transaction
+   may have died while the request was in flight (or may die right here
+   if its own victim line is transactional): we re-check the context
+   and skip tx marking for stale requests. *)
+let install t req ~state =
+  let l1 = t.l1s.(req.core) in
+  let write = Types.is_write req.what in
+  let extra =
+    match L1_cache.room_for l1 req.line with
+    | L1_cache.Present ->
+      L1_cache.set_state l1 req.line state;
+      L1_cache.touch l1 req.line;
+      0
+    | L1_cache.Free | L1_cache.Evict _ ->
+      let extra = make_room t ~core:req.core ~line:req.line in
+      L1_cache.insert l1 req.line state;
+      extra
+  in
+  (match t.client.Client.context ~core:req.core ~epoch:req.epoch with
+  | Some party when in_tx_mode party ->
+    L1_cache.mark_tx l1 req.line ~write
+  | Some _ | None -> ());
+  extra
+
+let finish t req outcome ~latency =
+  let home = home_of t req.line in
+  (* Unblock message closing the directory transaction (traffic only). *)
+  bg_ctrl t ~src:req.core ~dst:home;
+  Sim.schedule t.sim ~delay:latency (fun () -> req.k outcome)
+
+(* --- The decision procedure, running at the home bank. --------------
+   Returns the request outcome and its completion latency relative to
+   the decision cycle; all state changes happen here, atomically. *)
+
+let rec dispatch t req (party : Types.party) ~extra ~depth =
+  if depth > 3 then failwith "Protocol.dispatch: conflict resolution loop";
+  let write = Types.is_write req.what in
+  let home = home_of t req.line in
+  let llc_lat = t.cfg.llc_hit_latency in
+  match Llc.dir_of t.llc req.line with
+  | Llc.Owner o when o = req.core ->
+    failwith "Protocol.dispatch: request from the current owner"
+  | Llc.Owner o -> begin
+    let ov =
+      match L1_cache.lookup t.l1s.(o) req.line with
+      | Some v -> v
+      | None ->
+        failwith "Protocol.dispatch: directory owner has no L1 copy"
+    in
+    let conflict =
+      if write then ov.tx_read || ov.tx_write else ov.tx_write
+    in
+    if conflict then begin
+      let holder = t.client.Client.party_of o in
+      match
+        t.client.Client.resolve ~requester:(req.core, party) ~holder:(o, holder)
+          ~line:req.line ~write
+      with
+      | Client.Reject_requester ->
+        Stats.incr t.s_owner_rejects;
+        t.client.Client.on_reject ~requester:req.core ~by:(Some o)
+          ~line:req.line;
+        let lat =
+          llc_lat + extra
+          + ctrl t ~src:home ~dst:o
+          + t.cfg.l1_hit_latency
+          + ctrl t ~src:o ~dst:home
+          + ctrl t ~src:home ~dst:req.core
+        in
+        (Types.Rejected { by = Some o }, lat)
+      | Client.Abort_holder ->
+        Stats.incr t.s_conflict_aborts;
+        t.client.Client.abort ~victim:o ~aggressor:req.core
+          ~aggressor_mode:party.Types.mode ~line:req.line;
+        (* NACK leg: home -> owner -> home, then retry the decision
+           against the post-abort state (Fig 3's red-arrow flow). *)
+        let leg =
+          ctrl t ~src:home ~dst:o + t.cfg.l1_hit_latency
+          + ctrl t ~src:o ~dst:home
+        in
+        dispatch t req party ~extra:(extra + leg) ~depth:(depth + 1)
+    end
+    else begin
+      (* Plain MESI forward. *)
+      let fwd = ctrl t ~src:home ~dst:o + t.cfg.l1_hit_latency in
+      if write then begin
+        let v = L1_cache.remove t.l1s.(o) req.line in
+        Stats.incr t.s_invalidations;
+        if v.dirty then begin
+          Stats.incr t.s_writebacks;
+          bg_data t ~src:o ~dst:home;
+          Llc.set_dirty t.llc req.line true
+        end;
+        Llc.set_dir t.llc req.line (Llc.Owner req.core);
+        let inst = install t req ~state:L1_cache.M in
+        (Types.Granted, llc_lat + extra + fwd + data t ~src:o ~dst:req.core + inst)
+      end
+      else begin
+        if ov.dirty then begin
+          Stats.incr t.s_writebacks;
+          bg_data t ~src:o ~dst:home;
+          Llc.set_dirty t.llc req.line true;
+          L1_cache.clear_dirty t.l1s.(o) req.line
+        end;
+        L1_cache.set_state t.l1s.(o) req.line L1_cache.S;
+        Llc.set_dir t.llc req.line
+          (Llc.Sharers (Coreset.of_list [ o; req.core ]));
+        let inst = install t req ~state:L1_cache.S in
+        (Types.Granted, llc_lat + extra + fwd + data t ~src:o ~dst:req.core + inst)
+      end
+    end
+  end
+  | Llc.Sharers s when not write ->
+    let alone =
+      t.cfg.exclusive_state && Coreset.is_empty (Coreset.remove req.core s)
+    in
+    let state = if alone then L1_cache.E else L1_cache.S in
+    (* An Exclusive grant makes the requester the owner in the
+       directory's eyes; a shared grant extends the sharer list. *)
+    if alone then Llc.set_dir t.llc req.line (Llc.Owner req.core)
+    else Llc.set_dir t.llc req.line (Llc.Sharers (Coreset.add req.core s));
+    Llc.touch t.llc req.line;
+    let inst = install t req ~state in
+    (Types.Granted, llc_lat + extra + data t ~src:home ~dst:req.core + inst)
+  | Llc.Sharers s ->
+    (* Write (possibly an upgrade): every other sharer must go. *)
+    let others = Coreset.elements (Coreset.remove req.core s) in
+    let winners = ref [] and losers = ref [] and plain = ref [] in
+    List.iter
+      (fun c ->
+        let v =
+          match L1_cache.lookup t.l1s.(c) req.line with
+          | Some v -> v
+          | None -> failwith "Protocol.dispatch: directory sharer has no copy"
+        in
+        if v.tx_read || v.tx_write then begin
+          let holder = t.client.Client.party_of c in
+          match
+            t.client.Client.resolve ~requester:(req.core, party)
+              ~holder:(c, holder) ~line:req.line ~write:true
+          with
+          | Client.Reject_requester -> winners := c :: !winners
+          | Client.Abort_holder -> losers := c :: !losers
+        end
+        else plain := c :: !plain)
+      others;
+    let winners = List.rev !winners
+    and losers = List.rev !losers
+    and plain = List.rev !plain in
+    (* Losers abort even when the request is ultimately rejected: each
+       sharer arbitrates locally (Fig 4). *)
+    List.iter
+      (fun c ->
+        Stats.incr t.s_conflict_aborts;
+        t.client.Client.abort ~victim:c ~aggressor:req.core
+          ~aggressor_mode:party.Types.mode ~line:req.line)
+      losers;
+    (* Invalidate every non-winner copy still resident (aborts keep
+       read lines valid). Latency is the slowest invalidation
+       round-trip, all in parallel. Under a limited-pointer directory
+       whose pointers have overflowed, the home does not know the
+       sharers and must broadcast to every core. *)
+    let broadcast =
+      match t.cfg.dir_pointers with
+      | Some k -> Coreset.cardinal s > k
+      | None -> false
+    in
+    let inv_rtt = ref 0 in
+    let charge_rtt c =
+      let rtt =
+        ctrl t ~src:home ~dst:c + t.cfg.l1_hit_latency
+        + ctrl t ~src:c ~dst:home
+      in
+      if rtt > !inv_rtt then inv_rtt := rtt
+    in
+    if broadcast then begin
+      Stats.incr t.s_broadcast_invs;
+      for c = 0 to t.cfg.cores - 1 do
+        if c <> req.core then charge_rtt c
+      done
+    end
+    else List.iter charge_rtt (plain @ losers);
+    List.iter
+      (fun c -> ignore (flush_l1_copy t ~core:c ~line:req.line ~extra:0))
+      (plain @ losers);
+    if winners <> [] then begin
+      Stats.incr t.s_sharer_rejects;
+      let keep =
+        if L1_cache.resident t.l1s.(req.core) req.line then req.core :: winners
+        else winners
+      in
+      Llc.set_dir t.llc req.line (Llc.Sharers (Coreset.of_list keep));
+      let by = List.hd winners in
+      t.client.Client.on_reject ~requester:req.core ~by:(Some by)
+        ~line:req.line;
+      let lat =
+        llc_lat + extra + !inv_rtt + ctrl t ~src:home ~dst:req.core
+      in
+      (Types.Rejected { by = Some by }, lat)
+    end
+    else begin
+      Llc.set_dir t.llc req.line (Llc.Owner req.core);
+      Llc.touch t.llc req.line;
+      let was_resident = L1_cache.resident t.l1s.(req.core) req.line in
+      let inst = install t req ~state:L1_cache.M in
+      let transfer =
+        if was_resident then ctrl t ~src:home ~dst:req.core
+        else data t ~src:home ~dst:req.core
+      in
+      (Types.Granted, llc_lat + extra + inst + max !inv_rtt transfer)
+    end
+
+(* Serve a request at the head of its line queue. Returns the busy
+   window (cycles until the home frees the line). *)
+let process t req =
+  match t.client.Client.context ~core:req.core ~epoch:req.epoch with
+  | None ->
+    (* The issuing transaction died after issue: drop without side
+       effects. The continuation still fires (the core discards it by
+       epoch). *)
+    Stats.incr t.s_stale;
+    req.k Types.Granted;
+    0
+  | Some party ->
+    let write = Types.is_write req.what in
+    let home = home_of t req.line in
+    let extra = ensure_llc_resident t req.line in
+    Llc.touch t.llc req.line;
+    let would_be_exclusive =
+      (not write)
+      &&
+      match Llc.dir_of t.llc req.line with
+      | Llc.Owner _ -> false
+      | Llc.Sharers s -> Coreset.is_empty s
+    in
+    let sig_verdict =
+      t.client.Client.llc_check ~requester:req.core
+        ~requester_mode:party.Types.mode ~line:req.line ~write
+        ~would_be_exclusive
+    in
+    let outcome, lat =
+      match sig_verdict with
+      | Some Client.Reject_requester ->
+        Stats.incr t.s_sig_rejects;
+        t.client.Client.on_reject ~requester:req.core ~by:None ~line:req.line;
+        ( Types.Rejected { by = None },
+          t.cfg.llc_hit_latency + extra + ctrl t ~src:home ~dst:req.core )
+      | Some Client.Abort_holder ->
+        failwith "Protocol.process: llc_check returned Abort_holder"
+      | None -> dispatch t req party ~extra ~depth:0
+    in
+    finish t req outcome ~latency:lat;
+    lat
+
+let rec release t line =
+  match Hashtbl.find_opt t.busy line with
+  | None -> failwith "Protocol.release: line not busy"
+  | Some q ->
+    if Queue.is_empty q then Hashtbl.remove t.busy line
+    else begin
+      let req = Queue.pop q in
+      let lat = process t req in
+      Sim.schedule t.sim ~delay:lat (fun () -> release t line)
+    end
+
+let arrive t req =
+  match Hashtbl.find_opt t.busy req.line with
+  | Some q -> Queue.push req q
+  | None ->
+    Hashtbl.add t.busy req.line (Queue.create ());
+    let lat = process t req in
+    Sim.schedule t.sim ~delay:lat (fun () -> release t req.line)
+
+let access t ~core ~line ~what ~epoch ~k =
+  if core < 0 || core >= t.cfg.cores then
+    invalid_arg "Protocol.access: core out of range";
+  if line < 0 then invalid_arg "Protocol.access: negative line";
+  let write = Types.is_write what in
+  let l1c = t.l1s.(core) in
+  match L1_cache.lookup l1c line with
+  | Some v when (not write) || v.state = L1_cache.M || v.state = L1_cache.E ->
+    Stats.incr t.s_l1_hits;
+    L1_cache.touch l1c line;
+    let party = t.client.Client.party_of core in
+    if write then begin
+      if in_tx_mode party && v.dirty && not v.tx_write then begin
+        (* First speculative write to a non-speculatively dirty line:
+           push the pre-transactional data to the LLC so an abort can
+           recover it (eager-versioning bookkeeping). *)
+        Stats.incr t.s_writebacks;
+        bg_data t ~src:core ~dst:(home_of t line);
+        Llc.set_dirty t.llc line true
+      end;
+      L1_cache.set_state l1c line L1_cache.M
+    end;
+    if in_tx_mode party then L1_cache.mark_tx l1c line ~write;
+    Sim.schedule t.sim ~delay:t.cfg.l1_hit_latency (fun () -> k Types.Granted)
+  | Some _ | None ->
+    Stats.incr t.s_l1_misses;
+    let home = home_of t line in
+    let lat = t.cfg.l1_hit_latency + ctrl t ~src:core ~dst:home in
+    let req = { core; line; what; epoch; k } in
+    Sim.schedule t.sim ~delay:lat (fun () -> arrive t req)
+
+let flush_core t core =
+  let l1c = t.l1s.(core) in
+  let lines = ref [] in
+  L1_cache.iter l1c (fun v -> lines := v.L1_cache.line :: !lines);
+  List.iter
+    (fun line ->
+      let v = L1_cache.remove l1c line in
+      dir_remove_core t line core;
+      if v.L1_cache.dirty then begin
+        Stats.incr t.s_writebacks;
+        bg_data t ~src:core ~dst:(home_of t line);
+        Llc.set_dirty t.llc line true
+      end)
+    !lines;
+  List.length !lines
+
+(* --- Invariant checking (tests). ------------------------------------ *)
+
+let check_invariants t =
+  let fail fmt = Format.kasprintf failwith fmt in
+  (* Directory exactness and SWMR, from the LLC's point of view. *)
+  Llc.iter t.llc (fun (v : Llc.view) ->
+      match v.dir with
+      | Llc.Owner o ->
+        (match L1_cache.lookup t.l1s.(o) v.line with
+        | Some lv
+          when lv.L1_cache.state = L1_cache.M || lv.L1_cache.state = L1_cache.E
+          ->
+          ()
+        | Some _ ->
+          fail "line %d: directory owner %d holds it in S" v.line o
+        | None -> fail "line %d: directory owner %d has no copy" v.line o);
+        Array.iteri
+          (fun c l1c ->
+            if c <> o && L1_cache.resident l1c v.line then
+              fail "line %d: owned by %d but also resident at %d" v.line o c)
+          t.l1s
+      | Llc.Sharers s ->
+        Array.iteri
+          (fun c l1c ->
+            match L1_cache.lookup l1c v.line with
+            | None ->
+              if Coreset.mem c s then
+                fail "line %d: directory lists %d but no copy" v.line c
+            | Some lv ->
+              if not (Coreset.mem c s) then
+                fail "line %d: resident at %d but not in directory" v.line c;
+              if lv.L1_cache.state <> L1_cache.S then
+                fail "line %d: sharer %d holds it in M/E" v.line c)
+          t.l1s);
+  (* Inclusivity: every L1 line is LLC-resident. *)
+  Array.iteri
+    (fun c l1c ->
+      L1_cache.iter l1c (fun lv ->
+          if not (Llc.resident t.llc lv.L1_cache.line) then
+            fail "line %d: resident in L1 %d but not in LLC" lv.L1_cache.line c))
+    t.l1s

@@ -1,0 +1,48 @@
+(** Shared vocabulary of the memory subsystem. *)
+
+type core_id = int
+(** Index of a core / private L1 / tile (cores are bound 1:1 to tiles). *)
+
+type line = int
+(** Cache-line index: byte address [lsr] log2(line size). All coherence
+    and conflict detection is line-granular, like the modelled
+    hardware. *)
+
+type access =
+  | Read
+  | Write
+  | Rmw
+      (** Atomic read-modify-write (lock acquire). Coherence-wise an
+          [Rmw] behaves like a [Write] (needs exclusive ownership); the
+          distinction is kept for statistics and for the value layer. *)
+
+val is_write : access -> bool
+
+(** How the requesting core was executing when it issued a request.
+    Conflict arbitration (Fig 4 of the paper) depends on it. *)
+type mode =
+  | Htm_tx  (** Speculative HTM transaction. *)
+  | Lock_tx
+      (** Irrevocable lock transaction in HTMLock mode (TL or STL). *)
+  | Non_tx  (** Ordinary, non-speculative execution. *)
+
+type party = { mode : mode; priority : int }
+(** Identity of a requester or holder in a conflict: its execution mode
+    and its user-defined priority (the paper carries it in the ARUSER
+    bus field). [Lock_tx] parties always use [max_int]. *)
+
+val non_tx_party : party
+(** Non-transactional accesses: they win against speculative
+    transactions (best-effort HTM semantics) which we encode as
+    [max_int] priority with mode [Non_tx]. *)
+
+type outcome =
+  | Granted
+  | Rejected of { by : core_id option }
+      (** The request was withdrawn by the recovery mechanism. [by] is
+          the core whose transaction caused the rejection, or [None]
+          when the LLC overflow signatures rejected it. *)
+
+val pp_access : Format.formatter -> access -> unit
+val pp_mode : Format.formatter -> mode -> unit
+val pp_outcome : Format.formatter -> outcome -> unit

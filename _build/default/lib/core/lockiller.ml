@@ -1,0 +1,69 @@
+module Engine = Lk_engine
+module Mesh = Lk_mesh
+module Coherence = Lk_coherence
+module Htm = Lk_htm
+module Mechanisms = Lk_lockiller
+module Cpu = Lk_cpu
+module Stamp = Lk_stamp
+module Sim = Lk_sim
+
+let version = "1.0.0"
+
+let systems =
+  List.map (fun s -> s.Lk_lockiller.Sysconf.name) Lk_lockiller.Sysconf.all
+
+let workloads = Lk_stamp.Suite.names
+
+let lookup ~system ~workload =
+  match Lk_lockiller.Sysconf.find system with
+  | None ->
+    Error
+      (Printf.sprintf "unknown system %S (expected one of: %s)" system
+         (String.concat ", " systems))
+  | Some sysconf -> (
+    match Lk_stamp.Suite.find workload with
+    | None ->
+      Error
+        (Printf.sprintf "unknown workload %S (expected one of: %s)" workload
+           (String.concat ", " workloads))
+    | Some profile -> Ok (sysconf, profile))
+
+let run ?(seed = 1) ?(scale = 1.0) ?(cache = Lk_sim.Config.Typical)
+    ?(cores = 32) ~system ~workload ~threads () =
+  match lookup ~system ~workload with
+  | Error _ as e -> e
+  | Ok (sysconf, profile) -> (
+    match
+      Lk_sim.Runner.run ~seed ~scale
+        ~machine:(Lk_sim.Config.machine ~cache ~cores ())
+        ~sysconf ~workload:profile ~threads ()
+    with
+    | r -> Ok r
+    | exception (Invalid_argument msg | Failure msg) -> Error msg)
+
+let run_text ?(cache = Lk_sim.Config.Typical) ?(cores = 32) ~system ~program
+    () =
+  match Lk_lockiller.Sysconf.find system with
+  | None -> Error (Printf.sprintf "unknown system %S" system)
+  | Some sysconf -> (
+    match Lk_cpu.Program.of_text program with
+    | Error msg -> Error msg
+    | Ok program -> (
+      match
+        Lk_sim.Runner.run_program
+          ~machine:(Lk_sim.Config.machine ~cache ~cores ())
+          ~sysconf ~program ()
+      with
+      | r -> Ok r
+      | exception (Invalid_argument msg | Failure msg) -> Error msg))
+
+let speedup_vs_cgl ?seed ?scale ?cache ?cores ~system ~workload ~threads () =
+  match run ?seed ?scale ?cache ?cores ~system ~workload ~threads () with
+  | Error _ as e -> e
+  | Ok r -> (
+    match run ?seed ?scale ?cache ?cores ~system:"CGL" ~workload ~threads () with
+    | Error _ as e -> e
+    | Ok cgl ->
+      Ok
+        (Lk_sim.Metrics.speedup ~baseline_cycles:cgl.Lk_sim.Runner.cycles
+           ~cycles:r.Lk_sim.Runner.cycles))

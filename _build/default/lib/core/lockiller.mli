@@ -1,0 +1,89 @@
+(** LockillerTM — public facade.
+
+    A reproduction of "LockillerTM: Enhancing Performance Lower Bounds
+    in Best-Effort Hardware Transactional Memory" (Wan, Chao, Li, Han;
+    IPPS 2024) as a discrete-event simulator of a tiled CMP with MESI
+    directory coherence, best-effort HTM, and the paper's three
+    mechanisms (recovery, HTMLock, switchingMode).
+
+    This module is the stable entry point: name a system from Table II
+    and a STAMP workload, pick a thread count, get the paper's metrics
+    back. The subsystem libraries are re-exported for programmatic use
+    (building custom machines, workloads or systems). *)
+
+(** {1 Subsystems} *)
+
+module Engine = Lk_engine
+(** Discrete-event kernel: simulation clock, event queue, RNG, stats. *)
+
+module Mesh = Lk_mesh
+(** 2-D mesh NoC: topology, X-Y routing, latency model. *)
+
+module Coherence = Lk_coherence
+(** MESI directory protocol with transactional conflict hooks. *)
+
+module Htm = Lk_htm
+(** Best-effort HTM building blocks: abort reasons, value layer,
+    policies, per-core transaction state. *)
+
+module Mechanisms = Lk_lockiller
+(** The paper's contribution: recovery (NACK/reject + wake-up),
+    priorities, HTMLock (TL + overflow signatures), switchingMode
+    (STL + LLC arbitration), and the runtime tying them together. *)
+
+module Cpu = Lk_cpu
+(** In-order core model, thread programs, execution-time accounting. *)
+
+module Stamp = Lk_stamp
+(** Synthetic STAMP workload generators. *)
+
+module Sim = Lk_sim
+(** Machine configs (Table I), runner, metrics, experiments. *)
+
+(** {1 One-call API} *)
+
+val systems : string list
+(** Names accepted by {!run} (Table II). *)
+
+val workloads : string list
+(** Workload names accepted by {!run} (STAMP without bayes). *)
+
+val run :
+  ?seed:int ->
+  ?scale:float ->
+  ?cache:Lk_sim.Config.cache_profile ->
+  ?cores:int ->
+  system:string ->
+  workload:string ->
+  threads:int ->
+  unit ->
+  (Lk_sim.Runner.result, string) result
+(** Simulate one (system, workload, threads) combination on the
+    paper's machine and return every reported metric. [Error] explains
+    unknown names or invalid parameters. *)
+
+val run_text :
+  ?cache:Lk_sim.Config.cache_profile ->
+  ?cores:int ->
+  system:string ->
+  program:string ->
+  unit ->
+  (Lk_sim.Runner.result, string) result
+(** Run a hand-written workload given in {!Lk_cpu.Program.of_text}'s
+    text format (one thread per [thread] section). The serializability
+    oracle and protocol invariants still verify the run. *)
+
+val speedup_vs_cgl :
+  ?seed:int ->
+  ?scale:float ->
+  ?cache:Lk_sim.Config.cache_profile ->
+  ?cores:int ->
+  system:string ->
+  workload:string ->
+  threads:int ->
+  unit ->
+  (float, string) result
+(** Speedup of [system] over coarse-grained locking at the same thread
+    count (the paper's principal metric). *)
+
+val version : string

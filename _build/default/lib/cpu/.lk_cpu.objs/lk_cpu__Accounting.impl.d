@@ -1,0 +1,1 @@
+lib/cpu/accounting.ml: Array Format List

@@ -1,0 +1,1 @@
+lib/cpu/accounting.mli: Format Lk_coherence

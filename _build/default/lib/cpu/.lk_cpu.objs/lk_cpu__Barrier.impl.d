@@ -1,0 +1,1 @@
+lib/cpu/barrier.ml: List Lk_engine

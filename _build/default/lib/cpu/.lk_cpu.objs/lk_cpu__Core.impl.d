@@ -1,0 +1,1 @@
+lib/cpu/core.ml: Accounting Barrier List Lk_coherence Lk_engine Lk_htm Lk_lockiller Program

@@ -1,0 +1,1 @@
+lib/cpu/core.mli: Accounting Barrier Lk_coherence Lk_lockiller Program

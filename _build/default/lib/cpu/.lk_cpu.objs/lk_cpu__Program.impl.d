@@ -1,0 +1,1 @@
+lib/cpu/program.ml: Array Buffer Format Hashtbl List Option Printf String

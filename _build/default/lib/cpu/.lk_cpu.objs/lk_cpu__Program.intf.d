@@ -1,0 +1,1 @@
+lib/cpu/program.mli: Format

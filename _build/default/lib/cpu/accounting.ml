@@ -1,0 +1,67 @@
+type category =
+  | Htm
+  | Aborted
+  | Lock
+  | Switch_lock
+  | Non_tran
+  | Wait_lock
+  | Rollback
+
+let categories =
+  [ Htm; Aborted; Lock; Switch_lock; Non_tran; Wait_lock; Rollback ]
+
+let index = function
+  | Htm -> 0
+  | Aborted -> 1
+  | Lock -> 2
+  | Switch_lock -> 3
+  | Non_tran -> 4
+  | Wait_lock -> 5
+  | Rollback -> 6
+
+let label = function
+  | Htm -> "htm"
+  | Aborted -> "aborted"
+  | Lock -> "lock"
+  | Switch_lock -> "switchLock"
+  | Non_tran -> "non-tran"
+  | Wait_lock -> "waitlock"
+  | Rollback -> "rollback"
+
+let ncats = List.length categories
+
+type t = { cells : int array array }
+
+let create ~cores =
+  if cores <= 0 then invalid_arg "Accounting.create: cores must be positive";
+  { cells = Array.init cores (fun _ -> Array.make ncats 0) }
+
+let add t ~core cat cycles =
+  if cycles < 0 then invalid_arg "Accounting.add: negative cycles";
+  let row = t.cells.(core) in
+  row.(index cat) <- row.(index cat) + cycles
+
+let per_core t ~core =
+  List.map (fun cat -> (cat, t.cells.(core).(index cat))) categories
+
+let total t =
+  List.map
+    (fun cat ->
+      (cat, Array.fold_left (fun acc row -> acc + row.(index cat)) 0 t.cells))
+    categories
+
+let grand_total t = List.fold_left (fun acc (_, n) -> acc + n) 0 (total t)
+
+let fraction t cat =
+  let all = grand_total t in
+  if all = 0 then 0.0
+  else
+    let n = List.assoc cat (total t) in
+    float_of_int n /. float_of_int all
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (cat, n) -> Format.fprintf ppf "%-10s %10d@," (label cat) n)
+    (total t);
+  Format.fprintf ppf "@]"

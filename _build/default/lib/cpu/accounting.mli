@@ -1,0 +1,49 @@
+(** Execution-time breakdown, in the categories of Fig 9 and Fig 11.
+
+    Every simulated cycle of every participating core is attributed to
+    exactly one category:
+
+    - [Htm]: speculative work of attempts that committed.
+    - [Aborted]: speculative work that was rolled back.
+    - [Lock]: critical sections executed under the lock (fallback path
+      or TL-mode lock transactions).
+    - [Switch_lock]: whole transactions that proactively switched to
+      HTMLock mode and committed there (Fig 11's new category).
+    - [Non_tran]: non-transactional work and end-of-run imbalance
+      ("non-tran and barrier").
+    - [Wait_lock]: waiting to acquire a lock (spinning, or waiting for
+      the fallback lock / LLC authorization to free up).
+    - [Rollback]: abort penalties and inter-retry backoff. *)
+
+type category =
+  | Htm
+  | Aborted
+  | Lock
+  | Switch_lock
+  | Non_tran
+  | Wait_lock
+  | Rollback
+
+val categories : category list
+(** Presentation order of the paper's figures. *)
+
+val label : category -> string
+
+type t
+
+val create : cores:int -> t
+
+val add : t -> core:Lk_coherence.Types.core_id -> category -> int -> unit
+(** Attribute [cycles] (non-negative) to a category. *)
+
+val per_core : t -> core:Lk_coherence.Types.core_id -> (category * int) list
+
+val total : t -> (category * int) list
+(** Summed over cores, in [categories] order. *)
+
+val grand_total : t -> int
+
+val fraction : t -> category -> float
+(** Share of the grand total; 0 when nothing recorded. *)
+
+val pp : Format.formatter -> t -> unit

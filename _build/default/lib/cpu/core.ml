@@ -1,0 +1,281 @@
+module Sim = Lk_engine.Sim
+module Policy = Lk_htm.Policy
+module Txstate = Lk_htm.Txstate
+module Sysconf = Lk_lockiller.Sysconf
+module Runtime = Lk_lockiller.Runtime
+
+type t = {
+  core : Lk_coherence.Types.core_id;
+  rt : Runtime.t;
+  sim : Sim.t;
+  acct : Accounting.t;
+  mutable remaining : Program.transaction list;
+  on_done : unit -> unit;
+  mutable finished : bool;
+  mutable finish_time : int;
+  barrier : (Barrier.t * int) option;
+  mutable completed_txs : int;
+}
+
+let spawn ?barrier ~runtime ~core ~thread ~accounting ~on_done () =
+  (match barrier with
+  | Some (_, k) when k <= 0 ->
+    invalid_arg "Core.spawn: barrier interval must be positive"
+  | Some _ | None -> ());
+  {
+    core;
+    rt = runtime;
+    sim = Lk_coherence.Protocol.sim (Runtime.protocol runtime);
+    acct = accounting;
+    remaining = thread;
+    on_done;
+    finished = false;
+    finish_time = 0;
+    barrier;
+    completed_txs = 0;
+  }
+
+let finished t = t.finished
+let finish_time t = t.finish_time
+let transactions_left t = List.length t.remaining
+
+let now t = Sim.now t.sim
+
+let account t cat cycles = Accounting.add t.acct ~core:t.core cat cycles
+
+(* Local compute: one instruction per cycle. *)
+let compute t n cat k =
+  if n <= 0 then k ()
+  else begin
+    Runtime.add_insts t.rt t.core n;
+    Sim.schedule t.sim ~delay:n (fun () ->
+        account t cat n;
+        k ())
+  end
+
+(* Execute a critical-section body. [epoch] is the transaction epoch to
+   watch for asynchronous aborts ([None] for irrevocable / plain
+   execution, which cannot abort). Completion reports [`Done] or
+   [`Aborted]. *)
+let exec_ops t ~epoch ops k =
+  let ctx = Runtime.ctx t.rt t.core in
+  let dead () =
+    match epoch with Some e -> ctx.Txstate.epoch <> e | None -> false
+  in
+  let rec go = function
+    | [] -> k `Done
+    | op :: rest ->
+      if dead () then k `Aborted
+      else begin
+        match (op : Program.op) with
+        | Program.Compute n ->
+          Runtime.add_insts t.rt t.core n;
+          Sim.schedule t.sim ~delay:(max n 0) (fun () ->
+              if dead () then k `Aborted else go rest)
+        | Program.Read addr ->
+          Runtime.read t.rt t.core ~addr ~k:(function
+            | Runtime.Ok _ -> go rest
+            | Runtime.Tx_aborted -> k `Aborted)
+        | Program.Write (addr, value) ->
+          Runtime.write t.rt t.core ~addr ~value ~k:(function
+            | Runtime.Ok _ -> go rest
+            | Runtime.Tx_aborted -> k `Aborted)
+        | Program.Incr addr ->
+          Runtime.fetch_add t.rt t.core ~addr ~delta:1 ~k:(function
+            | Runtime.Ok _ -> go rest
+            | Runtime.Tx_aborted -> k `Aborted)
+        | Program.Add (addr, delta) ->
+          Runtime.fetch_add t.rt t.core ~addr ~delta ~k:(function
+            | Runtime.Ok _ -> go rest
+            | Runtime.Tx_aborted -> k `Aborted)
+        | Program.Fault ->
+          Runtime.fault t.rt t.core ~k:(function
+            | `Died -> k `Aborted
+            | `Survived cost ->
+              Sim.schedule t.sim ~delay:cost (fun () ->
+                  if dead () then k `Aborted else go rest))
+      end
+  in
+  go ops
+
+(* Spin (with backoff, polling through the coherence protocol) until
+   the fallback lock reads free. Time spent is waiting-for-lock. *)
+let wait_lock_free t k =
+  let retry =
+    { (Runtime.sysconf t.rt).Sysconf.retry with
+      Policy.backoff_base = 16;
+      backoff_cap = 128;
+    }
+  in
+  let rec poll attempt =
+    let t0 = now t in
+    Runtime.read t.rt t.core ~addr:(Runtime.lock_addr t.rt) ~k:(fun _ ->
+        account t Accounting.Wait_lock (now t - t0);
+        if Runtime.lock_held t.rt then
+          let pause = Policy.backoff_delay retry ~attempt in
+          Sim.schedule t.sim ~delay:pause (fun () ->
+              account t Accounting.Wait_lock pause;
+              poll (attempt + 1))
+        else k ())
+  in
+  poll 0
+
+(* Abort cleanup: the architectural penalty plus the software backoff
+   of the retry strategy. *)
+let rollback_pause t ~attempt k =
+  let costs = Runtime.costs t.rt in
+  let retry = (Runtime.sysconf t.rt).Sysconf.retry in
+  let ctx = Runtime.ctx t.rt t.core in
+  let fault_extra =
+    match ctx.Txstate.pending_abort with
+    | Some Lk_htm.Reason.Fault -> costs.Runtime.fault_abort_penalty
+    | Some _ | None -> 0
+  in
+  let pause =
+    costs.Runtime.abort_penalty + fault_extra
+    + Policy.backoff_delay retry ~attempt
+  in
+  Sim.schedule t.sim ~delay:pause (fun () ->
+      account t Accounting.Rollback pause;
+      k ())
+
+(* The fallback path: acquire the lock, then run either as an HTMLock
+   lock transaction (TL) or as a plain non-speculative critical
+   section. *)
+let fallback t (tx : Program.transaction) k =
+  let sysconf = Runtime.sysconf t.rt in
+  let w0 = now t in
+  Runtime.lock_acquire t.rt t.core ~k:(fun () ->
+      account t Accounting.Wait_lock (now t - w0);
+      if sysconf.Sysconf.htmlock then
+        let a0 = now t in
+        Runtime.hlbegin t.rt t.core ~k:(fun () ->
+            account t Accounting.Wait_lock (now t - a0);
+            let b0 = now t in
+            exec_ops t ~epoch:None tx.Program.ops (fun _ ->
+                Runtime.hlend t.rt t.core ~k:(fun () ->
+                    Runtime.lock_release t.rt t.core ~k:(fun () ->
+                        account t Accounting.Lock (now t - b0);
+                        k ()))))
+      else begin
+        let b0 = now t in
+        Runtime.plain_section_begin t.rt t.core;
+        exec_ops t ~epoch:None tx.Program.ops (fun _ ->
+            Runtime.plain_section_end t.rt t.core;
+            Runtime.lock_release t.rt t.core ~k:(fun () ->
+                Runtime.note_lock_commit t.rt t.core;
+                account t Accounting.Lock (now t - b0);
+                k ()))
+      end)
+
+(* One critical section under the HTM systems: try speculatively up to
+   max_retries times, then fall back. *)
+let rec attempt t (tx : Program.transaction) k =
+  let sysconf = Runtime.sysconf t.rt in
+  let ctx = Runtime.ctx t.rt t.core in
+  if ctx.Txstate.attempt >= sysconf.Sysconf.retry.Policy.max_retries then
+    fallback t tx k
+  else begin
+    let t0 = now t in
+    Runtime.xbegin t.rt t.core ~k:(function
+      | `Busy ->
+        (* The fallback lock was held (or the transaction died during
+           subscription): wasted attempt; wait for the lock, retry. *)
+        account t Accounting.Aborted (now t - t0);
+        ctx.Txstate.attempt <- ctx.Txstate.attempt + 1;
+        rollback_pause t ~attempt:ctx.Txstate.attempt (fun () ->
+            wait_lock_free t (fun () -> attempt t tx k))
+      | `Started ->
+        let epoch = ctx.Txstate.epoch in
+        exec_ops t ~epoch:(Some epoch) tx.Program.ops (function
+          | `Aborted ->
+            account t Accounting.Aborted (now t - t0);
+            ctx.Txstate.attempt <- ctx.Txstate.attempt + 1;
+            (* retry_strategy(xstatus): a fault cannot succeed on retry
+               — go straight to the fallback path. A capacity overflow
+               gets one more attempt (associativity pressure can be
+               timing-dependent) and then falls back too. *)
+            (match ctx.Txstate.pending_abort with
+            | Some Lk_htm.Reason.Fault ->
+              ctx.Txstate.attempt <-
+                sysconf.Sysconf.retry.Policy.max_retries
+            | Some Lk_htm.Reason.Capacity ->
+              ctx.Txstate.attempt <-
+                max ctx.Txstate.attempt
+                  (sysconf.Sysconf.retry.Policy.max_retries - 1)
+            | Some _ | None -> ());
+            rollback_pause t ~attempt:ctx.Txstate.attempt (fun () ->
+                attempt t tx k)
+          | `Done -> (
+            (* Listing 2: dispatch the release path on the extended
+               ttest. *)
+            match Runtime.ttest t.rt t.core with
+            | Txstate.Stl ->
+              Runtime.hlend t.rt t.core ~k:(fun () ->
+                  account t Accounting.Switch_lock (now t - t0);
+                  k ())
+            | Txstate.Htm ->
+              Runtime.xend t.rt t.core ~k:(fun () ->
+                  if ctx.Txstate.epoch <> epoch then begin
+                    (* killed during the commit window *)
+                    account t Accounting.Aborted (now t - t0);
+                    ctx.Txstate.attempt <- ctx.Txstate.attempt + 1;
+                    rollback_pause t ~attempt:ctx.Txstate.attempt (fun () ->
+                        attempt t tx k)
+                  end
+                  else begin
+                    account t Accounting.Htm (now t - t0);
+                    k ()
+                  end)
+            | Txstate.Tl | Txstate.Idle ->
+              failwith "Core.attempt: unexpected mode at commit")))
+  end
+
+let critical t (tx : Program.transaction) k =
+  let sysconf = Runtime.sysconf t.rt in
+  let ctx = Runtime.ctx t.rt t.core in
+  let done_ () =
+    ctx.Txstate.attempt <- 0;
+    k ()
+  in
+  match sysconf.Sysconf.kind with
+  | Sysconf.Cgl ->
+    let w0 = now t in
+    Runtime.lock_acquire t.rt t.core ~k:(fun () ->
+        account t Accounting.Wait_lock (now t - w0);
+        let b0 = now t in
+        Runtime.plain_section_begin t.rt t.core;
+        exec_ops t ~epoch:None tx.Program.ops (fun _ ->
+            Runtime.plain_section_end t.rt t.core;
+            Runtime.lock_release t.rt t.core ~k:(fun () ->
+                account t Accounting.Lock (now t - b0);
+                done_ ())))
+  | Sysconf.Htm -> attempt t tx done_
+
+(* Phase synchronisation: after every [every]-th transaction, park at
+   the barrier; the wait is non-tran time ("non-tran and barrier"). *)
+let sync_phase t k =
+  match t.barrier with
+  | Some (b, every)
+    when t.completed_txs mod every = 0 && t.remaining <> [] ->
+    let t0 = now t in
+    Barrier.wait b ~sim:t.sim ~k:(fun () ->
+        account t Accounting.Non_tran (now t - t0);
+        k ())
+  | Some _ | None -> k ()
+
+let rec run t = function
+  | [] ->
+    t.finished <- true;
+    t.finish_time <- now t;
+    t.on_done ()
+  | tx :: rest ->
+    t.remaining <- tx :: rest;
+    compute t tx.Program.pre_compute Accounting.Non_tran (fun () ->
+        critical t tx (fun () ->
+            compute t tx.Program.post_compute Accounting.Non_tran (fun () ->
+                t.remaining <- rest;
+                t.completed_txs <- t.completed_txs + 1;
+                sync_phase t (fun () -> run t rest))))
+
+let start t = run t t.remaining

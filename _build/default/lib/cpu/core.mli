@@ -1,0 +1,38 @@
+(** In-order core model: executes one thread program through the
+    transactional runtime.
+
+    The core implements the software side of the paper: the
+    [lock_acquire_elided] / [lock_release_elided] idioms of Listing 1
+    (best-effort HTM with fallback-lock subscription) and Listing 2
+    (HTMLock + switchingMode release dispatch on the extended ttest),
+    the retry strategy with bounded attempts and exponential backoff,
+    and the CGL baseline. It also attributes every cycle to an
+    {!Accounting.category}. *)
+
+type t
+
+val spawn :
+  ?barrier:Barrier.t * int ->
+  runtime:Lk_lockiller.Runtime.t ->
+  core:Lk_coherence.Types.core_id ->
+  thread:Program.thread ->
+  accounting:Accounting.t ->
+  on_done:(unit -> unit) ->
+  unit ->
+  t
+(** Create a core bound to [core]'s L1/tile. Nothing runs until
+    {!start}. [barrier = (b, k)] makes the thread synchronise on [b]
+    after every [k] completed transactions (phase-structured workloads);
+    every participating thread must use the same [k] and have the same
+    transaction count. Barrier wait time is accounted as non-tran, as
+    in the paper's breakdown. *)
+
+val start : t -> unit
+(** Begin executing at the current simulated cycle. [on_done] fires
+    when the thread program is exhausted. *)
+
+val finished : t -> bool
+val finish_time : t -> int
+(** Cycle at which the thread completed (meaningful once [finished]). *)
+
+val transactions_left : t -> int

@@ -1,0 +1,28 @@
+(** Pending-event set of the discrete-event kernel.
+
+    A binary min-heap keyed by (time, sequence number). The sequence
+    number is assigned at insertion, so events scheduled for the same
+    cycle fire in insertion order — this makes every simulation run
+    fully deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val add : 'a t -> time:int -> 'a -> unit
+(** [add q ~time ev] schedules [ev] at [time]. [time] may equal the time
+    of previously popped events (the kernel enforces monotonicity, not
+    the queue). *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the earliest event, insertion order breaking
+    ties. *)
+
+val peek_time : 'a t -> int option
+(** Time of the earliest pending event, if any. *)
+
+val clear : 'a t -> unit

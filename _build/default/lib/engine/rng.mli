@@ -1,0 +1,55 @@
+(** Deterministic pseudo-random number generation for simulations.
+
+    Every stochastic decision in the simulator draws from an explicit
+    generator state so that a run is reproducible from its seed alone.
+    The implementation is SplitMix64, which is fast, passes BigCrush,
+    and supports cheap stream splitting (one independent stream per
+    simulated core or workload). *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Two generators created with
+    the same seed produce identical streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t].
+    Use one split stream per simulated entity so that adding entities
+    does not perturb the streams of existing ones. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state without advancing it. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound); [bound] must be
+    positive. *)
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [0, bound). *)
+
+val bool : t -> bool
+(** Fair coin flip. *)
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p] (clamped to [0;1]). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val geometric : t -> float -> int
+(** [geometric t p] draws the number of failures before the first
+    success of a Bernoulli([p]) process; [p] must be in (0;1]. Used for
+    bursty inter-arrival patterns in workload generators. *)
+
+val exponential : t -> float -> float
+(** [exponential t mean] draws from an exponential distribution with the
+    given mean. *)
+
+val zipf : t -> n:int -> s:float -> int
+(** [zipf t ~n ~s] draws a rank in [0, n) from a Zipf distribution with
+    skew [s] (s = 0 degenerates to uniform). Workload generators use it
+    to model hot-set contention. *)

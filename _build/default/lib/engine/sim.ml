@@ -1,0 +1,69 @@
+type t = {
+  queue : (unit -> unit) Event_queue.t;
+  mutable clock : int;
+  mutable quiescent_hooks : (unit -> unit) list;
+}
+
+exception Stalled of string
+
+let create () =
+  { queue = Event_queue.create (); clock = 0; quiescent_hooks = [] }
+
+let now t = t.clock
+
+let schedule t ~delay f =
+  if delay < 0 then invalid_arg "Sim.schedule: negative delay";
+  Event_queue.add t.queue ~time:(t.clock + delay) f
+
+let schedule_at t ~time f =
+  if time < t.clock then invalid_arg "Sim.schedule_at: time in the past";
+  Event_queue.add t.queue ~time f
+
+let pending t = Event_queue.length t.queue
+
+let on_quiescent t hook = t.quiescent_hooks <- hook :: t.quiescent_hooks
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+    t.clock <- max t.clock time;
+    f ();
+    true
+
+let run ?limit t =
+  let beyond time = match limit with None -> false | Some l -> time > l in
+  (* Quiescence hooks may inject rescue work, but if they keep doing so
+     without the clock ever advancing the simulation is livelocked:
+     raise rather than spin forever. *)
+  let hook_rounds = ref 0 in
+  let last_hook_clock = ref (-1) in
+  let rec drain () =
+    match Event_queue.peek_time t.queue with
+    | None ->
+      let hooks = t.quiescent_hooks in
+      List.iter (fun hook -> hook ()) hooks;
+      if not (Event_queue.is_empty t.queue) then begin
+        if t.clock = !last_hook_clock then begin
+          incr hook_rounds;
+          if !hook_rounds > 1000 then
+            raise
+              (Stalled
+                 (Printf.sprintf
+                    "quiescence hooks injected work 1000 times at cycle %d without progress"
+                    t.clock))
+        end
+        else begin
+          last_hook_clock := t.clock;
+          hook_rounds := 0
+        end;
+        drain ()
+      end
+    | Some time when beyond time ->
+      Event_queue.clear t.queue;
+      (match limit with Some l -> t.clock <- l | None -> ())
+    | Some _ ->
+      ignore (step t);
+      drain ()
+  in
+  drain ()

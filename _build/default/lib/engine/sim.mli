@@ -1,0 +1,43 @@
+(** Discrete-event simulation kernel.
+
+    A simulation owns a clock (in CPU cycles) and a pending-event set of
+    thunks. Components schedule callbacks at future cycles; [run] drains
+    the queue in (time, insertion) order, advancing the clock. The
+    kernel guarantees determinism: no wall-clock time, no global RNG, no
+    reliance on hash ordering in the event path. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> int
+(** Current simulated cycle. *)
+
+val schedule : t -> delay:int -> (unit -> unit) -> unit
+(** [schedule sim ~delay f] runs [f] at [now sim + delay]. [delay] must
+    be non-negative; a zero delay runs [f] later in the same cycle,
+    after all previously scheduled same-cycle events. *)
+
+val schedule_at : t -> time:int -> (unit -> unit) -> unit
+(** Schedule at an absolute cycle, which must not be in the past. *)
+
+val pending : t -> int
+(** Number of scheduled events not yet fired. *)
+
+exception Stalled of string
+(** Raised by [run] when the quiescence hooks keep injecting work
+    without the clock ever advancing — a livelocked rescue loop. *)
+
+val on_quiescent : t -> (unit -> unit) -> unit
+(** Register a hook called when the event queue drains. The hook may
+    schedule new work (e.g. a watchdog re-arming a parked core); if it
+    schedules nothing, [run] returns. *)
+
+val run : ?limit:int -> t -> unit
+(** Drain the event queue. [limit] bounds the final simulated cycle;
+    events beyond it are discarded and [run] returns with the clock set
+    to [limit]. Without a limit, runs until quiescent. *)
+
+val step : t -> bool
+(** Fire the single earliest event. Returns false when the queue is
+    empty. Useful for tests that need cycle-level control. *)

@@ -1,0 +1,48 @@
+(** Statistics primitives shared by all simulator components.
+
+    Counters are plain named integers; accumulators track sum/min/max
+    of integer samples; histograms bucket samples by powers of two. A
+    [group] bundles the three so a component can expose everything it
+    measured under one namespace and reports can render it uniformly. *)
+
+type counter
+type accumulator
+type histogram
+type group
+
+val group : string -> group
+(** [group name] creates an empty statistics namespace. *)
+
+val counter : group -> string -> counter
+(** Create-or-get the counter [name] inside the group. *)
+
+val accumulator : group -> string -> accumulator
+val histogram : group -> string -> histogram
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val sample : accumulator -> int -> unit
+val count : accumulator -> int
+val sum : accumulator -> int
+val min_sample : accumulator -> int option
+val max_sample : accumulator -> int option
+val mean : accumulator -> float
+(** Mean of the samples; 0 when empty. *)
+
+val observe : histogram -> int -> unit
+val buckets : histogram -> (int * int) list
+(** [(upper_bound, count)] pairs for non-empty power-of-two buckets, in
+    increasing bound order. *)
+
+val counters : group -> (string * int) list
+(** All counters of the group with their values, sorted by name. *)
+
+val accumulators : group -> (string * accumulator) list
+
+val reset : group -> unit
+(** Zero every statistic in the group (the namespace survives). *)
+
+val pp : Format.formatter -> group -> unit
+(** Render the whole group, one statistic per line. *)

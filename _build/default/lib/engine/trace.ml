@@ -1,0 +1,10 @@
+let src name = Logs.Src.create ("lockiller." ^ name)
+
+let setup ?(level = Logs.Debug) () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some level)
+
+let debugf src ~cycle fmt =
+  Format.kasprintf
+    (fun s -> Logs.debug ~src (fun m -> m "[%d] %s" cycle s))
+    fmt

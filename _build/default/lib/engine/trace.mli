@@ -1,0 +1,18 @@
+(** Tracing hooks for the simulator, built on [Logs].
+
+    Each subsystem creates a source; trace lines carry the simulated
+    cycle so interleavings can be reconstructed from a log. Tracing is
+    compiled in but disabled by default — enabling it costs nothing when
+    the level filter rejects the message. *)
+
+val src : string -> Logs.src
+(** [src name] returns the log source ["lockiller." ^ name]. *)
+
+val setup : ?level:Logs.level -> unit -> unit
+(** Install a [Fmt]-based reporter on stderr. Intended for executables
+    and debugging sessions, not for the test suite. *)
+
+val debugf :
+  Logs.src -> cycle:int -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** [debugf src ~cycle fmt ...] logs a debug line prefixed with the
+    simulated cycle. *)

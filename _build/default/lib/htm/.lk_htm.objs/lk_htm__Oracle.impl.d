@@ -1,0 +1,1 @@
+lib/htm/oracle.ml: Format Hashtbl List Lk_coherence Option

@@ -1,0 +1,1 @@
+lib/htm/oracle.mli: Format Lk_coherence

@@ -1,0 +1,1 @@
+lib/htm/policy.mli: Format

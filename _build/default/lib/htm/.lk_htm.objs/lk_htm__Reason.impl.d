@@ -1,0 +1,1 @@
+lib/htm/reason.ml: Format Lk_coherence

@@ -1,0 +1,1 @@
+lib/htm/reason.mli: Format Lk_coherence

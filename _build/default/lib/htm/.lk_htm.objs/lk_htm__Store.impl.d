@@ -1,0 +1,1 @@
+lib/htm/store.ml: Array Hashtbl

@@ -1,0 +1,1 @@
+lib/htm/store.mli: Lk_coherence

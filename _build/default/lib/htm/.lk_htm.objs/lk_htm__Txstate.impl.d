@@ -1,0 +1,1 @@
+lib/htm/txstate.ml: Format Lk_coherence Reason

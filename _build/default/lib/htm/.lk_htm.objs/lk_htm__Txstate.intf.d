@@ -1,0 +1,1 @@
+lib/htm/txstate.mli: Format Lk_coherence Reason

@@ -1,0 +1,73 @@
+type op = R of int * int | W of int * int
+
+type kind = Htm_commit | Tl_commit | Stl_commit | Plain_section
+
+type record = {
+  core : Lk_coherence.Types.core_id;
+  end_time : int;
+  seq : int;
+  kind : kind;
+  ops : op list;
+}
+
+type violation = { culprit : record; at : op; expected : int }
+
+type t = {
+  initial : (int * int) list;
+  mutable recs : record list;  (* reversed *)
+  mutable next_seq : int;
+}
+
+let create ?(initial = []) () = { initial; recs = []; next_seq = 0 }
+
+let record t ~core ~end_time ~kind ~ops =
+  let r = { core; end_time; seq = t.next_seq; kind; ops } in
+  t.next_seq <- t.next_seq + 1;
+  t.recs <- r :: t.recs
+
+let records t = List.rev t.recs
+
+let size t = t.next_seq
+
+let kind_label = function
+  | Htm_commit -> "htm"
+  | Tl_commit -> "tl"
+  | Stl_commit -> "stl"
+  | Plain_section -> "plain"
+
+let verify t =
+  let model = Hashtbl.create 1024 in
+  List.iter (fun (a, v) -> Hashtbl.replace model a v) t.initial;
+  let value a = Option.value ~default:0 (Hashtbl.find_opt model a) in
+  let ordered =
+    List.sort
+      (fun a b ->
+        match compare a.end_time b.end_time with
+        | 0 -> compare a.seq b.seq
+        | c -> c)
+      (records t)
+  in
+  let rec replay_ops r = function
+    | [] -> Ok ()
+    | R (a, v) :: rest ->
+      let expected = value a in
+      if v <> expected then Error { culprit = r; at = R (a, v); expected }
+      else replay_ops r rest
+    | W (a, v) :: rest ->
+      Hashtbl.replace model a v;
+      replay_ops r rest
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | r :: rest -> (
+      match replay_ops r r.ops with Ok () -> go rest | Error _ as e -> e)
+  in
+  go ordered
+
+let pp_violation ppf v =
+  let a, observed = match v.at with R (a, x) | W (a, x) -> (a, x) in
+  Format.fprintf ppf
+    "core %d (%s section ending at cycle %d) read %#x = %d but a serial \
+     execution gives %d"
+    v.culprit.core (kind_label v.culprit.kind) v.culprit.end_time a observed
+    v.expected

@@ -1,0 +1,62 @@
+(** Serializability oracle.
+
+    Every committed critical section (an HTM transaction, an HTMLock
+    TL/STL lock transaction, or a plain critical section under the
+    lock) records its operation log: reads with the value observed,
+    writes with the value stored. [verify] replays the records in
+    completion order against a model store; every observed read must
+    equal the model's value at that point (reads-after-own-writes see
+    the section's own effects).
+
+    Completion order is a valid serialization order for this system:
+    plain sections are totally ordered by the lock and exclude
+    speculation (fallback-lock subscription); HTM transactions are
+    atomic at commit; TL/STL sections only ever read data that no
+    concurrent transaction can overwrite (rejects) — so any read they
+    performed is consistent with serialising at their end. A
+    verification failure therefore means isolation was broken. *)
+
+type op =
+  | R of int * int  (** address, value observed *)
+  | W of int * int  (** address, value written *)
+
+(** How the critical section executed (for diagnostics). *)
+type kind = Htm_commit | Tl_commit | Stl_commit | Plain_section
+
+type record = {
+  core : Lk_coherence.Types.core_id;
+  end_time : int;  (** Simulated cycle of the serialization point. *)
+  seq : int;  (** Tie-break: recording order. *)
+  kind : kind;
+  ops : op list;  (** Program order. *)
+}
+
+type violation = {
+  culprit : record;
+  at : op;  (** The read that observed an impossible value. *)
+  expected : int;  (** What the model store held. *)
+}
+
+type t
+
+val create : ?initial:(int * int) list -> unit -> t
+(** [initial] seeds the model store (addresses default to 0). *)
+
+val record :
+  t ->
+  core:Lk_coherence.Types.core_id ->
+  end_time:int ->
+  kind:kind ->
+  ops:op list ->
+  unit
+
+val records : t -> record list
+(** In recording order. *)
+
+val size : t -> int
+
+val verify : t -> (unit, violation) result
+(** Replay in (end_time, seq) order. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+val kind_label : kind -> string

@@ -1,0 +1,63 @@
+(** Configuration knobs of the transactional systems in Table II.
+
+    The paper composes its systems from: the recovery mechanism
+    (reject/NACK support), a requester-side policy for rejected
+    requests, a transaction priority scheme, the HTMLock mechanism and
+    the switchingMode mechanism. *)
+
+(** What a requester does when its conflicting request is withdrawn by
+    the recovery mechanism (Section III-A: "abort directly, pause for
+    a fixed period before retrying, or wait for a wake-up"). *)
+type reject_policy =
+  | Self_abort  (** Abort the requesting transaction ("SelfAbort"). *)
+  | Retry_later of int
+      (** Reissue after a fixed pause in cycles ("SelfRetryLater"). *)
+  | Wait_wakeup
+      (** Park until the rejector commits or aborts ("WaitWakeup"). *)
+
+(** Global transaction priority scheme carried on requests. *)
+type priority_policy =
+  | No_priority
+      (** All transactions tie; the lower core id wins (the paper's
+          tie-break). Used by LockillerTM-RWL. *)
+  | Insts_based
+      (** Committed-instructions-based dynamic priority: a transaction
+          that re-executes after an abort restarts at the lowest
+          priority (the paper's scheme). *)
+  | Progression_based
+      (** LosaTM's scheme: progress through the transaction body. *)
+  | Static_based
+      (** A priority fixed before the transaction starts and unchanged
+          across its retries (the paper's Section III-A alternative:
+          no priority inversion, but "selecting a reasonable priority
+          is difficult"). Implemented as a per-(core, transaction)
+          pseudo-random draw. *)
+
+(** Spinlock implementation for coarse-grained locking (ablation of the
+    CGL baseline; the fallback path always uses the paper's
+    test-and-set idiom of Listing 1). *)
+type lock_impl =
+  | Ttas  (** Test-and-test-and-set with bounded exponential backoff. *)
+  | Ticket
+      (** FIFO ticket lock: a fetch-and-increment ticket plus a
+          now-serving counter on a separate line; fair and free of
+          release-time RMW storms. *)
+
+type retry = {
+  max_retries : int;
+      (** HTM attempts before taking the fallback path (Listing 1's
+          TME_MAX_RETRIES). *)
+  backoff_base : int;
+      (** Cycles of exponential backoff unit between HTM retries. *)
+  backoff_cap : int;  (** Upper bound on a single backoff pause. *)
+}
+
+val default_retry : retry
+
+val backoff_delay : retry -> attempt:int -> int
+(** Deterministic bounded exponential backoff for the [attempt]-th
+    retry (0-based). *)
+
+val pp_reject_policy : Format.formatter -> reject_policy -> unit
+val pp_priority_policy : Format.formatter -> priority_policy -> unit
+val pp_lock_impl : Format.formatter -> lock_impl -> unit

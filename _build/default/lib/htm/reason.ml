@@ -1,0 +1,38 @@
+type t =
+  | Conflict_htm
+  | Conflict_lock
+  | Conflict_mutex
+  | Conflict_non_tx
+  | Capacity
+  | Fault
+
+let all =
+  [ Conflict_htm; Conflict_lock; Conflict_mutex; Conflict_non_tx; Capacity; Fault ]
+
+let index = function
+  | Conflict_htm -> 0
+  | Conflict_lock -> 1
+  | Conflict_mutex -> 2
+  | Conflict_non_tx -> 3
+  | Capacity -> 4
+  | Fault -> 5
+
+let count = 6
+
+let label = function
+  | Conflict_htm -> "mc"
+  | Conflict_lock -> "lock"
+  | Conflict_mutex -> "mutex"
+  | Conflict_non_tx -> "non_tran"
+  | Capacity -> "of"
+  | Fault -> "fault"
+
+let classify_conflict ~aggressor_mode ~line ~lock_line =
+  match (aggressor_mode : Lk_coherence.Types.mode) with
+  | Lk_coherence.Types.Lock_tx -> Conflict_lock
+  | Lk_coherence.Types.Htm_tx -> Conflict_htm
+  | Lk_coherence.Types.Non_tx ->
+    if line = lock_line then Conflict_mutex else Conflict_non_tx
+
+let pp ppf t = Format.pp_print_string ppf (label t)
+let equal (a : t) b = a = b

@@ -1,0 +1,46 @@
+type addr = int
+
+type t = {
+  mem : (addr, int) Hashtbl.t;
+  buffers : (addr, int) Hashtbl.t array;
+}
+
+let create ~cores =
+  if cores <= 0 then invalid_arg "Store.create: cores must be positive";
+  {
+    mem = Hashtbl.create 4096;
+    buffers = Array.init cores (fun _ -> Hashtbl.create 64);
+  }
+
+let committed t addr =
+  match Hashtbl.find_opt t.mem addr with Some v -> v | None -> 0
+
+let poke t addr v = Hashtbl.replace t.mem addr v
+
+let read t ~core ~speculative addr =
+  if speculative then
+    match Hashtbl.find_opt t.buffers.(core) addr with
+    | Some v -> v
+    | None -> committed t addr
+  else committed t addr
+
+let write t ~core ~speculative addr v =
+  if speculative then Hashtbl.replace t.buffers.(core) addr v
+  else Hashtbl.replace t.mem addr v
+
+let commit t ~core =
+  let buf = t.buffers.(core) in
+  let n = Hashtbl.length buf in
+  Hashtbl.iter (fun addr v -> Hashtbl.replace t.mem addr v) buf;
+  Hashtbl.reset buf;
+  n
+
+let discard t ~core =
+  let buf = t.buffers.(core) in
+  let n = Hashtbl.length buf in
+  Hashtbl.reset buf;
+  n
+
+let buffered t ~core = Hashtbl.length t.buffers.(core)
+
+let footprint t = Hashtbl.length t.mem

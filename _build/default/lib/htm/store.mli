@@ -1,0 +1,45 @@
+(** The value layer: committed memory plus per-core speculative write
+    buffers.
+
+    Conflict detection happens entirely in the coherence metadata (like
+    the hardware); this module only tracks *values* so that programs
+    have real semantics and tests can verify atomicity. Eager HTM
+    buffers speculative data in the L1; here the equivalent is a
+    per-core buffer applied to committed memory atomically at commit
+    (or flushed when a transaction becomes irrevocable by switching to
+    STL mode) and discarded on abort. Irrevocable transactions (TL/STL,
+    plain lock-based critical sections) write through. *)
+
+type addr = int
+
+type t
+
+val create : cores:int -> t
+
+val committed : t -> addr -> int
+(** Committed value of an address (0 if never written). *)
+
+val poke : t -> addr -> int -> unit
+(** Initialise committed memory directly (workload setup). *)
+
+val read : t -> core:Lk_coherence.Types.core_id -> speculative:bool -> addr -> int
+(** Transactional reads see the core's own buffered writes first. *)
+
+val write :
+  t -> core:Lk_coherence.Types.core_id -> speculative:bool -> addr -> int -> unit
+(** [speculative:true] buffers; [speculative:false] writes through. *)
+
+val commit : t -> core:Lk_coherence.Types.core_id -> int
+(** Apply the core's buffer to committed memory (transaction commit, or
+    the moment an HTM transaction switches to irrevocable STL mode).
+    Returns the number of addresses applied. *)
+
+val discard : t -> core:Lk_coherence.Types.core_id -> int
+(** Drop the core's buffer (abort). Returns the number of addresses
+    dropped. *)
+
+val buffered : t -> core:Lk_coherence.Types.core_id -> int
+(** Current buffer size (tests). *)
+
+val footprint : t -> int
+(** Number of distinct committed addresses (tests). *)

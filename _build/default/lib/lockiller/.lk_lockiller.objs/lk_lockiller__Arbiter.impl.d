@@ -1,0 +1,1 @@
+lib/lockiller/arbiter.ml: Lk_coherence

@@ -1,0 +1,1 @@
+lib/lockiller/arbiter.mli: Lk_coherence

@@ -1,0 +1,1 @@
+lib/lockiller/runtime.ml: Arbiter Array Hashtbl List Lk_coherence Lk_engine Lk_htm Lk_mesh Signature Sysconf Txtrace Wake_table

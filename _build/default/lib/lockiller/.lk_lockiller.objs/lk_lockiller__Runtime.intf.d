@@ -1,0 +1,1 @@
+lib/lockiller/runtime.mli: Lk_coherence Lk_engine Lk_htm Sysconf Txtrace

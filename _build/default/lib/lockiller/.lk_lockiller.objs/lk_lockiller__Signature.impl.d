@@ -1,0 +1,1 @@
+lib/lockiller/signature.ml: Bytes Char

@@ -1,0 +1,1 @@
+lib/lockiller/signature.mli: Lk_coherence

@@ -1,0 +1,1 @@
+lib/lockiller/sysconf.ml: Format List Lk_htm String

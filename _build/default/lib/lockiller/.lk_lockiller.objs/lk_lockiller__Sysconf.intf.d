@@ -1,0 +1,1 @@
+lib/lockiller/sysconf.mli: Format Lk_htm

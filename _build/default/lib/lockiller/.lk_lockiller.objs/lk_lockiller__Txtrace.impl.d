@@ -1,0 +1,1 @@
+lib/lockiller/txtrace.ml: Array Format List Lk_coherence Lk_htm Printf

@@ -1,0 +1,1 @@
+lib/lockiller/txtrace.mli: Format Lk_coherence Lk_htm

@@ -1,0 +1,1 @@
+lib/lockiller/wake_table.ml: Array Lk_coherence

@@ -1,0 +1,1 @@
+lib/lockiller/wake_table.mli: Lk_coherence

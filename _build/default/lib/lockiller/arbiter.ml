@@ -1,0 +1,29 @@
+type t = {
+  mutable holder : Lk_coherence.Types.core_id option;
+  mutable grants : int;
+  mutable denials : int;
+}
+
+let create () = { holder = None; grants = 0; denials = 0 }
+
+let holder t = t.holder
+
+let try_acquire t core =
+  match t.holder with
+  | None ->
+    t.holder <- Some core;
+    t.grants <- t.grants + 1;
+    true
+  | Some h when h = core -> true
+  | Some _ ->
+    t.denials <- t.denials + 1;
+    false
+
+let release t core =
+  match t.holder with
+  | Some h when h = core -> t.holder <- None
+  | Some _ | None ->
+    invalid_arg "Arbiter.release: caller does not hold the authorization"
+
+let grants t = t.grants
+let denials t = t.denials

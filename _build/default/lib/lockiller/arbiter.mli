@@ -1,0 +1,24 @@
+(** LLC authorization for HTMLock mode (switchingMode mechanism).
+
+    Under switchingMode, at most one transaction may be in HTMLock mode
+    (TL or STL) at any time; the LLC's request serialisation makes the
+    grant atomic. A TL aspirant must hold the fallback lock *and* win
+    this authorization; an STL aspirant needs only the authorization —
+    which is exactly why a proactive switch can succeed without
+    touching the lock (Section III-C). *)
+
+type t
+
+val create : unit -> t
+
+val holder : t -> Lk_coherence.Types.core_id option
+
+val try_acquire : t -> Lk_coherence.Types.core_id -> bool
+(** Atomic test-and-set of the authorization. Re-acquiring by the
+    current holder succeeds (idempotent). *)
+
+val release : t -> Lk_coherence.Types.core_id -> unit
+(** Raises [Invalid_argument] if the caller is not the holder. *)
+
+val grants : t -> int
+val denials : t -> int

@@ -1,0 +1,780 @@
+module Sim = Lk_engine.Sim
+module Stats = Lk_engine.Stats
+module Net = Lk_mesh.Network
+module Msg = Lk_mesh.Message
+module Types = Lk_coherence.Types
+module Addr = Lk_coherence.Addr
+module Client = Lk_coherence.Client
+module Protocol = Lk_coherence.Protocol
+module L1 = Lk_coherence.L1_cache
+module Store = Lk_htm.Store
+module Policy = Lk_htm.Policy
+module Reason = Lk_htm.Reason
+module Txstate = Lk_htm.Txstate
+module Oracle = Lk_htm.Oracle
+
+type access_result = Ok of int | Tx_aborted
+
+type costs = {
+  begin_cost : int;
+  commit_cost : int;
+  abort_penalty : int;
+  fault_abort_penalty : int;
+  fault_cost : int;
+}
+
+let default_costs =
+  {
+    begin_cost = 3;
+    commit_cost = 3;
+    abort_penalty = 20;
+    fault_abort_penalty = 350;
+    fault_cost = 60;
+  }
+
+type core_stats = {
+  mutable starts : int;
+  mutable commits : int;
+  mutable stl_commits : int;
+  mutable lock_commits : int;
+  mutable aborts : int;
+  abort_reasons : int array;
+  mutable rejects_received : int;
+  mutable parks : int;
+  mutable attempts_at_commit : int;
+      (* Sum over HTM commits of the attempts each needed (>= commits);
+         attempts_at_commit / commits = the paper's wasted-work
+         intuition in one number. *)
+}
+
+type t = {
+  proto : Protocol.t;
+  sim : Sim.t;
+  net : Net.t;
+  store : Store.t;
+  sysconf : Sysconf.t;
+  costs : costs;
+  lock_addr : int;
+  lock_line : Types.line;
+  ctxs : Txstate.t array;
+  wake : Wake_table.t;
+  arb : Arbiter.t;
+  of_rd : Signature.t;
+  of_wr : Signature.t;
+  mutable sig_owner : Types.core_id option;
+  parked : (unit -> unit) option array;
+  pending_wake : bool array;
+  mutable oracle : Oracle.t option;
+  mutable txtrace : Txtrace.t option;
+  (* Per-core operation log of the current critical section (reversed),
+     and whether the core is inside a plain (lock-protected,
+     non-transactional) section that should be logged. *)
+  op_logs : Oracle.op list array;
+  plain_section : bool array;
+  per_core : core_stats array;
+  stats : Stats.group;
+  s_commits : Stats.counter;
+  s_aborts : Stats.counter;
+  s_rejects : Stats.counter;
+  s_parks : Stats.counter;
+  s_wakeups : Stats.counter;
+  s_rescues : Stats.counter;
+  s_switch_ok : Stats.counter;
+  s_switch_denied : Stats.counter;
+  s_spilled_lines : Stats.counter;
+  s_lock_busy : Stats.counter;
+}
+
+let sysconf t = t.sysconf
+let costs t = t.costs
+let store t = t.store
+let protocol t = t.proto
+let ctx t core = t.ctxs.(core)
+let lock_addr t = t.lock_addr
+let core_stats t core = t.per_core.(core)
+let stats t = t.stats
+let watchdog_rescues t = Stats.value t.s_rescues
+
+let parked_cores t =
+  let out = ref [] in
+  Array.iteri (fun c p -> if p <> None then out := c :: !out) t.parked;
+  List.rev !out
+
+let commit_rate t =
+  let starts = ref 0 and commits = ref 0 in
+  Array.iter
+    (fun cs ->
+      starts := !starts + cs.starts;
+      commits := !commits + cs.commits + cs.stl_commits)
+    t.per_core;
+  if !starts = 0 then 1.0 else float_of_int !commits /. float_of_int !starts
+
+let lock_held t =
+  match t.sysconf.Sysconf.lock with
+  | Policy.Ttas -> Store.committed t.store t.lock_addr <> 0
+  | Policy.Ticket ->
+    Store.committed t.store t.lock_addr
+    <> Store.committed t.store (t.lock_addr + Addr.line_size)
+
+(* --- Serializability oracle ------------------------------------------- *)
+
+let enable_oracle t =
+  let o = Oracle.create () in
+  t.oracle <- Some o;
+  o
+
+let oracle t = t.oracle
+
+let enable_txtrace ?capacity t =
+  let tr = Txtrace.create ?capacity () in
+  t.txtrace <- Some tr;
+  tr
+
+let txtrace t = t.txtrace
+
+let trace t core event =
+  match t.txtrace with
+  | None -> ()
+  | Some tr -> Txtrace.record tr ~time:(Sim.now t.sim) ~core event
+
+let log_op t core op =
+  match t.oracle with
+  | None -> ()
+  | Some _ ->
+    let logged =
+      t.plain_section.(core) || Txstate.in_critical t.ctxs.(core)
+    in
+    let on_lock_line =
+      match (op : Oracle.op) with
+      | Oracle.R (a, _) | Oracle.W (a, _) ->
+        Addr.line_of_byte a = t.lock_line
+    in
+    if logged && not on_lock_line then
+      t.op_logs.(core) <- op :: t.op_logs.(core)
+
+let clear_log t core = t.op_logs.(core) <- []
+
+let record_section t core kind =
+  match t.oracle with
+  | None -> ()
+  | Some o ->
+    Oracle.record o ~core ~end_time:(Sim.now t.sim) ~kind
+      ~ops:(List.rev t.op_logs.(core));
+    clear_log t core
+
+let plain_section_begin t core =
+  t.plain_section.(core) <- true;
+  clear_log t core
+
+let plain_section_end t core =
+  record_section t core Oracle.Plain_section;
+  t.plain_section.(core) <- false
+
+(* --- Priorities ------------------------------------------------------ *)
+
+(* Priorities ride in a finite bus field (the paper suggests ARUSER);
+   saturate at 16 bits like the hardware would. *)
+let priority_field_max = 0xFFFF
+
+let party_of t core =
+  let c = t.ctxs.(core) in
+  match c.Txstate.mode with
+  | Txstate.Tl | Txstate.Stl -> { Types.mode = Types.Lock_tx; priority = max_int }
+  | Txstate.Idle -> Types.non_tx_party
+  | Txstate.Htm ->
+    let priority =
+      match t.sysconf.Sysconf.priority with
+      | Policy.No_priority -> 0
+      | Policy.Insts_based -> min c.Txstate.insts priority_field_max
+      | Policy.Progression_based ->
+        (* LosaTM tracks coarse execution phases, not an instruction
+           count: quantise so that nearby transactions tie (and fall
+           back to the core-id tie-break) — the unfairness the paper's
+           insts-based priority avoids. *)
+        min (c.Txstate.progress lsr 3) priority_field_max
+      | Policy.Static_based -> c.Txstate.static_priority
+    in
+    { Types.mode = Types.Htm_tx; priority }
+
+(* Fig 4 arbitration: requester wins ties on lower core id. *)
+let requester_beats_holder ~requester:(rc, (rp : Types.party))
+    ~holder:(hc, (hp : Types.party)) =
+  if rp.Types.priority <> hp.Types.priority then
+    rp.Types.priority > hp.Types.priority
+  else rc < hc
+
+(* --- Wake-up machinery ----------------------------------------------- *)
+
+let wake t core =
+  match t.parked.(core) with
+  | Some resume ->
+    t.parked.(core) <- None;
+    Stats.incr t.s_wakeups;
+    trace t core Txtrace.Woken;
+    Sim.schedule t.sim ~delay:0 resume
+  | None ->
+    (* The wake-up raced ahead of the reject reply; remember it so the
+       park consumes it immediately. *)
+    t.pending_wake.(core) <- true
+
+let send_wakeups t core =
+  List.iter
+    (fun w ->
+      let lat =
+        Net.send ~now:(Sim.now t.sim) t.net ~src:core ~dst:w
+          ~class_:Msg.Control
+      in
+      Sim.schedule t.sim ~delay:lat (fun () -> wake t w))
+    (Wake_table.drain t.wake ~rejector:core)
+
+let park t core ~rejector_alive resume =
+  if t.pending_wake.(core) then begin
+    t.pending_wake.(core) <- false;
+    Sim.schedule t.sim ~delay:1 resume
+  end
+  else if not rejector_alive then
+    (* The rejecting transaction already finished; its wake-up will
+       never come. Retry shortly instead of parking. *)
+    Sim.schedule t.sim ~delay:16 resume
+  else begin
+    t.parked.(core) <- Some resume;
+    t.per_core.(core).parks <- t.per_core.(core).parks + 1;
+    trace t core Txtrace.Parked;
+    Stats.incr t.s_parks
+  end
+
+(* --- Abort ------------------------------------------------------------ *)
+
+let abort_core t core reason =
+  let c = t.ctxs.(core) in
+  (match c.Txstate.mode with
+  | Txstate.Tl | Txstate.Stl ->
+    invalid_arg "Runtime.abort_core: lock transactions are irrevocable"
+  | Txstate.Htm | Txstate.Idle -> ());
+  let cs = t.per_core.(core) in
+  cs.aborts <- cs.aborts + 1;
+  cs.abort_reasons.(Reason.index reason) <-
+    cs.abort_reasons.(Reason.index reason) + 1;
+  Stats.incr t.s_aborts;
+  trace t core (Txtrace.Abort reason);
+  ignore (Store.discard t.store ~core);
+  clear_log t core;
+  Txstate.abort c reason;
+  ignore (Protocol.abort_flush t.proto core);
+  (* Transactions parked on us must not wait for a commit that will
+     never come. *)
+  send_wakeups t core;
+  (* If the victim itself was parked, release it so it can observe the
+     abort and restart. *)
+  match t.parked.(core) with
+  | Some resume ->
+    t.parked.(core) <- None;
+    Sim.schedule t.sim ~delay:0 resume
+  | None -> ()
+
+(* --- Issue with reject policies -------------------------------------- *)
+
+let reject_reason t ~by =
+  match by with
+  | None -> Reason.Conflict_lock (* overflow signatures = lock transaction *)
+  | Some r -> (
+    match t.ctxs.(r).Txstate.mode with
+    | Txstate.Tl | Txstate.Stl -> Reason.Conflict_lock
+    | Txstate.Htm -> Reason.Conflict_htm
+    | Txstate.Idle -> Reason.Conflict_htm)
+
+let rejector_alive t ~by =
+  match by with
+  | Some r -> Txstate.in_critical t.ctxs.(r)
+  | None -> t.sig_owner <> None
+
+(* Issue a line-level access on behalf of [core], handling rejects per
+   the configured policy. [k] receives [`Granted] or [`Aborted] (the
+   surrounding transaction died, possibly because of this access). *)
+let issue t core line what ~epoch k =
+  let c = t.ctxs.(core) in
+  let rec go attempt =
+    if c.Txstate.epoch <> epoch then k `Aborted
+    else
+      Protocol.access t.proto ~core ~line ~what ~epoch ~k:(fun outcome ->
+          if c.Txstate.epoch <> epoch then k `Aborted
+          else
+            match outcome with
+            | Types.Granted -> k `Granted
+            | Types.Rejected { by } -> begin
+              let cs = t.per_core.(core) in
+              cs.rejects_received <- cs.rejects_received + 1;
+              Stats.incr t.s_rejects;
+              trace t core (Txtrace.Rejected { by });
+              match c.Txstate.mode with
+              | Txstate.Idle ->
+                (* Plain accesses cannot abort: bounded retry. *)
+                let delay =
+                  Policy.backoff_delay t.sysconf.Sysconf.retry ~attempt
+                in
+                Sim.schedule t.sim ~delay (fun () -> go (attempt + 1))
+              | Txstate.Tl | Txstate.Stl ->
+                (* Lock transactions carry top priority and are never
+                   rejected by arbitration; be robust anyway. *)
+                Sim.schedule t.sim ~delay:16 (fun () -> go (attempt + 1))
+              | Txstate.Htm -> (
+                match t.sysconf.Sysconf.reject_policy with
+                | Policy.Self_abort ->
+                  abort_core t core (reject_reason t ~by);
+                  k `Aborted
+                | Policy.Retry_later pause ->
+                  Sim.schedule t.sim ~delay:pause (fun () -> go (attempt + 1))
+                | Policy.Wait_wakeup ->
+                  park t core
+                    ~rejector_alive:(rejector_alive t ~by)
+                    (fun () -> go (attempt + 1)))
+            end)
+  in
+  go 0
+
+(* --- The coherence client -------------------------------------------- *)
+
+let spill t core (view : L1.view) =
+  (match t.sig_owner with
+  | Some o when o = core -> ()
+  | Some _ -> invalid_arg "Runtime.spill: signature owned by another core"
+  | None -> t.sig_owner <- Some core);
+  Stats.incr t.s_spilled_lines;
+  if view.L1.tx_write then Signature.add t.of_wr view.L1.line
+  else Signature.add t.of_rd view.L1.line
+
+let arbitration_rtt t core =
+  (* The centralised arbiter sits next to bank 0 (Section III-C allows
+     a lightweight centralised module for distributed LLCs). *)
+  (2 * Net.latency t.net ~src:core ~dst:0 ~class_:Msg.Control)
+  + (Protocol.config t.proto).Protocol.llc_hit_latency
+
+let on_tx_eviction t ~core ~(view : L1.view) =
+  let c = t.ctxs.(core) in
+  match c.Txstate.mode with
+  | Txstate.Tl | Txstate.Stl ->
+    spill t core view;
+    Client.Spill { write = view.L1.tx_write; extra = 0 }
+  | Txstate.Htm
+    when t.sysconf.Sysconf.switching && not c.Txstate.switch_tried ->
+    c.Txstate.switch_tried <- true;
+    let rtt = arbitration_rtt t core in
+    if Arbiter.try_acquire t.arb core then begin
+      Stats.incr t.s_switch_ok;
+      trace t core Txtrace.Switch_granted;
+      c.Txstate.mode <- Txstate.Stl;
+      (* The transaction is irrevocable from here on: its speculative
+         writes become real. *)
+      ignore (Store.commit t.store ~core);
+      spill t core view;
+      Client.Spill { write = view.L1.tx_write; extra = rtt }
+    end
+    else begin
+      Stats.incr t.s_switch_denied;
+      trace t core Txtrace.Switch_denied;
+      abort_core t core Reason.Capacity;
+      Client.Abort_tx rtt
+    end
+  | Txstate.Htm ->
+    abort_core t core Reason.Capacity;
+    Client.Abort_tx 0
+  | Txstate.Idle ->
+    (* Defensive: stray tx bits without a live transaction. *)
+    ignore (Protocol.abort_flush t.proto core);
+    Client.Abort_tx 0
+
+let resolve t ~requester ~holder ~line:_ ~write:_ =
+  let _, (hp : Types.party) = holder in
+  if hp.Types.mode = Types.Lock_tx then Client.Reject_requester
+  else if not t.sysconf.Sysconf.recovery then Client.Abort_holder
+  else if requester_beats_holder ~requester ~holder then Client.Abort_holder
+  else Client.Reject_requester
+
+let llc_check t ~requester:_ ~requester_mode ~line ~write ~would_be_exclusive =
+  if requester_mode = Types.Lock_tx then None
+    (* only one lock transaction exists: it owns the signatures *)
+  else if Signature.test t.of_wr line then Some Client.Reject_requester
+  else if Signature.test t.of_rd line && (write || would_be_exclusive) then
+    Some Client.Reject_requester
+  else None
+
+let on_reject t ~requester ~by ~line:_ =
+  match t.sysconf.Sysconf.reject_policy with
+  | Policy.Self_abort | Policy.Retry_later _ -> ()
+  | Policy.Wait_wakeup -> (
+    let rejector = match by with Some r -> Some r | None -> t.sig_owner in
+    match rejector with
+    | Some r when Txstate.in_critical t.ctxs.(r) ->
+      Wake_table.record t.wake ~rejector:r ~waiter:requester
+    | Some _ | None -> ())
+
+let client t =
+  {
+    Client.context =
+      (fun ~core ~epoch ->
+        let c = t.ctxs.(core) in
+        if c.Txstate.epoch <> epoch then None else Some (party_of t core));
+    party_of = (fun core -> party_of t core);
+    resolve = (fun ~requester ~holder ~line ~write ->
+        resolve t ~requester ~holder ~line ~write);
+    abort =
+      (fun ~victim ~aggressor:_ ~aggressor_mode ~line ->
+        let reason =
+          Reason.classify_conflict ~aggressor_mode ~line
+            ~lock_line:t.lock_line
+        in
+        abort_core t victim reason);
+    on_tx_eviction = (fun ~core ~view -> on_tx_eviction t ~core ~view);
+    llc_check =
+      (fun ~requester ~requester_mode ~line ~write ~would_be_exclusive ->
+        llc_check t ~requester ~requester_mode ~line ~write
+          ~would_be_exclusive);
+    on_reject = (fun ~requester ~by ~line -> on_reject t ~requester ~by ~line);
+  }
+
+(* --- Construction ----------------------------------------------------- *)
+
+let create ?(costs = default_costs) ~protocol:proto ~store ~sysconf ~lock_addr
+    () =
+  (match Sysconf.validate sysconf with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Runtime.create: " ^ msg));
+  let cores = (Protocol.config proto).Protocol.cores in
+  let stats = Stats.group "runtime" in
+  let t =
+    {
+      proto;
+      sim = Protocol.sim proto;
+      net = Protocol.network proto;
+      store;
+      sysconf;
+      costs;
+      lock_addr;
+      lock_line = Addr.line_of_byte lock_addr;
+      ctxs = Array.init cores Txstate.create;
+      wake = Wake_table.create ~cores;
+      arb = Arbiter.create ();
+      of_rd = Signature.create ();
+      of_wr = Signature.create ();
+      sig_owner = None;
+      parked = Array.make cores None;
+      pending_wake = Array.make cores false;
+      oracle = None;
+      txtrace = None;
+      op_logs = Array.make cores [];
+      plain_section = Array.make cores false;
+      per_core =
+        Array.init cores (fun _ ->
+            {
+              starts = 0;
+              commits = 0;
+              stl_commits = 0;
+              lock_commits = 0;
+              aborts = 0;
+              abort_reasons = Array.make Reason.count 0;
+              rejects_received = 0;
+              parks = 0;
+              attempts_at_commit = 0;
+            });
+      stats;
+      s_commits = Stats.counter stats "commits";
+      s_aborts = Stats.counter stats "aborts";
+      s_rejects = Stats.counter stats "rejects";
+      s_parks = Stats.counter stats "parks";
+      s_wakeups = Stats.counter stats "wakeups";
+      s_rescues = Stats.counter stats "watchdog_rescues";
+      s_switch_ok = Stats.counter stats "switches_granted";
+      s_switch_denied = Stats.counter stats "switches_denied";
+      s_spilled_lines = Stats.counter stats "spilled_lines";
+      s_lock_busy = Stats.counter stats "lock_busy_aborts";
+    }
+  in
+  Protocol.set_client proto (client t);
+  (* Lost-wakeup safety net: if the simulation drains while cores are
+     parked, release them (and count it — a healthy run never needs
+     this). *)
+  Sim.on_quiescent t.sim (fun () ->
+      Array.iteri
+        (fun core slot ->
+          match slot with
+          | None -> ()
+          | Some resume ->
+            t.parked.(core) <- None;
+            Stats.incr t.s_rescues;
+            Sim.schedule t.sim ~delay:1 resume)
+        t.parked);
+  t
+
+(* --- Programming interface ------------------------------------------- *)
+
+let xbegin t core ~k =
+  let c = t.ctxs.(core) in
+  if c.Txstate.mode <> Txstate.Idle then
+    invalid_arg "Runtime.xbegin: already in a transaction";
+  Txstate.begin_htm c;
+  trace t core Txtrace.Xbegin;
+  (* Static priorities are drawn once per transaction, before the first
+     attempt, and survive retries (Section III-A: "determined before
+     the transaction and remain unchanged"). *)
+  if c.Txstate.attempt = 0 then
+    c.Txstate.static_priority <-
+      (Hashtbl.hash (core, c.Txstate.tx_seq) land 0xFFFF) + 1;
+  clear_log t core;
+  let cs = t.per_core.(core) in
+  cs.starts <- cs.starts + 1;
+  let epoch = c.Txstate.epoch in
+  Sim.schedule t.sim ~delay:t.costs.begin_cost (fun () ->
+      if c.Txstate.epoch <> epoch then k `Busy
+      else if t.sysconf.Sysconf.htmlock then k `Started
+      else
+        (* Best-effort idiom: subscribe to the fallback lock by reading
+           it transactionally (Listing 1, line 8). *)
+        issue t core t.lock_line Types.Read ~epoch (function
+          | `Aborted -> k `Busy
+          | `Granted ->
+            c.Txstate.insts <- c.Txstate.insts + 1;
+            if Store.committed t.store t.lock_addr <> 0 then begin
+              (* xabort(TME_LOCK_IS_ACQUIRED) *)
+              Stats.incr t.s_lock_busy;
+              abort_core t core Reason.Conflict_mutex;
+              k `Busy
+            end
+            else k `Started))
+
+let xend t core ~k =
+  let c = t.ctxs.(core) in
+  if c.Txstate.mode <> Txstate.Htm then
+    invalid_arg "Runtime.xend: not in an HTM transaction";
+  let epoch = c.Txstate.epoch in
+  Sim.schedule t.sim ~delay:t.costs.commit_cost (fun () ->
+      (* A conflict may still kill us during the commit window. *)
+      if c.Txstate.epoch <> epoch then k ()
+      else begin
+        ignore (Protocol.commit_flush t.proto core);
+        ignore (Store.commit t.store ~core);
+        record_section t core Oracle.Htm_commit;
+        trace t core Txtrace.Commit;
+        let cs = t.per_core.(core) in
+        cs.commits <- cs.commits + 1;
+        cs.attempts_at_commit <-
+          cs.attempts_at_commit + c.Txstate.attempt + 1;
+        Stats.incr t.s_commits;
+        Txstate.finish c;
+        send_wakeups t core;
+        k ()
+      end)
+
+let hlbegin t core ~k =
+  let c = t.ctxs.(core) in
+  if c.Txstate.mode <> Txstate.Idle then
+    invalid_arg "Runtime.hlbegin: already in a transaction";
+  let rec acquire_authorization () =
+    let rtt = arbitration_rtt t core in
+    Sim.schedule t.sim ~delay:rtt (fun () ->
+        if Arbiter.try_acquire t.arb core then begin
+          c.Txstate.mode <- Txstate.Tl;
+          c.Txstate.pending_abort <- None;
+          Txstate.reset_attempt c;
+          clear_log t core;
+          trace t core Txtrace.Hlbegin;
+          k ()
+        end
+        else
+          (* An STL transaction holds the authorization; it cannot be
+             aborted, so wait for its hlend. *)
+          Sim.schedule t.sim ~delay:64 acquire_authorization)
+  in
+  if t.sysconf.Sysconf.switching then acquire_authorization ()
+  else
+    Sim.schedule t.sim ~delay:t.costs.begin_cost (fun () ->
+        ignore (Arbiter.try_acquire t.arb core);
+        c.Txstate.mode <- Txstate.Tl;
+        c.Txstate.pending_abort <- None;
+        Txstate.reset_attempt c;
+        clear_log t core;
+        trace t core Txtrace.Hlbegin;
+        k ())
+
+let hlend t core ~k =
+  let c = t.ctxs.(core) in
+  (match c.Txstate.mode with
+  | Txstate.Tl | Txstate.Stl -> ()
+  | Txstate.Htm | Txstate.Idle ->
+    invalid_arg "Runtime.hlend: not in HTMLock mode");
+  let was_stl = c.Txstate.mode = Txstate.Stl in
+  Sim.schedule t.sim ~delay:t.costs.commit_cost (fun () ->
+      ignore (Protocol.commit_flush t.proto core);
+      ignore (Store.commit t.store ~core);
+      (match t.sig_owner with
+      | Some o when o = core ->
+        Signature.clear t.of_rd;
+        Signature.clear t.of_wr;
+        t.sig_owner <- None
+      | Some _ | None -> ());
+      (match Arbiter.holder t.arb with
+      | Some h when h = core -> Arbiter.release t.arb core
+      | Some _ | None -> ());
+      record_section t core
+        (if was_stl then Oracle.Stl_commit else Oracle.Tl_commit);
+      trace t core (Txtrace.Hlend { was_stl });
+      let cs = t.per_core.(core) in
+      if was_stl then cs.stl_commits <- cs.stl_commits + 1
+      else cs.lock_commits <- cs.lock_commits + 1;
+      Txstate.finish c;
+      send_wakeups t core;
+      k ())
+
+let ttest t core = t.ctxs.(core).Txstate.mode
+
+(* --- Memory operations ------------------------------------------------ *)
+
+let speculative t core =
+  t.ctxs.(core).Txstate.mode = Txstate.Htm
+
+let progress_tick t core =
+  let c = t.ctxs.(core) in
+  c.Txstate.insts <- c.Txstate.insts + 1;
+  if c.Txstate.mode = Txstate.Htm then
+    c.Txstate.progress <- c.Txstate.progress + 1
+
+let read t core ~addr ~k =
+  let c = t.ctxs.(core) in
+  let epoch = c.Txstate.epoch in
+  issue t core (Addr.line_of_byte addr) Types.Read ~epoch (function
+    | `Aborted -> k Tx_aborted
+    | `Granted ->
+      progress_tick t core;
+      let v = Store.read t.store ~core ~speculative:(speculative t core) addr in
+      log_op t core (Oracle.R (addr, v));
+      k (Ok v))
+
+let write t core ~addr ~value ~k =
+  let c = t.ctxs.(core) in
+  let epoch = c.Txstate.epoch in
+  issue t core (Addr.line_of_byte addr) Types.Write ~epoch (function
+    | `Aborted -> k Tx_aborted
+    | `Granted ->
+      progress_tick t core;
+      Store.write t.store ~core ~speculative:(speculative t core) addr value;
+      log_op t core (Oracle.W (addr, value));
+      k (Ok 0))
+
+let fetch_add t core ~addr ~delta ~k =
+  let c = t.ctxs.(core) in
+  let epoch = c.Txstate.epoch in
+  issue t core (Addr.line_of_byte addr) Types.Rmw ~epoch (function
+    | `Aborted -> k Tx_aborted
+    | `Granted ->
+      progress_tick t core;
+      let speculative = speculative t core in
+      let v = Store.read t.store ~core ~speculative addr in
+      Store.write t.store ~core ~speculative addr (v + delta);
+      log_op t core (Oracle.R (addr, v));
+      log_op t core (Oracle.W (addr, v + delta));
+      k (Ok v))
+
+let add_insts t core n =
+  let c = t.ctxs.(core) in
+  c.Txstate.insts <- c.Txstate.insts + n
+
+let fault t core ~k =
+  let c = t.ctxs.(core) in
+  match c.Txstate.mode with
+  | Txstate.Htm ->
+    abort_core t core Reason.Fault;
+    (* Resolving the exception runs the OS handler on this core, which
+       pollutes the L1: the retry / fallback path restarts cold. *)
+    ignore (Protocol.flush_core t.proto core);
+    k `Died
+  | Txstate.Tl | Txstate.Stl | Txstate.Idle ->
+    k (`Survived t.costs.fault_cost)
+
+(* --- Spinlock --------------------------------------------------------- *)
+
+(* Ticket-lock state lives on two separate lines: the ticket dispenser
+   on the lock line, the now-serving counter on the next line. *)
+let serving_addr t = t.lock_addr + Addr.line_size
+
+let lock_acquire_ttas t core ~k =
+  let c = t.ctxs.(core) in
+  (* Spin backoff is much tighter than the transactional retry backoff:
+     a test-and-test-and-set waiter re-probes within ~a miss latency of
+     the release, as real spinlocks do. *)
+  let retry =
+    { t.sysconf.Sysconf.retry with Policy.backoff_base = 32; backoff_cap = 1024 }
+  in
+  let rec test_and_set () =
+    let epoch = c.Txstate.epoch in
+    issue t core t.lock_line Types.Rmw ~epoch (function
+      | `Aborted -> test_and_set ()
+      | `Granted ->
+        if Store.committed t.store t.lock_addr = 0 then begin
+          Store.write t.store ~core ~speculative:false t.lock_addr 1;
+          trace t core Txtrace.Lock_acquired;
+          k ()
+        end
+        else spin 0)
+  and spin attempt =
+    let epoch = c.Txstate.epoch in
+    issue t core t.lock_line Types.Read ~epoch (function
+      | `Aborted -> spin attempt
+      | `Granted ->
+        if Store.committed t.store t.lock_addr = 0 then test_and_set ()
+        else
+          Sim.schedule t.sim
+            ~delay:(Policy.backoff_delay retry ~attempt)
+            (fun () -> spin (attempt + 1)))
+  in
+  test_and_set ()
+
+let lock_acquire_ticket t core ~k =
+  let c = t.ctxs.(core) in
+  let serving_line = Addr.line_of_byte (serving_addr t) in
+  let epoch = c.Txstate.epoch in
+  (* draw a ticket *)
+  issue t core t.lock_line Types.Rmw ~epoch (fun _ ->
+      let my = Store.committed t.store t.lock_addr in
+      Store.write t.store ~core ~speculative:false t.lock_addr (my + 1);
+      let rec spin attempt =
+        issue t core serving_line Types.Read ~epoch (fun _ ->
+            if Store.committed t.store (serving_addr t) = my then begin
+              trace t core Txtrace.Lock_acquired;
+              k ()
+            end
+            else
+              let delay = min 512 (16 * (1 + attempt)) in
+              Sim.schedule t.sim ~delay (fun () -> spin (attempt + 1)))
+      in
+      spin 0)
+
+let lock_acquire t core ~k =
+  let c = t.ctxs.(core) in
+  if c.Txstate.mode <> Txstate.Idle then
+    invalid_arg "Runtime.lock_acquire: must run non-speculatively";
+  match t.sysconf.Sysconf.lock with
+  | Policy.Ttas -> lock_acquire_ttas t core ~k
+  | Policy.Ticket -> lock_acquire_ticket t core ~k
+
+let note_lock_commit t core =
+  let cs = t.per_core.(core) in
+  cs.lock_commits <- cs.lock_commits + 1
+
+let lock_release t core ~k =
+  let c = t.ctxs.(core) in
+  let epoch = c.Txstate.epoch in
+  match t.sysconf.Sysconf.lock with
+  | Policy.Ttas ->
+    issue t core t.lock_line Types.Write ~epoch (function
+      | `Aborted | `Granted ->
+        Store.write t.store ~core ~speculative:false t.lock_addr 0;
+        trace t core Txtrace.Lock_released;
+        k ())
+  | Policy.Ticket ->
+    let serving_line = Addr.line_of_byte (serving_addr t) in
+    issue t core serving_line Types.Write ~epoch (function
+      | `Aborted | `Granted ->
+        let s_addr = serving_addr t in
+        Store.write t.store ~core ~speculative:false s_addr
+          (Store.committed t.store s_addr + 1);
+        trace t core Txtrace.Lock_released;
+        k ())

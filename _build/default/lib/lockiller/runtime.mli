@@ -1,0 +1,186 @@
+(** The LockillerTM transactional runtime.
+
+    One instance owns the per-core transactional contexts, the value
+    layer, the wake-up tables, the overflow signatures and the HTMLock
+    arbitration, and installs itself as the coherence protocol's
+    conflict-policy client. It exposes the programming interface the
+    simulated cores execute — the hardware primitives (xbegin / xend /
+    hlbegin / hlend / ttest) plus the spinlock used both for the
+    fallback path and for the CGL baseline.
+
+    The behaviour is configured by a {!Sysconf.t}: with [recovery]
+    off it is plain requester-win best-effort HTM; recovery enables
+    NACK/reject arbitration under the configured priority scheme;
+    [htmlock] lets lock transactions (TL) run concurrently with HTM
+    transactions; [switching] adds the proactive HTM→STL switch on
+    capacity overflow. *)
+
+type t
+
+(** Result of a transactional memory operation, observed by the core. *)
+type access_result =
+  | Ok of int
+      (** Completed; payload is the loaded value (0 for stores). *)
+  | Tx_aborted
+      (** The surrounding transaction died (asynchronously or because
+          of this very access). The core must run its abort handler. *)
+
+type costs = {
+  begin_cost : int;  (** xbegin checkpointing. *)
+  commit_cost : int;  (** xend / hlend bookkeeping. *)
+  abort_penalty : int;  (** Register restore + pipeline flush. *)
+  fault_abort_penalty : int;
+      (** Extra cost of an exception-induced abort: the fault must be
+          resolved non-speculatively (page walk, OS handler) before the
+          transaction can retry or fall back. *)
+  fault_cost : int;  (** Exception handling inside HTMLock mode. *)
+}
+
+val default_costs : costs
+
+val create :
+  ?costs:costs ->
+  protocol:Lk_coherence.Protocol.t ->
+  store:Lk_htm.Store.t ->
+  sysconf:Sysconf.t ->
+  lock_addr:int ->
+  unit ->
+  t
+(** Installs the runtime as the protocol's client and registers a
+    quiescence watchdog that rescues parked cores if a wake-up message
+    was lost (it also counts such rescues — a healthy run has none). *)
+
+val sysconf : t -> Sysconf.t
+val costs : t -> costs
+val store : t -> Lk_htm.Store.t
+val protocol : t -> Lk_coherence.Protocol.t
+val ctx : t -> Lk_coherence.Types.core_id -> Lk_htm.Txstate.t
+val lock_addr : t -> int
+
+(* -- Hardware primitives -------------------------------------------- *)
+
+val xbegin :
+  t -> Lk_coherence.Types.core_id -> k:([ `Started | `Busy ] -> unit) -> unit
+(** Enter speculative mode. Under best-effort HTM this subscribes to
+    the fallback lock (Listing 1): if the lock is held the transaction
+    self-aborts and [`Busy] is reported. Under HTMLock the subscription
+    is removed and xbegin always [`Started]s. *)
+
+val xend : t -> Lk_coherence.Types.core_id -> k:(unit -> unit) -> unit
+(** Commit: clear the L1 transactional metadata, publish the write
+    buffer, wake waiters. Never fails (eager conflict detection). *)
+
+val hlbegin : t -> Lk_coherence.Types.core_id -> k:(unit -> unit) -> unit
+(** Enter HTMLock (TL) mode. The caller must hold the fallback lock.
+    Under switchingMode this additionally obtains the LLC authorization
+    (retrying until the current STL transaction, if any, finishes). *)
+
+val hlend : t -> Lk_coherence.Types.core_id -> k:(unit -> unit) -> unit
+(** Leave HTMLock mode (TL or STL): clear metadata and overflow
+    signatures, release the LLC authorization, wake waiters. *)
+
+val ttest : t -> Lk_coherence.Types.core_id -> Lk_htm.Txstate.mode
+(** The paper's extended ttest: distinguishes HTM / TL / STL (Listing
+    2 dispatches the release path on it). *)
+
+(* -- Memory operations ------------------------------------------------ *)
+
+val read :
+  t -> Lk_coherence.Types.core_id -> addr:int -> k:(access_result -> unit) -> unit
+
+val write :
+  t ->
+  Lk_coherence.Types.core_id ->
+  addr:int ->
+  value:int ->
+  k:(access_result -> unit) ->
+  unit
+
+val fetch_add :
+  t ->
+  Lk_coherence.Types.core_id ->
+  addr:int ->
+  delta:int ->
+  k:(access_result -> unit) ->
+  unit
+(** Read-modify-write of one address inside the current context (two
+    memory operations if the line is not yet writable). Returns the
+    value before the addition. *)
+
+val add_insts : t -> Lk_coherence.Types.core_id -> int -> unit
+(** Account locally executed (compute) instructions — feeds the
+    committed-instructions priority. *)
+
+val fault :
+  t ->
+  Lk_coherence.Types.core_id ->
+  k:([ `Survived of int | `Died ] -> unit) ->
+  unit
+(** An exception fires at the current instruction. HTM transactions
+    die (best-effort semantics); HTMLock-mode and non-speculative
+    execution survive, paying [costs.fault_cost]. *)
+
+(* -- Spinlock --------------------------------------------------------- *)
+
+val lock_acquire : t -> Lk_coherence.Types.core_id -> k:(unit -> unit) -> unit
+(** Test-and-test-and-set with bounded exponential backoff, running
+    through the coherence protocol. Used by the fallback path and by
+    the CGL system. *)
+
+val lock_release : t -> Lk_coherence.Types.core_id -> k:(unit -> unit) -> unit
+
+val lock_held : t -> bool
+(** Committed value of the lock (tests and spin heuristics). *)
+
+val note_lock_commit : t -> Lk_coherence.Types.core_id -> unit
+(** Record the completion of a critical section executed under the
+    plain fallback path (no HTMLock — there is no hlend to count it). *)
+
+(* -- Serializability oracle ------------------------------------------- *)
+
+val enable_oracle : t -> Lk_htm.Oracle.t
+(** Start recording every committed critical section's operation log.
+    [Lk_htm.Oracle.verify] on the returned handle checks that the run
+    was serializable. Recording costs O(operations). *)
+
+val oracle : t -> Lk_htm.Oracle.t option
+
+val enable_txtrace : ?capacity:int -> t -> Txtrace.t
+(** Start recording transaction-lifecycle events (begins, commits,
+    aborts, rejects, parks/wakes, HTMLock entries, switch attempts,
+    lock handoffs) into a bounded ring. See {!Txtrace}. *)
+
+val txtrace : t -> Txtrace.t option
+
+val plain_section_begin : t -> Lk_coherence.Types.core_id -> unit
+(** The core enters a lock-protected non-transactional critical section
+    (CGL, or the fallback path without HTMLock); its operations are
+    logged for the oracle. Paired with {!plain_section_end}. *)
+
+val plain_section_end : t -> Lk_coherence.Types.core_id -> unit
+
+(* -- Statistics ------------------------------------------------------- *)
+
+type core_stats = {
+  mutable starts : int;  (** HTM attempts begun. *)
+  mutable commits : int;  (** HTM commits (STL commits excluded). *)
+  mutable stl_commits : int;
+  mutable lock_commits : int;  (** Critical sections finished via lock/TL. *)
+  mutable aborts : int;
+  abort_reasons : int array;  (** Indexed by {!Lk_htm.Reason.index}. *)
+  mutable rejects_received : int;
+  mutable parks : int;
+  mutable attempts_at_commit : int;
+      (** Sum over HTM commits of the attempt number each needed (1 =
+          first try); divide by [commits] for the mean. *)
+}
+
+val core_stats : t -> Lk_coherence.Types.core_id -> core_stats
+val stats : t -> Lk_engine.Stats.group
+
+val commit_rate : t -> float
+(** Committed HTM transactions / started HTM attempts, over all cores
+    (the paper's transaction commit rate). 1.0 when nothing started. *)
+
+val watchdog_rescues : t -> int
+val parked_cores : t -> Lk_coherence.Types.core_id list

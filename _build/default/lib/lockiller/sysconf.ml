@@ -1,0 +1,132 @@
+module Policy = Lk_htm.Policy
+
+type kind = Cgl | Htm
+
+type t = {
+  name : string;
+  kind : kind;
+  recovery : bool;
+  reject_policy : Policy.reject_policy;
+  priority : Policy.priority_policy;
+  htmlock : bool;
+  switching : bool;
+  retry : Policy.retry;
+  lock : Policy.lock_impl;
+}
+
+let base =
+  {
+    name = "Baseline";
+    kind = Htm;
+    recovery = false;
+    reject_policy = Policy.Wait_wakeup;
+    priority = Policy.No_priority;
+    htmlock = false;
+    switching = false;
+    retry = Policy.default_retry;
+    lock = Policy.Ttas;
+  }
+
+let cgl = { base with name = "CGL"; kind = Cgl }
+
+let baseline = base
+
+let losa_safu =
+  {
+    base with
+    name = "LosaTM-SAFU";
+    recovery = true;
+    reject_policy = Policy.Wait_wakeup;
+    priority = Policy.Progression_based;
+  }
+
+let lockiller_rai =
+  {
+    base with
+    name = "LockillerTM-RAI";
+    recovery = true;
+    reject_policy = Policy.Self_abort;
+    priority = Policy.Insts_based;
+  }
+
+let lockiller_rri =
+  {
+    base with
+    name = "LockillerTM-RRI";
+    recovery = true;
+    reject_policy = Policy.Retry_later 64;
+    priority = Policy.Insts_based;
+  }
+
+let lockiller_rwi =
+  {
+    base with
+    name = "LockillerTM-RWI";
+    recovery = true;
+    reject_policy = Policy.Wait_wakeup;
+    priority = Policy.Insts_based;
+  }
+
+let lockiller_rwl =
+  {
+    base with
+    name = "LockillerTM-RWL";
+    recovery = true;
+    reject_policy = Policy.Wait_wakeup;
+    priority = Policy.No_priority;
+    htmlock = true;
+  }
+
+let lockiller_rwil = { lockiller_rwi with name = "LockillerTM-RWIL"; htmlock = true }
+
+let lockiller =
+  { lockiller_rwil with name = "LockillerTM"; switching = true }
+
+let all =
+  [
+    cgl;
+    baseline;
+    losa_safu;
+    lockiller_rai;
+    lockiller_rri;
+    lockiller_rwi;
+    lockiller_rwl;
+    lockiller_rwil;
+    lockiller;
+  ]
+
+let cgl_ticket = { cgl with name = "CGL-Ticket"; lock = Policy.Ticket }
+
+let lockiller_rws =
+  {
+    lockiller_rwi with
+    name = "LockillerTM-RWS";
+    priority = Policy.Static_based;
+  }
+
+let extras = [ cgl_ticket; lockiller_rws ]
+
+let find name =
+  let needle = String.lowercase_ascii name in
+  List.find_opt
+    (fun s -> String.lowercase_ascii s.name = needle)
+    (all @ extras)
+
+let validate t =
+  if t.kind = Cgl then Ok ()
+  else if t.lock = Policy.Ticket then
+    Error "the ticket lock is only available for the CGL baseline"
+  else if t.htmlock && not t.recovery then
+    Error "HTMLock requires the recovery mechanism"
+  else if t.switching && not t.htmlock then
+    Error "switchingMode requires the HTMLock mechanism"
+  else if t.retry.Policy.max_retries < 0 then Error "negative retry budget"
+  else Ok ()
+
+let pp ppf t =
+  match t.kind with
+  | Cgl -> Format.fprintf ppf "%s (coarse-grained locking)" t.name
+  | Htm ->
+    Format.fprintf ppf "%s (recovery=%b policy=%a priority=%a htmlock=%b switching=%b)"
+      t.name t.recovery Policy.pp_reject_policy t.reject_policy
+      Policy.pp_priority_policy t.priority t.htmlock t.switching

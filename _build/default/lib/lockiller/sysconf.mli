@@ -1,0 +1,77 @@
+(** The evaluated systems of Table II.
+
+    Every system is a composition of: the concurrency substrate (coarse
+    locking or best-effort HTM), the recovery mechanism, the requester
+    policy after a reject, the priority scheme, the HTMLock mechanism
+    and the switchingMode mechanism. *)
+
+type kind =
+  | Cgl  (** Coarse-grained locking, same critical-section granularity. *)
+  | Htm  (** Best-effort HTM with a fallback path. *)
+
+type t = {
+  name : string;
+  kind : kind;
+  recovery : bool;  (** NACK/reject support in the cache controllers. *)
+  reject_policy : Lk_htm.Policy.reject_policy;
+  priority : Lk_htm.Policy.priority_policy;
+  htmlock : bool;  (** Lock transactions run concurrently with HTM. *)
+  switching : bool;  (** Proactive switch to HTMLock mode on overflow. *)
+  retry : Lk_htm.Policy.retry;
+  lock : Lk_htm.Policy.lock_impl;
+      (** Spinlock used by the CGL baseline (the fallback path always
+          follows Listing 1's test-and-set idiom). *)
+}
+
+val cgl : t
+
+val baseline : t
+(** Best-effort HTM, requester-win. *)
+
+val losa_safu : t
+(** LosaTM without the false-sharing and capacity-overflow
+    optimisations: NACK-based recovery with progression-based priority
+    and wake-up (the paper's comparison target). *)
+
+val lockiller_rai : t
+(** Baseline + Recovery + SelfAbort + InstsBased. *)
+
+val lockiller_rri : t
+(** Baseline + Recovery + SelfRetryLater + InstsBased. *)
+
+val lockiller_rwi : t
+(** Baseline + Recovery + WaitWakeup + InstsBased. *)
+
+val lockiller_rwl : t
+(** Baseline + Recovery + WaitWakeup + HTMLock. *)
+
+val lockiller_rwil : t
+(** LockillerTM-RWI + HTMLock. *)
+
+val lockiller : t
+(** LockillerTM-RWI + HTMLock + SwitchingMode. *)
+
+val all : t list
+(** Table II order. *)
+
+val cgl_ticket : t
+(** CGL with a fair FIFO ticket lock instead of TTAS — an ablation of
+    the locking baseline itself (not part of Table II). *)
+
+val lockiller_rws : t
+(** LockillerTM-RWI with statically assigned priorities — the paper's
+    Section III-A alternative, for the ablation study (not part of
+    Table II). *)
+
+val extras : t list
+(** The ablation-only systems above. *)
+
+val find : string -> t option
+(** Case-insensitive lookup by name, over Table II and the extras. *)
+
+val validate : t -> (unit, string) result
+(** Sanity rules: HTMLock requires recovery (lock transactions are
+    protected by rejects); switchingMode requires HTMLock; CGL ignores
+    every HTM knob. *)
+
+val pp : Format.formatter -> t -> unit

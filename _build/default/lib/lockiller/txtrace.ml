@@ -1,0 +1,76 @@
+type event =
+  | Xbegin
+  | Commit
+  | Abort of Lk_htm.Reason.t
+  | Rejected of { by : Lk_coherence.Types.core_id option }
+  | Parked
+  | Woken
+  | Hlbegin
+  | Hlend of { was_stl : bool }
+  | Switch_granted
+  | Switch_denied
+  | Lock_acquired
+  | Lock_released
+
+type entry = { time : int; core : Lk_coherence.Types.core_id; event : event }
+
+type t = {
+  ring : entry option array;
+  mutable next : int;  (* total recorded *)
+}
+
+let create ?(capacity = 65536) () =
+  if capacity <= 0 then invalid_arg "Txtrace.create: capacity must be positive";
+  { ring = Array.make capacity None; next = 0 }
+
+let record t ~time ~core event =
+  t.ring.(t.next mod Array.length t.ring) <- Some { time; core; event };
+  t.next <- t.next + 1
+
+let recorded t = t.next
+
+let dropped t = max 0 (t.next - Array.length t.ring)
+
+let entries t =
+  let n = Array.length t.ring in
+  let first = max 0 (t.next - n) in
+  List.init (t.next - first) (fun i ->
+      match t.ring.((first + i) mod n) with
+      | Some e -> e
+      | None -> assert false)
+
+let clear t =
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.next <- 0
+
+let event_label = function
+  | Xbegin -> "xbegin"
+  | Commit -> "commit"
+  | Abort r -> "abort:" ^ Lk_htm.Reason.label r
+  | Rejected { by = Some c } -> Printf.sprintf "rejected(by %d)" c
+  | Rejected { by = None } -> "rejected(by llc)"
+  | Parked -> "parked"
+  | Woken -> "woken"
+  | Hlbegin -> "hlbegin"
+  | Hlend { was_stl = true } -> "hlend(stl)"
+  | Hlend { was_stl = false } -> "hlend(tl)"
+  | Switch_granted -> "switch-granted"
+  | Switch_denied -> "switch-denied"
+  | Lock_acquired -> "lock-acquired"
+  | Lock_released -> "lock-released"
+
+let pp_entry ppf e =
+  Format.fprintf ppf "%10d  core %2d  %s" e.time e.core (event_label e.event)
+
+let dump ?limit ppf t =
+  let es = entries t in
+  let es =
+    match limit with
+    | None -> es
+    | Some l ->
+      let n = List.length es in
+      if n <= l then es else List.filteri (fun i _ -> i >= n - l) es
+  in
+  if dropped t > 0 then
+    Format.fprintf ppf "... %d earlier events dropped ...@." (dropped t);
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_entry e) es

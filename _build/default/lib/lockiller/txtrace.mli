@@ -1,0 +1,52 @@
+(** Transaction-lifecycle event trace.
+
+    A lightweight, bounded recorder for the runtime's interesting
+    moments — transaction begins, commits, aborts (with reason),
+    rejects, parks and wake-ups, HTMLock entries/exits, switchingMode
+    attempts. Intended for debugging simulations and for the CLI's
+    [--trace] output; recording is O(1) per event into a ring buffer,
+    so it can stay on for full-size runs. *)
+
+type event =
+  | Xbegin
+  | Commit
+  | Abort of Lk_htm.Reason.t
+  | Rejected of { by : Lk_coherence.Types.core_id option }
+  | Parked
+  | Woken
+  | Hlbegin  (** Entered TL mode. *)
+  | Hlend of { was_stl : bool }
+  | Switch_granted
+  | Switch_denied
+  | Lock_acquired
+  | Lock_released
+
+type entry = {
+  time : int;
+  core : Lk_coherence.Types.core_id;
+  event : event;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity: 65536 entries; older entries are overwritten. *)
+
+val record : t -> time:int -> core:Lk_coherence.Types.core_id -> event -> unit
+
+val entries : t -> entry list
+(** Oldest first (at most [capacity]). *)
+
+val recorded : t -> int
+(** Total events seen, including overwritten ones. *)
+
+val dropped : t -> int
+
+val clear : t -> unit
+
+val event_label : event -> string
+val pp_entry : Format.formatter -> entry -> unit
+
+val dump : ?limit:int -> Format.formatter -> t -> unit
+(** Print the last [limit] (default all retained) entries, one per
+    line. *)

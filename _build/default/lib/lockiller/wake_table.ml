@@ -1,0 +1,21 @@
+module Coreset = Lk_coherence.Coreset
+
+type t = { tables : Coreset.t array }
+
+let create ~cores =
+  if cores <= 0 then invalid_arg "Wake_table.create: cores must be positive";
+  { tables = Array.make cores Coreset.empty }
+
+let record t ~rejector ~waiter =
+  if rejector <> waiter then
+    t.tables.(rejector) <- Coreset.add waiter t.tables.(rejector)
+
+let drain t ~rejector =
+  let waiters = Coreset.elements t.tables.(rejector) in
+  t.tables.(rejector) <- Coreset.empty;
+  waiters
+
+let waiters t ~rejector = Coreset.elements t.tables.(rejector)
+
+let pending t =
+  Array.fold_left (fun acc s -> acc + Coreset.cardinal s) 0 t.tables

@@ -1,0 +1,24 @@
+(** Wake-up bookkeeping of the recovery mechanism (Fig 2, green table).
+
+    When a cache controller rejects a request under the WaitWakeup
+    policy it records the requester; the table is drained when the
+    rejecting transaction commits or aborts, sending one wake-up
+    message per recorded core (the paper piggybacks this on an extended
+    AWSNOOP stash-like transaction). *)
+
+type t
+
+val create : cores:int -> t
+
+val record : t -> rejector:Lk_coherence.Types.core_id -> waiter:Lk_coherence.Types.core_id -> unit
+(** Idempotent per (rejector, waiter) pair. Self-recording is a no-op. *)
+
+val drain : t -> rejector:Lk_coherence.Types.core_id -> Lk_coherence.Types.core_id list
+(** Remove and return all waiters recorded against [rejector], in
+    ascending core order. *)
+
+val waiters : t -> rejector:Lk_coherence.Types.core_id -> Lk_coherence.Types.core_id list
+(** Non-destructive view (tests, reports). *)
+
+val pending : t -> int
+(** Total recorded (rejector, waiter) pairs. *)

@@ -1,0 +1,1 @@
+lib/mesh/coord.mli: Format

@@ -1,0 +1,1 @@
+lib/mesh/message.mli: Format

@@ -1,0 +1,1 @@
+lib/mesh/network.ml: Array List Lk_engine Message Topology

@@ -1,0 +1,1 @@
+lib/mesh/network.mli: Lk_engine Message Topology

@@ -1,0 +1,1 @@
+lib/mesh/topology.ml: Coord Format Fun List Printf

@@ -1,0 +1,1 @@
+lib/mesh/topology.mli: Format

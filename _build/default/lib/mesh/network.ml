@@ -1,0 +1,91 @@
+module Stats = Lk_engine.Stats
+
+type t = {
+  topology : Topology.t;
+  link_latency : int;
+  router_latency : int;
+  contention : bool;
+  link_flits : int array;
+  (* Under the contention model: first cycle at which each link is free
+     again. *)
+  link_free : int array;
+  stats : Stats.group;
+  messages : Stats.counter;
+  flits : Stats.counter;
+  queueing : Stats.counter;
+}
+
+let create ?(link_latency = 1) ?(router_latency = 1) ?(contention = false)
+    topology =
+  if link_latency < 0 || router_latency < 0 then
+    invalid_arg "Network.create: negative latency";
+  let stats = Stats.group "network" in
+  {
+    topology;
+    link_latency;
+    router_latency;
+    contention;
+    link_flits = Array.make (Topology.num_links topology) 0;
+    link_free = Array.make (Topology.num_links topology) 0;
+    stats;
+    messages = Stats.counter stats "messages";
+    flits = Stats.counter stats "flits";
+    queueing = Stats.counter stats "queueing_cycles";
+  }
+
+let contention t = t.contention
+
+let topology t = t.topology
+
+let latency t ~src ~dst ~class_ =
+  let hops = Topology.hops t.topology ~src ~dst in
+  (hops * (t.link_latency + t.router_latency))
+  + Message.serialization_cycles class_
+
+let send ?(now = 0) t ~src ~dst ~class_ =
+  let flits = Message.flits class_ in
+  Stats.incr t.messages;
+  Stats.add t.flits flits;
+  let route = Topology.route t.topology ~src ~dst in
+  List.iter
+    (fun link ->
+      let i = Topology.link_index t.topology link in
+      t.link_flits.(i) <- t.link_flits.(i) + flits)
+    route;
+  if not t.contention then latency t ~src ~dst ~class_
+  else begin
+    (* Wormhole reservation: the head flit advances hop by hop, waiting
+       for each link to drain earlier messages; the body (flits - 1)
+       follows pipelined behind it. *)
+    let cursor = ref now in
+    let queued = ref 0 in
+    List.iter
+      (fun link ->
+        let i = Topology.link_index t.topology link in
+        let start = max !cursor t.link_free.(i) in
+        queued := !queued + (start - !cursor);
+        t.link_free.(i) <- start + flits;
+        cursor := start + t.link_latency + t.router_latency)
+      route;
+    Stats.add t.queueing !queued;
+    !cursor - now + Message.serialization_cycles class_
+  end
+
+let queueing_cycles t = Stats.value t.queueing
+
+let messages_sent t = Stats.value t.messages
+let flits_sent t = Stats.value t.flits
+
+let link_utilisation t =
+  Topology.links t.topology
+  |> List.filter_map (fun link ->
+         let n = t.link_flits.(Topology.link_index t.topology link) in
+         if n > 0 then Some (link, n) else None)
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let stats t = t.stats
+
+let reset_traffic t =
+  Array.fill t.link_flits 0 (Array.length t.link_flits) 0;
+  Array.fill t.link_free 0 (Array.length t.link_free) 0;
+  Stats.reset t.stats

@@ -1,0 +1,52 @@
+(** Interconnect latency model and traffic accounting.
+
+    Latency of one message = per-hop cost (link latency + router
+    latency) x hops + serialisation cycles of the message class. Links
+    are 1 flit/cycle (Table I).
+
+    Two fidelity levels: the default model is contention-free — the
+    atomic-directory protocol (see DESIGN.md) already serialises
+    same-line traffic, which is where HTM contention manifests — while
+    [~contention:true] additionally reserves per-link occupancy
+    (wormhole style: each flit holds a link for one cycle) so that a
+    congested link delays later messages. Every traversal is accounted
+    per link either way, so utilisation reports can expose hotspots. *)
+
+type t
+
+val create :
+  ?link_latency:int ->
+  ?router_latency:int ->
+  ?contention:bool ->
+  Topology.t ->
+  t
+(** Defaults: 1-cycle links (Table I), 1-cycle routers, no contention. *)
+
+val contention : t -> bool
+
+val topology : t -> Topology.t
+
+val latency : t -> src:int -> dst:int -> class_:Message.class_ -> int
+(** Cycles for one message from tile [src] to tile [dst]. A local
+    message ([src = dst]) only pays serialisation. *)
+
+val send :
+  ?now:int -> t -> src:int -> dst:int -> class_:Message.class_ -> int
+(** Like [latency] but also records the traversal in the traffic
+    counters and, under the contention model, reserves link occupancy
+    starting at [now] (default 0; pass the current simulated cycle).
+    Returns the latency, including any queueing delay. *)
+
+val queueing_cycles : t -> int
+(** Total cycles messages spent queueing for busy links (0 without the
+    contention model). *)
+
+val messages_sent : t -> int
+val flits_sent : t -> int
+
+val link_utilisation : t -> (Topology.link * int) list
+(** Flit count per directed link, non-zero links only, densest first. *)
+
+val stats : t -> Lk_engine.Stats.group
+
+val reset_traffic : t -> unit

@@ -1,0 +1,236 @@
+type kind = Mesh | Torus | Ring | Crossbar
+
+type t = { kind : kind; rows : int; cols : int }
+
+type link = { from_tile : int; to_tile : int }
+
+let kind t = t.kind
+
+let kind_name = function
+  | Mesh -> "mesh"
+  | Torus -> "torus"
+  | Ring -> "ring"
+  | Crossbar -> "crossbar"
+
+let create ~rows ~cols =
+  if rows <= 0 || cols <= 0 then
+    invalid_arg "Topology.create: dimensions must be positive";
+  { kind = Mesh; rows; cols }
+
+let create_torus ~rows ~cols =
+  if rows < 3 || cols < 3 then
+    invalid_arg "Topology.create_torus: dimensions must be at least 3";
+  { kind = Torus; rows; cols }
+
+let create_ring ~tiles =
+  if tiles < 3 then invalid_arg "Topology.create_ring: need at least 3 tiles";
+  { kind = Ring; rows = 1; cols = tiles }
+
+let create_crossbar ~tiles =
+  if tiles < 2 then
+    invalid_arg "Topology.create_crossbar: need at least 2 tiles";
+  { kind = Crossbar; rows = 1; cols = tiles }
+
+let rows t = t.rows
+let cols t = t.cols
+let tiles t = t.rows * t.cols
+
+let check_tile t id name =
+  if id < 0 || id >= tiles t then
+    invalid_arg (Printf.sprintf "Topology.%s: tile %d out of range" name id)
+
+(* Signed step of minimal magnitude from [a] to [b] on an axis of size
+   [n], with and without wrap-around. Ties (exactly half-way on a wrap
+   axis) go in the positive direction. *)
+let mesh_step a b = compare b a
+let wrap_step n a b =
+  if a = b then 0
+  else
+    let fwd = (b - a + n) mod n in
+    if fwd <= n - fwd then 1 else -1
+
+let mesh_distance t src dst =
+  let sc = Coord.of_tile ~cols:t.cols src in
+  let dc = Coord.of_tile ~cols:t.cols dst in
+  Coord.manhattan sc dc
+
+let wrap_axis_distance n a b =
+  let fwd = (b - a + n) mod n in
+  min fwd (n - fwd)
+
+let distance t ~src ~dst =
+  match t.kind with
+  | Mesh -> mesh_distance t src dst
+  | Torus ->
+    let sc = Coord.of_tile ~cols:t.cols src in
+    let dc = Coord.of_tile ~cols:t.cols dst in
+    wrap_axis_distance t.cols sc.Coord.col dc.Coord.col
+    + wrap_axis_distance t.rows sc.Coord.row dc.Coord.row
+  | Ring -> wrap_axis_distance (tiles t) src dst
+  | Crossbar -> if src = dst then 0 else 1
+
+let hops t ~src ~dst =
+  check_tile t src "hops";
+  check_tile t dst "hops";
+  distance t ~src ~dst
+
+(* X first (columns), then Y (rows); on the torus each axis goes the
+   shorter way around. *)
+let grid_route t ~src ~dst ~wrap =
+  let sc = Coord.of_tile ~cols:t.cols src in
+  let dc = Coord.of_tile ~cols:t.cols dst in
+  let acc = ref [] in
+  let cur = ref sc in
+  let step next =
+    let from_tile = Coord.to_tile ~cols:t.cols !cur in
+    let to_tile = Coord.to_tile ~cols:t.cols next in
+    acc := { from_tile; to_tile } :: !acc;
+    cur := next
+  in
+  let advance axis_size get set =
+    let dir_of a b =
+      if wrap then wrap_step axis_size a b else mesh_step a b
+    in
+    let rec go () =
+      let a = get !cur and b = get dc in
+      if a <> b then begin
+        let next_pos = (a + dir_of a b + axis_size) mod axis_size in
+        step (set !cur next_pos);
+        go ()
+      end
+    in
+    go ()
+  in
+  advance t.cols
+    (fun c -> c.Coord.col)
+    (fun c col -> { c with Coord.col });
+  advance t.rows
+    (fun c -> c.Coord.row)
+    (fun c row -> { c with Coord.row });
+  List.rev !acc
+
+let ring_route t ~src ~dst =
+  let n = tiles t in
+  let dir = wrap_step n src dst in
+  let rec go cur acc =
+    if cur = dst then List.rev acc
+    else
+      let next = (cur + dir + n) mod n in
+      go next ({ from_tile = cur; to_tile = next } :: acc)
+  in
+  go src []
+
+let route t ~src ~dst =
+  check_tile t src "route";
+  check_tile t dst "route";
+  if src = dst then []
+  else
+    match t.kind with
+    | Mesh -> grid_route t ~src ~dst ~wrap:false
+    | Torus -> grid_route t ~src ~dst ~wrap:true
+    | Ring -> ring_route t ~src ~dst
+    | Crossbar -> [ { from_tile = src; to_tile = dst } ]
+
+let grid_neighbours t id ~wrap =
+  let c = Coord.of_tile ~cols:t.cols id in
+  let mk row col =
+    if wrap then
+      Some
+        (Coord.to_tile ~cols:t.cols
+           {
+             Coord.row = (row + t.rows) mod t.rows;
+             col = (col + t.cols) mod t.cols;
+           })
+    else if row >= 0 && row < t.rows && col >= 0 && col < t.cols then
+      Some (Coord.to_tile ~cols:t.cols { Coord.row = row; col })
+    else None
+  in
+  List.filter_map Fun.id
+    [
+      mk (c.Coord.row - 1) c.Coord.col;
+      mk (c.Coord.row + 1) c.Coord.col;
+      mk c.Coord.row (c.Coord.col - 1);
+      mk c.Coord.row (c.Coord.col + 1);
+    ]
+
+let links t =
+  match t.kind with
+  | Mesh | Torus ->
+    let wrap = t.kind = Torus in
+    List.concat
+      (List.init (tiles t) (fun id ->
+           grid_neighbours t id ~wrap
+           |> List.sort_uniq compare
+           |> List.map (fun n -> { from_tile = id; to_tile = n })))
+  | Ring ->
+    let n = tiles t in
+    List.concat
+      (List.init n (fun id ->
+           [
+             { from_tile = id; to_tile = (id + 1) mod n };
+             { from_tile = id; to_tile = (id + n - 1) mod n };
+           ]))
+  | Crossbar ->
+    let n = tiles t in
+    List.concat
+      (List.init n (fun a ->
+           List.filter_map
+             (fun b -> if a = b then None else Some { from_tile = a; to_tile = b })
+             (List.init n Fun.id)))
+
+(* Directions are encoded 0..3 (N/S/W/E) for the grid-like topologies so
+   indices stay dense at [tile * 4 + dir]; the crossbar uses the full
+   [from * tiles + to] square. *)
+let link_index t { from_tile; to_tile } =
+  check_tile t from_tile "link_index";
+  check_tile t to_tile "link_index";
+  match t.kind with
+  | Crossbar ->
+    if from_tile = to_tile then
+      invalid_arg "Topology.link_index: tiles are not adjacent";
+    (from_tile * tiles t) + to_tile
+  | Ring ->
+    let n = tiles t in
+    let dir =
+      if to_tile = (from_tile + 1) mod n then 3 (* "east": clockwise *)
+      else if to_tile = (from_tile + n - 1) mod n then 2 (* "west" *)
+      else invalid_arg "Topology.link_index: tiles are not adjacent"
+    in
+    (from_tile * 4) + dir
+  | Mesh | Torus ->
+    let wrap = t.kind = Torus in
+    let f = Coord.of_tile ~cols:t.cols from_tile in
+    let g = Coord.of_tile ~cols:t.cols to_tile in
+    let row_delta =
+      if wrap then
+        let d = (g.Coord.row - f.Coord.row + t.rows) mod t.rows in
+        if d = 0 then 0 else if d = 1 then 1 else if d = t.rows - 1 then -1 else 2
+      else g.Coord.row - f.Coord.row
+    in
+    let col_delta =
+      if wrap then
+        let d = (g.Coord.col - f.Coord.col + t.cols) mod t.cols in
+        if d = 0 then 0 else if d = 1 then 1 else if d = t.cols - 1 then -1 else 2
+      else g.Coord.col - f.Coord.col
+    in
+    let dir =
+      match (row_delta, col_delta) with
+      | -1, 0 -> 0 (* N *)
+      | 1, 0 -> 1 (* S *)
+      | 0, -1 -> 2 (* W *)
+      | 0, 1 -> 3 (* E *)
+      | _ -> invalid_arg "Topology.link_index: tiles are not adjacent"
+    in
+    (from_tile * 4) + dir
+
+let num_links t =
+  match t.kind with
+  | Crossbar -> tiles t * tiles t
+  | Mesh | Torus | Ring -> tiles t * 4
+
+let pp ppf t =
+  match t.kind with
+  | Mesh -> Format.fprintf ppf "%dx%d mesh (%d tiles)" t.rows t.cols (tiles t)
+  | Torus -> Format.fprintf ppf "%dx%d torus (%d tiles)" t.rows t.cols (tiles t)
+  | Ring -> Format.fprintf ppf "ring of %d tiles" (tiles t)
+  | Crossbar -> Format.fprintf ppf "crossbar of %d tiles" (tiles t)

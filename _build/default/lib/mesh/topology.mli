@@ -1,0 +1,67 @@
+(** Interconnect topologies and minimal deterministic routing.
+
+    The modelled system (Table I of the paper) is a 4x8 mesh with X-Y
+    dimension-ordered routing: a packet first travels along the row (X
+    direction) to the destination column, then along the column. X-Y
+    routing on a mesh is deadlock-free, which is why the paper can
+    treat the interconnect as a reliable request/response fabric.
+
+    The paper notes (Section III-A) that its framework does not depend
+    on the topology as long as any two nodes are reachable; to exercise
+    that claim the module also provides a bidirectional ring (shortest
+    direction routing), a 2-D torus (dimension-ordered with wrap-around
+    when shorter) and a full crossbar (single hop). All routes are
+    deterministic and minimal. *)
+
+type t
+
+type kind =
+  | Mesh  (** 2-D mesh, X-Y routing (the paper's machine). *)
+  | Torus  (** 2-D torus, X-Y routing with wrap-around. *)
+  | Ring  (** Bidirectional ring, shortest-direction routing. *)
+  | Crossbar  (** All-to-all, every route is one hop. *)
+
+type link = { from_tile : int; to_tile : int }
+(** A directed link between adjacent tiles. *)
+
+val create : rows:int -> cols:int -> t
+(** [create ~rows ~cols] builds an [rows] x [cols] mesh. Both must be
+    positive. *)
+
+val create_torus : rows:int -> cols:int -> t
+(** Both dimensions must be at least 3 for the wrap links to be
+    distinct from the mesh links. *)
+
+val create_ring : tiles:int -> t
+(** At least 3 tiles. *)
+
+val create_crossbar : tiles:int -> t
+(** At least 2 tiles. *)
+
+val kind : t -> kind
+val kind_name : kind -> string
+
+val rows : t -> int
+(** Rings and crossbars report one row. *)
+
+val cols : t -> int
+val tiles : t -> int
+
+val route : t -> src:int -> dst:int -> link list
+(** The deterministic minimal route between two tiles as the ordered
+    list of directed links traversed; empty when [src = dst]. *)
+
+val hops : t -> src:int -> dst:int -> int
+(** Number of links on the route. *)
+
+val links : t -> link list
+(** Every directed link of the topology. *)
+
+val link_index : t -> link -> int
+(** Dense index of a link, for utilisation counters. Raises on a pair
+    of tiles that are not adjacent in this topology. *)
+
+val num_links : t -> int
+(** Upper bound (array size) for {!link_index}. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sim/config.ml: Lk_coherence Lk_engine Lk_mesh Printf

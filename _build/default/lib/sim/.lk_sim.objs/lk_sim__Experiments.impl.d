@@ -1,0 +1,1 @@
+lib/sim/experiments.ml: Config Format Hashtbl List Lk_cpu Lk_htm Lk_lockiller Lk_mesh Lk_stamp Metrics Printf Report Runner String

@@ -1,0 +1,1 @@
+lib/sim/experiments.mli: Config Lk_lockiller Lk_stamp Report Runner

@@ -1,0 +1,1 @@
+lib/sim/report.ml: Array Buffer Char Format List Printf String

@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Array Config Format List Lk_coherence Lk_cpu Lk_engine Lk_htm Lk_lockiller Lk_mesh Lk_stamp Option Printf

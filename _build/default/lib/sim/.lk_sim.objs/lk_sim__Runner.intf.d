@@ -1,0 +1,1 @@
+lib/sim/runner.mli: Config Format Lk_cpu Lk_htm Lk_lockiller Lk_stamp

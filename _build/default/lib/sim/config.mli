@@ -1,0 +1,48 @@
+(** Machine configurations (Table I and the sensitivity study of
+    Section IV-e). *)
+
+(** Cache sizing. [Typical] is Table I (32KB L1, 8MB LLC); [Small] and
+    [Large] are the Fig 13 sensitivity points (8KB/1MB and
+    128KB/32MB). *)
+type cache_profile = Typical | Small | Large
+
+type t = {
+  cores : int;
+  rows : int;
+  cols : int;
+  cache : cache_profile;
+  protocol : Lk_coherence.Protocol.config;
+  link_latency : int;
+  router_latency : int;
+  noc_contention : bool;
+      (** Model per-link occupancy in the mesh (off by default; see
+          {!Lk_mesh.Network}). *)
+  topology : Lk_mesh.Topology.kind;
+      (** Interconnect shape; the paper's machine is a mesh. The
+          framework is topology-agnostic (Section III-A), which the
+          'topology' experiment exercises. *)
+}
+
+val machine :
+  ?cache:cache_profile ->
+  ?cores:int ->
+  ?noc_contention:bool ->
+  ?topology:Lk_mesh.Topology.kind ->
+  ?exclusive_state:bool ->
+  ?dir_pointers:int option ->
+  unit ->
+  t
+(** Defaults to the paper's 32-core 4x8 tiled CMP: contention-free NoC,
+    MESI ([exclusive_state = true]), full-map directory ([dir_pointers
+    = None]); the last two are protocol-fidelity ablation knobs, see
+    {!Lk_coherence.Protocol.config}. Supported core counts: 2, 4, 8,
+    16, 32 (tests use the small ones). *)
+
+val cache_profile_name : cache_profile -> string
+
+val table1 : t -> (string * string) list
+(** The (component, value) rows of Table I for this machine. *)
+
+val build :
+  t -> Lk_engine.Sim.t * Lk_mesh.Network.t * Lk_coherence.Protocol.t
+(** Instantiate the simulator, network and protocol. *)

@@ -1,0 +1,92 @@
+(** One entry per table and figure of the paper's evaluation (plus the
+    headline-claims check and a mechanism ablation). Each experiment
+    renders plain-text tables whose rows correspond to the bars/series
+    of the original artefact.
+
+    Results are memoised inside a {!context}, so experiments sharing
+    runs (e.g. every speedup needs the CGL reference) pay for each
+    simulation once. *)
+
+type context
+
+val make_context :
+  ?seed:int ->
+  ?scale:float ->
+  ?cores:int ->
+  ?threads:int list ->
+  unit ->
+  context
+(** Defaults: seed 1, scale 1.0, the paper's 32-core machine, thread
+    counts 2/4/8/16/32. Tests use smaller machines and fewer thread
+    counts. *)
+
+val thread_counts : context -> int list
+
+val result :
+  context ->
+  ?cache:Config.cache_profile ->
+  sysconf:Lk_lockiller.Sysconf.t ->
+  workload:Lk_stamp.Workload.profile ->
+  threads:int ->
+  unit ->
+  Runner.result
+(** Memoised {!Runner.run}. *)
+
+val speedup_vs_cgl :
+  context ->
+  ?cache:Config.cache_profile ->
+  sysconf:Lk_lockiller.Sysconf.t ->
+  workload:Lk_stamp.Workload.profile ->
+  threads:int ->
+  unit ->
+  float
+
+(** An experiment: identifier (the bench target name), the paper
+    artefact it reproduces, and the renderer. *)
+type experiment = {
+  id : string;
+  artefact : string;
+  describe : string;
+  render : context -> Report.table list;
+}
+
+val table1 : experiment
+val table2 : experiment
+val fig1 : experiment
+val fig7 : experiment
+val fig8 : experiment
+val fig9 : experiment
+val fig10 : experiment
+val fig11 : experiment
+val fig12 : experiment
+val fig13 : experiment
+val headline : experiment
+val ablation : experiment
+
+val txsize : experiment
+(** Extension (the paper's stated future work): sensitivity to
+    transaction size — read/write sets scaled 0.5x to 8x on a
+    vacation-style workload. *)
+
+val noc : experiment
+(** Model-fidelity ablation: per-link NoC contention on/off. *)
+
+val topology : experiment
+(** Section III-A claim: the framework works over mesh, torus, ring and
+    crossbar interconnects. *)
+
+val placement : experiment
+(** Compact vs spread thread placement on a partially occupied fabric. *)
+
+val protocol_knobs : experiment
+(** Coherence-protocol ablation: MESI vs MSI, full-map vs
+    limited-pointer directory. *)
+
+val variance : experiment
+(** Seed-robustness of the headline comparison (mean / stddev / min /
+    max over several workload-generation seeds). *)
+
+val all : experiment list
+(** Paper order; [find] looks one up by id. *)
+
+val find : string -> experiment option

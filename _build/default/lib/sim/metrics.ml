@@ -1,0 +1,38 @@
+let speedup ~baseline_cycles ~cycles =
+  if baseline_cycles <= 0 || cycles <= 0 then
+    invalid_arg "Metrics.speedup: cycle counts must be positive";
+  float_of_int baseline_cycles /. float_of_int cycles
+
+let geomean = function
+  | [] -> 1.0
+  | xs ->
+    let n = List.length xs in
+    let log_sum =
+      List.fold_left
+        (fun acc x ->
+          if x <= 0.0 then invalid_arg "Metrics.geomean: non-positive value"
+          else acc +. log x)
+        0.0 xs
+    in
+    exp (log_sum /. float_of_int n)
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let max_of = function [] -> 0.0 | x :: xs -> List.fold_left max x xs
+
+let min_of = function [] -> 0.0 | x :: xs -> List.fold_left min x xs
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let var =
+      List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
+      /. float_of_int (List.length xs)
+    in
+    sqrt var
+
+let pct f = 100.0 *. f

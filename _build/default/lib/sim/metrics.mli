@@ -1,0 +1,24 @@
+(** Derived metrics: speedups and their aggregates. *)
+
+val speedup : baseline_cycles:int -> cycles:int -> float
+(** Classic speedup: time of the reference / time of the candidate.
+    Raises [Invalid_argument] on non-positive cycle counts. *)
+
+val geomean : float list -> float
+(** Geometric mean — the conventional aggregate for speedups (used by
+    the paper's "average speedup" figures). 1.0 for the empty list. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 for the empty list. *)
+
+val max_of : float list -> float
+(** Maximum; 0 for the empty list. *)
+
+val min_of : float list -> float
+(** Minimum; 0 for the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 for fewer than two samples. *)
+
+val pct : float -> float
+(** Fraction -> percentage. *)

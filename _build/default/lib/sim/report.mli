@@ -1,0 +1,35 @@
+(** Plain-text table rendering for the experiment harness. *)
+
+type table = {
+  title : string;
+  headers : string list;
+  rows : string list list;
+  notes : string list;  (** Free-form lines printed under the table. *)
+}
+
+val table :
+  ?notes:string list -> title:string -> headers:string list ->
+  string list list -> table
+
+val f1 : float -> string
+(** One decimal ("1.9"). *)
+
+val f2 : float -> string
+(** Two decimals ("1.86"). *)
+
+val pct : float -> string
+(** Fraction as percentage ("62.5%"). *)
+
+val pp_table : Format.formatter -> table -> unit
+(** Column-aligned ASCII rendering. *)
+
+val print : table -> unit
+(** [pp_table] to stdout, followed by a blank line. *)
+
+val to_csv : table -> string
+(** RFC-4180-ish CSV: header row then data rows; cells containing
+    commas or quotes are quoted. Notes are omitted. *)
+
+val csv_filename : table -> string
+(** A filesystem-friendly name derived from the title
+    ("fig_7_speedup_over_cgl_2_threads.csv"-style). *)

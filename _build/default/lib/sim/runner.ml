@@ -1,0 +1,221 @@
+module Sim = Lk_engine.Sim
+module Stats = Lk_engine.Stats
+module Network = Lk_mesh.Network
+module Protocol = Lk_coherence.Protocol
+module Store = Lk_htm.Store
+module Reason = Lk_htm.Reason
+module Sysconf = Lk_lockiller.Sysconf
+module Runtime = Lk_lockiller.Runtime
+module Program = Lk_cpu.Program
+module Accounting = Lk_cpu.Accounting
+module Core = Lk_cpu.Core
+module Workload = Lk_stamp.Workload
+
+type result = {
+  system : string;
+  workload : string;
+  threads : int;
+  cache : Config.cache_profile;
+  cycles : int;
+  commit_rate : float;
+  htm_commits : int;
+  stl_commits : int;
+  lock_commits : int;
+  aborts : int;
+  abort_mix : (Reason.t * int) list;
+  breakdown : (Accounting.category * int) list;
+  rejects : int;
+  parks : int;
+  wakeups : int;
+  switches_granted : int;
+  switches_denied : int;
+  spilled_lines : int;
+  watchdog_rescues : int;
+  network_messages : int;
+  network_flits : int;
+  oracle_sections : int;
+  avg_attempts_per_commit : float;
+}
+
+let counter_value stats name =
+  match List.assoc_opt name (Stats.counters stats) with
+  | Some v -> v
+  | None -> 0
+
+type placement = Compact | Spread
+
+(* Thread index -> core id. *)
+let place ~placement ~cores ~threads i =
+  match placement with
+  | Compact -> i
+  | Spread -> i * cores / threads
+
+(* Shared execution engine for generated workloads and hand-written
+   programs. *)
+let execute ?barrier_every ~machine ~oracle ~on_runtime ~placement
+    ~cycle_limit ~sysconf ~program ~(workload_name : string) ~cache () =
+  let threads = Array.length program in
+  if threads <= 0 || threads > machine.Config.cores then
+    invalid_arg "Runner.run: thread count out of range";
+  let core_of = place ~placement ~cores:machine.Config.cores ~threads in
+  let sim, net, protocol = Config.build machine in
+  let store = Store.create ~cores:machine.Config.cores in
+  let runtime =
+    Runtime.create ~protocol ~store ~sysconf
+      ~lock_addr:Workload.lock_addr ()
+  in
+  let oracle_handle =
+    if oracle then Some (Runtime.enable_oracle runtime) else None
+  in
+  on_runtime runtime;
+  let acct = Accounting.create ~cores:machine.Config.cores in
+  let finished = ref 0 in
+  let barrier =
+    Option.map
+      (fun k -> (Lk_cpu.Barrier.create ~parties:threads, k))
+      barrier_every
+  in
+  let cpus =
+    Array.mapi
+      (fun i thread ->
+        Core.spawn ?barrier ~runtime ~core:(core_of i) ~thread
+          ~accounting:acct
+          ~on_done:(fun () -> incr finished)
+          ())
+      program
+  in
+  Array.iter Core.start cpus;
+  Sim.run ~limit:cycle_limit sim;
+  if !finished <> threads then
+    failwith
+      (Printf.sprintf "Runner.run: %s/%s/%d threads: only %d threads finished"
+         sysconf.Sysconf.name workload_name threads !finished);
+  Protocol.check_invariants protocol;
+  (* Serializability: replay the committed sections in completion order
+     and check every observed read. *)
+  (match oracle_handle with
+  | None -> ()
+  | Some o -> (
+    match Lk_htm.Oracle.verify o with
+    | Ok () -> ()
+    | Error v ->
+      failwith
+        (Format.asprintf "Runner.run: %s/%s: serializability violated: %a"
+           sysconf.Sysconf.name workload_name
+           Lk_htm.Oracle.pp_violation v)));
+  let cycles =
+    Array.fold_left (fun acc cpu -> max acc (Core.finish_time cpu)) 0 cpus
+  in
+  let htm_commits = ref 0
+  and stl_commits = ref 0
+  and lock_commits = ref 0
+  and aborts = ref 0
+  and rejects = ref 0
+  and parks = ref 0
+  and attempts = ref 0 in
+  let mix = Array.make Reason.count 0 in
+  for i = 0 to threads - 1 do
+    let cs = Runtime.core_stats runtime (core_of i) in
+    htm_commits := !htm_commits + cs.Runtime.commits;
+    stl_commits := !stl_commits + cs.Runtime.stl_commits;
+    lock_commits := !lock_commits + cs.Runtime.lock_commits;
+    aborts := !aborts + cs.Runtime.aborts;
+    rejects := !rejects + cs.Runtime.rejects_received;
+    parks := !parks + cs.Runtime.parks;
+    attempts := !attempts + cs.Runtime.attempts_at_commit;
+    Array.iteri
+      (fun i n -> mix.(i) <- mix.(i) + n)
+      cs.Runtime.abort_reasons
+  done;
+  let stats = Runtime.stats runtime in
+  ( store,
+    {
+    system = sysconf.Sysconf.name;
+    workload = workload_name;
+    threads;
+    cache;
+    cycles;
+    commit_rate = Runtime.commit_rate runtime;
+    htm_commits = !htm_commits;
+    stl_commits = !stl_commits;
+    lock_commits = !lock_commits;
+    aborts = !aborts;
+    abort_mix = List.map (fun r -> (r, mix.(Reason.index r))) Reason.all;
+    breakdown = Accounting.total acct;
+    rejects = !rejects;
+    parks = !parks;
+    wakeups = counter_value stats "wakeups";
+    switches_granted = counter_value stats "switches_granted";
+    switches_denied = counter_value stats "switches_denied";
+    spilled_lines = counter_value stats "spilled_lines";
+    watchdog_rescues = Runtime.watchdog_rescues runtime;
+    network_messages = Network.messages_sent net;
+    network_flits = Network.flits_sent net;
+    oracle_sections =
+      (match oracle_handle with
+      | None -> 0
+      | Some o -> Lk_htm.Oracle.size o);
+    avg_attempts_per_commit =
+      (if !htm_commits = 0 then 0.0
+       else float_of_int !attempts /. float_of_int !htm_commits);
+  } )
+
+let run ?(seed = 1) ?(scale = 1.0) ?machine ?(oracle = true)
+    ?(on_runtime = fun _ -> ()) ?(placement = Compact)
+    ?(cycle_limit = 1 lsl 30) ~sysconf ~workload ~threads () =
+  let machine =
+    match machine with Some m -> m | None -> Config.machine ()
+  in
+  let program = Workload.generate workload ~threads ~seed ~scale in
+  let store, result =
+    execute ?barrier_every:workload.Workload.barrier_every ~machine ~oracle
+      ~on_runtime ~placement ~cycle_limit ~sysconf ~program
+      ~workload_name:workload.Workload.name ~cache:machine.Config.cache ()
+  in
+  (* End-to-end atomicity check: committed hot counters must equal the
+     increments the program performs. *)
+  List.iter
+    (fun (addr, expected) ->
+      let got = Store.committed store addr in
+      if got <> expected then
+        failwith
+          (Printf.sprintf
+             "Runner.run: %s/%s: conservation violated at %#x: %d <> %d"
+             sysconf.Sysconf.name workload.Workload.name addr got expected))
+    (Workload.expected_hot_increments workload ~threads ~seed ~scale);
+  result
+
+let run_program ?machine ?(oracle = true) ?(on_runtime = fun _ -> ())
+    ?(placement = Compact) ?(cycle_limit = 1 lsl 30) ?(name = "custom")
+    ~sysconf ~program () =
+  let machine =
+    match machine with Some m -> m | None -> Config.machine ()
+  in
+  (match Lk_cpu.Program.validate program with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Runner.run_program: " ^ msg));
+  List.iter
+    (fun addr ->
+      if addr < 128 then
+        invalid_arg
+          (Printf.sprintf
+             "Runner.run_program: address %#x collides with the lock lines"
+             addr))
+    (Lk_cpu.Program.touched_addresses program);
+  let _, result =
+    execute ~machine ~oracle ~on_runtime ~placement ~cycle_limit ~sysconf
+      ~program ~workload_name:name ~cache:machine.Config.cache ()
+  in
+  result
+
+let abort_fraction r reason =
+  if r.aborts = 0 then 0.0
+  else
+    float_of_int (List.assoc reason r.abort_mix) /. float_of_int r.aborts
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<v>%s / %s / %d threads: %d cycles, commit rate %.2f, %d commits \
+     (%d stl, %d lock), %d aborts@]"
+    r.system r.workload r.threads r.cycles r.commit_rate r.htm_commits
+    r.stl_commits r.lock_commits r.aborts

@@ -1,0 +1,94 @@
+(** Run one (system, workload, threads) combination to completion and
+    collect every metric the paper reports.
+
+    Each run verifies its own correctness twice over: the committed
+    values of the workload's hot records must equal the increments the
+    generated program performs (conservation), and — unless [oracle] is
+    disabled — the serializability oracle replays every committed
+    critical section in completion order and checks each observed read
+    ({!Lk_htm.Oracle}). These checks run on every simulation, not only
+    in the test suite. *)
+
+(** Where the participating threads sit on the fabric. The paper pins
+    thread [i] to core [i] ([Compact]); [Spread] distributes them
+    evenly over the tiles, changing every NoC distance (home banks are
+    always interleaved over all tiles). *)
+type placement = Compact | Spread
+
+type result = {
+  system : string;
+  workload : string;
+  threads : int;
+  cache : Config.cache_profile;
+  cycles : int;  (** Completion time (the slowest thread's finish). *)
+  commit_rate : float;  (** HTM commits / HTM attempts. *)
+  htm_commits : int;
+  stl_commits : int;
+  lock_commits : int;
+  aborts : int;
+  abort_mix : (Lk_htm.Reason.t * int) list;
+      (** Counts per reason, paper order. *)
+  breakdown : (Lk_cpu.Accounting.category * int) list;
+      (** Execution-time categories summed over participating cores. *)
+  rejects : int;
+  parks : int;
+  wakeups : int;
+  switches_granted : int;
+  switches_denied : int;
+  spilled_lines : int;
+  watchdog_rescues : int;
+  network_messages : int;
+  network_flits : int;
+  oracle_sections : int;
+      (** Critical sections checked by the serializability oracle (0
+          when disabled). *)
+  avg_attempts_per_commit : float;
+      (** Mean HTM attempts a committed transaction needed (1.0 =
+          everything committed first try); 0 when nothing committed
+          speculatively. *)
+}
+
+val run :
+  ?seed:int ->
+  ?scale:float ->
+  ?machine:Config.t ->
+  ?oracle:bool ->
+  ?on_runtime:(Lk_lockiller.Runtime.t -> unit) ->
+  ?placement:placement ->
+  ?cycle_limit:int ->
+  sysconf:Lk_lockiller.Sysconf.t ->
+  workload:Lk_stamp.Workload.profile ->
+  threads:int ->
+  unit ->
+  result
+(** Defaults: seed 1, scale 1.0, the paper's 32-core machine, oracle
+    enabled, a 2^30-cycle runaway guard ([cycle_limit]). [on_runtime]
+    is called with the freshly built runtime before any core starts —
+    use it to enable tracing or keep a handle for post-run inspection.
+    [threads] must not exceed the machine's cores. Raises [Failure] if
+    the run violates conservation or serializability, leaves a thread
+    unfinished, or exceeds the cycle limit (a livelock diagnostic, not
+    an expected outcome). *)
+
+val run_program :
+  ?machine:Config.t ->
+  ?oracle:bool ->
+  ?on_runtime:(Lk_lockiller.Runtime.t -> unit) ->
+  ?placement:placement ->
+  ?cycle_limit:int ->
+  ?name:string ->
+  sysconf:Lk_lockiller.Sysconf.t ->
+  program:Lk_cpu.Program.t ->
+  unit ->
+  result
+(** Run a hand-written program (e.g. parsed with
+    {!Lk_cpu.Program.of_text}): one thread per array slot, threads must
+    fit the machine. The serializability oracle and protocol invariants
+    still verify the run; there is no conservation check (the runner
+    does not know the program's intent). The program must use addresses
+    clear of the lock lines (bytes 0-127). *)
+
+val abort_fraction : result -> Lk_htm.Reason.t -> float
+(** Share of a reason among all aborts (0 when no aborts). *)
+
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,1 @@
+lib/stamp/bayes.ml: Workload

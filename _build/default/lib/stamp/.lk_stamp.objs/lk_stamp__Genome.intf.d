@@ -1,0 +1,1 @@
+lib/stamp/genome.mli: Workload

@@ -1,0 +1,1 @@
+lib/stamp/intruder.ml: Workload

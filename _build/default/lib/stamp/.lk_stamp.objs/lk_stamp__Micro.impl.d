@@ -1,0 +1,1 @@
+lib/stamp/micro.ml: Workload

@@ -1,0 +1,1 @@
+lib/stamp/ssca2.mli: Workload

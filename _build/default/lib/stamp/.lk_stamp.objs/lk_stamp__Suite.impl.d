@@ -1,0 +1,1 @@
+lib/stamp/suite.ml: Bayes Genome Intruder Kmeans Labyrinth List Micro Ssca2 String Vacation Workload Yada

@@ -1,0 +1,1 @@
+lib/stamp/workload.ml: Array Format Hashtbl List Lk_coherence Lk_cpu Lk_engine Option

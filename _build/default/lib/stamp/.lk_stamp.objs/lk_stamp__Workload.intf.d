@@ -1,0 +1,1 @@
+lib/stamp/workload.mli: Format Lk_cpu

@@ -1,0 +1,18 @@
+let profile =
+  {
+    Workload.name = "bayes";
+    txs_per_thread = 8;
+    reads_per_tx = (10, 220);
+    (* enormous variance, as characterised *)
+    writes_per_tx = (2, 60);
+    hot_lines = 24;
+    hot_fraction = 0.45;
+    zipf_skew = 0.7;
+    shared_lines = 3072;
+    private_lines = 128;
+    compute_per_op = 2;
+    pre_compute = (20, 400);
+    post_compute = (20, 200);
+    fault_prob = 0.05;
+    barrier_every = None;
+  }

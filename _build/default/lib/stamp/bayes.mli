@@ -1,0 +1,11 @@
+(** bayes: Bayesian network structure learning (STAMP).
+
+    The paper *excludes* bayes from its evaluation, citing its "known
+    unpredictable behavior and highly variable execution time" (their
+    reference [38]); we keep a profile available — outside the default
+    suite — so the exclusion can be examined: very long transactions
+    with large, highly variable read/write sets and heavy contention on
+    the adjacency structures, which makes run-to-run variance dwarf the
+    mechanism effects. *)
+
+val profile : Workload.profile

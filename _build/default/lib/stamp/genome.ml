@@ -1,0 +1,18 @@
+let profile =
+  {
+    Workload.name = "genome";
+    txs_per_thread = 30;
+    reads_per_tx = (18, 36);
+    writes_per_tx = (3, 7);
+    hot_lines = 64;
+    hot_fraction = 0.25;
+    zipf_skew = 0.6;
+    shared_lines = 2048;
+    private_lines = 64;
+    compute_per_op = 2;
+    pre_compute = (20, 60);
+    post_compute = (10, 30);
+    fault_prob = 0.0;
+    (* phase barriers between the segment/dedup/link stages *)
+    barrier_every = Some 10;
+  }

@@ -1,0 +1,9 @@
+(** genome: gene sequencing by de-duplicating segments into a hash set
+    and linking them (STAMP).
+
+    Profile: moderately long transactions (hash-set insertions scan
+    buckets, so read sets in the tens of lines), a small write set,
+    moderate contention on the shared segment table, most execution
+    time inside transactions, no exceptions. *)
+
+val profile : Workload.profile

@@ -1,0 +1,17 @@
+let profile =
+  {
+    Workload.name = "intruder";
+    txs_per_thread = 50;
+    reads_per_tx = (6, 16);
+    writes_per_tx = (3, 8);
+    hot_lines = 16;
+    hot_fraction = 0.6;
+    zipf_skew = 0.8;
+    shared_lines = 1024;
+    private_lines = 48;
+    compute_per_op = 1;
+    pre_compute = (10, 30);
+    post_compute = (5, 20);
+    fault_prob = 0.0;
+    barrier_every = None;
+  }

@@ -1,0 +1,7 @@
+(** intruder: network packet reassembly and signature matching (STAMP).
+
+    Profile: short transactions on shared queues and a reassembly map —
+    small read/write sets but a *very* hot shared structure, making it
+    one of the highest-contention STAMP applications; no exceptions. *)
+
+val profile : Workload.profile

@@ -1,0 +1,27 @@
+let low =
+  {
+    Workload.name = "kmeans";
+    txs_per_thread = 60;
+    reads_per_tx = (3, 6);
+    writes_per_tx = (2, 3);
+    hot_lines = 96;
+    hot_fraction = 0.35;
+    zipf_skew = 0.2;
+    shared_lines = 512;
+    private_lines = 32;
+    compute_per_op = 2;
+    pre_compute = (400, 800);
+    post_compute = (20, 60);
+    fault_prob = 0.0;
+    (* clustering iterations are barrier-separated *)
+    barrier_every = Some 10;
+  }
+
+let high =
+  {
+    low with
+    Workload.name = "kmeans+";
+    hot_lines = 8;
+    hot_fraction = 0.55;
+    zipf_skew = 0.5;
+  }

@@ -1,0 +1,11 @@
+(** kmeans: iterative clustering; transactions update shared cluster
+    centroids (STAMP).
+
+    Two configurations, as in the paper: [low] (the suite's
+    low-contention input: many clusters, so centroid updates rarely
+    collide) and [high] ("kmeans+", few clusters and thus heavy
+    centroid contention). Both have tiny transactions and spend most
+    time in non-transactional distance computation. *)
+
+val low : Workload.profile
+val high : Workload.profile

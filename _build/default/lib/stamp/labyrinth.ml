@@ -1,0 +1,17 @@
+let profile =
+  {
+    Workload.name = "labyrinth";
+    txs_per_thread = 6;
+    reads_per_tx = (120, 260);
+    writes_per_tx = (20, 50);
+    hot_lines = 96;
+    hot_fraction = 0.3;
+    zipf_skew = 0.3;
+    shared_lines = 4096;
+    private_lines = 256;
+    compute_per_op = 1;
+    pre_compute = (60, 150);
+    post_compute = (30, 80);
+    fault_prob = 0.02;
+    barrier_every = None;
+  }

@@ -1,0 +1,10 @@
+(** labyrinth: Lee-routing in a shared 3-D maze grid (STAMP).
+
+    Profile: very long transactions — a route computation reads a large
+    slice of the grid and writes the chosen path back — giving the
+    largest read/write sets of the suite. They overflow a 32KB L1
+    routinely and an 8KB L1 always, so execution lives on the fallback
+    path under best-effort HTM (the behaviour the paper reports in
+    Fig 9). Path collisions give moderate conflict rates. *)
+
+val profile : Workload.profile

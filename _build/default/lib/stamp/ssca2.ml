@@ -1,0 +1,17 @@
+let profile =
+  {
+    Workload.name = "ssca2";
+    txs_per_thread = 80;
+    reads_per_tx = (2, 4);
+    writes_per_tx = (1, 2);
+    hot_lines = 256;
+    hot_fraction = 0.1;
+    zipf_skew = 0.1;
+    shared_lines = 4096;
+    private_lines = 32;
+    compute_per_op = 2;
+    pre_compute = (1500, 2500);
+    post_compute = (100, 200);
+    fault_prob = 0.0;
+    barrier_every = None;
+  }

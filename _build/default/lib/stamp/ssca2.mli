@@ -1,0 +1,9 @@
+(** ssca2: graph kernel (Scalable Synthetic Compact Applications 2) —
+    adjacency-list construction with tiny node-insertion transactions
+    (STAMP).
+
+    Profile: the shortest transactions of the suite, touching a couple
+    of lines in a huge shared graph; negligible contention; little time
+    inside transactions. HTM of any flavour scales almost linearly. *)
+
+val profile : Workload.profile

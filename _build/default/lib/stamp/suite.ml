@@ -1,0 +1,26 @@
+let all =
+  [
+    Genome.profile;
+    Intruder.profile;
+    Kmeans.low;
+    Kmeans.high;
+    Labyrinth.profile;
+    Ssca2.profile;
+    Vacation.low;
+    Vacation.high;
+    Yada.profile;
+  ]
+
+let high_contention = [ Intruder.profile; Kmeans.high; Vacation.high ]
+
+let extras = Bayes.profile :: Micro.all
+
+let find name =
+  let needle = String.lowercase_ascii name in
+  List.find_opt
+    (fun p -> String.lowercase_ascii p.Workload.name = needle)
+    (all @ extras)
+
+let names = List.map (fun p -> p.Workload.name) all
+
+let extra_names = List.map (fun p -> p.Workload.name) extras

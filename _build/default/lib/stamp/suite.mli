@@ -1,0 +1,23 @@
+(** The benchmark suite as evaluated in the paper: STAMP without bayes
+    (excluded there for its unpredictable behaviour), with both
+    contention configurations of kmeans and vacation. *)
+
+val all : Workload.profile list
+(** Presentation order of the paper's figures: genome, intruder,
+    kmeans, kmeans+, labyrinth, ssca2, vacation, vacation+, yada. *)
+
+val high_contention : Workload.profile list
+(** The workloads the paper calls high-contention (used for the
+    extreme-case speedup claims): intruder, kmeans+, vacation+. *)
+
+val extras : Workload.profile list
+(** Profiles available outside the paper's evaluation set: bayes (which
+    the paper excludes) and the classic microbenchmarks of {!Micro}. *)
+
+val find : string -> Workload.profile option
+(** Case-insensitive lookup by name, over [all] and [extras]. *)
+
+val names : string list
+(** Names of [all] (the paper's set only). *)
+
+val extra_names : string list

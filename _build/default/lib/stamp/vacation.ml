@@ -1,0 +1,26 @@
+let low =
+  {
+    Workload.name = "vacation";
+    txs_per_thread = 30;
+    reads_per_tx = (16, 32);
+    writes_per_tx = (4, 9);
+    hot_lines = 128;
+    hot_fraction = 0.3;
+    zipf_skew = 0.5;
+    shared_lines = 3072;
+    private_lines = 64;
+    compute_per_op = 2;
+    pre_compute = (20, 60);
+    post_compute = (10, 40);
+    fault_prob = 0.0;
+    barrier_every = None;
+  }
+
+let high =
+  {
+    low with
+    Workload.name = "vacation+";
+    hot_lines = 32;
+    hot_fraction = 0.55;
+    zipf_skew = 0.9;
+  }

@@ -1,0 +1,11 @@
+(** vacation: travel-reservation system over red-black-tree tables
+    (STAMP).
+
+    Transactions walk several trees (tens of lines read) and update a
+    handful of reservation records. Two configurations as in the
+    paper: [low] (wide tables, mild contention) and [high]
+    ("vacation+", narrow tables queried by every client). No
+    exceptions; most time transactional. *)
+
+val low : Workload.profile
+val high : Workload.profile

@@ -1,0 +1,17 @@
+let profile =
+  {
+    Workload.name = "yada";
+    txs_per_thread = 12;
+    reads_per_tx = (36, 80);
+    writes_per_tx = (12, 28);
+    hot_lines = 12;
+    hot_fraction = 0.5;
+    zipf_skew = 0.6;
+    shared_lines = 3072;
+    private_lines = 128;
+    compute_per_op = 1;
+    pre_compute = (30, 80);
+    post_compute = (20, 50);
+    fault_prob = 0.85;
+    barrier_every = None;
+  }

@@ -1,0 +1,10 @@
+(** yada: Delaunay mesh refinement (STAMP).
+
+    Profile: long transactions with large read/write sets (cavity
+    re-triangulation) and — the paper's key point — frequent
+    exceptions, which best-effort HTM cannot survive. It is the one
+    workload where even LockillerTM stays below coarse-grained locking
+    (Fig 7), because switchingMode deliberately does not cover
+    exception-induced aborts. *)
+
+val profile : Workload.profile

@@ -1,0 +1,6 @@
+  $ lockiller_sim list
+  $ lockiller_sim params --cores 4
+  $ lockiller_sim custom ../examples/custom_workload.txt --cores 4 -s Baseline | head -7
+  $ lockiller_sim sweep -w micro-counter --threads 2,4 --cores 4 --metric commit-rate
+  $ lockiller_sim run -s NoSuchSystem -w genome -t 2 --cores 4 2>&1 | head -1
+  $ lockiller_sim experiment fig99 2>&1 | head -1

@@ -1,0 +1,820 @@
+(* Tests for addresses, the core-id sets, both cache levels, and the
+   MESI protocol engine (including its HTM conflict hooks, driven by a
+   scriptable test client). *)
+
+module Sim = Lk_engine.Sim
+module Topology = Lk_mesh.Topology
+module Network = Lk_mesh.Network
+module Types = Lk_coherence.Types
+module Addr = Lk_coherence.Addr
+module Coreset = Lk_coherence.Coreset
+module L1 = Lk_coherence.L1_cache
+module Llc = Lk_coherence.Llc
+module Client = Lk_coherence.Client
+module Protocol = Lk_coherence.Protocol
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+(* --- Addr ------------------------------------------------------------ *)
+
+let test_addr_line_mapping () =
+  check_int "byte 0" 0 (Addr.line_of_byte 0);
+  check_int "byte 63" 0 (Addr.line_of_byte 63);
+  check_int "byte 64" 1 (Addr.line_of_byte 64);
+  check_int "line base" 128 (Addr.byte_of_line 2)
+
+let test_addr_home () =
+  check_int "home wraps" 1 (Addr.home_of_line ~tiles:4 5);
+  check_int "home of 0" 0 (Addr.home_of_line ~tiles:4 0)
+
+let test_addr_range () =
+  Alcotest.(check (list int)) "spans lines" [ 0; 1 ]
+    (Addr.lines_of_range ~first_byte:60 ~bytes:8);
+  Alcotest.(check (list int)) "single line" [ 2 ]
+    (Addr.lines_of_range ~first_byte:130 ~bytes:4)
+
+(* --- Coreset --------------------------------------------------------- *)
+
+let test_coreset_basics () =
+  let s = Coreset.of_list [ 3; 1; 5 ] in
+  check_int "cardinal" 3 (Coreset.cardinal s);
+  check_bool "mem 3" true (Coreset.mem 3 s);
+  check_bool "mem 2" false (Coreset.mem 2 s);
+  Alcotest.(check (list int)) "sorted elements" [ 1; 3; 5 ]
+    (Coreset.elements s)
+
+let test_coreset_add_remove () =
+  let s = Coreset.add 4 Coreset.empty in
+  check_bool "added" true (Coreset.mem 4 s);
+  let s = Coreset.remove 4 s in
+  check_bool "empty after remove" true (Coreset.is_empty s);
+  check_bool "remove absent harmless" true
+    (Coreset.is_empty (Coreset.remove 7 s))
+
+let test_coreset_range_check () =
+  Alcotest.check_raises "core 62"
+    (Invalid_argument "Coreset: core id 62 out of range") (fun () ->
+      ignore (Coreset.add 62 Coreset.empty))
+
+let prop_coreset_model =
+  QCheck.Test.make ~name:"coreset behaves like a set of small ints"
+    ~count:300
+    QCheck.(list (int_bound 61))
+    (fun ops ->
+      let s = Coreset.of_list ops in
+      let model = List.sort_uniq compare ops in
+      Coreset.elements s = model && Coreset.cardinal s = List.length model)
+
+(* --- L1 cache -------------------------------------------------------- *)
+
+let small_l1 () = L1.create ~size_bytes:(4 * 64 * 2) ~ways:2
+(* 4 sets, 2 ways *)
+
+let test_l1_geometry () =
+  let c = small_l1 () in
+  check_int "sets" 4 (L1.sets c);
+  check_int "ways" 2 (L1.ways c)
+
+let test_l1_insert_lookup () =
+  let c = small_l1 () in
+  L1.insert c 5 L1.E;
+  (match L1.lookup c 5 with
+  | Some v ->
+    check_bool "state E" true (v.L1.state = L1.E);
+    check_bool "clean" false v.L1.dirty
+  | None -> Alcotest.fail "line absent");
+  check_bool "absent line" true (L1.lookup c 6 = None)
+
+let test_l1_insert_m_is_dirty () =
+  let c = small_l1 () in
+  L1.insert c 1 L1.M;
+  check_bool "dirty" true (Option.get (L1.lookup c 1)).L1.dirty
+
+let test_l1_double_insert_rejected () =
+  let c = small_l1 () in
+  L1.insert c 5 L1.S;
+  Alcotest.check_raises "double insert"
+    (Invalid_argument "L1_cache.insert: line already resident") (fun () ->
+      L1.insert c 5 L1.S)
+
+let test_l1_room_and_eviction_preference () =
+  let c = small_l1 () in
+  (* set 0 holds lines 0, 4, 8, ... *)
+  check_bool "free initially" true (L1.room_for c 0 = L1.Free);
+  L1.insert c 0 L1.S;
+  check_bool "present" true (L1.room_for c 0 = L1.Present);
+  L1.insert c 4 L1.S;
+  L1.touch c 0;
+  (* LRU is now line 4 *)
+  (match L1.room_for c 8 with
+  | L1.Evict v -> check_int "evicts LRU" 4 v.L1.line
+  | _ -> Alcotest.fail "expected eviction");
+  (* make line 4 transactional: victim preference moves to line 0 *)
+  L1.mark_tx c 4 ~write:false;
+  (match L1.room_for c 8 with
+  | L1.Evict v -> check_int "prefers non-tx victim" 0 v.L1.line
+  | _ -> Alcotest.fail "expected eviction");
+  (* both transactional: overflow situation, a tx line is the victim *)
+  L1.mark_tx c 0 ~write:true;
+  match L1.room_for c 8 with
+  | L1.Evict v -> check_bool "tx victim" true (v.L1.tx_read || v.L1.tx_write)
+  | _ -> Alcotest.fail "expected eviction"
+
+let test_l1_remove () =
+  let c = small_l1 () in
+  L1.insert c 3 L1.M;
+  let v = L1.remove c 3 in
+  check_bool "was dirty" true v.L1.dirty;
+  check_bool "gone" false (L1.resident c 3);
+  check_int "occupancy" 0 (L1.occupancy c)
+
+let test_l1_tx_tracking () =
+  let c = small_l1 () in
+  L1.insert c 1 L1.E;
+  L1.insert c 2 L1.S;
+  L1.insert c 3 L1.M;
+  L1.mark_tx c 1 ~write:true;
+  L1.mark_tx c 2 ~write:false;
+  check_int "two tx lines" 2 (List.length (L1.tx_lines c))
+
+let test_l1_clear_tx_commit () =
+  let c = small_l1 () in
+  L1.insert c 1 L1.M;
+  L1.mark_tx c 1 ~write:true;
+  let cleared = L1.clear_tx c ~drop_written:false in
+  check_int "one cleared" 1 (List.length cleared);
+  check_bool "still resident" true (L1.resident c 1);
+  check_bool "bits gone" false (Option.get (L1.lookup c 1)).L1.tx_write
+
+let test_l1_clear_tx_abort_drops_written () =
+  let c = small_l1 () in
+  L1.insert c 1 L1.M;
+  L1.insert c 2 L1.S;
+  L1.mark_tx c 1 ~write:true;
+  L1.mark_tx c 2 ~write:false;
+  ignore (L1.clear_tx c ~drop_written:true);
+  check_bool "written line dropped" false (L1.resident c 1);
+  check_bool "read line kept" true (L1.resident c 2);
+  check_bool "read bits gone" false (Option.get (L1.lookup c 2)).L1.tx_read
+
+let test_l1_bad_geometry_rejected () =
+  Alcotest.check_raises "bad size"
+    (Invalid_argument
+       "L1_cache.create: size must be a multiple of ways * line size")
+    (fun () -> ignore (L1.create ~size_bytes:100 ~ways:2))
+
+let prop_l1_never_exceeds_capacity =
+  QCheck.Test.make ~name:"l1 occupancy never exceeds capacity" ~count:100
+    QCheck.(list (int_bound 63))
+    (fun lines ->
+      let c = small_l1 () in
+      List.iter
+        (fun line ->
+          match L1.room_for c line with
+          | L1.Present -> L1.touch c line
+          | L1.Free -> L1.insert c line L1.S
+          | L1.Evict v ->
+            ignore (L1.remove c v.L1.line);
+            L1.insert c line L1.S)
+        lines;
+      L1.occupancy c <= 8)
+
+(* Model-based property: the L1 behaves like a reference set-associative
+   cache with per-set LRU (victim choice restricted to non-tx lines,
+   which this model has none of). *)
+let prop_l1_matches_lru_model =
+  QCheck.Test.make ~name:"l1 matches a reference LRU model" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 120) (int_bound 31))
+    (fun lines ->
+      let c = small_l1 () in
+      (* model: per set, list of resident lines, most recent first *)
+      let nsets = L1.sets c and ways = L1.ways c in
+      let model = Array.make nsets [] in
+      let touch_model line =
+        let set = line mod nsets in
+        let l = List.filter (fun x -> x <> line) model.(set) in
+        let l = line :: l in
+        model.(set) <-
+          (if List.length l > ways then
+             List.filteri (fun i _ -> i < ways) l
+           else l)
+      in
+      List.iter
+        (fun line ->
+          (match L1.room_for c line with
+          | L1.Present -> L1.touch c line
+          | L1.Free -> L1.insert c line L1.S
+          | L1.Evict v ->
+            ignore (L1.remove c v.L1.line);
+            L1.insert c line L1.S);
+          touch_model line)
+        lines;
+      (* compare residency *)
+      let ok = ref true in
+      for set = 0 to nsets - 1 do
+        List.iter
+          (fun line -> if not (L1.resident c line) then ok := false)
+          model.(set)
+      done;
+      let count = Array.fold_left (fun a l -> a + List.length l) 0 model in
+      !ok && L1.occupancy c = count)
+
+(* --- LLC ------------------------------------------------------------- *)
+
+let small_llc () = Llc.create ~banks:4 ~bank_size_bytes:(2 * 64 * 2) ~ways:2
+(* 4 banks, 2 sets x 2 ways each *)
+
+let test_llc_geometry () =
+  let c = small_llc () in
+  check_int "banks" 4 (Llc.banks c);
+  check_int "sets per bank" 2 (Llc.sets_per_bank c)
+
+let test_llc_insert_dir () =
+  let c = small_llc () in
+  Llc.insert c 9;
+  (match Llc.dir_of c 9 with
+  | Llc.Sharers s -> check_bool "no sharers" true (Coreset.is_empty s)
+  | Llc.Owner _ -> Alcotest.fail "fresh line owned");
+  Llc.set_dir c 9 (Llc.Owner 2);
+  match Llc.dir_of c 9 with
+  | Llc.Owner o -> check_int "owner" 2 o
+  | _ -> Alcotest.fail "owner lost"
+
+let test_llc_victim_prefers_quiet_lines () =
+  let c = small_llc () in
+  (* bank 0, set 0 holds lines 0, 16, 32 ... (line/4 mod 2 = 0) *)
+  Llc.insert c 0;
+  Llc.insert c 16;
+  Llc.set_dir c 0 (Llc.Owner 1);
+  Llc.touch c 0;
+  Llc.touch c 16;
+  (* line 16 has no L1 copies: preferred victim although 0 is LRU *)
+  match Llc.room_for c 32 with
+  | Llc.Evict v -> check_int "quiet victim" 16 v.Llc.line
+  | _ -> Alcotest.fail "expected eviction"
+
+let test_llc_evict () =
+  let c = small_llc () in
+  Llc.insert c 0;
+  Llc.set_dirty c 0 true;
+  let v = Llc.evict c 0 in
+  check_bool "was dirty" true v.Llc.dirty;
+  check_bool "gone" false (Llc.resident c 0)
+
+(* --- Protocol: plain MESI -------------------------------------------- *)
+
+(* A 4-core machine with tiny caches so evictions are easy to force. *)
+let small_cfg =
+  {
+    Protocol.cores = 4;
+    l1_size = 4 * 64 * 2;
+    (* 4 sets x 2 ways *)
+    l1_ways = 2;
+    l1_hit_latency = 2;
+    llc_size = 4 * (16 * 64 * 4);
+    (* 16 sets x 4 ways per bank *)
+    llc_ways = 4;
+    llc_hit_latency = 12;
+    mem_latency = 100;
+      exclusive_state = true;
+      dir_pointers = None;
+  }
+
+let mk_machine ?(cfg = small_cfg) () =
+  let sim = Sim.create () in
+  let net = Network.create (Topology.create ~rows:2 ~cols:2) in
+  let p = Protocol.create ~sim ~network:net cfg in
+  (sim, p)
+
+(* Issue an access and drain the simulation; returns (outcome, cycles
+   the access took). *)
+let run_access sim p ~core ~line ~what =
+  let result = ref None in
+  let t0 = Sim.now sim in
+  Protocol.access p ~core ~line ~what ~epoch:0 ~k:(fun o ->
+      result := Some (o, Sim.now sim - t0));
+  Sim.run sim;
+  match !result with
+  | Some r -> r
+  | None -> Alcotest.fail "access never completed"
+
+let expect_granted sim p ~core ~line ~what =
+  match run_access sim p ~core ~line ~what with
+  | Types.Granted, lat -> lat
+  | Types.Rejected _, _ -> Alcotest.fail "unexpected reject"
+
+let l1_state p core line =
+  match L1.lookup (Protocol.l1 p core) line with
+  | Some v -> Some v.L1.state
+  | None -> None
+
+let test_proto_cold_read_is_exclusive () =
+  let sim, p = mk_machine () in
+  let lat = expect_granted sim p ~core:0 ~line:7 ~what:Types.Read in
+  check_bool "E state" true (l1_state p 0 7 = Some L1.E);
+  check_bool "paid memory latency" true (lat >= small_cfg.Protocol.mem_latency);
+  (match Llc.dir_of (Protocol.llc p) 7 with
+  | Llc.Owner o -> check_int "dir owner" 0 o
+  | _ -> Alcotest.fail "dir should record exclusive owner");
+  Protocol.check_invariants p
+
+let test_proto_second_read_hits_l1 () =
+  let sim, p = mk_machine () in
+  ignore (expect_granted sim p ~core:0 ~line:7 ~what:Types.Read);
+  let lat = expect_granted sim p ~core:0 ~line:7 ~what:Types.Read in
+  check_int "l1 hit latency" small_cfg.Protocol.l1_hit_latency lat
+
+let test_proto_read_sharing () =
+  let sim, p = mk_machine () in
+  ignore (expect_granted sim p ~core:0 ~line:7 ~what:Types.Read);
+  ignore (expect_granted sim p ~core:1 ~line:7 ~what:Types.Read);
+  check_bool "core0 S" true (l1_state p 0 7 = Some L1.S);
+  check_bool "core1 S" true (l1_state p 1 7 = Some L1.S);
+  (match Llc.dir_of (Protocol.llc p) 7 with
+  | Llc.Sharers s ->
+    Alcotest.(check (list int)) "both sharers" [ 0; 1 ] (Coreset.elements s)
+  | Llc.Owner _ -> Alcotest.fail "should be shared");
+  Protocol.check_invariants p
+
+let test_proto_write_invalidates_sharers () =
+  let sim, p = mk_machine () in
+  ignore (expect_granted sim p ~core:0 ~line:7 ~what:Types.Read);
+  ignore (expect_granted sim p ~core:1 ~line:7 ~what:Types.Read);
+  ignore (expect_granted sim p ~core:2 ~line:7 ~what:Types.Write);
+  check_bool "core0 invalid" true (l1_state p 0 7 = None);
+  check_bool "core1 invalid" true (l1_state p 1 7 = None);
+  check_bool "core2 M" true (l1_state p 2 7 = Some L1.M);
+  Protocol.check_invariants p
+
+let test_proto_write_then_read_downgrades () =
+  let sim, p = mk_machine () in
+  ignore (expect_granted sim p ~core:0 ~line:7 ~what:Types.Write);
+  ignore (expect_granted sim p ~core:1 ~line:7 ~what:Types.Read);
+  check_bool "core0 S" true (l1_state p 0 7 = Some L1.S);
+  check_bool "core1 S" true (l1_state p 1 7 = Some L1.S);
+  check_bool "llc dirty" true (Option.get (Llc.lookup (Protocol.llc p) 7)).Llc.dirty;
+  Protocol.check_invariants p
+
+let test_proto_upgrade () =
+  let sim, p = mk_machine () in
+  ignore (expect_granted sim p ~core:0 ~line:7 ~what:Types.Read);
+  ignore (expect_granted sim p ~core:1 ~line:7 ~what:Types.Read);
+  ignore (expect_granted sim p ~core:0 ~line:7 ~what:Types.Write);
+  check_bool "core0 M" true (l1_state p 0 7 = Some L1.M);
+  check_bool "core1 invalid" true (l1_state p 1 7 = None);
+  Protocol.check_invariants p
+
+let test_proto_silent_write_upgrade_from_e () =
+  let sim, p = mk_machine () in
+  ignore (expect_granted sim p ~core:0 ~line:7 ~what:Types.Read);
+  (* E -> M without touching the directory *)
+  let lat = expect_granted sim p ~core:0 ~line:7 ~what:Types.Write in
+  check_int "hit latency" small_cfg.Protocol.l1_hit_latency lat;
+  check_bool "M" true (l1_state p 0 7 = Some L1.M);
+  Protocol.check_invariants p
+
+let test_proto_l1_eviction_writeback () =
+  let sim, p = mk_machine () in
+  (* Lines 0, 16, 32 map to L1 set 0 (16 lines per L1 "stride": 4 sets,
+     so stride 4 — lines 0,4,8 share set 0). Fill both ways then force
+     an eviction. *)
+  ignore (expect_granted sim p ~core:0 ~line:0 ~what:Types.Write);
+  ignore (expect_granted sim p ~core:0 ~line:4 ~what:Types.Read);
+  ignore (expect_granted sim p ~core:0 ~line:8 ~what:Types.Read);
+  check_bool "dirty line evicted" true (l1_state p 0 0 = None);
+  check_bool "new line resident" true (l1_state p 0 8 <> None);
+  (* after writeback the LLC holds the only copy and stays dirty *)
+  check_bool "llc dirty after wb" true
+    (Option.get (Llc.lookup (Protocol.llc p) 0)).Llc.dirty;
+  Protocol.check_invariants p
+
+let test_proto_rmw_behaves_like_write () =
+  let sim, p = mk_machine () in
+  ignore (expect_granted sim p ~core:0 ~line:3 ~what:Types.Read);
+  ignore (expect_granted sim p ~core:1 ~line:3 ~what:Types.Rmw);
+  check_bool "core1 M" true (l1_state p 1 3 = Some L1.M);
+  check_bool "core0 invalid" true (l1_state p 0 3 = None);
+  Protocol.check_invariants p
+
+let prop_proto_random_plain_traffic =
+  QCheck.Test.make
+    ~name:"random non-tx traffic preserves SWMR and inclusivity" ~count:30
+    QCheck.(
+      pair
+        (pair bool (option (int_range 1 3)))
+        (list_of_size Gen.(5 -- 60) (triple (int_bound 3) (int_bound 30) bool)))
+    (fun ((exclusive_state, dir_pointers), ops) ->
+      (* the invariants must hold under every protocol-knob combination *)
+      let cfg = { small_cfg with Protocol.exclusive_state; dir_pointers } in
+      let sim, p = mk_machine ~cfg () in
+      List.iter
+        (fun (core, line, write) ->
+          let what = if write then Types.Write else Types.Read in
+          ignore (run_access sim p ~core ~line ~what);
+          Protocol.check_invariants p)
+        ops;
+      true)
+
+(* --- Protocol: transactional hooks ----------------------------------- *)
+
+(* A scriptable client: per-core modes and priorities, recovery on/off,
+   abort log. *)
+type script = {
+  mutable modes : Types.party array;
+  mutable recovery : bool;
+  mutable aborted : (int * int) list;  (* victim, line *)
+  mutable rejected : (int * int option) list;  (* requester, by *)
+  mutable overflow_directive : Client.eviction_directive;
+  proto : Protocol.t;
+}
+
+let make_script p =
+  let s =
+    {
+      modes = Array.make 4 Types.non_tx_party;
+      recovery = false;
+      aborted = [];
+      rejected = [];
+      overflow_directive = Client.Abort_tx 0;
+      proto = p;
+    }
+  in
+  let client =
+    {
+      Client.context = (fun ~core ~epoch:_ -> Some s.modes.(core));
+      party_of = (fun core -> s.modes.(core));
+      resolve =
+        (fun ~requester:(_, rp) ~holder:(_, hp) ~line:_ ~write:_ ->
+          let r_pri = rp.Types.priority and h_pri = hp.Types.priority in
+          if hp.Types.mode = Types.Lock_tx then Client.Reject_requester
+          else if not s.recovery then Client.Abort_holder
+          else if h_pri > r_pri then Client.Reject_requester
+          else Client.Abort_holder);
+      abort =
+        (fun ~victim ~aggressor:_ ~aggressor_mode:_ ~line ->
+          s.aborted <- (victim, line) :: s.aborted;
+          s.modes.(victim) <- Types.non_tx_party;
+          ignore (Protocol.abort_flush s.proto victim));
+      on_tx_eviction =
+        (fun ~core ~view:_ ->
+          (match s.overflow_directive with
+          | Client.Abort_tx _ ->
+            s.modes.(core) <- Types.non_tx_party;
+            ignore (Protocol.abort_flush s.proto core)
+          | Client.Spill _ -> ());
+          s.overflow_directive);
+      llc_check =
+        (fun ~requester:_ ~requester_mode:_ ~line:_ ~write:_
+             ~would_be_exclusive:_ -> None);
+      on_reject =
+        (fun ~requester ~by ~line:_ -> s.rejected <- (requester, by) :: s.rejected);
+    }
+  in
+  Protocol.set_client p client;
+  s
+
+let htm party_priority = { Types.mode = Types.Htm_tx; priority = party_priority }
+
+let test_proto_tx_marks_bits () =
+  let sim, p = mk_machine () in
+  let s = make_script p in
+  s.modes.(0) <- htm 1;
+  ignore (expect_granted sim p ~core:0 ~line:5 ~what:Types.Read);
+  ignore (expect_granted sim p ~core:0 ~line:6 ~what:Types.Write);
+  let v5 = Option.get (L1.lookup (Protocol.l1 p 0) 5) in
+  let v6 = Option.get (L1.lookup (Protocol.l1 p 0) 6) in
+  check_bool "read bit" true v5.L1.tx_read;
+  check_bool "write bit" true v6.L1.tx_write
+
+let test_proto_requester_win_aborts_holder () =
+  let sim, p = mk_machine () in
+  let s = make_script p in
+  s.modes.(0) <- htm 1;
+  ignore (expect_granted sim p ~core:0 ~line:5 ~what:Types.Write);
+  (* core 1, non-tx, reads the speculative line: requester-win aborts 0 *)
+  ignore (expect_granted sim p ~core:1 ~line:5 ~what:Types.Read);
+  check_bool "core0 aborted" true (List.mem (0, 5) s.aborted);
+  (* speculative data was dropped; requester got the pre-tx copy
+     exclusively *)
+  check_bool "core0 lost line" true (l1_state p 0 5 = None);
+  check_bool "core1 has line" true (l1_state p 1 5 <> None);
+  Protocol.check_invariants p
+
+let test_proto_read_read_no_conflict () =
+  let sim, p = mk_machine () in
+  let s = make_script p in
+  s.modes.(0) <- htm 1;
+  s.modes.(1) <- htm 1;
+  ignore (expect_granted sim p ~core:0 ~line:5 ~what:Types.Read);
+  ignore (expect_granted sim p ~core:1 ~line:5 ~what:Types.Read);
+  check_bool "no aborts" true (s.aborted = []);
+  Protocol.check_invariants p
+
+let test_proto_recovery_rejects_lower_priority () =
+  let sim, p = mk_machine () in
+  let s = make_script p in
+  s.recovery <- true;
+  s.modes.(0) <- htm 10;
+  ignore (expect_granted sim p ~core:0 ~line:5 ~what:Types.Write);
+  s.modes.(1) <- htm 1;
+  (match run_access sim p ~core:1 ~line:5 ~what:Types.Read with
+  | Types.Rejected { by = Some 0 }, _ -> ()
+  | Types.Rejected { by = _ }, _ -> Alcotest.fail "wrong rejector"
+  | Types.Granted, _ -> Alcotest.fail "low-priority requester not rejected");
+  check_bool "no aborts" true (s.aborted = []);
+  check_bool "holder keeps line" true (l1_state p 0 5 = Some L1.M);
+  check_bool "on_reject fired" true (List.mem (1, Some 0) s.rejected);
+  Protocol.check_invariants p
+
+let test_proto_recovery_aborts_higher_priority_requester () =
+  let sim, p = mk_machine () in
+  let s = make_script p in
+  s.recovery <- true;
+  s.modes.(0) <- htm 1;
+  ignore (expect_granted sim p ~core:0 ~line:5 ~what:Types.Write);
+  s.modes.(1) <- htm 10;
+  ignore (expect_granted sim p ~core:1 ~line:5 ~what:Types.Read);
+  check_bool "holder aborted" true (List.mem (0, 5) s.aborted);
+  Protocol.check_invariants p
+
+let test_proto_sharer_conflict_mixed_verdicts () =
+  let sim, p = mk_machine () in
+  let s = make_script p in
+  s.recovery <- true;
+  (* cores 0 (high) and 1 (low) both read line 5 transactionally *)
+  s.modes.(0) <- htm 10;
+  s.modes.(1) <- htm 1;
+  ignore (expect_granted sim p ~core:0 ~line:5 ~what:Types.Read);
+  ignore (expect_granted sim p ~core:1 ~line:5 ~what:Types.Read);
+  (* core 2, priority between them, writes: 0 rejects, 1 aborts *)
+  s.modes.(2) <- htm 5;
+  (match run_access sim p ~core:2 ~line:5 ~what:Types.Write with
+  | Types.Rejected { by = Some 0 }, _ -> ()
+  | _ -> Alcotest.fail "expected rejection by core 0");
+  check_bool "core1 aborted" true (List.mem (1, 5) s.aborted);
+  check_bool "winner keeps copy" true (l1_state p 0 5 = Some L1.S);
+  check_bool "loser lost copy" true (l1_state p 1 5 = None);
+  Protocol.check_invariants p
+
+let test_proto_lock_holder_never_aborted () =
+  let sim, p = mk_machine () in
+  let s = make_script p in
+  s.modes.(0) <- { Types.mode = Types.Lock_tx; priority = max_int };
+  ignore (expect_granted sim p ~core:0 ~line:5 ~what:Types.Write);
+  s.modes.(1) <- htm max_int;
+  (match run_access sim p ~core:1 ~line:5 ~what:Types.Read with
+  | Types.Rejected _, _ -> ()
+  | Types.Granted, _ -> Alcotest.fail "lock transaction was not protected");
+  check_bool "no aborts" true (s.aborted = []);
+  Protocol.check_invariants p
+
+let test_proto_overflow_abort_on_tx_eviction () =
+  let sim, p = mk_machine () in
+  let s = make_script p in
+  s.modes.(0) <- htm 1;
+  (* fill L1 set 0 (lines 0, 4) transactionally, then touch line 8 *)
+  ignore (expect_granted sim p ~core:0 ~line:0 ~what:Types.Write);
+  ignore (expect_granted sim p ~core:0 ~line:4 ~what:Types.Write);
+  ignore (expect_granted sim p ~core:0 ~line:8 ~what:Types.Write);
+  (* both tx lines were speculative; the overflow aborted the tx *)
+  check_bool "tx aborted via eviction hook" true
+    (s.modes.(0).Types.mode = Types.Non_tx);
+  check_bool "speculative lines dropped" true
+    (l1_state p 0 0 = None && l1_state p 0 4 = None);
+  check_bool "new line resident" true (l1_state p 0 8 <> None);
+  Protocol.check_invariants p
+
+let test_proto_stale_request_dropped () =
+  let sim, p = mk_machine () in
+  let _s = make_script p in
+  (* a client whose context is always stale for epoch 99 *)
+  let outcome = ref None in
+  Protocol.access p ~core:0 ~line:5 ~what:Types.Read ~epoch:99 ~k:(fun o ->
+      outcome := Some o);
+  (* make_script's context ignores epoch, so simulate staleness via a
+     dedicated client *)
+  Sim.run sim;
+  check_bool "completed" true (!outcome <> None)
+
+let test_proto_commit_flush_keeps_lines () =
+  let sim, p = mk_machine () in
+  let s = make_script p in
+  s.modes.(0) <- htm 1;
+  ignore (expect_granted sim p ~core:0 ~line:5 ~what:Types.Write);
+  ignore (expect_granted sim p ~core:0 ~line:6 ~what:Types.Read);
+  let n = Protocol.commit_flush p 0 in
+  check_int "two tx lines" 2 n;
+  check_bool "written line kept" true (l1_state p 0 5 = Some L1.M);
+  Protocol.check_invariants p
+
+let test_proto_abort_flush_drops_written () =
+  let sim, p = mk_machine () in
+  let s = make_script p in
+  s.modes.(0) <- htm 1;
+  ignore (expect_granted sim p ~core:0 ~line:5 ~what:Types.Write);
+  ignore (expect_granted sim p ~core:0 ~line:6 ~what:Types.Read);
+  let n = Protocol.abort_flush p 0 in
+  check_int "two tx lines" 2 n;
+  check_bool "written dropped" true (l1_state p 0 5 = None);
+  check_bool "read kept" true (l1_state p 0 6 <> None);
+  (* directory no longer names core 0 owner of line 5 *)
+  (match Llc.dir_of (Protocol.llc p) 5 with
+  | Llc.Sharers se -> check_bool "unowned" true (Coreset.is_empty se)
+  | Llc.Owner _ -> Alcotest.fail "stale owner");
+  Protocol.check_invariants p
+
+let test_proto_flush_core () =
+  let sim, p = mk_machine () in
+  ignore (expect_granted sim p ~core:0 ~line:1 ~what:Types.Write);
+  ignore (expect_granted sim p ~core:0 ~line:2 ~what:Types.Read);
+  ignore (expect_granted sim p ~core:1 ~line:2 ~what:Types.Read);
+  let flushed = Protocol.flush_core p 0 in
+  check_int "two lines flushed" 2 flushed;
+  check_bool "all gone" true
+    (l1_state p 0 1 = None && l1_state p 0 2 = None);
+  (* the shared line survives at core 1 and the directory is exact *)
+  check_bool "core1 keeps its copy" true (l1_state p 1 2 <> None);
+  (* dirty data reached the LLC *)
+  check_bool "llc dirty after flush" true
+    (Option.get (Llc.lookup (Protocol.llc p) 1)).Llc.dirty;
+  Protocol.check_invariants p
+
+let test_proto_stats_counters () =
+  let sim, p = mk_machine () in
+  ignore (expect_granted sim p ~core:0 ~line:1 ~what:Types.Read);
+  ignore (expect_granted sim p ~core:0 ~line:1 ~what:Types.Read);
+  ignore (expect_granted sim p ~core:1 ~line:1 ~what:Types.Write);
+  let stats = Lk_engine.Stats.counters (Protocol.stats p) in
+  let v name = List.assoc name stats in
+  check_int "one l1 hit" 1 (v "l1_hits");
+  check_int "two misses" 2 (v "l1_misses");
+  check_bool "llc misses counted" true (v "llc_misses" >= 1);
+  check_bool "invalidation counted" true (v "invalidations" >= 1)
+
+let test_proto_default_config_matches_table1 () =
+  let cfg = Protocol.default_config in
+  check_int "32 cores" 32 cfg.Protocol.cores;
+  check_int "32KB L1" (32 * 1024) cfg.Protocol.l1_size;
+  check_int "8MB LLC" (8 * 1024 * 1024) cfg.Protocol.llc_size;
+  check_int "2-cycle L1" 2 cfg.Protocol.l1_hit_latency;
+  check_int "12-cycle LLC" 12 cfg.Protocol.llc_hit_latency;
+  check_int "100-cycle memory" 100 cfg.Protocol.mem_latency
+
+let test_proto_latency_ordering () =
+  (* l1 hit < llc-resident miss < memory miss *)
+  let sim, p = mk_machine () in
+  let cold = expect_granted sim p ~core:0 ~line:9 ~what:Types.Read in
+  let hit = expect_granted sim p ~core:0 ~line:9 ~what:Types.Read in
+  (* force line 9 out of core 0's L1 but keep it in the LLC *)
+  ignore (expect_granted sim p ~core:0 ~line:13 ~what:Types.Read);
+  ignore (expect_granted sim p ~core:0 ~line:17 ~what:Types.Read);
+  check_bool "line 9 evicted" true (l1_state p 0 9 = None);
+  let warm = expect_granted sim p ~core:0 ~line:9 ~what:Types.Read in
+  check_bool "hit < warm" true (hit < warm);
+  check_bool "warm < cold" true (warm < cold)
+
+let test_msi_mode_no_exclusive () =
+  let cfg = { small_cfg with Protocol.exclusive_state = false } in
+  let sim, p = mk_machine ~cfg () in
+  ignore (expect_granted sim p ~core:0 ~line:7 ~what:Types.Read);
+  check_bool "sole reader gets S under MSI" true (l1_state p 0 7 = Some L1.S);
+  (* the write is now a directory upgrade, not a silent E->M *)
+  let lat = expect_granted sim p ~core:0 ~line:7 ~what:Types.Write in
+  check_bool "upgrade pays the directory" true
+    (lat > small_cfg.Protocol.l1_hit_latency);
+  check_bool "M after upgrade" true (l1_state p 0 7 = Some L1.M);
+  Protocol.check_invariants p
+
+let test_limited_pointer_broadcast () =
+  let cfg = { small_cfg with Protocol.dir_pointers = Some 1 } in
+  let sim, p = mk_machine ~cfg () in
+  (* three sharers > 1 pointer: the invalidating write must broadcast *)
+  ignore (expect_granted sim p ~core:0 ~line:7 ~what:Types.Read);
+  ignore (expect_granted sim p ~core:1 ~line:7 ~what:Types.Read);
+  ignore (expect_granted sim p ~core:2 ~line:7 ~what:Types.Read);
+  ignore (expect_granted sim p ~core:3 ~line:7 ~what:Types.Write);
+  let stats = Lk_engine.Stats.counters (Protocol.stats p) in
+  check_bool "broadcast counted" true
+    (List.assoc "broadcast_invalidations" stats > 0);
+  check_bool "sharers invalidated" true
+    (l1_state p 0 7 = None && l1_state p 1 7 = None && l1_state p 2 7 = None);
+  Protocol.check_invariants p
+
+let test_l1_iter_and_occupancy () =
+  let c = small_l1 () in
+  L1.insert c 0 L1.S;
+  L1.insert c 5 L1.E;
+  let seen = ref [] in
+  L1.iter c (fun v -> seen := v.L1.line :: !seen);
+  Alcotest.(check (list int)) "iter covers" [ 0; 5 ] (List.sort compare !seen);
+  check_int "occupancy" 2 (L1.occupancy c)
+
+let test_llc_iter () =
+  let c = small_llc () in
+  Llc.insert c 3;
+  Llc.insert c 9;
+  let seen = ref 0 in
+  Llc.iter c (fun _ -> incr seen);
+  check_int "iter covers" 2 !seen;
+  check_int "occupancy" 2 (Llc.occupancy c)
+
+let () =
+  Alcotest.run "coherence"
+    [
+      ( "addr",
+        [
+          Alcotest.test_case "line mapping" `Quick test_addr_line_mapping;
+          Alcotest.test_case "home" `Quick test_addr_home;
+          Alcotest.test_case "range" `Quick test_addr_range;
+        ] );
+      ( "coreset",
+        [
+          Alcotest.test_case "basics" `Quick test_coreset_basics;
+          Alcotest.test_case "add/remove" `Quick test_coreset_add_remove;
+          Alcotest.test_case "range check" `Quick test_coreset_range_check;
+          QCheck_alcotest.to_alcotest prop_coreset_model;
+        ] );
+      ( "l1",
+        [
+          Alcotest.test_case "geometry" `Quick test_l1_geometry;
+          Alcotest.test_case "insert/lookup" `Quick test_l1_insert_lookup;
+          Alcotest.test_case "M is dirty" `Quick test_l1_insert_m_is_dirty;
+          Alcotest.test_case "double insert" `Quick
+            test_l1_double_insert_rejected;
+          Alcotest.test_case "victim preference" `Quick
+            test_l1_room_and_eviction_preference;
+          Alcotest.test_case "remove" `Quick test_l1_remove;
+          Alcotest.test_case "tx tracking" `Quick test_l1_tx_tracking;
+          Alcotest.test_case "commit clear" `Quick test_l1_clear_tx_commit;
+          Alcotest.test_case "abort clear" `Quick
+            test_l1_clear_tx_abort_drops_written;
+          Alcotest.test_case "bad geometry" `Quick
+            test_l1_bad_geometry_rejected;
+          QCheck_alcotest.to_alcotest prop_l1_never_exceeds_capacity;
+          QCheck_alcotest.to_alcotest prop_l1_matches_lru_model;
+        ] );
+      ( "llc",
+        [
+          Alcotest.test_case "geometry" `Quick test_llc_geometry;
+          Alcotest.test_case "insert/dir" `Quick test_llc_insert_dir;
+          Alcotest.test_case "quiet victim preference" `Quick
+            test_llc_victim_prefers_quiet_lines;
+          Alcotest.test_case "evict" `Quick test_llc_evict;
+        ] );
+      ( "protocol-mesi",
+        [
+          Alcotest.test_case "cold read E" `Quick
+            test_proto_cold_read_is_exclusive;
+          Alcotest.test_case "l1 hit" `Quick test_proto_second_read_hits_l1;
+          Alcotest.test_case "read sharing" `Quick test_proto_read_sharing;
+          Alcotest.test_case "write invalidates" `Quick
+            test_proto_write_invalidates_sharers;
+          Alcotest.test_case "downgrade on read" `Quick
+            test_proto_write_then_read_downgrades;
+          Alcotest.test_case "upgrade" `Quick test_proto_upgrade;
+          Alcotest.test_case "silent E->M" `Quick
+            test_proto_silent_write_upgrade_from_e;
+          Alcotest.test_case "eviction writeback" `Quick
+            test_proto_l1_eviction_writeback;
+          Alcotest.test_case "rmw" `Quick test_proto_rmw_behaves_like_write;
+          QCheck_alcotest.to_alcotest prop_proto_random_plain_traffic;
+        ] );
+      ( "protocol-htm",
+        [
+          Alcotest.test_case "tx bits" `Quick test_proto_tx_marks_bits;
+          Alcotest.test_case "requester-win abort" `Quick
+            test_proto_requester_win_aborts_holder;
+          Alcotest.test_case "read-read ok" `Quick
+            test_proto_read_read_no_conflict;
+          Alcotest.test_case "recovery reject" `Quick
+            test_proto_recovery_rejects_lower_priority;
+          Alcotest.test_case "recovery abort" `Quick
+            test_proto_recovery_aborts_higher_priority_requester;
+          Alcotest.test_case "mixed sharer verdicts" `Quick
+            test_proto_sharer_conflict_mixed_verdicts;
+          Alcotest.test_case "lock holder protected" `Quick
+            test_proto_lock_holder_never_aborted;
+          Alcotest.test_case "overflow abort" `Quick
+            test_proto_overflow_abort_on_tx_eviction;
+          Alcotest.test_case "stale request" `Quick
+            test_proto_stale_request_dropped;
+          Alcotest.test_case "commit flush" `Quick
+            test_proto_commit_flush_keeps_lines;
+          Alcotest.test_case "abort flush" `Quick
+            test_proto_abort_flush_drops_written;
+          Alcotest.test_case "flush core" `Quick test_proto_flush_core;
+          Alcotest.test_case "stats counters" `Quick
+            test_proto_stats_counters;
+          Alcotest.test_case "default config" `Quick
+            test_proto_default_config_matches_table1;
+          Alcotest.test_case "latency ordering" `Quick
+            test_proto_latency_ordering;
+          Alcotest.test_case "msi mode" `Quick test_msi_mode_no_exclusive;
+          Alcotest.test_case "limited-pointer broadcast" `Quick
+            test_limited_pointer_broadcast;
+          Alcotest.test_case "l1 iter" `Quick test_l1_iter_and_occupancy;
+          Alcotest.test_case "llc iter" `Quick test_llc_iter;
+        ] );
+    ]

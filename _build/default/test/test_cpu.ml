@@ -1,0 +1,167 @@
+(* Unit tests for the CPU-layer building blocks: execution-time
+   accounting and the program representation details not covered by the
+   workload suite. *)
+
+module Accounting = Lk_cpu.Accounting
+module Program = Lk_cpu.Program
+module Barrier = Lk_cpu.Barrier
+module Sim = Lk_engine.Sim
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+(* --- Accounting --------------------------------------------------------- *)
+
+let test_accounting_empty () =
+  let a = Accounting.create ~cores:2 in
+  check_int "nothing recorded" 0 (Accounting.grand_total a);
+  check (Alcotest.float 0.001) "fraction of empty" 0.0
+    (Accounting.fraction a Accounting.Htm);
+  List.iter
+    (fun (_, n) -> check_int "zero cells" 0 n)
+    (Accounting.total a)
+
+let test_accounting_attribution () =
+  let a = Accounting.create ~cores:2 in
+  Accounting.add a ~core:0 Accounting.Htm 100;
+  Accounting.add a ~core:1 Accounting.Htm 50;
+  Accounting.add a ~core:0 Accounting.Wait_lock 25;
+  Accounting.add a ~core:0 Accounting.Htm 10;
+  check_int "htm summed over cores" 160
+    (List.assoc Accounting.Htm (Accounting.total a));
+  check_int "waitlock" 25
+    (List.assoc Accounting.Wait_lock (Accounting.total a));
+  check_int "grand total" 185 (Accounting.grand_total a);
+  check_int "core0 htm" 110
+    (List.assoc Accounting.Htm (Accounting.per_core a ~core:0));
+  check (Alcotest.float 0.001) "fraction" (160.0 /. 185.0)
+    (Accounting.fraction a Accounting.Htm)
+
+let test_accounting_rejects_negative () =
+  let a = Accounting.create ~cores:1 in
+  Alcotest.check_raises "negative cycles"
+    (Invalid_argument "Accounting.add: negative cycles") (fun () ->
+      Accounting.add a ~core:0 Accounting.Htm (-1))
+
+let test_accounting_category_order () =
+  Alcotest.(check (list string))
+    "paper order"
+    [ "htm"; "aborted"; "lock"; "switchLock"; "non-tran"; "waitlock";
+      "rollback" ]
+    (List.map Accounting.label Accounting.categories)
+
+let test_accounting_pp_smoke () =
+  let a = Accounting.create ~cores:1 in
+  Accounting.add a ~core:0 Accounting.Rollback 3;
+  let s = Format.asprintf "%a" Accounting.pp a in
+  check_bool "prints something" true (String.length s > 0)
+
+(* --- Program edge cases -------------------------------------------------- *)
+
+let test_op_count_semantics () =
+  check_int "empty" 0 (Program.op_count []);
+  check_int "compute weight" 7
+    (Program.op_count [ Program.Compute 5; Program.Read 0; Program.Fault ]);
+  check_int "memory ops one each" 4
+    (Program.op_count
+       [
+         Program.Read 0; Program.Write (64, 1); Program.Incr 128;
+         Program.Add (192, -1);
+       ])
+
+let test_touched_addresses_dedup () =
+  let p =
+    [|
+      [
+        {
+          Program.pre_compute = 0;
+          ops = [ Program.Read 64; Program.Incr 64; Program.Read 64 ];
+          post_compute = 0;
+        };
+      ];
+    |]
+  in
+  Alcotest.(check (list int)) "dedup" [ 64 ] (Program.touched_addresses p)
+
+let test_validate_catches_each_field () =
+  let tx ops = { Program.pre_compute = 0; ops; post_compute = 0 } in
+  check_bool "negative address in add" true
+    (Program.validate [| [ tx [ Program.Add (-1, 1) ] ] |] <> Ok ());
+  check_bool "negative compute op" true
+    (Program.validate [| [ tx [ Program.Compute (-5) ] ] |] <> Ok ());
+  check_bool "negative post" true
+    (Program.validate
+       [| [ { Program.pre_compute = 0; ops = []; post_compute = -1 } ] |]
+    <> Ok ());
+  check_bool "empty ok" true (Program.validate [| [] |] = Ok ())
+
+let test_text_parse_comments_and_blanks () =
+  let text =
+    "\n# leading comment\n\nthread   # trailing comment\n\n  tx pre=1 post=2\n\n    incr 64   # op comment\n"
+  in
+  match Program.of_text text with
+  | Error msg -> Alcotest.fail msg
+  | Ok p ->
+    check_int "one thread" 1 (Array.length p);
+    check_int "one tx" 1 (List.length p.(0))
+
+(* --- Barrier edge cases --------------------------------------------------- *)
+
+let test_barrier_single_party () =
+  let sim = Sim.create () in
+  let b = Barrier.create ~parties:1 in
+  let hits = ref 0 in
+  Barrier.wait b ~sim ~k:(fun () -> incr hits);
+  Barrier.wait b ~sim ~k:(fun () -> incr hits);
+  Sim.run sim;
+  check_int "single party never blocks" 2 !hits;
+  check_int "two phases" 2 (Barrier.phases_completed b)
+
+let test_barrier_rejects_bad_parties () =
+  Alcotest.check_raises "zero parties"
+    (Invalid_argument "Barrier.create: parties must be positive") (fun () ->
+      ignore (Barrier.create ~parties:0))
+
+let test_barrier_release_order_preserved () =
+  let sim = Sim.create () in
+  let b = Barrier.create ~parties:3 in
+  let order = ref [] in
+  Barrier.wait b ~sim ~k:(fun () -> order := 1 :: !order);
+  Barrier.wait b ~sim ~k:(fun () -> order := 2 :: !order);
+  Barrier.wait b ~sim ~k:(fun () -> order := 3 :: !order);
+  Sim.run sim;
+  Alcotest.(check (list int)) "arrival order" [ 1; 2; 3 ] (List.rev !order)
+
+let () =
+  Alcotest.run "cpu"
+    [
+      ( "accounting",
+        [
+          Alcotest.test_case "empty" `Quick test_accounting_empty;
+          Alcotest.test_case "attribution" `Quick test_accounting_attribution;
+          Alcotest.test_case "negative rejected" `Quick
+            test_accounting_rejects_negative;
+          Alcotest.test_case "category order" `Quick
+            test_accounting_category_order;
+          Alcotest.test_case "pp" `Quick test_accounting_pp_smoke;
+        ] );
+      ( "program",
+        [
+          Alcotest.test_case "op count" `Quick test_op_count_semantics;
+          Alcotest.test_case "touched dedup" `Quick
+            test_touched_addresses_dedup;
+          Alcotest.test_case "validate fields" `Quick
+            test_validate_catches_each_field;
+          Alcotest.test_case "text comments" `Quick
+            test_text_parse_comments_and_blanks;
+        ] );
+      ( "barrier",
+        [
+          Alcotest.test_case "single party" `Quick test_barrier_single_party;
+          Alcotest.test_case "bad parties" `Quick
+            test_barrier_rejects_bad_parties;
+          Alcotest.test_case "release order" `Quick
+            test_barrier_release_order_preserved;
+        ] );
+    ]

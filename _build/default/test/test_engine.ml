@@ -1,0 +1,430 @@
+(* Unit and property tests for the discrete-event kernel. *)
+
+module Rng = Lk_engine.Rng
+module Event_queue = Lk_engine.Event_queue
+module Sim = Lk_engine.Sim
+module Stats = Lk_engine.Stats
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+(* --- Rng ------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check (Alcotest.int64 : int64 Alcotest.testable) "same stream"
+      (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  check_bool "different seeds differ" false (Rng.bits64 a = Rng.bits64 b)
+
+let test_rng_split_independent () =
+  let parent = Rng.create 7 in
+  let c1 = Rng.split parent in
+  let c2 = Rng.split parent in
+  check_bool "siblings differ" false (Rng.bits64 c1 = Rng.bits64 c2)
+
+let test_rng_copy () =
+  let a = Rng.create 9 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  check (Alcotest.int64 : int64 Alcotest.testable) "copy continues stream"
+    (Rng.bits64 a) (Rng.bits64 b)
+
+let test_rng_int_bounds () =
+  let r = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    check_bool "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_rejects_nonpositive () =
+  let r = Rng.create 3 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_rng_float_bounds () =
+  let r = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Rng.float r 2.5 in
+    check_bool "in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_chance_extremes () =
+  let r = Rng.create 11 in
+  check_bool "p=0 never" false (Rng.chance r 0.0);
+  check_bool "p=1 always" true (Rng.chance r 1.0)
+
+let test_rng_chance_rough_frequency () =
+  let r = Rng.create 13 in
+  let hits = ref 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    if Rng.chance r 0.3 then incr hits
+  done;
+  let freq = float_of_int !hits /. float_of_int n in
+  check_bool "close to 0.3" true (freq > 0.27 && freq < 0.33)
+
+let test_rng_geometric () =
+  let r = Rng.create 17 in
+  check_int "p=1 is 0" 0 (Rng.geometric r 1.0);
+  let sum = ref 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    let v = Rng.geometric r 0.5 in
+    check_bool "non-negative" true (v >= 0);
+    sum := !sum + v
+  done;
+  (* mean of geometric(0.5) failures = 1 *)
+  let mean = float_of_int !sum /. float_of_int n in
+  check_bool "mean near 1" true (mean > 0.9 && mean < 1.1)
+
+let test_rng_zipf_bounds () =
+  let r = Rng.create 19 in
+  for _ = 1 to 2000 do
+    let v = Rng.zipf r ~n:50 ~s:0.99 in
+    check_bool "in range" true (v >= 0 && v < 50)
+  done
+
+let test_rng_zipf_skew () =
+  let r = Rng.create 23 in
+  let counts = Array.make 20 0 in
+  for _ = 1 to 20_000 do
+    let v = Rng.zipf r ~n:20 ~s:1.2 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  check_bool "rank 0 hottest" true (counts.(0) > counts.(5));
+  check_bool "rank 0 much hotter than tail" true (counts.(0) > 4 * counts.(19))
+
+let test_rng_zipf_uniform_when_s0 () =
+  let r = Rng.create 29 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let v = Rng.zipf r ~n:10 ~s:0.0 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c -> check_bool "roughly uniform" true (c > 700 && c < 1300))
+    counts
+
+let test_rng_zipf_n1 () =
+  let r = Rng.create 31 in
+  check_int "single element" 0 (Rng.zipf r ~n:1 ~s:2.0)
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 37 in
+  let a = Array.init 100 (fun i -> i) in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation"
+    (Array.init 100 (fun i -> i))
+    sorted
+
+(* --- Event_queue ----------------------------------------------------- *)
+
+let test_eq_empty () =
+  let q = Event_queue.create () in
+  check_bool "fresh empty" true (Event_queue.is_empty q);
+  check_bool "pop none" true (Event_queue.pop q = None);
+  check_bool "peek none" true (Event_queue.peek_time q = None)
+
+let test_eq_order () =
+  let q = Event_queue.create () in
+  Event_queue.add q ~time:5 "c";
+  Event_queue.add q ~time:1 "a";
+  Event_queue.add q ~time:3 "b";
+  check_bool "peek earliest" true (Event_queue.peek_time q = Some 1);
+  check_bool "a" true (Event_queue.pop q = Some (1, "a"));
+  check_bool "b" true (Event_queue.pop q = Some (3, "b"));
+  check_bool "c" true (Event_queue.pop q = Some (5, "c"));
+  check_bool "drained" true (Event_queue.pop q = None)
+
+let test_eq_fifo_ties () =
+  let q = Event_queue.create () in
+  List.iter (fun s -> Event_queue.add q ~time:7 s) [ "x"; "y"; "z" ];
+  check_bool "x" true (Event_queue.pop q = Some (7, "x"));
+  check_bool "y" true (Event_queue.pop q = Some (7, "y"));
+  check_bool "z" true (Event_queue.pop q = Some (7, "z"))
+
+let test_eq_interleaved () =
+  let q = Event_queue.create () in
+  Event_queue.add q ~time:10 1;
+  check_bool "pop 10" true (Event_queue.pop q = Some (10, 1));
+  Event_queue.add q ~time:4 2;
+  Event_queue.add q ~time:20 3;
+  check_bool "pop 4" true (Event_queue.pop q = Some (4, 2));
+  check_int "length" 1 (Event_queue.length q)
+
+let prop_eq_sorted =
+  QCheck.Test.make ~name:"event queue pops in nondecreasing time order"
+    ~count:200
+    QCheck.(list (int_bound 1000))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iter (fun t -> Event_queue.add q ~time:t t) times;
+      let rec drain last acc =
+        match Event_queue.pop q with
+        | None -> List.rev acc
+        | Some (t, v) ->
+          if t < last then failwith "order violation"
+          else drain t (v :: acc)
+      in
+      let popped = drain min_int [] in
+      List.sort compare popped = List.sort compare times)
+
+let prop_eq_stable =
+  QCheck.Test.make ~name:"same-time events pop in insertion order" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 50) (int_bound 5))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iteri (fun i t -> Event_queue.add q ~time:t (t, i)) times;
+      let rec drain acc =
+        match Event_queue.pop q with
+        | None -> List.rev acc
+        | Some (_, v) -> drain (v :: acc)
+      in
+      let popped = drain [] in
+      (* within each time bucket, sequence numbers must increase *)
+      let ok = ref true in
+      List.iteri
+        (fun i (t1, s1) ->
+          List.iteri
+            (fun j (t2, s2) ->
+              if i < j && t1 = t2 && s1 > s2 then ok := false)
+            popped)
+        popped;
+      !ok)
+
+(* --- Sim ------------------------------------------------------------- *)
+
+let test_sim_runs_in_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.schedule sim ~delay:10 (fun () -> log := "b" :: !log);
+  Sim.schedule sim ~delay:5 (fun () -> log := "a" :: !log);
+  Sim.schedule sim ~delay:15 (fun () -> log := "c" :: !log);
+  Sim.run sim;
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !log);
+  check_int "clock at last event" 15 (Sim.now sim)
+
+let test_sim_nested_schedule () =
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  Sim.schedule sim ~delay:3 (fun () ->
+      Sim.schedule sim ~delay:4 (fun () -> fired := Sim.now sim));
+  Sim.run sim;
+  check_int "nested at 7" 7 !fired
+
+let test_sim_zero_delay_same_cycle () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.schedule sim ~delay:2 (fun () ->
+      log := `First :: !log;
+      Sim.schedule sim ~delay:0 (fun () -> log := `Second :: !log));
+  Sim.run sim;
+  check_int "clock" 2 (Sim.now sim);
+  check_bool "both fired" true (List.length !log = 2)
+
+let test_sim_negative_delay_rejected () =
+  let sim = Sim.create () in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Sim.schedule: negative delay") (fun () ->
+      Sim.schedule sim ~delay:(-1) (fun () -> ()))
+
+let test_sim_schedule_at_past_rejected () =
+  let sim = Sim.create () in
+  Sim.schedule sim ~delay:5 (fun () -> ());
+  Sim.run sim;
+  Alcotest.check_raises "past"
+    (Invalid_argument "Sim.schedule_at: time in the past") (fun () ->
+      Sim.schedule_at sim ~time:2 (fun () -> ()))
+
+let test_sim_limit_discards () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  Sim.schedule sim ~delay:100 (fun () -> fired := true);
+  Sim.run ~limit:50 sim;
+  check_bool "discarded" false !fired;
+  check_int "clock clamped" 50 (Sim.now sim)
+
+let test_sim_quiescent_hook_injects () =
+  let sim = Sim.create () in
+  let rescued = ref false in
+  let armed = ref true in
+  Sim.on_quiescent sim (fun () ->
+      if !armed then begin
+        armed := false;
+        Sim.schedule sim ~delay:1 (fun () -> rescued := true)
+      end);
+  Sim.schedule sim ~delay:1 (fun () -> ());
+  Sim.run sim;
+  check_bool "hook injected work" true !rescued
+
+let test_sim_stalled_hook_loop () =
+  let sim = Sim.create () in
+  (* a hook that always injects a same-cycle event: livelock *)
+  Sim.on_quiescent sim (fun () -> Sim.schedule sim ~delay:0 (fun () -> ()));
+  Sim.schedule sim ~delay:1 (fun () -> ());
+  match Sim.run sim with
+  | () -> Alcotest.fail "livelocked hook loop not detected"
+  | exception Sim.Stalled _ -> ()
+
+let test_sim_hook_loop_with_progress_ok () =
+  let sim = Sim.create () in
+  (* a hook that advances the clock each time: terminates via budget *)
+  let n = ref 0 in
+  Sim.on_quiescent sim (fun () ->
+      if !n < 2000 then begin
+        incr n;
+        Sim.schedule sim ~delay:1 (fun () -> ())
+      end);
+  Sim.schedule sim ~delay:1 (fun () -> ());
+  Sim.run sim;
+  check_int "hooks all ran" 2000 !n
+
+let test_sim_step () =
+  let sim = Sim.create () in
+  let n = ref 0 in
+  Sim.schedule sim ~delay:1 (fun () -> incr n);
+  Sim.schedule sim ~delay:2 (fun () -> incr n);
+  check_bool "step 1" true (Sim.step sim);
+  check_int "one fired" 1 !n;
+  check_bool "step 2" true (Sim.step sim);
+  check_bool "drained" false (Sim.step sim)
+
+(* --- Trace ----------------------------------------------------------- *)
+
+let test_trace_src_naming () =
+  let src = Lk_engine.Trace.src "protocol" in
+  Alcotest.(check string) "namespaced" "lockiller.protocol" (Logs.Src.name src)
+
+let test_trace_disabled_is_silent () =
+  (* no reporter installed: debugf must be a no-op, not an error *)
+  let src = Lk_engine.Trace.src "test" in
+  Lk_engine.Trace.debugf src ~cycle:42 "event %d happened" 7;
+  ()
+
+(* --- Stats ----------------------------------------------------------- *)
+
+let test_stats_counter () =
+  let g = Stats.group "g" in
+  let c = Stats.counter g "hits" in
+  Stats.incr c;
+  Stats.add c 4;
+  check_int "value" 5 (Stats.value c);
+  check_bool "same name same counter" true
+    (Stats.value (Stats.counter g "hits") = 5)
+
+let test_stats_accumulator () =
+  let g = Stats.group "g" in
+  let a = Stats.accumulator g "lat" in
+  List.iter (Stats.sample a) [ 10; 2; 6 ];
+  check_int "count" 3 (Stats.count a);
+  check_int "sum" 18 (Stats.sum a);
+  check_bool "min" true (Stats.min_sample a = Some 2);
+  check_bool "max" true (Stats.max_sample a = Some 10);
+  check (Alcotest.float 0.001) "mean" 6.0 (Stats.mean a)
+
+let test_stats_empty_accumulator () =
+  let g = Stats.group "g" in
+  let a = Stats.accumulator g "none" in
+  check_bool "min none" true (Stats.min_sample a = None);
+  check (Alcotest.float 0.001) "mean 0" 0.0 (Stats.mean a)
+
+let test_stats_histogram () =
+  let g = Stats.group "g" in
+  let h = Stats.histogram g "sizes" in
+  List.iter (Stats.observe h) [ 0; 1; 1; 3; 100 ];
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 (Stats.buckets h) in
+  check_int "all samples bucketed" 5 total
+
+let test_stats_reset () =
+  let g = Stats.group "g" in
+  let c = Stats.counter g "x" in
+  Stats.incr c;
+  Stats.reset g;
+  check_int "zeroed" 0 (Stats.value c)
+
+let test_stats_counters_sorted () =
+  let g = Stats.group "g" in
+  ignore (Stats.counter g "zebra");
+  ignore (Stats.counter g "apple");
+  let names = List.map fst (Stats.counters g) in
+  Alcotest.(check (list string)) "sorted" [ "apple"; "zebra" ] names
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "split independence" `Quick
+            test_rng_split_independent;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int rejects bad bound" `Quick
+            test_rng_int_rejects_nonpositive;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "chance extremes" `Quick test_rng_chance_extremes;
+          Alcotest.test_case "chance frequency" `Quick
+            test_rng_chance_rough_frequency;
+          Alcotest.test_case "geometric" `Quick test_rng_geometric;
+          Alcotest.test_case "zipf bounds" `Quick test_rng_zipf_bounds;
+          Alcotest.test_case "zipf skew" `Quick test_rng_zipf_skew;
+          Alcotest.test_case "zipf uniform s=0" `Quick
+            test_rng_zipf_uniform_when_s0;
+          Alcotest.test_case "zipf n=1" `Quick test_rng_zipf_n1;
+          Alcotest.test_case "shuffle permutation" `Quick
+            test_rng_shuffle_permutation;
+        ] );
+      ( "event-queue",
+        [
+          Alcotest.test_case "empty" `Quick test_eq_empty;
+          Alcotest.test_case "time order" `Quick test_eq_order;
+          Alcotest.test_case "fifo on ties" `Quick test_eq_fifo_ties;
+          Alcotest.test_case "interleaved add/pop" `Quick test_eq_interleaved;
+          QCheck_alcotest.to_alcotest prop_eq_sorted;
+          QCheck_alcotest.to_alcotest prop_eq_stable;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "runs in order" `Quick test_sim_runs_in_order;
+          Alcotest.test_case "nested schedule" `Quick test_sim_nested_schedule;
+          Alcotest.test_case "zero delay" `Quick test_sim_zero_delay_same_cycle;
+          Alcotest.test_case "negative delay rejected" `Quick
+            test_sim_negative_delay_rejected;
+          Alcotest.test_case "schedule_at past rejected" `Quick
+            test_sim_schedule_at_past_rejected;
+          Alcotest.test_case "limit discards" `Quick test_sim_limit_discards;
+          Alcotest.test_case "quiescent hook" `Quick
+            test_sim_quiescent_hook_injects;
+          Alcotest.test_case "hook livelock detected" `Quick
+            test_sim_stalled_hook_loop;
+          Alcotest.test_case "hook with progress ok" `Quick
+            test_sim_hook_loop_with_progress_ok;
+          Alcotest.test_case "single step" `Quick test_sim_step;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "src naming" `Quick test_trace_src_naming;
+          Alcotest.test_case "silent when disabled" `Quick
+            test_trace_disabled_is_silent;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "counter" `Quick test_stats_counter;
+          Alcotest.test_case "accumulator" `Quick test_stats_accumulator;
+          Alcotest.test_case "empty accumulator" `Quick
+            test_stats_empty_accumulator;
+          Alcotest.test_case "histogram" `Quick test_stats_histogram;
+          Alcotest.test_case "reset" `Quick test_stats_reset;
+          Alcotest.test_case "counters sorted" `Quick
+            test_stats_counters_sorted;
+        ] );
+    ]

@@ -1,0 +1,397 @@
+(* Tests of the simulation harness: machine configs, metrics, report
+   rendering, the runner's metric collection and the experiment
+   definitions (exercised on a small machine so they stay fast). *)
+
+module Config = Lk_sim.Config
+module Runner = Lk_sim.Runner
+module Metrics = Lk_sim.Metrics
+module Report = Lk_sim.Report
+module Experiments = Lk_sim.Experiments
+module Sysconf = Lk_lockiller.Sysconf
+module Suite = Lk_stamp.Suite
+module Workload = Lk_stamp.Workload
+module Reason = Lk_htm.Reason
+module Accounting = Lk_cpu.Accounting
+module Protocol = Lk_coherence.Protocol
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+let check_float = check (Alcotest.float 0.0001)
+
+(* --- Config ------------------------------------------------------------ *)
+
+let test_machine_defaults () =
+  let m = Config.machine () in
+  check_int "32 cores" 32 m.Config.cores;
+  check_int "4 rows" 4 m.Config.rows;
+  check_int "8 cols" 8 m.Config.cols;
+  check_int "32KB L1" (32 * 1024) m.Config.protocol.Protocol.l1_size;
+  check_int "8MB LLC" (8 * 1024 * 1024) m.Config.protocol.Protocol.llc_size
+
+let test_machine_cache_profiles () =
+  let small = Config.machine ~cache:Config.Small () in
+  check_int "8KB L1" (8 * 1024) small.Config.protocol.Protocol.l1_size;
+  check_int "1MB LLC" (1024 * 1024) small.Config.protocol.Protocol.llc_size;
+  let large = Config.machine ~cache:Config.Large () in
+  check_int "128KB L1" (128 * 1024) large.Config.protocol.Protocol.l1_size;
+  check_int "32MB LLC" (32 * 1024 * 1024)
+    large.Config.protocol.Protocol.llc_size
+
+let test_machine_small_meshes () =
+  List.iter
+    (fun (cores, rows, cols) ->
+      let m = Config.machine ~cores () in
+      check_int "rows" rows m.Config.rows;
+      check_int "cols" cols m.Config.cols)
+    [ (2, 1, 2); (4, 2, 2); (8, 2, 4); (16, 4, 4) ]
+
+let test_machine_rejects_odd_core_counts () =
+  Alcotest.check_raises "3 cores"
+    (Invalid_argument "Config.machine: unsupported core count 3") (fun () ->
+      ignore (Config.machine ~cores:3 ()))
+
+let test_table1_rows () =
+  let m = Config.machine () in
+  let rows = Config.table1 m in
+  check_int "eleven rows" 11 (List.length rows);
+  check_bool "mentions mesh" true
+    (List.exists (fun (k, _) -> k = "Topology and Routing") rows)
+
+let test_build () =
+  let m = Config.machine ~cores:4 () in
+  let _sim, net, proto = Config.build m in
+  check_int "tiles" 4
+    (Lk_mesh.Topology.tiles (Lk_mesh.Network.topology net));
+  check_int "cores" 4 (Protocol.config proto).Protocol.cores
+
+(* --- Metrics ------------------------------------------------------------ *)
+
+let test_speedup () =
+  check_float "2x" 2.0 (Metrics.speedup ~baseline_cycles:100 ~cycles:50);
+  check_float "0.5x" 0.5 (Metrics.speedup ~baseline_cycles:50 ~cycles:100);
+  Alcotest.check_raises "zero rejected"
+    (Invalid_argument "Metrics.speedup: cycle counts must be positive")
+    (fun () -> ignore (Metrics.speedup ~baseline_cycles:0 ~cycles:1))
+
+let test_geomean () =
+  check_float "of [2;8]" 4.0 (Metrics.geomean [ 2.0; 8.0 ]);
+  check_float "empty" 1.0 (Metrics.geomean []);
+  check_float "singleton" 3.0 (Metrics.geomean [ 3.0 ]);
+  Alcotest.check_raises "non-positive rejected"
+    (Invalid_argument "Metrics.geomean: non-positive value") (fun () ->
+      ignore (Metrics.geomean [ 1.0; 0.0 ]))
+
+let test_mean_max () =
+  check_float "mean" 2.0 (Metrics.mean [ 1.0; 2.0; 3.0 ]);
+  check_float "mean empty" 0.0 (Metrics.mean []);
+  check_float "max" 3.0 (Metrics.max_of [ 1.0; 3.0; 2.0 ]);
+  check_float "pct" 50.0 (Metrics.pct 0.5)
+
+let prop_geomean_between_min_max =
+  QCheck.Test.make ~name:"geomean lies between min and max" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 10) (float_range 0.1 100.0))
+    (fun xs ->
+      let g = Metrics.geomean xs in
+      let mn = List.fold_left min (List.hd xs) xs in
+      let mx = List.fold_left max (List.hd xs) xs in
+      g >= mn -. 1e-9 && g <= mx +. 1e-9)
+
+(* --- Report ------------------------------------------------------------- *)
+
+let string_contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_report_render () =
+  let t =
+    Report.table ~title:"T" ~headers:[ "a"; "bbbb" ]
+      [ [ "x"; "y" ]; [ "longer"; "z" ] ]
+      ~notes:[ "note" ]
+  in
+  let s = Format.asprintf "%a" Report.pp_table t in
+  check_bool "has title" true (string_contains s "== T ==");
+  check_bool "has cell" true (string_contains s "longer");
+  check_bool "has note" true (string_contains s "note")
+
+let test_report_csv () =
+  let t =
+    Report.table ~title:"Fig 7: speedup over CGL, 2 threads"
+      ~headers:[ "workload"; "speed,up" ]
+      [ [ "a"; "1.0" ]; [ "with \"quote\""; "2.0" ] ]
+  in
+  let csv = Report.to_csv t in
+  check_bool "quoted comma header" true (string_contains csv "\"speed,up\"");
+  check_bool "quoted quote" true (string_contains csv "\"with \"\"quote\"\"\"");
+  check_bool "filename" true
+    (Report.csv_filename t = "fig_7_speedup_over_cgl_2_threads.csv")
+
+(* --- Runner -------------------------------------------------------------- *)
+
+let quick_machine = Config.machine ~cores:4 ()
+
+let quick_run ?(sysconf = Sysconf.lockiller) ?(threads = 4) workload_name =
+  let workload = Option.get (Suite.find workload_name) in
+  Runner.run ~scale:0.25 ~machine:quick_machine ~sysconf ~workload ~threads ()
+
+let test_runner_basic_metrics () =
+  let r = quick_run "intruder" in
+  check_bool "cycles positive" true (r.Runner.cycles > 0);
+  check_bool "commit rate in [0;1]" true
+    (r.Runner.commit_rate >= 0.0 && r.Runner.commit_rate <= 1.0);
+  check_int "threads recorded" 4 r.Runner.threads;
+  check_bool "some commits" true
+    (r.Runner.htm_commits + r.Runner.stl_commits + r.Runner.lock_commits > 0);
+  check_bool "network traffic" true (r.Runner.network_messages > 0)
+
+let test_runner_breakdown_covers_all_categories () =
+  let r = quick_run "genome" in
+  check_int "7 categories" 7 (List.length r.Runner.breakdown);
+  List.iter
+    (fun (_, n) -> check_bool "non-negative" true (n >= 0))
+    r.Runner.breakdown
+
+let test_runner_abort_mix_paper_order () =
+  let r = quick_run "yada" in
+  Alcotest.(check (list string))
+    "order" [ "mc"; "lock"; "mutex"; "non_tran"; "of"; "fault" ]
+    (List.map (fun (reason, _) -> Reason.label reason) r.Runner.abort_mix)
+
+let test_runner_deterministic () =
+  let a = quick_run "kmeans+" and b = quick_run "kmeans+" in
+  check_int "same cycles" a.Runner.cycles b.Runner.cycles;
+  check_int "same aborts" a.Runner.aborts b.Runner.aborts
+
+let test_runner_seed_changes_outcome () =
+  let workload = Option.get (Suite.find "kmeans+") in
+  let a =
+    Runner.run ~seed:1 ~scale:0.25 ~machine:quick_machine
+      ~sysconf:Sysconf.baseline ~workload ~threads:4 ()
+  in
+  let b =
+    Runner.run ~seed:2 ~scale:0.25 ~machine:quick_machine
+      ~sysconf:Sysconf.baseline ~workload ~threads:4 ()
+  in
+  check_bool "different cycles" true (a.Runner.cycles <> b.Runner.cycles)
+
+let test_runner_thread_bounds () =
+  let workload = Option.get (Suite.find "ssca2") in
+  Alcotest.check_raises "too many threads"
+    (Invalid_argument "Runner.run: thread count out of range") (fun () ->
+      ignore
+        (Runner.run ~machine:quick_machine ~sysconf:Sysconf.cgl ~workload
+           ~threads:5 ()))
+
+let test_abort_fraction () =
+  let r = quick_run ~sysconf:Sysconf.baseline "yada" in
+  let total =
+    List.fold_left (fun acc reason -> acc +. Runner.abort_fraction r reason)
+      0.0 Reason.all
+  in
+  if r.Runner.aborts > 0 then
+    check (Alcotest.float 0.001) "fractions sum to 1" 1.0 total
+  else check (Alcotest.float 0.001) "no aborts" 0.0 total
+
+let test_runner_fault_survival_in_lock_modes () =
+  (* yada under full LockillerTM: all faults in TL/STL survive, so the
+     only fault aborts are from HTM attempts *)
+  let r = quick_run ~sysconf:Sysconf.lockiller "yada" in
+  check_bool "completed" true (r.Runner.cycles > 0)
+
+let test_placement_spread () =
+  let workload = Option.get (Suite.find "intruder") in
+  let compact =
+    Runner.run ~scale:0.25 ~machine:quick_machine ~placement:Runner.Compact
+      ~sysconf:Sysconf.baseline ~workload ~threads:2 ()
+  in
+  let spread =
+    Runner.run ~scale:0.25 ~machine:quick_machine ~placement:Runner.Spread
+      ~sysconf:Sysconf.baseline ~workload ~threads:2 ()
+  in
+  (* both complete and conserve (asserted inside run); timings differ
+     because the threads sit on different tiles *)
+  check_bool "placements differ in timing" true
+    (compact.Runner.cycles <> spread.Runner.cycles)
+
+let test_avg_attempts_metric () =
+  let r = quick_run ~sysconf:Sysconf.baseline "kmeans+" in
+  if r.Runner.htm_commits > 0 then
+    check_bool "attempts >= 1 per commit" true
+      (r.Runner.avg_attempts_per_commit >= 1.0)
+
+let test_cycle_limit_guard () =
+  let workload = Option.get (Suite.find "ssca2") in
+  check_bool "tiny limit trips the guard" true
+    (match
+       Runner.run ~machine:quick_machine ~cycle_limit:50
+         ~sysconf:Sysconf.cgl ~workload ~threads:2 ()
+     with
+    | exception Failure _ -> true
+    | _ -> false)
+
+let test_run_program () =
+  let program =
+    [|
+      [
+        {
+          Lk_cpu.Program.pre_compute = 5;
+          ops = [ Lk_cpu.Program.Incr (64 * 16) ];
+          post_compute = 5;
+        };
+      ];
+      [
+        {
+          Lk_cpu.Program.pre_compute = 5;
+          ops = [ Lk_cpu.Program.Incr (64 * 16) ];
+          post_compute = 5;
+        };
+      ];
+    |]
+  in
+  let r =
+    Runner.run_program ~machine:quick_machine ~name:"two-incr"
+      ~sysconf:Sysconf.lockiller ~program ()
+  in
+  check_int "threads from program" 2 r.Runner.threads;
+  check_bool "named" true (r.Runner.workload = "two-incr");
+  check_bool "oracle ran" true (r.Runner.oracle_sections >= 2)
+
+let test_run_program_rejects_lock_collision () =
+  let program =
+    [|
+      [
+        {
+          Lk_cpu.Program.pre_compute = 0;
+          ops = [ Lk_cpu.Program.Incr 0 ];
+          post_compute = 0;
+        };
+      ];
+    |]
+  in
+  check_bool "lock-line address rejected" true
+    (match
+       Runner.run_program ~machine:quick_machine ~sysconf:Sysconf.cgl
+         ~program ()
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* --- Experiments --------------------------------------------------------- *)
+
+let quick_ctx () =
+  Experiments.make_context ~scale:0.2 ~cores:4 ~threads:[ 2; 4 ] ()
+
+let test_context_thread_filter () =
+  let ctx = Experiments.make_context ~cores:4 ~threads:[ 2; 4; 8; 16 ] () in
+  Alcotest.(check (list int)) "filtered" [ 2; 4 ] (Experiments.thread_counts ctx)
+
+let test_experiment_ids_unique () =
+  let ids = List.map (fun e -> e.Experiments.id) Experiments.all in
+  check_int "unique ids" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let test_experiment_find () =
+  check_bool "fig7" true (Experiments.find "FIG7" <> None);
+  check_bool "unknown" true (Experiments.find "fig99" = None)
+
+let test_result_memoised () =
+  let ctx = quick_ctx () in
+  let w = Option.get (Suite.find "kmeans") in
+  let a = Experiments.result ctx ~sysconf:Sysconf.baseline ~workload:w ~threads:2 () in
+  let b = Experiments.result ctx ~sysconf:Sysconf.baseline ~workload:w ~threads:2 () in
+  check_bool "same physical result" true (a == b)
+
+let test_speedup_vs_cgl_positive () =
+  let ctx = quick_ctx () in
+  let w = Option.get (Suite.find "ssca2") in
+  let s =
+    Experiments.speedup_vs_cgl ctx ~sysconf:Sysconf.lockiller ~workload:w
+      ~threads:4 ()
+  in
+  check_bool "positive" true (s > 0.0)
+
+let test_quick_experiments_render () =
+  (* The cheap experiments render real tables on a 4-core machine. *)
+  let ctx = quick_ctx () in
+  List.iter
+    (fun e ->
+      let tables = e.Experiments.render ctx in
+      check_bool (e.Experiments.id ^ " renders tables") true (tables <> []);
+      List.iter
+        (fun t ->
+          check_bool
+            (e.Experiments.id ^ " has rows")
+            true
+            (t.Report.rows <> []))
+        tables)
+    [ Experiments.table1; Experiments.table2; Experiments.fig1 ]
+
+let test_fig10_renders_on_small_machine () =
+  let ctx = quick_ctx () in
+  let tables = Experiments.fig10.Experiments.render ctx in
+  check_int "one table" 1 (List.length tables);
+  (* 9 workloads x 3 systems *)
+  check_int "27 rows" 27 (List.length (List.hd tables).Report.rows)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "defaults" `Quick test_machine_defaults;
+          Alcotest.test_case "cache profiles" `Quick
+            test_machine_cache_profiles;
+          Alcotest.test_case "small meshes" `Quick test_machine_small_meshes;
+          Alcotest.test_case "bad core count" `Quick
+            test_machine_rejects_odd_core_counts;
+          Alcotest.test_case "table1" `Quick test_table1_rows;
+          Alcotest.test_case "build" `Quick test_build;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "speedup" `Quick test_speedup;
+          Alcotest.test_case "geomean" `Quick test_geomean;
+          Alcotest.test_case "mean/max/pct" `Quick test_mean_max;
+          QCheck_alcotest.to_alcotest prop_geomean_between_min_max;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "render" `Quick test_report_render;
+          Alcotest.test_case "csv" `Quick test_report_csv;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "basic metrics" `Quick test_runner_basic_metrics;
+          Alcotest.test_case "breakdown categories" `Quick
+            test_runner_breakdown_covers_all_categories;
+          Alcotest.test_case "abort mix order" `Quick
+            test_runner_abort_mix_paper_order;
+          Alcotest.test_case "deterministic" `Quick test_runner_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick
+            test_runner_seed_changes_outcome;
+          Alcotest.test_case "thread bounds" `Quick test_runner_thread_bounds;
+          Alcotest.test_case "abort fractions" `Quick test_abort_fraction;
+          Alcotest.test_case "yada under lockiller" `Quick
+            test_runner_fault_survival_in_lock_modes;
+          Alcotest.test_case "placement" `Quick test_placement_spread;
+          Alcotest.test_case "avg attempts" `Quick test_avg_attempts_metric;
+          Alcotest.test_case "cycle limit" `Quick test_cycle_limit_guard;
+          Alcotest.test_case "run_program" `Quick test_run_program;
+          Alcotest.test_case "run_program lock collision" `Quick
+            test_run_program_rejects_lock_collision;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "thread filter" `Quick test_context_thread_filter;
+          Alcotest.test_case "unique ids" `Quick test_experiment_ids_unique;
+          Alcotest.test_case "find" `Quick test_experiment_find;
+          Alcotest.test_case "memoised" `Quick test_result_memoised;
+          Alcotest.test_case "speedup positive" `Quick
+            test_speedup_vs_cgl_positive;
+          Alcotest.test_case "cheap experiments render" `Quick
+            test_quick_experiments_render;
+          Alcotest.test_case "fig10 shape" `Quick
+            test_fig10_renders_on_small_machine;
+        ] );
+    ]
