@@ -1,0 +1,34 @@
+# Convenience targets; everything is plain dune underneath.
+SHELL := /bin/bash
+
+.PHONY: all build test bench ci clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# What CI runs: full build + every test suite, then a cold-vs-warm
+# smoke of the parallel experiment harness against a throwaway cache —
+# the warm run must report zero simulations.
+ci:
+	dune build
+	dune runtest
+	rm -rf _build/ci-cache
+	dune exec bench/main.exe -- fig7 --scale 0.1 --jobs 2 \
+	  --cache-dir _build/ci-cache > _build/ci-cold.out
+	dune exec bench/main.exe -- fig7 --scale 0.1 --jobs 2 \
+	  --cache-dir _build/ci-cache > _build/ci-warm.out
+	grep -q "(simulations: 0," _build/ci-warm.out
+	diff <(grep -v "rendered in\|simulations:" _build/ci-cold.out) \
+	     <(grep -v "rendered in\|simulations:" _build/ci-warm.out)
+	rm -rf _build/ci-cache
+
+clean:
+	dune clean

@@ -10,7 +10,10 @@
      dune exec bench/main.exe -- --micro      # microbenchmarks only
      dune exec bench/main.exe -- --list       # list experiment ids
      dune exec bench/main.exe -- --scale 0.5  # smaller workloads
-     dune exec bench/main.exe -- --csv out/   # also write CSVs *)
+     dune exec bench/main.exe -- --csv out/   # also write CSVs
+     dune exec bench/main.exe -- --jobs 8     # parallel simulations
+     dune exec bench/main.exe -- --no-cache   # ignore the result cache
+     dune exec bench/main.exe -- --cache-dir d  # cache location *)
 
 module Experiments = Lockiller.Sim.Experiments
 module Report = Lockiller.Sim.Report
@@ -25,11 +28,13 @@ module Types = Lockiller.Coherence.Types
 module Signature = Lockiller.Mechanisms.Signature
 module Sysconf = Lockiller.Mechanisms.Sysconf
 module Runner = Lockiller.Sim.Runner
+module Cache = Lockiller.Sim.Cache
+module Pool = Lockiller.Sim.Pool
 
 (* --- Paper experiments -------------------------------------------------- *)
 
-let run_experiments ~scale ~csv_dir ~ids =
-  let ctx = Experiments.make_context ~scale () in
+let run_experiments ~scale ~jobs ~cache ~csv_dir ~ids =
+  let ctx = Experiments.make_context ~scale ~jobs ?cache () in
   let emit_csv table =
     match csv_dir with
     | None -> ()
@@ -63,9 +68,19 @@ let run_experiments ~scale ~csv_dir ~ids =
         (fun table ->
           Report.print table;
           emit_csv table)
-        (e.Experiments.render ctx);
+        (Experiments.execute ctx e);
       Printf.printf "(rendered in %.1fs cpu)\n\n%!" (Sys.time () -. t0))
-    selected
+    selected;
+  (* Observability for the warm-cache acceptance check: a second run of
+     the same experiments must report 0 simulations. *)
+  (match cache with
+  | None ->
+    Printf.printf "(simulations: %d, cache disabled)\n%!"
+      (Experiments.simulations ctx)
+  | Some c ->
+    Printf.printf "(simulations: %d, cache hits: %d, stores: %d)\n%!"
+      (Experiments.simulations ctx) (Cache.hits c) (Cache.stores c);
+    Cache.persist_counters c)
 
 (* --- Bechamel microbenchmarks ------------------------------------------- *)
 
@@ -192,6 +207,9 @@ let () =
   let micro_only = ref false in
   let skip_micro = ref false in
   let csv_dir = ref None in
+  let jobs = ref (Pool.default_jobs ()) in
+  let no_cache = ref false in
+  let cache_dir = ref None in
   let ids = ref [] in
   let rec parse = function
     | [] -> ()
@@ -210,6 +228,15 @@ let () =
     | "--scale" :: v :: rest ->
       scale := float_of_string v;
       parse rest
+    | "--jobs" :: v :: rest ->
+      jobs := max 1 (int_of_string v);
+      parse rest
+    | "--no-cache" :: rest ->
+      no_cache := true;
+      parse rest
+    | "--cache-dir" :: dir :: rest ->
+      cache_dir := Some dir;
+      parse rest
     | "--csv" :: dir :: rest ->
       csv_dir := Some dir;
       parse rest
@@ -218,6 +245,19 @@ let () =
       parse rest
   in
   parse args;
-  if not !micro_only then
-    run_experiments ~scale:!scale ~csv_dir:!csv_dir ~ids:!ids;
+  if not !micro_only then begin
+    let cache =
+      if !no_cache then None
+      else
+        Some
+          (Cache.create
+             ~dir:
+               (match !cache_dir with
+               | Some d -> d
+               | None -> Cache.default_dir ())
+             ())
+    in
+    run_experiments ~scale:!scale ~jobs:!jobs ~cache ~csv_dir:!csv_dir
+      ~ids:!ids
+  end;
   if (not !skip_micro) && !ids = [] then run_micro ()

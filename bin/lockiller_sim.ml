@@ -13,6 +13,9 @@ module Experiments = Lockiller.Sim.Experiments
 module Report = Lockiller.Sim.Report
 module Accounting = Lockiller.Cpu.Accounting
 module Reason = Lockiller.Htm.Reason
+module Json = Lockiller.Sim.Json
+module Cache = Lockiller.Sim.Cache
+module Pool = Lockiller.Sim.Pool
 
 (* --- shared options ---------------------------------------------------- *)
 
@@ -52,6 +55,23 @@ let cores_t =
     value
     & opt int 32
     & info [ "cores" ] ~doc:"Machine size (2, 4, 8, 16 or 32 tiles).")
+
+let format_t =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("csv", `Csv); ("json", `Json) ]) `Text
+    & info [ "format" ] ~doc:"Output format: text (default), csv or json.")
+
+let cache_dir_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:"Result-cache directory (default \\$LOCKILLER_CACHE_DIR, else               \\$XDG_CACHE_HOME/lockiller, else ~/.cache/lockiller).")
+
+let resolve_cache_dir = function
+  | Some dir -> dir
+  | None -> Cache.default_dir ()
 
 (* --- run --------------------------------------------------------------- *)
 
@@ -94,7 +114,41 @@ let stats_t =
     value & flag
     & info [ "stats" ]
         ~doc:"Also dump the raw statistic groups (protocol, runtime, \
-              network).")
+              network). Embedded under \"stats\" with --format json; \
+              ignored with --format csv.")
+
+(* Flatten the JSON encoding of a result into (column, cell) pairs:
+   nested objects (abort_mix, breakdown) become dotted columns. *)
+let result_csv_cells r =
+  let cell = function
+    | Json.Null -> ""
+    | Json.Bool b -> string_of_bool b
+    | Json.Int n -> string_of_int n
+    | Json.Float f -> Printf.sprintf "%.17g" f
+    | Json.String s -> s
+    | Json.List _ | Json.Obj _ -> assert false
+  in
+  match Runner.json_of_result r with
+  | Json.Obj members ->
+    List.concat_map
+      (fun (k, v) ->
+        match v with
+        | Json.Obj sub ->
+          List.map (fun (k', v') -> (k ^ "." ^ k', cell v')) sub
+        | v -> [ (k, cell v) ])
+      members
+  | _ -> assert false
+
+let print_result_csv r =
+  let cells = result_csv_cells r in
+  print_endline (String.concat "," (List.map fst cells));
+  print_endline (String.concat "," (List.map snd cells))
+
+let json_of_group group =
+  Json.Obj
+    (List.map
+       (fun (name, v) -> (name, Json.Int v))
+       (Lockiller.Engine.Stats.counters group))
 
 let run_cmd =
   let system =
@@ -115,7 +169,7 @@ let run_cmd =
       & opt (some int) None
       & info [ "threads"; "t" ] ~doc:"Thread count (2..cores).")
   in
-  let action system workload threads stats seed scale cache cores =
+  let action system workload threads stats format seed scale cache cores =
     let module Runtime = Lockiller.Mechanisms.Runtime in
     let module Stats = Lockiller.Engine.Stats in
     let handle = ref None in
@@ -127,32 +181,63 @@ let run_cmd =
     | _, None -> `Error (false, "unknown workload " ^ workload)
     | Some sysconf, Some profile -> (
       match
-        Runner.run ~seed ~scale
-          ~machine:(Config.machine ~cache ~cores ())
-          ~on_runtime:(fun rt -> handle := Some rt)
+        Runner.run
+          ~options:
+            {
+              Runner.default_options with
+              seed;
+              scale;
+              machine = Config.machine ~cache ~cores ();
+              on_runtime = (fun rt -> handle := Some rt);
+            }
           ~sysconf ~workload:profile ~threads ()
       with
       | exception (Failure msg | Invalid_argument msg) -> `Error (false, msg)
       | r ->
-        print_result r;
-        if stats then begin
+        let stat_groups () =
           match !handle with
-          | None -> ()
+          | None -> []
           | Some rt ->
-            Format.printf "@.%a@." Stats.pp (Runtime.stats rt);
-            Format.printf "%a@." Stats.pp
-              (Lockiller.Coherence.Protocol.stats (Runtime.protocol rt));
-            Format.printf "%a@." Stats.pp
-              (Lockiller.Mesh.Network.stats
-                 (Lockiller.Coherence.Protocol.network (Runtime.protocol rt)))
-        end;
+            [
+              ("runtime", Runtime.stats rt);
+              ( "protocol",
+                Lockiller.Coherence.Protocol.stats (Runtime.protocol rt) );
+              ( "network",
+                Lockiller.Mesh.Network.stats
+                  (Lockiller.Coherence.Protocol.network (Runtime.protocol rt))
+              );
+            ]
+        in
+        (match format with
+        | `Text ->
+          print_result r;
+          if stats then
+            List.iter
+              (fun (_, g) -> Format.printf "@.%a@." Stats.pp g)
+              (stat_groups ())
+        | `Csv -> print_result_csv r
+        | `Json ->
+          let doc =
+            if stats then
+              Json.Obj
+                [
+                  ("result", Runner.json_of_result r);
+                  ( "stats",
+                    Json.Obj
+                      (List.map
+                         (fun (name, g) -> (name, json_of_group g))
+                         (stat_groups ())) );
+                ]
+            else Runner.json_of_result r
+          in
+          print_endline (Json.to_string doc));
         `Ok ())
   in
   let term =
     Term.(
       ret
-        (const action $ system $ workload $ threads $ stats_t $ seed_t
-       $ scale_t $ cache_t $ cores_t))
+        (const action $ system $ workload $ threads $ stats_t $ format_t
+       $ seed_t $ scale_t $ cache_t $ cores_t))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate one system/workload/thread combination")
@@ -182,8 +267,30 @@ let experiment_cmd =
       & opt (some string) None
       & info [ "csv" ] ~doc:"Also write each table as CSV into this directory.")
   in
-  let action id threads csv_dir seed scale cores =
-    let ctx = Experiments.make_context ~seed ~scale ~cores ?threads () in
+  let jobs_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Simulations to run in parallel (default: the number of \
+                available cores; 1 disables the pool). Results are \
+                byte-identical for any job count.")
+  in
+  let no_cache_t =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ] ~doc:"Do not read or write the result cache.")
+  in
+  let action id threads csv_dir format jobs no_cache cache_dir seed scale
+      cores =
+    let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
+    let cache =
+      if no_cache then None
+      else Some (Cache.create ~dir:(resolve_cache_dir cache_dir) ())
+    in
+    let ctx =
+      Experiments.make_context ~seed ~scale ~cores ?threads ~jobs ?cache ()
+    in
     let emit_csv table =
       match csv_dir with
       | None -> ()
@@ -194,23 +301,45 @@ let experiment_cmd =
         output_string oc (Report.to_csv table);
         close_out oc
     in
+    let json_docs = ref [] in
     let render e =
-      Printf.printf "# %s — %s\n%s\n\n" e.Experiments.artefact
-        e.Experiments.id e.Experiments.describe;
-      List.iter
-        (fun t ->
-          Report.print t;
-          emit_csv t)
-        (e.Experiments.render ctx)
+      let tables = Experiments.execute ctx e in
+      List.iter emit_csv tables;
+      match format with
+      | `Text ->
+        Printf.printf "# %s — %s\n%s\n\n" e.Experiments.artefact
+          e.Experiments.id e.Experiments.describe;
+        List.iter Report.print tables
+      | `Csv ->
+        List.iter (fun t -> print_string (Report.to_csv t)) tables
+      | `Json ->
+        json_docs :=
+          Json.Obj
+            [
+              ("id", Json.String e.Experiments.id);
+              ("artefact", Json.String e.Experiments.artefact);
+              ("describe", Json.String e.Experiments.describe);
+              ("tables", Json.List (List.map Report.json_of_table tables));
+            ]
+          :: !json_docs
+    in
+    let finish () =
+      (match format with
+      | `Json ->
+        print_endline (Json.to_string (Json.List (List.rev !json_docs)))
+      | `Text | `Csv -> ());
+      Option.iter Cache.persist_counters cache
     in
     if String.lowercase_ascii id = "all" then begin
       List.iter render Experiments.all;
+      finish ();
       `Ok ()
     end
     else
       match Experiments.find id with
       | Some e ->
         render e;
+        finish ();
         `Ok ()
       | None ->
         `Error
@@ -222,8 +351,8 @@ let experiment_cmd =
   let term =
     Term.(
       ret
-        (const action $ id $ threads_opt $ csv_dir $ seed_t $ scale_t
-       $ cores_t))
+        (const action $ id $ threads_opt $ csv_dir $ format_t $ jobs_t
+       $ no_cache_t $ cache_dir_t $ seed_t $ scale_t $ cores_t))
   in
   Cmd.v
     (Cmd.info "experiment"
@@ -423,6 +552,40 @@ let custom_cmd =
     (Cmd.info "custom" ~doc:"Run a hand-written workload from a text file")
     term
 
+(* --- cache --------------------------------------------------------------- *)
+
+let cache_cmd =
+  let action_t =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("stats", `Stats); ("clear", `Clear) ])) None
+      & info [] ~docv:"ACTION" ~doc:"Either 'stats' or 'clear'.")
+  in
+  let action act cache_dir =
+    let cache = Cache.create ~dir:(resolve_cache_dir cache_dir) () in
+    (match act with
+    | `Stats ->
+      let st = Cache.disk_stats cache in
+      Printf.printf "directory     %s\n" (Cache.dir cache);
+      Printf.printf "schema        v%s\n" Cache.schema_version;
+      Printf.printf "entries       %d (%d bytes)\n" st.Cache.entries
+        st.Cache.bytes;
+      Printf.printf "stale entries %d (other schema versions)\n"
+        st.Cache.stale_entries;
+      Printf.printf "lifetime      %d hits, %d misses, %d stores\n"
+        st.Cache.lifetime_hits st.Cache.lifetime_misses
+        st.Cache.lifetime_stores
+    | `Clear ->
+      let removed = Cache.clear cache in
+      Printf.printf "removed %d entries from %s\n" removed (Cache.dir cache));
+    `Ok ()
+  in
+  let term = Term.(ret (const action $ action_t $ cache_dir_t)) in
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:"Inspect ('stats') or empty ('clear') the on-disk result cache")
+    term
+
 (* --- list / params ------------------------------------------------------ *)
 
 let list_cmd =
@@ -458,6 +621,7 @@ let main =
   let doc = "LockillerTM best-effort HTM simulator" in
   Cmd.group
     (Cmd.info "lockiller_sim" ~version:Lockiller.version ~doc)
-    [ run_cmd; experiment_cmd; sweep_cmd; trace_cmd; custom_cmd; list_cmd; params_cmd ]
+    [ run_cmd; experiment_cmd; sweep_cmd; trace_cmd; custom_cmd; cache_cmd;
+      list_cmd; params_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -31,7 +31,7 @@ let base_profile hot_lines =
 
 let () =
   let threads = 16 in
-  let machine = Config.machine () in
+  let options = { Runner.default_options with machine = Config.machine () } in
   Printf.printf
     "Contention sweep: %d threads; hot set shrinks left to right.\n\n" threads;
   Printf.printf "%-10s %-22s %-22s %s\n" "hot lines" "Baseline (vs CGL)"
@@ -40,13 +40,13 @@ let () =
     (fun hot_lines ->
       let workload = base_profile hot_lines in
       let cycles sysconf =
-        (Runner.run ~machine ~sysconf ~workload ~threads ()).Runner.cycles
+        (Runner.run ~options ~sysconf ~workload ~threads ()).Runner.cycles
       in
       let cgl = cycles Sysconf.cgl in
       let base = cycles Sysconf.baseline in
       let lk = cycles Sysconf.lockiller in
       let rate sysconf =
-        (Runner.run ~machine ~sysconf ~workload ~threads ()).Runner.commit_rate
+        (Runner.run ~options ~sysconf ~workload ~threads ()).Runner.commit_rate
       in
       Printf.printf "%-10d %5.2fx (commit %4.0f%%)   %5.2fx (commit %4.0f%%)   %5.2fx\n"
         hot_lines

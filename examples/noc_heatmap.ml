@@ -20,8 +20,12 @@ let () =
   let net = ref None in
   let r =
     Runner.run
-      ~on_runtime:(fun rt ->
-        net := Some (Protocol.network (Runtime.protocol rt)))
+      ~options:
+        {
+          Runner.default_options with
+          on_runtime =
+            (fun rt -> net := Some (Protocol.network (Runtime.protocol rt)));
+        }
       ~sysconf:Sysconf.lockiller ~workload ~threads:32 ()
   in
   let net = Option.get !net in

@@ -19,6 +19,17 @@ let cache_profile_name = function
   | Small -> "small (8KB L1 / 1MB LLC)"
   | Large -> "large (128KB L1 / 32MB LLC)"
 
+let cache_profile_id = function
+  | Typical -> "typical"
+  | Small -> "small"
+  | Large -> "large"
+
+let cache_profile_of_id = function
+  | "typical" -> Some Typical
+  | "small" -> Some Small
+  | "large" -> Some Large
+  | _ -> None
+
 let mesh_shape = function
   | 2 -> (1, 2)
   | 4 -> (2, 2)
@@ -109,3 +120,22 @@ let build t =
   in
   let proto = Protocol.create ~sim ~network:net t.protocol in
   (sim, net, proto)
+
+(* Canonical one-line description of every field that changes simulated
+   behaviour — the machine component of a cache key. Any new knob added
+   to [t] or [Protocol.config] must appear here (bump
+   [Cache.schema_version] when the encoding itself changes). *)
+let fingerprint t =
+  let p = t.protocol in
+  Printf.sprintf
+    "cores=%d rows=%d cols=%d cache=%s l1=%d/%d/%d llc=%d/%d/%d mem=%d \
+     mesi=%b dirptr=%s link=%d router=%d contention=%b topology=%s"
+    t.cores t.rows t.cols (cache_profile_id t.cache) p.Protocol.l1_size
+    p.Protocol.l1_ways p.Protocol.l1_hit_latency p.Protocol.llc_size
+    p.Protocol.llc_ways p.Protocol.llc_hit_latency p.Protocol.mem_latency
+    p.Protocol.exclusive_state
+    (match p.Protocol.dir_pointers with
+    | None -> "full"
+    | Some k -> string_of_int k)
+    t.link_latency t.router_latency t.noc_contention
+    (Lk_mesh.Topology.kind_name t.topology)

@@ -40,6 +40,18 @@ val machine :
 
 val cache_profile_name : cache_profile -> string
 
+val cache_profile_id : cache_profile -> string
+(** Short machine-readable id: ["typical"], ["small"] or ["large"] —
+    used by the CLI flags, the JSON codec and the result cache. *)
+
+val cache_profile_of_id : string -> cache_profile option
+(** Inverse of {!cache_profile_id}. *)
+
+val fingerprint : t -> string
+(** Canonical one-line rendering of every behaviour-affecting field —
+    the machine component of a {!Cache} key. Two machines with equal
+    fingerprints produce identical simulations. *)
+
 val table1 : t -> (string * string) list
 (** The (component, value) rows of Table I for this machine. *)
 

@@ -4,48 +4,139 @@ module Accounting = Lk_cpu.Accounting
 module Workload = Lk_stamp.Workload
 module Suite = Lk_stamp.Suite
 
-type key = {
-  k_system : string;
-  k_workload : string;
-  k_threads : int;
-  k_cache : Config.cache_profile;
-}
-
 type context = {
   seed : int;
   scale : float;
   cores : int;
   threads : int list;
-  memo : (key, Runner.result) Hashtbl.t;
+  jobs : int;
+  cache : Cache.t option;
+  keyer : Cache.t;
+      (* Key computation needs a schema tag even when no disk cache is
+         attached; this is [cache] when present, else a directory-less
+         stand-in that never touches the filesystem. *)
+  memo : (string, Runner.result) Hashtbl.t;
+  mutable simulated : int;
 }
 
 let make_context ?(seed = 1) ?(scale = 1.0) ?(cores = 32)
-    ?(threads = [ 2; 4; 8; 16; 32 ]) () =
+    ?(threads = [ 2; 4; 8; 16; 32 ]) ?(jobs = 1) ?cache () =
   let threads = List.filter (fun t -> t <= cores) threads in
   if threads = [] then invalid_arg "Experiments.make_context: no thread counts";
-  { seed; scale; cores; threads; memo = Hashtbl.create 256 }
+  {
+    seed;
+    scale;
+    cores;
+    threads;
+    jobs = max 1 jobs;
+    cache;
+    keyer =
+      (match cache with Some c -> c | None -> Cache.create ~dir:"" ());
+    memo = Hashtbl.create 256;
+    simulated = 0;
+  }
 
 let thread_counts ctx = ctx.threads
+let simulations ctx = ctx.simulated
+let cache ctx = ctx.cache
 
-let result ctx ?(cache = Config.Typical) ~sysconf ~workload ~threads () =
-  let key =
-    {
-      k_system = sysconf.Sysconf.name;
-      k_workload = workload.Workload.name;
-      k_threads = threads;
-      k_cache = cache;
-    }
+(* --- jobs --------------------------------------------------------------- *)
+
+type job = {
+  j_options : Runner.options;
+  j_sysconf : Sysconf.t;
+  j_workload : Workload.profile;
+  j_threads : int;
+}
+
+let job ctx ?(cache = Config.Typical) ?machine ?placement ?seed ~sysconf
+    ~workload ~threads () =
+  let machine =
+    match machine with
+    | Some m -> m
+    | None -> Config.machine ~cache ~cores:ctx.cores ()
   in
+  {
+    j_options =
+      {
+        Runner.default_options with
+        Runner.seed = Option.value seed ~default:ctx.seed;
+        scale = ctx.scale;
+        machine;
+        placement = Option.value placement ~default:Runner.Compact;
+      };
+    j_sysconf = sysconf;
+    j_workload = workload;
+    j_threads = threads;
+  }
+
+let job_key ctx j =
+  Cache.key ctx.keyer ~options:j.j_options ~sysconf:j.j_sysconf
+    ~workload:j.j_workload ~threads:j.j_threads
+
+let simulate ctx j =
+  let r =
+    Runner.run ~options:j.j_options ~sysconf:j.j_sysconf
+      ~workload:j.j_workload ~threads:j.j_threads ()
+  in
+  ctx.simulated <- ctx.simulated + 1;
+  r
+
+let commit ctx key r =
+  (match ctx.cache with Some c -> Cache.store c key r | None -> ());
+  Hashtbl.replace ctx.memo key r
+
+let run_job ctx j =
+  let key = job_key ctx j in
   match Hashtbl.find_opt ctx.memo key with
   | Some r -> r
-  | None ->
-    let machine = Config.machine ~cache ~cores:ctx.cores () in
-    let r =
-      Runner.run ~seed:ctx.seed ~scale:ctx.scale ~machine ~sysconf ~workload
-        ~threads ()
-    in
-    Hashtbl.add ctx.memo key r;
-    r
+  | None -> (
+    match Option.bind ctx.cache (fun c -> Cache.find c key) with
+    | Some r ->
+      Hashtbl.replace ctx.memo key r;
+      r
+    | None ->
+      let r = simulate ctx j in
+      commit ctx key r;
+      r)
+
+let prefetch ctx jobs =
+  (* Deduplicate in job order and satisfy what we can from the memo and
+     the disk cache; only the remainder hits the pool. Results commit
+     in job order, so the memo (and therefore any rendering) is
+     independent of completion order. *)
+  let seen = Hashtbl.create 64 in
+  let todo =
+    List.filter_map
+      (fun j ->
+        let key = job_key ctx j in
+        if Hashtbl.mem seen key || Hashtbl.mem ctx.memo key then None
+        else begin
+          Hashtbl.add seen key ();
+          match Option.bind ctx.cache (fun c -> Cache.find c key) with
+          | Some r ->
+            Hashtbl.replace ctx.memo key r;
+            None
+          | None -> Some (key, j)
+        end)
+      jobs
+    |> Array.of_list
+  in
+  let results =
+    Pool.map ~jobs:ctx.jobs
+      (fun (_, j) ->
+        Runner.run ~options:j.j_options ~sysconf:j.j_sysconf
+          ~workload:j.j_workload ~threads:j.j_threads ())
+      todo
+  in
+  Array.iteri
+    (fun i (key, _) ->
+      ctx.simulated <- ctx.simulated + 1;
+      commit ctx key results.(i))
+    todo
+
+let result ctx ?(cache = Config.Typical) ~sysconf ~workload ~threads () =
+  run_job ctx (job ctx ~cache ~sysconf ~workload ~threads ())
 
 let speedup_vs_cgl ctx ?(cache = Config.Typical) ~sysconf ~workload ~threads ()
     =
@@ -57,8 +148,28 @@ type experiment = {
   id : string;
   artefact : string;
   describe : string;
+  plan : context -> job list;
   render : context -> Report.table list;
 }
+
+(* The full (cache, system, workload, threads) cross product — the
+   planning vocabulary of almost every experiment. *)
+let grid ctx ?(cache = Config.Typical) ~systems ~workloads ~threads () =
+  List.concat_map
+    (fun t ->
+      List.concat_map
+        (fun w ->
+          List.map
+            (fun s -> job ctx ~cache ~sysconf:s ~workload:w ~threads:t ())
+            systems)
+        workloads)
+    threads
+
+let no_plan _ctx = []
+
+let execute ctx e =
+  prefetch ctx (e.plan ctx);
+  e.render ctx
 
 (* --- Table I ---------------------------------------------------------- *)
 
@@ -67,6 +178,7 @@ let table1 =
     id = "table1";
     artefact = "Table I";
     describe = "System model parameters";
+    plan = no_plan;
     render =
       (fun ctx ->
         let machine = Config.machine ~cores:ctx.cores () in
@@ -84,6 +196,7 @@ let table2 =
     id = "table2";
     artefact = "Table II";
     describe = "Evaluated systems";
+    plan = no_plan;
     render =
       (fun _ctx ->
         [
@@ -104,6 +217,11 @@ let fig1 =
     describe =
       "Speedup of requester-win best-effort HTM vs coarse-grained locking, \
        2 threads";
+    plan =
+      (fun ctx ->
+        grid ctx
+          ~systems:[ Sysconf.cgl; Sysconf.baseline ]
+          ~workloads:Suite.all ~threads:[ 2 ] ());
     render =
       (fun ctx ->
         let rows =
@@ -152,6 +270,11 @@ let fig7 =
     describe =
       "Per-workload speedup over CGL for every evaluated system and thread \
        count, typical cache";
+    plan =
+      (fun ctx ->
+        grid ctx
+          ~systems:(Sysconf.cgl :: fig7_systems)
+          ~workloads:Suite.all ~threads:ctx.threads ());
     render =
       (fun ctx ->
         List.map
@@ -194,6 +317,10 @@ let fig8 =
     describe =
       "Average transaction commit rate of the recovery-equipped systems \
        across thread counts";
+    plan =
+      (fun ctx ->
+        grid ctx ~systems:fig8_systems ~workloads:Suite.all
+          ~threads:ctx.threads ());
     render =
       (fun ctx ->
         let avg_rate sysconf threads =
@@ -281,6 +408,10 @@ let fig9 =
     describe =
       "Execution-time breakdown and commit rate at the maximum thread count \
        (HTMLock benefit)";
+    plan =
+      (fun ctx ->
+        grid ctx ~systems:fig9_systems ~workloads:Suite.all
+          ~threads:[ List.fold_left max 2 ctx.threads ] ());
     render =
       (fun ctx ->
         let threads = List.fold_left max 2 ctx.threads in
@@ -304,6 +435,10 @@ let fig11 =
     describe =
       "Execution-time breakdown and commit rate at 2 threads, including the \
        switchLock category";
+    plan =
+      (fun ctx ->
+        grid ctx ~systems:fig11_systems ~workloads:Suite.all ~threads:[ 2 ]
+          ());
     render =
       (fun ctx ->
         [
@@ -322,6 +457,10 @@ let fig10 =
     id = "fig10";
     artefact = "Fig 10";
     describe = "Abort-reason percentages at 2 threads";
+    plan =
+      (fun ctx ->
+        grid ctx ~systems:fig11_systems ~workloads:Suite.all ~threads:[ 2 ]
+          ());
     render =
       (fun ctx ->
         let rows =
@@ -362,6 +501,11 @@ let fig12 =
     describe =
       "Average (geometric-mean) speedup over CGL of every system per thread \
        count";
+    plan =
+      (fun ctx ->
+        grid ctx
+          ~systems:(Sysconf.cgl :: fig7_systems)
+          ~workloads:Suite.all ~threads:ctx.threads ());
     render =
       (fun ctx ->
         let rows =
@@ -400,6 +544,14 @@ let fig13 =
     describe =
       "Average speedup over CGL under the small (8KB L1 / 1MB LLC) and large \
        (128KB L1 / 32MB LLC) cache configurations";
+    plan =
+      (fun ctx ->
+        List.concat_map
+          (fun cache ->
+            grid ctx ~cache
+              ~systems:(Sysconf.cgl :: fig13_systems)
+              ~workloads:Suite.all ~threads:ctx.threads ())
+          [ Config.Small; Config.Large ]);
     render =
       (fun ctx ->
         List.map
@@ -439,6 +591,16 @@ let headline =
     describe =
       "Average speedup of LockillerTM vs best-effort HTM and LosaTM-SAFU, \
        plus the extreme-case (8KB L1, max threads, high contention) maxima";
+    plan =
+      (fun ctx ->
+        let systems =
+          [ Sysconf.lockiller; Sysconf.baseline; Sysconf.losa_safu ]
+        in
+        grid ctx ~systems ~workloads:Suite.all ~threads:ctx.threads ()
+        @ grid ctx ~cache:Config.Small ~systems
+            ~workloads:Suite.high_contention
+            ~threads:[ List.fold_left max 2 ctx.threads ]
+            ());
     render =
       (fun ctx ->
         let rel ~cache ~of_ ~vs ~workloads ~threads =
@@ -507,6 +669,25 @@ let ablation =
     describe =
       "Requester policy (RAI/RRI/RWI), priority scheme (none / progression / \
        insts) and HTMLock/switching increments, as geomean speedup over CGL";
+    plan =
+      (fun ctx ->
+        grid ctx
+          ~systems:
+            [
+              Sysconf.cgl;
+              Sysconf.cgl_ticket;
+              Sysconf.lockiller_rai;
+              Sysconf.lockiller_rri;
+              Sysconf.lockiller_rwi;
+              Sysconf.lockiller_rwl;
+              Sysconf.lockiller_rws;
+              Sysconf.losa_safu;
+              Sysconf.lockiller_rwil;
+              Sysconf.lockiller;
+            ]
+          ~workloads:Suite.all
+          ~threads:[ List.fold_left max 2 ctx.threads ]
+          ());
     render =
       (fun ctx ->
         let systems =
@@ -580,6 +761,22 @@ let ablation =
 
 (* --- Transaction-size sensitivity (paper future work) ------------------ *)
 
+let txsize_profile m =
+  let scale_range (lo, hi) = (max 1 (lo * m / 4), max 1 (hi * m / 4)) in
+  let base = Lk_stamp.Vacation.low in
+  {
+    base with
+    Workload.name = Printf.sprintf "vacation-x%.2g" (float_of_int m /. 4.0);
+    reads_per_tx = scale_range base.Workload.reads_per_tx;
+    writes_per_tx = scale_range base.Workload.writes_per_tx;
+    txs_per_thread = max 4 (base.Workload.txs_per_thread * 4 / m);
+  }
+
+let txsize_multipliers = [ 2; 4; 8; 16; 32 ]
+
+let txsize_systems =
+  [ Sysconf.baseline; Sysconf.lockiller_rwil; Sysconf.lockiller ]
+
 let txsize =
   {
     id = "txsize";
@@ -588,25 +785,18 @@ let txsize =
       "Sensitivity to transaction size: vacation-style workload with the \
        read/write sets scaled 0.5x-8x; larger sets push best-effort HTM \
        into capacity overflow where switchingMode takes over";
+    plan =
+      (fun ctx ->
+        grid ctx
+          ~systems:(Sysconf.cgl :: txsize_systems)
+          ~workloads:(List.map txsize_profile txsize_multipliers)
+          ~threads:[ List.fold_left max 2 ctx.threads ]
+          ());
     render =
       (fun ctx ->
-        let scale_profile m =
-          let scale_range (lo, hi) =
-            (max 1 (lo * m / 4), max 1 (hi * m / 4))
-          in
-          let base = Lk_stamp.Vacation.low in
-          {
-            base with
-            Workload.name = Printf.sprintf "vacation-x%.2g" (float_of_int m /. 4.0);
-            reads_per_tx = scale_range base.Workload.reads_per_tx;
-            writes_per_tx = scale_range base.Workload.writes_per_tx;
-            txs_per_thread = max 4 (base.Workload.txs_per_thread * 4 / m);
-          }
-        in
+        let scale_profile = txsize_profile in
         let threads = List.fold_left max 2 ctx.threads in
-        let systems =
-          [ Sysconf.baseline; Sysconf.lockiller_rwil; Sysconf.lockiller ]
-        in
+        let systems = txsize_systems in
         let rows =
           List.map
             (fun m ->
@@ -617,7 +807,7 @@ let txsize =
                      Report.f2
                        (speedup_vs_cgl ctx ~sysconf ~workload ~threads ()))
                    systems)
-            [ 2; 4; 8; 16; 32 ]
+            txsize_multipliers
         in
         [
           Report.table
@@ -633,32 +823,50 @@ let txsize =
 
 (* --- NoC contention ablation -------------------------------------------- *)
 
+let noc_systems = [ Sysconf.cgl; Sysconf.baseline; Sysconf.lockiller ]
+
+let noc_workloads =
+  List.filter
+    (fun w -> List.mem w.Workload.name [ "intruder"; "vacation+"; "kmeans+" ])
+    Suite.all
+
+let noc_job ctx ~sysconf ~workload ~threads noc_contention =
+  job ctx
+    ~machine:(Config.machine ~cores:ctx.cores ~noc_contention ())
+    ~sysconf ~workload ~threads ()
+
 let noc =
   {
     id = "noc";
     artefact = "Model-fidelity ablation (DESIGN.md)";
     describe =
       "Effect of modelling per-link NoC occupancy (wormhole contention) on the reported cycles — quantifies the contention-free default";
+    plan =
+      (fun ctx ->
+        let threads = List.fold_left max 2 ctx.threads in
+        List.concat_map
+          (fun workload ->
+            List.concat_map
+              (fun sysconf ->
+                List.map
+                  (noc_job ctx ~sysconf ~workload ~threads)
+                  [ false; true ])
+              noc_systems)
+          noc_workloads);
     render =
       (fun ctx ->
         let threads = List.fold_left max 2 ctx.threads in
-        let systems = [ Sysconf.cgl; Sysconf.baseline; Sysconf.lockiller ] in
-        let workloads =
-          List.filter
-            (fun w ->
-              List.mem w.Workload.name [ "intruder"; "vacation+"; "kmeans+" ])
-            Suite.all
-        in
+        let systems = noc_systems in
+        let workloads = noc_workloads in
         let rows =
           List.concat_map
             (fun w ->
               List.map
                 (fun sysconf ->
                   let cycles noc_contention =
-                    (Runner.run ~seed:ctx.seed ~scale:ctx.scale
-                       ~machine:
-                         (Config.machine ~cores:ctx.cores ~noc_contention ())
-                       ~sysconf ~workload:w ~threads ())
+                    (run_job ctx
+                       (noc_job ctx ~sysconf ~workload:w ~threads
+                          noc_contention))
                       .Runner.cycles
                   in
                   let off = cycles false and on_ = cycles true in
@@ -690,30 +898,44 @@ let noc =
 
 (* --- Topology generality ------------------------------------------------ *)
 
+let topology_kinds = Lk_mesh.Topology.[ Mesh; Torus; Ring; Crossbar ]
+let topology_systems = [ Sysconf.cgl; Sysconf.baseline; Sysconf.lockiller ]
+
+let topology_workload =
+  match Suite.find "vacation+" with Some w -> w | None -> assert false
+
+let topology_job ctx ~sysconf ~threads kind =
+  job ctx
+    ~machine:(Config.machine ~cores:ctx.cores ~topology:kind ())
+    ~sysconf ~workload:topology_workload ~threads ()
+
 let topology =
   {
     id = "topology";
     artefact = "Section III-A claim";
     describe =
       "The recovery framework does not depend on the interconnect topology: run the key systems over mesh, torus, ring and crossbar fabrics";
+    plan =
+      (fun ctx ->
+        let threads = List.fold_left max 2 ctx.threads in
+        List.concat_map
+          (fun kind ->
+            List.map
+              (fun sysconf -> topology_job ctx ~sysconf ~threads kind)
+              topology_systems)
+          topology_kinds);
     render =
       (fun ctx ->
         let threads = List.fold_left max 2 ctx.threads in
-        let kinds =
-          Lk_mesh.Topology.
-            [ Mesh; Torus; Ring; Crossbar ]
-        in
-        let systems = [ Sysconf.cgl; Sysconf.baseline; Sysconf.lockiller ] in
-        let workload =
-          match Suite.find "vacation+" with Some w -> w | None -> assert false
-        in
+        let kinds = topology_kinds in
+        let systems = topology_systems in
+        let workload = topology_workload in
+        ignore workload;
         let rows =
           List.map
             (fun kind ->
               let cycles sysconf =
-                (Runner.run ~seed:ctx.seed ~scale:ctx.scale
-                   ~machine:(Config.machine ~cores:ctx.cores ~topology:kind ())
-                   ~sysconf ~workload ~threads ())
+                (run_job ctx (topology_job ctx ~sysconf ~threads kind))
                   .Runner.cycles
               in
               let cgl = cycles Sysconf.cgl in
@@ -745,29 +967,49 @@ let topology =
 
 (* --- Seed variance -------------------------------------------------------- *)
 
+let variance_seeds = [ 1; 2; 3; 4; 5 ]
+
+let variance_systems =
+  [ Sysconf.baseline; Sysconf.lockiller_rwi; Sysconf.lockiller ]
+
+let variance_job ctx ~sysconf ~threads ~workload seed =
+  job ctx ~seed ~sysconf ~workload ~threads ()
+
 let variance =
   {
     id = "variance";
     artefact = "Statistical robustness (extension)";
     describe =
       "Run the headline comparison over several workload-generation seeds and report the spread of the average speedup";
+    plan =
+      (fun ctx ->
+        let threads = List.fold_left max 2 ctx.threads in
+        List.concat_map
+          (fun seed ->
+            List.concat_map
+              (fun sysconf ->
+                List.map
+                  (fun workload ->
+                    variance_job ctx ~sysconf ~threads seed ~workload)
+                  Suite.all)
+              (Sysconf.cgl :: variance_systems))
+          variance_seeds);
     render =
       (fun ctx ->
         let threads = List.fold_left max 2 ctx.threads in
-        let seeds = [ 1; 2; 3; 4; 5 ] in
+        let seeds = variance_seeds in
         let avg_speedup sysconf seed =
           Metrics.geomean
             (List.map
                (fun w ->
                  let cgl =
-                   Runner.run ~seed ~scale:ctx.scale
-                     ~machine:(Config.machine ~cores:ctx.cores ())
-                     ~sysconf:Sysconf.cgl ~workload:w ~threads ()
+                   run_job ctx
+                     (variance_job ctx ~sysconf:Sysconf.cgl ~threads seed
+                        ~workload:w)
                  in
                  let r =
-                   Runner.run ~seed ~scale:ctx.scale
-                     ~machine:(Config.machine ~cores:ctx.cores ())
-                     ~sysconf ~workload:w ~threads ()
+                   run_job ctx
+                     (variance_job ctx ~sysconf ~threads seed ~workload:w)
                  in
                  Metrics.speedup ~baseline_cycles:cgl.Runner.cycles
                    ~cycles:r.Runner.cycles)
@@ -784,7 +1026,7 @@ let variance =
                 Report.f2 (Metrics.min_of samples);
                 Report.f2 (Metrics.max_of samples);
               ])
-            [ Sysconf.baseline; Sysconf.lockiller_rwi; Sysconf.lockiller ]
+            variance_systems
         in
         [
           Report.table
@@ -803,33 +1045,52 @@ let variance =
 
 (* --- Thread placement ----------------------------------------------------- *)
 
+let placement_systems = [ Sysconf.cgl; Sysconf.baseline; Sysconf.lockiller ]
+
+let placement_workloads =
+  List.filter
+    (fun w -> List.mem w.Workload.name [ "intruder"; "vacation+" ])
+    Suite.all
+
+let placement_threads ctx =
+  let m = List.fold_left max 2 ctx.threads in
+  min m (max 2 (ctx.cores / 4))
+
+let placement_job ctx ~sysconf ~workload ~threads placement =
+  job ctx ~placement ~sysconf ~workload ~threads ()
+
 let placement =
   {
     id = "placement";
     artefact = "Thread binding (extension)";
     describe =
       "Compact vs spread thread placement on the 32-tile fabric at partial occupancy: placement changes core-to-core wake-up and forwarding distances";
+    plan =
+      (fun ctx ->
+        let threads = placement_threads ctx in
+        List.concat_map
+          (fun workload ->
+            List.concat_map
+              (fun sysconf ->
+                List.map
+                  (placement_job ctx ~sysconf ~workload ~threads)
+                  [ Runner.Compact; Runner.Spread ])
+              placement_systems)
+          placement_workloads);
     render =
       (fun ctx ->
-        let threads =
-          let m = List.fold_left max 2 ctx.threads in
-          min m (max 2 (ctx.cores / 4))
-        in
-        let systems = [ Sysconf.cgl; Sysconf.baseline; Sysconf.lockiller ] in
-        let workloads =
-          List.filter
-            (fun w -> List.mem w.Workload.name [ "intruder"; "vacation+" ])
-            Suite.all
-        in
+        let threads = placement_threads ctx in
+        let systems = placement_systems in
+        let workloads = placement_workloads in
         let rows =
           List.concat_map
             (fun w ->
               List.map
                 (fun sysconf ->
                   let cycles placement =
-                    (Runner.run ~seed:ctx.seed ~scale:ctx.scale
-                       ~machine:(Config.machine ~cores:ctx.cores ())
-                       ~placement ~sysconf ~workload:w ~threads ())
+                    (run_job ctx
+                       (placement_job ctx ~sysconf ~workload:w ~threads
+                          placement))
                       .Runner.cycles
                   in
                   let compact = cycles Runner.Compact in
@@ -858,40 +1119,49 @@ let placement =
 
 (* --- Protocol-fidelity ablation ------------------------------------------- *)
 
+let protocol_workloads =
+  List.filter
+    (fun w -> List.mem w.Workload.name [ "genome"; "vacation"; "kmeans+" ])
+    Suite.all
+
+let protocol_variants =
+  [
+    ("MESI, full-map", true, None);
+    ("MSI, full-map", false, None);
+    ("MESI, 4-pointer", true, Some 4);
+  ]
+
+let protocol_job ctx ~workload ~threads (_, exclusive_state, dir_pointers) =
+  job ctx
+    ~machine:(Config.machine ~cores:ctx.cores ~exclusive_state ~dir_pointers ())
+    ~sysconf:Sysconf.lockiller ~workload ~threads ()
+
 let protocol_knobs =
   {
     id = "protocol";
     artefact = "Coherence-protocol ablation (extension)";
     describe =
       "MESI vs MSI (no Exclusive state) and full-map vs limited-pointer directory (4 pointers, broadcast on overflow)";
+    plan =
+      (fun ctx ->
+        let threads = List.fold_left max 2 ctx.threads in
+        List.concat_map
+          (fun workload ->
+            List.map (protocol_job ctx ~workload ~threads) protocol_variants)
+          protocol_workloads);
     render =
       (fun ctx ->
         let threads = List.fold_left max 2 ctx.threads in
-        let workloads =
-          List.filter
-            (fun w ->
-              List.mem w.Workload.name [ "genome"; "vacation"; "kmeans+" ])
-            Suite.all
-        in
-        let variants =
-          [
-            ("MESI, full-map", true, None);
-            ("MSI, full-map", false, None);
-            ("MESI, 4-pointer", true, Some 4);
-          ]
-        in
+        let workloads = protocol_workloads in
+        let variants = protocol_variants in
         let rows =
           List.concat_map
             (fun w ->
               let base = ref 0 in
               List.map
-                (fun (label, exclusive_state, dir_pointers) ->
+                (fun ((label, _, _) as variant) ->
                   let r =
-                    Runner.run ~seed:ctx.seed ~scale:ctx.scale
-                      ~machine:
-                        (Config.machine ~cores:ctx.cores ~exclusive_state
-                           ~dir_pointers ())
-                      ~sysconf:Sysconf.lockiller ~workload:w ~threads ()
+                    run_job ctx (protocol_job ctx ~workload:w ~threads variant)
                   in
                   if !base = 0 then base := r.Runner.cycles;
                   [

@@ -3,9 +3,12 @@
     renders plain-text tables whose rows correspond to the bars/series
     of the original artefact.
 
-    Results are memoised inside a {!context}, so experiments sharing
-    runs (e.g. every speedup needs the CGL reference) pay for each
-    simulation once. *)
+    Every experiment declares its simulation grid up front ([plan]), so
+    the harness can run the jobs through a {!Pool} of domains and an
+    optional on-disk {!Cache} before rendering touches any result.
+    Results are also memoised inside a {!context}, so experiments
+    sharing runs (e.g. every speedup needs the CGL reference) pay for
+    each simulation once per process even without a cache. *)
 
 type context
 
@@ -14,13 +17,59 @@ val make_context :
   ?scale:float ->
   ?cores:int ->
   ?threads:int list ->
+  ?jobs:int ->
+  ?cache:Cache.t ->
   unit ->
   context
 (** Defaults: seed 1, scale 1.0, the paper's 32-core machine, thread
-    counts 2/4/8/16/32. Tests use smaller machines and fewer thread
-    counts. *)
+    counts 2/4/8/16/32, one job (sequential), no on-disk cache. Tests
+    use smaller machines and fewer thread counts. [jobs] > 1 runs
+    planned jobs on that many domains ({!Pool.map}); results are
+    collected deterministically, so the rendered output is identical
+    for any job count. *)
 
 val thread_counts : context -> int list
+
+val cache : context -> Cache.t option
+
+val simulations : context -> int
+(** Simulations actually executed through this context (cache hits and
+    memo hits excluded) — the cold-vs-warm observability counter. *)
+
+(** {1 Jobs}
+
+    A job is one (options, system, workload, threads) simulation
+    request. Experiments build jobs with {!job}, list them in [plan],
+    and read them back with {!run_job} while rendering; {!prefetch}
+    (called by {!execute}) runs any jobs missing from the memo and the
+    cache through the pool first. *)
+
+type job
+
+val job :
+  context ->
+  ?cache:Config.cache_profile ->
+  ?machine:Config.t ->
+  ?placement:Runner.placement ->
+  ?seed:int ->
+  sysconf:Lk_lockiller.Sysconf.t ->
+  workload:Lk_stamp.Workload.profile ->
+  threads:int ->
+  unit ->
+  job
+(** [machine], [placement] and [seed] default to the context's; [cache]
+    picks one of the three cache profiles on the default machine. *)
+
+val job_key : context -> job -> string
+(** The job's content digest (also its {!Cache} key). *)
+
+val run_job : context -> job -> Runner.result
+(** Memo, then cache, then simulate (and write through). *)
+
+val prefetch : context -> job list -> unit
+(** Run every job not already in the memo or the cache — through
+    {!Pool.map} when the context has [jobs] > 1 — and commit the
+    results in job order. *)
 
 val result :
   context ->
@@ -30,7 +79,7 @@ val result :
   threads:int ->
   unit ->
   Runner.result
-(** Memoised {!Runner.run}. *)
+(** Memoised {!Runner.run} (equivalent to {!job} + {!run_job}). *)
 
 val speedup_vs_cgl :
   context ->
@@ -42,13 +91,20 @@ val speedup_vs_cgl :
   float
 
 (** An experiment: identifier (the bench target name), the paper
-    artefact it reproduces, and the renderer. *)
+    artefact it reproduces, the simulation grid it needs ([plan]) and
+    the renderer. [render] may run jobs outside its plan (they fall
+    back to sequential simulation); the acceptance harness keeps plans
+    exact so warm-cache runs perform zero simulations. *)
 type experiment = {
   id : string;
   artefact : string;
   describe : string;
+  plan : context -> job list;
   render : context -> Report.table list;
 }
+
+val execute : context -> experiment -> Report.table list
+(** [prefetch] the experiment's plan, then render. *)
 
 val table1 : experiment
 val table2 : experiment

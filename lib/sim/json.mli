@@ -1,0 +1,43 @@
+(** A minimal, dependency-free JSON codec.
+
+    Serves three masters with one representation: the machine-readable
+    output of the CLI ([--format json]), the on-disk {!Cache} entries,
+    and the tests that round-trip {!Runner.result} values. Only the
+    features those need are implemented: UTF-8 pass-through strings
+    with the mandatory escapes, exact [int] round-tripping, and floats
+    printed with enough digits ([%.17g]) to reconstruct the same IEEE
+    double. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** Member order is preserved. *)
+
+val to_string : t -> string
+(** Compact single-line rendering (no trailing newline). *)
+
+val to_string_pretty : t -> string
+(** Two-space indented rendering, one member/element per line. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON document; trailing whitespace is allowed, trailing
+    garbage is an error. Numbers with a fraction or exponent become
+    [Float]; all others become [Int]. *)
+
+(** {1 Accessors} — total functions returning [Error] with a path hint
+    rather than raising. *)
+
+val member : string -> t -> (t, string) result
+(** Field of an [Obj]. *)
+
+val to_int : t -> (int, string) result
+val to_float : t -> (float, string) result
+(** [to_float] accepts [Int] too (JSON does not distinguish). *)
+
+val to_str : t -> (string, string) result
+val to_list : t -> (t list, string) result
+val to_obj : t -> ((string * t) list, string) result

@@ -1,0 +1,40 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+type 'b outcome = Value of 'b | Raised of exn * Printexc.raw_backtrace
+
+let map ~jobs f xs =
+  let n = Array.length xs in
+  (* Never more workers than jobs, grid slots, or hardware threads:
+     oversubscribing domains only adds GC coordination cost. *)
+  let jobs = max 1 (min jobs (min n (default_jobs ()))) in
+  if jobs <= 1 then Array.map f xs
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          let out =
+            match f xs.(i) with
+            | v -> Value v
+            | exception e -> Raised (e, Printexc.get_raw_backtrace ())
+          in
+          results.(i) <- Some out;
+          go ()
+        end
+      in
+      go ()
+    in
+    let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join helpers;
+    (* Deterministic error reporting: scan in job order, so the same
+       failing grid raises the same exception under any worker count. *)
+    Array.map
+      (function
+        | Some (Value v) -> v
+        | Some (Raised (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | None -> assert false)
+      results
+  end

@@ -1,0 +1,23 @@
+(** A [Domain]-based worker pool for embarrassingly parallel job grids.
+
+    Every {!Runner.run} builds its own simulator, network, protocol and
+    runtime, and touches no global mutable state, so the (system,
+    workload, threads) grids of {!Experiments} can run one job per
+    domain. Results are collected positionally — slot [i] of the output
+    always holds [f input.(i)] — so the outcome is bit-identical to a
+    sequential run regardless of completion order. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the worker count the
+    CLI's [--jobs] flag defaults to. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f xs] applies [f] to every element of [xs] using
+    [min jobs (min (Array.length xs) (default_jobs ()))] domains (the
+    calling domain counts as one worker). With an effective worker
+    count of 1 no domain is spawned and the calls happen in order in
+    the caller — the reference behaviour the parallel path must match.
+
+    If any [f xs.(i)] raises, the first exception in {e job order}
+    (not completion order) is re-raised after all workers have
+    drained, with its original backtrace. *)

@@ -84,3 +84,18 @@ let csv_filename t =
     else s
   in
   s ^ ".csv"
+
+let json_of_table t =
+  Json.Obj
+    [
+      ("title", Json.String t.title);
+      ("headers", Json.List (List.map (fun h -> Json.String h) t.headers));
+      ( "rows",
+        Json.List
+          (List.map
+             (fun row -> Json.List (List.map (fun c -> Json.String c) row))
+             t.rows) );
+      ("notes", Json.List (List.map (fun n -> Json.String n) t.notes));
+    ]
+
+let to_json t = Json.to_string (json_of_table t)

@@ -33,3 +33,10 @@ val to_csv : table -> string
 val csv_filename : table -> string
 (** A filesystem-friendly name derived from the title
     ("fig_7_speedup_over_cgl_2_threads.csv"-style). *)
+
+val json_of_table : table -> Json.t
+(** [{"title": ..., "headers": [...], "rows": [[...]], "notes": [...]}]
+    — cells stay the strings the text renderer shows. *)
+
+val to_json : table -> string
+(** Compact JSON rendering of {!json_of_table}. *)

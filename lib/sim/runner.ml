@@ -160,11 +160,50 @@ let execute ?barrier_every ~machine ~oracle ~on_runtime ~placement
        else float_of_int !attempts /. float_of_int !htm_commits);
   } )
 
-let run ?(seed = 1) ?(scale = 1.0) ?machine ?(oracle = true)
-    ?(on_runtime = fun _ -> ()) ?(placement = Compact)
-    ?(cycle_limit = 1 lsl 30) ~sysconf ~workload ~threads () =
-  let machine =
-    match machine with Some m -> m | None -> Config.machine ()
+type options = {
+  seed : int;
+  scale : float;
+  machine : Config.t;
+  oracle : bool;
+  on_runtime : Runtime.t -> unit;
+  placement : placement;
+  cycle_limit : int;
+}
+
+let default_options =
+  {
+    seed = 1;
+    scale = 1.0;
+    machine = Config.machine ();
+    oracle = true;
+    on_runtime = (fun _ -> ());
+    placement = Compact;
+    cycle_limit = 1 lsl 30;
+  }
+
+(* The per-field optional arguments are the deprecated pre-[options]
+   interface; each one overrides the corresponding [options] field so
+   old call shapes keep compiling and behaving identically. *)
+let resolve_options ?(options = default_options) ?seed ?scale ?machine ?oracle
+    ?on_runtime ?placement ?cycle_limit () =
+  {
+    seed = Option.value seed ~default:options.seed;
+    scale = Option.value scale ~default:options.scale;
+    machine = Option.value machine ~default:options.machine;
+    oracle = Option.value oracle ~default:options.oracle;
+    on_runtime = Option.value on_runtime ~default:options.on_runtime;
+    placement = Option.value placement ~default:options.placement;
+    cycle_limit = Option.value cycle_limit ~default:options.cycle_limit;
+  }
+
+let run ?options ?seed ?scale ?machine ?oracle ?on_runtime ?placement
+    ?cycle_limit ~sysconf ~workload ~threads () =
+  let o =
+    resolve_options ?options ?seed ?scale ?machine ?oracle ?on_runtime
+      ?placement ?cycle_limit ()
+  in
+  let { seed; scale; machine; oracle; on_runtime; placement; cycle_limit } =
+    o
   in
   let program = Workload.generate workload ~threads ~seed ~scale in
   let store, result =
@@ -185,11 +224,11 @@ let run ?(seed = 1) ?(scale = 1.0) ?machine ?(oracle = true)
     (Workload.expected_hot_increments workload ~threads ~seed ~scale);
   result
 
-let run_program ?machine ?(oracle = true) ?(on_runtime = fun _ -> ())
-    ?(placement = Compact) ?(cycle_limit = 1 lsl 30) ?(name = "custom")
-    ~sysconf ~program () =
-  let machine =
-    match machine with Some m -> m | None -> Config.machine ()
+let run_program ?options ?machine ?oracle ?on_runtime ?placement ?cycle_limit
+    ?(name = "custom") ~sysconf ~program () =
+  let { machine; oracle; on_runtime; placement; cycle_limit; _ } =
+    resolve_options ?options ?machine ?oracle ?on_runtime ?placement
+      ?cycle_limit ()
   in
   (match Lk_cpu.Program.validate program with
   | Ok () -> ()
@@ -219,3 +258,133 @@ let pp ppf r =
      (%d stl, %d lock), %d aborts@]"
     r.system r.workload r.threads r.cycles r.commit_rate r.htm_commits
     r.stl_commits r.lock_commits r.aborts
+
+(* --- JSON codec --------------------------------------------------------- *)
+
+(* One member per [result] field, in declaration order; [abort_mix] and
+   [breakdown] become label-keyed objects. The cache and the CLI's
+   [--format json] share this encoding, so round-tripping is exercised
+   on every warm-cache run. *)
+let json_of_result r =
+  Json.Obj
+    [
+      ("system", Json.String r.system);
+      ("workload", Json.String r.workload);
+      ("threads", Json.Int r.threads);
+      ("cache", Json.String (Config.cache_profile_id r.cache));
+      ("cycles", Json.Int r.cycles);
+      ("commit_rate", Json.Float r.commit_rate);
+      ("htm_commits", Json.Int r.htm_commits);
+      ("stl_commits", Json.Int r.stl_commits);
+      ("lock_commits", Json.Int r.lock_commits);
+      ("aborts", Json.Int r.aborts);
+      ( "abort_mix",
+        Json.Obj
+          (List.map
+             (fun (reason, n) -> (Reason.label reason, Json.Int n))
+             r.abort_mix) );
+      ( "breakdown",
+        Json.Obj
+          (List.map
+             (fun (cat, n) -> (Accounting.label cat, Json.Int n))
+             r.breakdown) );
+      ("rejects", Json.Int r.rejects);
+      ("parks", Json.Int r.parks);
+      ("wakeups", Json.Int r.wakeups);
+      ("switches_granted", Json.Int r.switches_granted);
+      ("switches_denied", Json.Int r.switches_denied);
+      ("spilled_lines", Json.Int r.spilled_lines);
+      ("watchdog_rescues", Json.Int r.watchdog_rescues);
+      ("network_messages", Json.Int r.network_messages);
+      ("network_flits", Json.Int r.network_flits);
+      ("oracle_sections", Json.Int r.oracle_sections);
+      ("avg_attempts_per_commit", Json.Float r.avg_attempts_per_commit);
+    ]
+
+let result_to_json r = Json.to_string (json_of_result r)
+
+let ( let* ) = Result.bind
+
+let result_of_json_value v =
+  let int name = let* m = Json.member name v in Json.to_int m in
+  let float name = let* m = Json.member name v in Json.to_float m in
+  let str name = let* m = Json.member name v in Json.to_str m in
+  let labelled name all label of_pairs =
+    let* m = Json.member name v in
+    let* obj = Json.to_obj m in
+    let* pairs =
+      List.fold_left
+        (fun acc key ->
+          let* acc = acc in
+          match List.assoc_opt (label key) obj with
+          | Some (Json.Int n) -> Ok ((key, n) :: acc)
+          | Some j ->
+            Error
+              (Printf.sprintf "%s.%s: expected int, got %s" name (label key)
+                 (Json.to_string j))
+          | None ->
+            Error (Printf.sprintf "%s: missing count for %S" name (label key)))
+        (Ok []) all
+    in
+    Ok (of_pairs (List.rev pairs))
+  in
+  let* system = str "system" in
+  let* workload = str "workload" in
+  let* threads = int "threads" in
+  let* cache =
+    let* id = str "cache" in
+    match Config.cache_profile_of_id id with
+    | Some c -> Ok c
+    | None -> Error (Printf.sprintf "unknown cache profile %S" id)
+  in
+  let* cycles = int "cycles" in
+  let* commit_rate = float "commit_rate" in
+  let* htm_commits = int "htm_commits" in
+  let* stl_commits = int "stl_commits" in
+  let* lock_commits = int "lock_commits" in
+  let* aborts = int "aborts" in
+  let* abort_mix = labelled "abort_mix" Reason.all Reason.label Fun.id in
+  let* breakdown =
+    labelled "breakdown" Accounting.categories Accounting.label Fun.id
+  in
+  let* rejects = int "rejects" in
+  let* parks = int "parks" in
+  let* wakeups = int "wakeups" in
+  let* switches_granted = int "switches_granted" in
+  let* switches_denied = int "switches_denied" in
+  let* spilled_lines = int "spilled_lines" in
+  let* watchdog_rescues = int "watchdog_rescues" in
+  let* network_messages = int "network_messages" in
+  let* network_flits = int "network_flits" in
+  let* oracle_sections = int "oracle_sections" in
+  let* avg_attempts_per_commit = float "avg_attempts_per_commit" in
+  Ok
+    {
+      system;
+      workload;
+      threads;
+      cache;
+      cycles;
+      commit_rate;
+      htm_commits;
+      stl_commits;
+      lock_commits;
+      aborts;
+      abort_mix;
+      breakdown;
+      rejects;
+      parks;
+      wakeups;
+      switches_granted;
+      switches_denied;
+      spilled_lines;
+      watchdog_rescues;
+      network_messages;
+      network_flits;
+      oracle_sections;
+      avg_attempts_per_commit;
+    }
+
+let result_of_json s =
+  let* v = Json.of_string s in
+  result_of_json_value v

@@ -48,7 +48,30 @@ type result = {
           speculatively. *)
 }
 
+type options = {
+  seed : int;  (** Workload-generation RNG seed. *)
+  scale : float;  (** Multiplier on transactions per thread. *)
+  machine : Config.t;
+  oracle : bool;  (** Run the serializability oracle. *)
+  on_runtime : Lk_lockiller.Runtime.t -> unit;
+      (** Called with the freshly built runtime before any core starts
+          — use it to enable tracing or keep a handle for post-run
+          inspection. Excluded from cache keys: runs that need it must
+          bypass the {!Cache}. *)
+  placement : placement;
+  cycle_limit : int;  (** Runaway guard; exceeding it is a [Failure]. *)
+}
+(** Everything {!run} needs besides the (system, workload, threads)
+    triple, collapsed from the former pile of optional arguments.
+    Build variations with record update:
+    [{ Runner.default_options with seed = 7 }]. *)
+
+val default_options : options
+(** Seed 1, scale 1.0, the paper's 32-core machine, oracle enabled,
+    no [on_runtime] hook, [Compact] placement, a 2^30-cycle guard. *)
+
 val run :
+  ?options:options ->
   ?seed:int ->
   ?scale:float ->
   ?machine:Config.t ->
@@ -61,16 +84,19 @@ val run :
   threads:int ->
   unit ->
   result
-(** Defaults: seed 1, scale 1.0, the paper's 32-core machine, oracle
-    enabled, a 2^30-cycle runaway guard ([cycle_limit]). [on_runtime]
-    is called with the freshly built runtime before any core starts —
-    use it to enable tracing or keep a handle for post-run inspection.
+(** Pass [?options] (defaults to {!default_options}). The per-field
+    optional arguments are the {e deprecated} pre-[options] call shape,
+    kept so existing callers compile unchanged; each one overrides the
+    corresponding [options] field. New code should set fields on
+    {!default_options} instead.
+
     [threads] must not exceed the machine's cores. Raises [Failure] if
     the run violates conservation or serializability, leaves a thread
     unfinished, or exceeds the cycle limit (a livelock diagnostic, not
     an expected outcome). *)
 
 val run_program :
+  ?options:options ->
   ?machine:Config.t ->
   ?oracle:bool ->
   ?on_runtime:(Lk_lockiller.Runtime.t -> unit) ->
@@ -92,3 +118,22 @@ val abort_fraction : result -> Lk_htm.Reason.t -> float
 (** Share of a reason among all aborts (0 when no aborts). *)
 
 val pp : Format.formatter -> result -> unit
+
+(** {1 Serialisation}
+
+    The machine-readable results API: one JSON object per {!result},
+    one member per field in declaration order; [abort_mix] and
+    [breakdown] are label-keyed objects (paper labels, paper order).
+    The on-disk {!Cache} stores exactly this encoding, so every
+    warm-cache run round-trips it. *)
+
+val json_of_result : result -> Json.t
+
+val result_to_json : result -> string
+(** Compact single-line JSON. *)
+
+val result_of_json : string -> (result, string) Stdlib.result
+(** Inverse of {!result_to_json}; [Error] describes the first missing
+    or ill-typed member. Floats round-trip exactly ([%.17g]). *)
+
+val result_of_json_value : Json.t -> (result, string) Stdlib.result

@@ -95,3 +95,26 @@ Unknown names are reported, not crashed on:
   lockiller_sim: unknown system NoSuchSystem
   $ lockiller_sim experiment fig99 2>&1 | head -1
   lockiller_sim: unknown experiment "fig99"; try: table1, table2, fig1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, headline, ablation, txsize, noc, topology, placement, protocol, variance
+
+The machine-readable results API: --format json emits one object with
+every result field, --format csv one header and one value row:
+
+  $ lockiller_sim run -s LockillerTM -w intruder -t 4 --cores 4 --scale 0.1 --format json | ./json_check.exe --result
+  valid result (LockillerTM/intruder)
+
+  $ lockiller_sim run -s CGL -w genome -t 2 --cores 4 --scale 0.1 --format csv | head -1 | cut -d, -f1-6
+  system,workload,threads,cache,cycles,commit_rate
+
+Experiments run through the on-disk result cache (here a local
+directory). The cold run simulates and stores; the stats reflect it;
+clear empties the directory:
+
+  $ lockiller_sim experiment fig1 --cores 4 --scale 0.1 --threads 2 --jobs 2 --cache-dir ./cache --format json | ./json_check.exe
+  valid json
+
+  $ lockiller_sim cache stats --cache-dir ./cache | grep -v -e directory -e entries
+  schema        v1
+  lifetime      0 hits, 18 misses, 18 stores
+
+  $ lockiller_sim cache clear --cache-dir ./cache | cut -d' ' -f1-3
+  removed 18 entries

@@ -1,0 +1,29 @@
+(* Cram-test helper: read JSON on stdin and verify it parses; with
+   --result, additionally require it to decode as a full
+   Runner.result (every field present and well-typed). *)
+
+let read_all ic =
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  Buffer.contents buf
+
+let () =
+  let want_result = Array.mem "--result" Sys.argv in
+  let input = read_all stdin in
+  if want_result then
+    match Lk_sim.Runner.result_of_json input with
+    | Ok r -> Printf.printf "valid result (%s/%s)\n" r.Lk_sim.Runner.system
+        r.Lk_sim.Runner.workload
+    | Error msg ->
+      Printf.eprintf "invalid result: %s\n" msg;
+      exit 1
+  else
+    match Lk_sim.Json.of_string input with
+    | Ok _ -> print_endline "valid json"
+    | Error msg ->
+      Printf.eprintf "invalid json: %s\n" msg;
+      exit 1

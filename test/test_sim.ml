@@ -13,6 +13,9 @@ module Workload = Lk_stamp.Workload
 module Reason = Lk_htm.Reason
 module Accounting = Lk_cpu.Accounting
 module Protocol = Lk_coherence.Protocol
+module Json = Lk_sim.Json
+module Pool = Lk_sim.Pool
+module Cache = Lk_sim.Cache
 
 let check = Alcotest.check
 let check_int = check Alcotest.int
@@ -334,6 +337,226 @@ let test_fig10_renders_on_small_machine () =
   (* 9 workloads x 3 systems *)
   check_int "27 rows" 27 (List.length (List.hd tables).Report.rows)
 
+(* --- JSON results API ----------------------------------------------------- *)
+
+let sample_result () =
+  let w = Option.get (Suite.find "intruder") in
+  Runner.run
+    ~options:
+      {
+        Runner.default_options with
+        scale = 0.1;
+        machine = Config.machine ~cores:4 ();
+      }
+    ~sysconf:Sysconf.lockiller ~workload:w ~threads:4 ()
+
+let test_result_json_roundtrip () =
+  let r = sample_result () in
+  match Runner.result_of_json (Runner.result_to_json r) with
+  | Error msg -> Alcotest.fail msg
+  | Ok r' -> check_bool "structurally equal" true (r = r')
+
+let test_result_json_fields () =
+  (* Every result field appears as a member, floats exactly. *)
+  match Json.of_string (Runner.result_to_json (sample_result ())) with
+  | Error msg -> Alcotest.fail msg
+  | Ok (Json.Obj members) ->
+    List.iter
+      (fun field ->
+        check_bool (field ^ " present") true (List.mem_assoc field members))
+      [
+        "system"; "workload"; "threads"; "cache"; "cycles"; "commit_rate";
+        "htm_commits"; "stl_commits"; "lock_commits"; "aborts"; "abort_mix";
+        "breakdown"; "rejects"; "parks"; "wakeups"; "switches_granted";
+        "switches_denied"; "spilled_lines"; "watchdog_rescues";
+        "network_messages"; "network_flits"; "oracle_sections";
+        "avg_attempts_per_commit";
+      ]
+  | Ok _ -> Alcotest.fail "expected a JSON object"
+
+let test_result_json_rejects_garbage () =
+  check_bool "truncated" true
+    (Result.is_error (Runner.result_of_json "{\"system\":"));
+  check_bool "wrong shape" true (Result.is_error (Runner.result_of_json "[]"))
+
+let test_json_float_roundtrip () =
+  List.iter
+    (fun f ->
+      match Json.of_string (Json.to_string (Json.Float f)) with
+      | Ok (Json.Float f') ->
+        check_bool (string_of_float f ^ " exact") true (f = f')
+      | _ -> Alcotest.fail "float did not round-trip")
+    [ 0.1; 1.0; 1.85; 3.0e22; -0.0070000000000000001 ]
+
+let test_report_to_json () =
+  let t =
+    Report.table ~title:"T" ~headers:[ "a"; "b" ]
+      ~notes:[ "n" ]
+      [ [ "1"; "2" ]; [ "3"; "4" ] ]
+  in
+  match Json.of_string (Report.to_json t) with
+  | Ok (Json.Obj members) ->
+    check_bool "title" true
+      (List.assoc "title" members = Json.String "T");
+    check_bool "rows" true
+      (List.assoc "rows" members
+      = Json.List
+          [
+            Json.List [ Json.String "1"; Json.String "2" ];
+            Json.List [ Json.String "3"; Json.String "4" ];
+          ])
+  | _ -> Alcotest.fail "table did not parse"
+
+(* --- Pool ------------------------------------------------------------------ *)
+
+let test_pool_matches_sequential () =
+  let xs = Array.init 20 (fun i -> i) in
+  let f i = i * i in
+  check_bool "jobs:4 = jobs:1" true
+    (Pool.map ~jobs:1 f xs = Pool.map ~jobs:4 f xs)
+
+let test_pool_parallel_results_identical () =
+  (* The acceptance bar: simulation results collected through the pool
+     are identical (hence deterministic) for any job count. *)
+  let w = Option.get (Suite.find "kmeans") in
+  let grid =
+    Array.of_list
+      (List.concat_map
+         (fun sysconf -> [ (sysconf, 2); (sysconf, 4) ])
+         [ Sysconf.cgl; Sysconf.baseline; Sysconf.lockiller ])
+  in
+  let run (sysconf, threads) =
+    Runner.run
+      ~options:
+        {
+          Runner.default_options with
+          scale = 0.1;
+          machine = Config.machine ~cores:4 ();
+        }
+      ~sysconf ~workload:w ~threads ()
+  in
+  let seq = Pool.map ~jobs:1 run grid in
+  let par = Pool.map ~jobs:4 run grid in
+  check_bool "identical results" true (seq = par)
+
+let test_pool_propagates_exception () =
+  check_bool "raises" true
+    (match
+       Pool.map ~jobs:4
+         (fun i -> if i = 7 then failwith "boom" else i)
+         (Array.init 16 (fun i -> i))
+     with
+    | exception Failure msg -> msg = "boom"
+    | _ -> false)
+
+(* --- Cache ----------------------------------------------------------------- *)
+
+let with_temp_cache ?schema f =
+  let dir = Filename.temp_file "lockiller-test" ".cache" in
+  Sys.remove dir;
+  let finally () =
+    let c = Cache.create ~dir () in
+    ignore (Cache.clear c);
+    try Sys.rmdir dir with Sys_error _ -> ()
+  in
+  Fun.protect ~finally (fun () -> f (Cache.create ?schema ~dir ()))
+
+let sample_job_key cache =
+  let w = Option.get (Suite.find "intruder") in
+  Cache.key cache
+    ~options:{ Runner.default_options with scale = 0.1 }
+    ~sysconf:Sysconf.lockiller ~workload:w ~threads:4
+
+let test_cache_roundtrip () =
+  with_temp_cache (fun cache ->
+      let r = sample_result () in
+      let key = sample_job_key cache in
+      check_bool "cold" true (Cache.find cache key = None);
+      Cache.store cache key r;
+      (match Cache.find cache key with
+      | None -> Alcotest.fail "stored entry not found"
+      | Some r' -> check_bool "structurally equal" true (r = r'));
+      check_int "one store" 1 (Cache.stores cache);
+      check_int "one hit" 1 (Cache.hits cache);
+      check_int "one miss" 1 (Cache.misses cache))
+
+let test_cache_schema_invalidates () =
+  with_temp_cache (fun cache ->
+      let r = sample_result () in
+      Cache.store cache (sample_job_key cache) r;
+      (* Same directory, bumped schema: the key changes and the old
+         entry is unreachable. *)
+      let bumped = Cache.create ~schema:"999" ~dir:(Cache.dir cache) () in
+      check_bool "different key" true
+        (sample_job_key cache <> sample_job_key bumped);
+      check_bool "miss after bump" true
+        (Cache.find bumped (sample_job_key bumped) = None);
+      let st = Cache.disk_stats bumped in
+      check_int "old entry is stale" 1 st.Cache.stale_entries)
+
+let test_cache_corrupt_entry_is_miss () =
+  with_temp_cache (fun cache ->
+      let key = sample_job_key cache in
+      Cache.store cache key (sample_result ());
+      let path =
+        Filename.concat
+          (Filename.concat (Cache.dir cache) ("v" ^ Cache.schema_version))
+          (key ^ ".json")
+      in
+      let oc = open_out path in
+      output_string oc "{ not json";
+      close_out oc;
+      check_bool "corrupt entry misses" true (Cache.find cache key = None);
+      check_bool "corrupt entry removed" true (not (Sys.file_exists path)))
+
+let test_cache_key_sensitivity () =
+  with_temp_cache (fun cache ->
+      let w = Option.get (Suite.find "intruder") in
+      let base ?(options = { Runner.default_options with scale = 0.1 })
+          ?(threads = 4) () =
+        Cache.key cache ~options ~sysconf:Sysconf.lockiller ~workload:w
+          ~threads
+      in
+      let k = base () in
+      check_bool "seed" true
+        (k <> base ~options:{ Runner.default_options with scale = 0.1; seed = 2 } ());
+      check_bool "scale" true
+        (k <> base ~options:{ Runner.default_options with scale = 0.2 } ());
+      check_bool "threads" true (k <> base ~threads:2 ()))
+
+(* --- Parallel + cached experiment execution -------------------------------- *)
+
+let test_execute_parallel_matches_sequential () =
+  let render jobs cache =
+    let ctx =
+      Experiments.make_context ~scale:0.2 ~cores:4 ~threads:[ 2; 4 ] ~jobs
+        ?cache ()
+    in
+    let tables = Experiments.execute ctx Experiments.fig1 in
+    (tables, Experiments.simulations ctx)
+  in
+  let seq, n_seq = render 1 None in
+  let par, n_par = render 4 None in
+  check_bool "tables identical" true (seq = par);
+  check_int "same simulation count" n_seq n_par;
+  check_bool "simulated something" true (n_seq > 0)
+
+let test_execute_warm_cache_skips_simulation () =
+  with_temp_cache (fun cache ->
+      let run () =
+        let ctx =
+          Experiments.make_context ~scale:0.2 ~cores:4 ~threads:[ 2 ] ~jobs:2
+            ~cache ()
+        in
+        let tables = Experiments.execute ctx Experiments.fig1 in
+        (tables, Experiments.simulations ctx)
+      in
+      let cold, n_cold = run () in
+      let warm, n_warm = run () in
+      check_bool "warm tables identical" true (cold = warm);
+      check_bool "cold simulated" true (n_cold > 0);
+      check_int "warm simulated nothing" 0 n_warm)
+
 let () =
   Alcotest.run "sim"
     [
@@ -393,5 +616,41 @@ let () =
             test_quick_experiments_render;
           Alcotest.test_case "fig10 shape" `Quick
             test_fig10_renders_on_small_machine;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "result round-trip" `Quick
+            test_result_json_roundtrip;
+          Alcotest.test_case "result fields" `Quick test_result_json_fields;
+          Alcotest.test_case "rejects garbage" `Quick
+            test_result_json_rejects_garbage;
+          Alcotest.test_case "float exactness" `Quick
+            test_json_float_roundtrip;
+          Alcotest.test_case "report to_json" `Quick test_report_to_json;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "pure map" `Quick test_pool_matches_sequential;
+          Alcotest.test_case "simulation grid deterministic" `Quick
+            test_pool_parallel_results_identical;
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_propagates_exception;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "round-trip" `Quick test_cache_roundtrip;
+          Alcotest.test_case "schema bump invalidates" `Quick
+            test_cache_schema_invalidates;
+          Alcotest.test_case "corrupt entry" `Quick
+            test_cache_corrupt_entry_is_miss;
+          Alcotest.test_case "key sensitivity" `Quick
+            test_cache_key_sensitivity;
+        ] );
+      ( "parallel-execute",
+        [
+          Alcotest.test_case "jobs:4 = jobs:1" `Quick
+            test_execute_parallel_matches_sequential;
+          Alcotest.test_case "warm cache skips simulation" `Quick
+            test_execute_warm_cache_skips_simulation;
         ] );
     ]
