@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 SHELL := /bin/bash
 
-.PHONY: all build test bench ci clean
+.PHONY: all build test bench perfcheck ci clean
 
 all: build
 
@@ -14,9 +14,19 @@ test:
 bench:
 	dune exec bench/main.exe
 
+# Perf regression gate: rerun the event-engine microbenchmarks and
+# compare against the committed baseline with a 2x tolerance band —
+# wide enough for machine-to-machine noise, tight enough to catch a
+# reintroduced hot-loop allocation or a broken wheel fast path.
+perfcheck:
+	dune exec bench/main.exe -- --micro --format json --scale 0.1
+	dune exec bench/perfcheck.exe -- BENCH_micro.json bench/baseline.json
+
 # What CI runs: full build + every test suite, then a cold-vs-warm
 # smoke of the parallel experiment harness against a throwaway cache —
-# the warm run must report zero simulations.
+# the warm run must report zero simulations — and finally the perf
+# gate. The diff filters the nondeterministic lines: render/wall times
+# ("rendered in", "perf:") and the cache-hit counts ("simulations:").
 ci:
 	dune build
 	dune runtest
@@ -26,9 +36,10 @@ ci:
 	dune exec bench/main.exe -- fig7 --scale 0.1 --jobs 2 \
 	  --cache-dir _build/ci-cache > _build/ci-warm.out
 	grep -q "(simulations: 0," _build/ci-warm.out
-	diff <(grep -v "rendered in\|simulations:" _build/ci-cold.out) \
-	     <(grep -v "rendered in\|simulations:" _build/ci-warm.out)
+	diff <(grep -v "rendered in\|simulations:\|perf:" _build/ci-cold.out) \
+	     <(grep -v "rendered in\|simulations:\|perf:" _build/ci-warm.out)
 	rm -rf _build/ci-cache
+	$(MAKE) perfcheck
 
 clean:
 	dune clean

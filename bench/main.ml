@@ -8,6 +8,7 @@
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- fig7 fig12   # selected experiments
      dune exec bench/main.exe -- --micro      # microbenchmarks only
+     dune exec bench/main.exe -- --micro --format json   # BENCH_micro.json
      dune exec bench/main.exe -- --list       # list experiment ids
      dune exec bench/main.exe -- --scale 0.5  # smaller workloads
      dune exec bench/main.exe -- --csv out/   # also write CSVs
@@ -30,6 +31,17 @@ module Sysconf = Lockiller.Mechanisms.Sysconf
 module Runner = Lockiller.Sim.Runner
 module Cache = Lockiller.Sim.Cache
 module Pool = Lockiller.Sim.Pool
+module Perf = Lockiller.Sim.Perf
+module Json = Lockiller.Sim.Json
+
+(* [Sys.mkdir] is non-recursive: --csv out/nested/dir used to fail. *)
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.file_exists dir -> ()
+  end
 
 (* --- Paper experiments -------------------------------------------------- *)
 
@@ -39,7 +51,7 @@ let run_experiments ~scale ~jobs ~cache ~csv_dir ~ids =
     match csv_dir with
     | None -> ()
     | Some dir ->
-      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      mkdir_p dir;
       let path = Filename.concat dir (Report.csv_filename table) in
       let oc = open_out path in
       output_string oc (Report.to_csv table);
@@ -64,12 +76,18 @@ let run_experiments ~scale ~jobs ~cache ~csv_dir ~ids =
       Printf.printf "# %s (%s)\n# %s\n\n" e.Experiments.artefact
         e.Experiments.id e.Experiments.describe;
       let t0 = Sys.time () in
+      Perf.reset_totals ();
       List.iter
         (fun table ->
           Report.print table;
           emit_csv table)
         (Experiments.execute ctx e);
-      Printf.printf "(rendered in %.1fs cpu)\n\n%!" (Sys.time () -. t0))
+      Printf.printf "(rendered in %.1fs cpu)\n" (Sys.time () -. t0);
+      (* Throughput over the simulations this experiment actually ran
+         (warm-cache runs report 0 sims). Wall time varies run to run,
+         so `make ci`'s cold/warm diff filters "perf:" lines out. *)
+      Printf.printf "(perf: %s)\n\n%!"
+        (Format.asprintf "%a" Perf.pp_totals (Perf.totals ())))
     selected;
   (* Observability for the warm-cache acceptance check: a second run of
      the same experiments must report 0 simulations. *)
@@ -81,6 +99,123 @@ let run_experiments ~scale ~jobs ~cache ~csv_dir ~ids =
     Printf.printf "(simulations: %d, cache hits: %d, stores: %d)\n%!"
       (Experiments.simulations ctx) (Cache.hits c) (Cache.stores c);
     Cache.persist_counters c)
+
+(* --- Perf microbenchmark: schedule/pop throughput, wheel vs heap -------- *)
+
+let backend_id = function
+  | Event_queue.Wheel -> "wheel"
+  | Event_queue.Heap -> "heap"
+
+(* Deterministic delay stream (no global RNG) matching the simulator's
+   profile: mostly short latencies (L1 hits, NoC hops — 1..256 cycles),
+   with 1 in 64 a long one (up to ~4k, past the wheel's 1024-cycle near
+   window, exercising the far-heap overflow path). *)
+let lcg_next st =
+  st := (!st * 0x2545F4914F6CDD1D) + 0x9E3779B9;
+  let r = !st lsr 33 in
+  if r land 63 = 0 then 1 + (r land 4095) else 1 + (r land 255)
+
+(* Hold model on the raw queue: [resident] pending events; every pop
+   reschedules its payload a pseudo-random delay ahead, so occupancy
+   stays constant and the probe sees pure schedule/pop steady state.
+   Uses the allocation-free next_time/pop_payload pair like the kernel
+   does. *)
+let queue_micro ~backend ~ops =
+  let q = Event_queue.create ~backend () in
+  let resident = 8192 in
+  let st = ref 0x3779B97F4A7C15 in
+  for i = 0 to resident - 1 do
+    Event_queue.add q ~time:(lcg_next st) i
+  done;
+  let probe = Perf.start () in
+  let clock = ref 0 in
+  for _ = 1 to ops do
+    let t = Event_queue.next_time q in
+    let v = Event_queue.pop_payload q in
+    clock := t;
+    Event_queue.add q ~time:(t + lcg_next st) v
+  done;
+  Perf.stop probe ~events:ops ~cycles:!clock
+
+(* The same steady state through the kernel: 1024 self-rescheduling
+   event chains until ~[ops] events have fired. *)
+let sim_micro ~backend ~ops =
+  let sim = Sim.create ~backend () in
+  let st = ref 0x51AFE2149F123BCD in
+  let remaining = ref ops in
+  let rec tick () =
+    if !remaining > 0 then begin
+      decr remaining;
+      Sim.schedule sim ~delay:(lcg_next st) tick
+    end
+  in
+  for _ = 1 to 1024 do
+    Sim.schedule sim ~delay:(lcg_next st) tick
+  done;
+  let (), s = Perf.observe sim (fun () -> Sim.run sim) in
+  s
+
+let bench_micro_file = "BENCH_micro.json"
+
+let run_perf_micro ~scale ~format =
+  (* Floored at 1M ops: minor-words/event carries a fixed setup-sized
+     overhead that only amortises out at the baseline's operating
+     point, so `--scale 0.1` must not shrink the micro below it. *)
+  let ops = max 1_000_000 (int_of_float (1_000_000. *. scale)) in
+  let measure micro backend =
+    (* First run warms code and minor heap; report the second. *)
+    ignore (micro ~backend ~ops);
+    micro ~backend ~ops
+  in
+  let qw = measure queue_micro Event_queue.Wheel in
+  let qh = measure queue_micro Event_queue.Heap in
+  let sw = measure sim_micro Event_queue.Wheel in
+  let sh = measure sim_micro Event_queue.Heap in
+  let speedup w h =
+    let h = Perf.events_per_sec h in
+    if h <= 0.0 then 0.0 else Perf.events_per_sec w /. h
+  in
+  match format with
+  | `Json ->
+    let section w h =
+      Json.Obj
+        [
+          ("wheel", Perf.json_of_sample w);
+          ("heap", Perf.json_of_sample h);
+          ("wheel_speedup", Json.Float (speedup w h));
+        ]
+    in
+    let j =
+      Json.Obj
+        [
+          ("schema", Json.Int 1);
+          ("ops", Json.Int ops);
+          ("queue", section qw qh);
+          ("sim", section sw sh);
+        ]
+    in
+    let oc = open_out bench_micro_file in
+    output_string oc (Json.to_string_pretty j);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "(micro: %s)\n%!" bench_micro_file
+  | `Text ->
+    Printf.printf "# Event-engine throughput (%d ops, wheel vs heap)\n\n" ops;
+    Printf.printf "%-8s %-8s %14s %16s\n" "section" "backend" "events/sec"
+      "minor w/event";
+    List.iter
+      (fun (section, backend, s) ->
+        Printf.printf "%-8s %-8s %14.0f %16.2f\n" section (backend_id backend)
+          (Perf.events_per_sec s)
+          (Perf.minor_words_per_event s))
+      [
+        ("queue", Event_queue.Wheel, qw);
+        ("queue", Event_queue.Heap, qh);
+        ("sim", Event_queue.Wheel, sw);
+        ("sim", Event_queue.Heap, sh);
+      ];
+    Printf.printf "\nqueue wheel speedup over heap: %.2fx\n" (speedup qw qh);
+    Printf.printf "sim   wheel speedup over heap: %.2fx\n\n%!" (speedup sw sh)
 
 (* --- Bechamel microbenchmarks ------------------------------------------- *)
 
@@ -206,6 +341,7 @@ let () =
   let scale = ref 1.0 in
   let micro_only = ref false in
   let skip_micro = ref false in
+  let format = ref `Text in
   let csv_dir = ref None in
   let jobs = ref (Pool.default_jobs ()) in
   let no_cache = ref false in
@@ -225,6 +361,14 @@ let () =
           Printf.printf "%-10s %s\n" e.Experiments.id e.Experiments.artefact)
         Experiments.all;
       exit 0
+    | "--format" :: v :: rest ->
+      (match v with
+      | "text" -> format := `Text
+      | "json" -> format := `Json
+      | _ ->
+        Printf.eprintf "unknown --format %S (want text or json)\n%!" v;
+        exit 2);
+      parse rest
     | "--scale" :: v :: rest ->
       scale := float_of_string v;
       parse rest
@@ -245,7 +389,12 @@ let () =
       parse rest
   in
   parse args;
-  if not !micro_only then begin
+  if !micro_only then begin
+    run_perf_micro ~scale:!scale ~format:!format;
+    if !format = `Text then run_micro ();
+    exit 0
+  end;
+  begin
     let cache =
       if !no_cache then None
       else

@@ -1,0 +1,107 @@
+(* Perf regression gate: compare a fresh BENCH_micro.json against the
+   committed bench/baseline.json.
+
+   Usage: perfcheck.exe [CURRENT] [BASELINE] [--tolerance F]
+   (defaults: BENCH_micro.json bench/baseline.json 2.0)
+
+   The baseline is walked recursively; only metric leaves are compared,
+   with a wide tolerance band so the gate trips on real regressions
+   (wrong data structure, reintroduced boxing), not machine noise:
+
+   - higher-is-better ("events_per_sec", "*speedup"): fail when the
+     current value drops below baseline / tolerance;
+   - lower-is-better ("minor_words_per_event"): fail when the current
+     value exceeds baseline * tolerance + 0.5 words of absolute slack
+     (the baselines sit near zero, where a ratio alone is meaningless).
+
+   Everything else in the files (wall times, raw counters) is
+   informational and ignored. *)
+
+module Json = Lockiller.Sim.Json
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
+
+let load path =
+  let ic = try open_in path with Sys_error e -> die "perfcheck: %s" e in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  match Json.of_string s with
+  | Ok j -> j
+  | Error e -> die "perfcheck: %s: %s" path e
+
+let higher_better key =
+  key = "events_per_sec"
+  || String.length key >= 7
+     && String.sub key (String.length key - 7) 7 = "speedup"
+
+let lower_better key = key = "minor_words_per_event"
+
+let failures = ref 0
+let checks = ref 0
+
+let check ~tol path key baseline current =
+  incr checks;
+  let fail what limit =
+    incr failures;
+    Printf.printf "FAIL %-32s %12.3f vs baseline %12.3f (%s %.3f)\n" path
+      current baseline what limit
+  in
+  if higher_better key then begin
+    let floor = baseline /. tol in
+    if current < floor then fail "floor" floor
+    else Printf.printf "ok   %-32s %12.3f (baseline %12.3f)\n" path current baseline
+  end
+  else begin
+    let ceiling = (baseline *. tol) +. 0.5 in
+    if current > ceiling then fail "ceiling" ceiling
+    else Printf.printf "ok   %-32s %12.3f (baseline %12.3f)\n" path current baseline
+  end
+
+(* Recurse through objects; metric comparison is keyed on the member
+   name of numeric leaves. *)
+let rec walk ~tol path key baseline current =
+  match (baseline, current) with
+  | Json.Obj members, _ ->
+    List.iter
+      (fun (k, bv) ->
+        let sub = if path = "" then k else path ^ "." ^ k in
+        match Json.member k current with
+        | Ok cv -> walk ~tol sub k bv cv
+        | Error _ ->
+          if higher_better k || lower_better k then
+            die "perfcheck: current results lack %s" sub)
+      members
+  | (Json.Int _ | Json.Float _), _
+    when higher_better key || lower_better key -> (
+    match (Json.to_float baseline, Json.to_float current) with
+    | Ok b, Ok c -> check ~tol path key b c
+    | _ -> die "perfcheck: %s is not numeric in both files" path)
+  | _ -> ()
+
+let () =
+  let current = ref "BENCH_micro.json" in
+  let baseline = ref (Filename.concat "bench" "baseline.json") in
+  let tol = ref 2.0 in
+  let positional = ref 0 in
+  let rec parse = function
+    | [] -> ()
+    | "--tolerance" :: v :: rest ->
+      tol := float_of_string v;
+      parse rest
+    | arg :: rest ->
+      (match !positional with
+      | 0 -> current := arg
+      | 1 -> baseline := arg
+      | _ -> die "perfcheck: unexpected argument %S" arg);
+      incr positional;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let b = load !baseline and c = load !current in
+  Printf.printf "# perfcheck: %s vs %s (tolerance %.1fx)\n\n" !current
+    !baseline !tol;
+  walk ~tol:!tol "" "" b c;
+  if !checks = 0 then die "perfcheck: no metrics found in %s" !baseline;
+  if !failures > 0 then die "\nperfcheck: %d of %d metrics regressed" !failures !checks;
+  Printf.printf "\nperfcheck: %d metrics within tolerance\n" !checks

@@ -25,8 +25,13 @@ type t = {
   nways : int;
   slots : slot array;  (* nsets * nways, row-major by set *)
   mutable tick : int;
-  (* Lines with a tx bit set, for O(tx-set) commit/abort clearing. *)
-  tx_tracked : (Types.line, unit) Hashtbl.t;
+  (* Lines with a tx bit set, for O(tx-set) commit/abort clearing.
+     Kept as a sorted array maintained incrementally (binary-search
+     insert/delete), so conflict queries walk it in line order without
+     re-sorting and membership tests cost one binary search instead of
+     a polymorphic hash. *)
+  mutable tx_lines_sorted : int array;
+  mutable tx_count : int;
 }
 
 let create ~size_bytes ~ways =
@@ -44,8 +49,45 @@ let create ~size_bytes ~ways =
     nways = ways;
     slots = Array.init (nsets * ways) mk;
     tick = 0;
-    tx_tracked = Hashtbl.create 64;
+    tx_lines_sorted = Array.make 64 0;
+    tx_count = 0;
   }
+
+(* --- tracked-set maintenance ----------------------------------------- *)
+
+(* Index of [line] in the sorted prefix, or [- insertion_point - 1]. *)
+let tx_search t line =
+  let lo = ref 0 and hi = ref t.tx_count in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.tx_lines_sorted.(mid) < line then lo := mid + 1 else hi := mid
+  done;
+  if !lo < t.tx_count && t.tx_lines_sorted.(!lo) = line then !lo
+  else - !lo - 1
+
+let tx_track t line =
+  let i = tx_search t line in
+  if i < 0 then begin
+    let at = -i - 1 in
+    let cap = Array.length t.tx_lines_sorted in
+    if t.tx_count = cap then begin
+      let bigger = Array.make (2 * cap) 0 in
+      Array.blit t.tx_lines_sorted 0 bigger 0 t.tx_count;
+      t.tx_lines_sorted <- bigger
+    end;
+    Array.blit t.tx_lines_sorted at t.tx_lines_sorted (at + 1)
+      (t.tx_count - at);
+    t.tx_lines_sorted.(at) <- line;
+    t.tx_count <- t.tx_count + 1
+  end
+
+let tx_untrack t line =
+  let i = tx_search t line in
+  if i >= 0 then begin
+    Array.blit t.tx_lines_sorted (i + 1) t.tx_lines_sorted i
+      (t.tx_count - i - 1);
+    t.tx_count <- t.tx_count - 1
+  end
 
 let sets t = t.nsets
 let ways t = t.nways
@@ -154,7 +196,7 @@ let clear_dirty t line =
 let mark_tx t line ~write =
   with_slot t line "mark_tx" (fun slot ->
       if write then slot.tx_write <- true else slot.tx_read <- true;
-      Hashtbl.replace t.tx_tracked line ())
+      tx_track t line)
 
 let remove t line =
   with_slot t line "remove" (fun slot ->
@@ -163,19 +205,21 @@ let remove t line =
       slot.dirty <- false;
       slot.tx_read <- false;
       slot.tx_write <- false;
-      Hashtbl.remove t.tx_tracked line;
+      tx_untrack t line;
       v)
 
 let resident t line = find_slot t line <> None
 
+(* The tracked set is already in ascending line order; collecting back
+   to front builds the sorted view list with no sort and no reversal. *)
 let tx_lines t =
-  Hashtbl.fold
-    (fun line () acc ->
-      match lookup t line with
-      | Some v when v.tx_read || v.tx_write -> v :: acc
-      | _ -> acc)
-    t.tx_tracked []
-  |> List.sort (fun a b -> compare a.line b.line)
+  let acc = ref [] in
+  for i = t.tx_count - 1 downto 0 do
+    match lookup t t.tx_lines_sorted.(i) with
+    | Some v when v.tx_read || v.tx_write -> acc := v :: !acc
+    | _ -> ()
+  done;
+  !acc
 
 let clear_tx t ~drop_written =
   let views = tx_lines t in
@@ -187,7 +231,7 @@ let clear_tx t ~drop_written =
             slot.tx_read <- false;
             slot.tx_write <- false))
     views;
-  Hashtbl.reset t.tx_tracked;
+  t.tx_count <- 0;
   views
 
 let occupancy t =

@@ -46,8 +46,10 @@ type t = {
   llc : Llc.t;
   mutable client : Client.t;
   (* Lines with a request being served at their home bank; waiters are
-     served FIFO when the current request completes. *)
-  busy : (Types.line, request Queue.t) Hashtbl.t;
+     served FIFO when the current request completes. Keyed on the line
+     number through the int-specialised table — this is touched twice
+     per L1 miss. *)
+  busy : request Queue.t Lk_engine.Int_table.t;
   stats : Stats.group;
   s_l1_hits : Stats.counter;
   s_l1_misses : Stats.counter;
@@ -86,7 +88,7 @@ let create ~sim ~network cfg =
         ~bank_size_bytes:(cfg.llc_size / cfg.cores)
         ~ways:cfg.llc_ways;
     client = Client.plain;
-    busy = Hashtbl.create 256;
+    busy = Lk_engine.Int_table.create ~capacity:256 ~dummy:(Queue.create ()) ();
     stats;
     s_l1_hits = Stats.counter stats "l1_hits";
     s_l1_misses = Stats.counter stats "l1_misses";
@@ -442,7 +444,8 @@ let rec dispatch t req (party : Types.party) ~extra ~depth =
         if was_resident then ctrl t ~src:home ~dst:req.core
         else data t ~src:home ~dst:req.core
       in
-      (Types.Granted, llc_lat + extra + inst + max !inv_rtt transfer)
+      let slower = if !inv_rtt > transfer then !inv_rtt else transfer in
+      (Types.Granted, llc_lat + extra + inst + slower)
     end
 
 (* Serve a request at the head of its line queue. Returns the busy
@@ -488,10 +491,10 @@ let process t req =
     lat
 
 let rec release t line =
-  match Hashtbl.find_opt t.busy line with
+  match Lk_engine.Int_table.find_opt t.busy line with
   | None -> failwith "Protocol.release: line not busy"
   | Some q ->
-    if Queue.is_empty q then Hashtbl.remove t.busy line
+    if Queue.is_empty q then Lk_engine.Int_table.remove t.busy line
     else begin
       let req = Queue.pop q in
       let lat = process t req in
@@ -499,10 +502,10 @@ let rec release t line =
     end
 
 let arrive t req =
-  match Hashtbl.find_opt t.busy req.line with
+  match Lk_engine.Int_table.find_opt t.busy req.line with
   | Some q -> Queue.push req q
   | None ->
-    Hashtbl.add t.busy req.line (Queue.create ());
+    Lk_engine.Int_table.replace t.busy req.line (Queue.create ());
     let lat = process t req in
     Sim.schedule t.sim ~delay:lat (fun () -> release t req.line)
 

@@ -107,18 +107,27 @@ let wait_lock_free t k =
       backoff_cap = 128;
     }
   in
-  let rec poll attempt =
-    let t0 = now t in
-    Runtime.read t.rt t.core ~addr:(Runtime.lock_addr t.rt) ~k:(fun _ ->
-        account t Accounting.Wait_lock (now t - t0);
-        if Runtime.lock_held t.rt then
-          let pause = Policy.backoff_delay retry ~attempt in
-          Sim.schedule t.sim ~delay:pause (fun () ->
-              account t Accounting.Wait_lock pause;
-              poll (attempt + 1))
-        else k ())
+  (* Loop state in refs so the three closures below are allocated once
+     per wait, not once per poll iteration. *)
+  let attempt = ref 0 in
+  let t0 = ref 0 in
+  let pause = ref 0 in
+  let rec poll () =
+    t0 := now t;
+    Runtime.read t.rt t.core ~addr:(Runtime.lock_addr t.rt) ~k:on_read
+  and on_read _ =
+    account t Accounting.Wait_lock (now t - !t0);
+    if Runtime.lock_held t.rt then begin
+      pause := Policy.backoff_delay retry ~attempt:!attempt;
+      incr attempt;
+      Sim.schedule t.sim ~delay:!pause on_pause
+    end
+    else k ()
+  and on_pause () =
+    account t Accounting.Wait_lock !pause;
+    poll ()
   in
-  poll 0
+  poll ()
 
 (* Abort cleanup: the architectural penalty plus the software backoff
    of the retry strategy. *)

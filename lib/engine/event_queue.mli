@@ -1,13 +1,27 @@
 (** Pending-event set of the discrete-event kernel.
 
-    A binary min-heap keyed by (time, sequence number). The sequence
-    number is assigned at insertion, so events scheduled for the same
-    cycle fire in insertion order — this makes every simulation run
-    fully deterministic. *)
+    Two interchangeable backends pop events in exactly the same
+    (time, insertion) order — the sequence number assigned at insertion
+    breaks same-cycle ties, so every simulation run is fully
+    deterministic under either:
+
+    - [Wheel] (the default): a calendar-queue / timing-wheel hybrid. A
+      near wheel of power-of-two buckets (one cycle per bucket) serves
+      the common case — events scheduled within ~1k cycles of the clock
+      — in O(1) with zero steady-state allocation (entries are recycled
+      through a freelist); events beyond the horizon overflow into a
+      small min-heap and are drained back as the window advances.
+    - [Heap]: the classic array-backed binary min-heap, kept as the
+      simple reference implementation for differential testing. *)
+
+type backend = Heap | Wheel
 
 type 'a t
 
-val create : unit -> 'a t
+val create : ?backend:backend -> unit -> 'a t
+(** Defaults to [Wheel]. *)
+
+val backend : 'a t -> backend
 
 val is_empty : 'a t -> bool
 
@@ -16,13 +30,34 @@ val length : 'a t -> int
 val add : 'a t -> time:int -> 'a -> unit
 (** [add q ~time ev] schedules [ev] at [time]. [time] may equal the time
     of previously popped events (the kernel enforces monotonicity, not
-    the queue). *)
+    the queue); times far in the past of the current window are legal
+    but leave the wheel's fast path. *)
 
 val pop : 'a t -> (int * 'a) option
 (** Remove and return the earliest event, insertion order breaking
-    ties. *)
+    ties. The queue drops every internal reference to the popped
+    payload — nothing popped is kept live by the queue. *)
 
 val peek_time : 'a t -> int option
 (** Time of the earliest pending event, if any. *)
+
+(** {2 Allocation-free hot path}
+
+    [pop] boxes every event in a tuple and an option — 5 minor words
+    per event, which dominates steady-state kernel allocation. The
+    kernel uses the unboxed pair below instead. *)
+
+val no_event : int
+(** Sentinel returned by {!next_time} on an empty queue ([min_int],
+    never a legal event time for the kernel). *)
+
+val next_time : 'a t -> int
+(** Time of the earliest pending event, or {!no_event} when empty.
+    Never allocates. *)
+
+val pop_payload : 'a t -> 'a
+(** Remove the earliest event (same order as {!pop}) and return its
+    payload bare; read its time with {!next_time} first. Never
+    allocates. Raises [Invalid_argument] on an empty queue. *)
 
 val clear : 'a t -> unit

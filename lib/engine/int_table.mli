@@ -1,0 +1,36 @@
+(** Open-addressing hash table specialised to non-negative int keys.
+
+    A drop-in for the hot-path uses of [Hashtbl] keyed on cache lines
+    and addresses: one-multiply Fibonacci hashing (no polymorphic hash),
+    linear probing over a flat array pair (no bucket cells), allocation
+    only on growth. Iteration order is unspecified — callers that need
+    determinism must sort, exactly as with [Hashtbl].
+
+    [dummy] fills empty and vacated value slots so the table never
+    keeps a removed value reachable. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [capacity] is rounded up to a power of two (minimum 16). *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val mem : 'a t -> int -> bool
+val find_opt : 'a t -> int -> 'a option
+
+val find : 'a t -> int -> default:'a -> 'a
+(** Allocation-free lookup for immediate-typed values. *)
+
+val replace : 'a t -> int -> 'a -> unit
+(** Insert or overwrite. Raises [Invalid_argument] on a negative key. *)
+
+val remove : 'a t -> int -> unit
+(** No-op when absent. *)
+
+val iter : 'a t -> (int -> 'a -> unit) -> unit
+val fold : 'a t -> init:'b -> f:(int -> 'a -> 'b -> 'b) -> 'b
+
+val reset : 'a t -> unit
+(** Drop every binding, keeping the current capacity. *)

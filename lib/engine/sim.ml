@@ -1,15 +1,23 @@
 type t = {
   queue : (unit -> unit) Event_queue.t;
   mutable clock : int;
+  mutable events : int;
   mutable quiescent_hooks : (unit -> unit) list;
 }
 
 exception Stalled of string
 
-let create () =
-  { queue = Event_queue.create (); clock = 0; quiescent_hooks = [] }
+let create ?backend () =
+  {
+    queue = Event_queue.create ?backend ();
+    clock = 0;
+    events = 0;
+    quiescent_hooks = [];
+  }
 
 let now t = t.clock
+let events t = t.events
+let backend t = Event_queue.backend t.queue
 
 let schedule t ~delay f =
   if delay < 0 then invalid_arg "Sim.schedule: negative delay";
@@ -23,13 +31,21 @@ let pending t = Event_queue.length t.queue
 
 let on_quiescent t hook = t.quiescent_hooks <- hook :: t.quiescent_hooks
 
+(* [fire] assumes the queue is non-empty; allocation-free (no tuple/
+   option boxing, and no polymorphic [max] on the clock). *)
+let fire t time =
+  if time > t.clock then t.clock <- time;
+  t.events <- t.events + 1;
+  let f = Event_queue.pop_payload t.queue in
+  f ()
+
 let step t =
-  match Event_queue.pop t.queue with
-  | None -> false
-  | Some (time, f) ->
-    t.clock <- max t.clock time;
-    f ();
+  let time = Event_queue.next_time t.queue in
+  if time = Event_queue.no_event then false
+  else begin
+    fire t time;
     true
+  end
 
 let run ?limit t =
   let beyond time = match limit with None -> false | Some l -> time > l in
@@ -39,8 +55,8 @@ let run ?limit t =
   let hook_rounds = ref 0 in
   let last_hook_clock = ref (-1) in
   let rec drain () =
-    match Event_queue.peek_time t.queue with
-    | None ->
+    let time = Event_queue.next_time t.queue in
+    if time = Event_queue.no_event then begin
       let hooks = t.quiescent_hooks in
       List.iter (fun hook -> hook ()) hooks;
       if not (Event_queue.is_empty t.queue) then begin
@@ -59,11 +75,14 @@ let run ?limit t =
         end;
         drain ()
       end
-    | Some time when beyond time ->
+    end
+    else if beyond time then begin
       Event_queue.clear t.queue;
-      (match limit with Some l -> t.clock <- l | None -> ())
-    | Some _ ->
-      ignore (step t);
+      match limit with Some l -> t.clock <- l | None -> ()
+    end
+    else begin
+      fire t time;
       drain ()
+    end
   in
   drain ()

@@ -8,10 +8,19 @@
 
 type t
 
-val create : unit -> t
+val create : ?backend:Event_queue.backend -> unit -> t
+(** [backend] selects the pending-event set implementation (default
+    {!Event_queue.Wheel}); both backends produce bit-identical runs —
+    the heap is retained for differential testing. *)
 
 val now : t -> int
 (** Current simulated cycle. *)
+
+val events : t -> int
+(** Events fired so far ({!step} count) — the numerator of the
+    events/sec throughput metric ({!Lk_sim.Perf} in the sim library). *)
+
+val backend : t -> Event_queue.backend
 
 val schedule : t -> delay:int -> (unit -> unit) -> unit
 (** [schedule sim ~delay f] runs [f] at [now sim + delay]. [delay] must

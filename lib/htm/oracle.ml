@@ -42,8 +42,8 @@ let verify t =
   let ordered =
     List.sort
       (fun a b ->
-        match compare a.end_time b.end_time with
-        | 0 -> compare a.seq b.seq
+        match Int.compare a.end_time b.end_time with
+        | 0 -> Int.compare a.seq b.seq
         | c -> c)
       (records t)
   in

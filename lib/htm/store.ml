@@ -1,46 +1,51 @@
+module Int_table = Lk_engine.Int_table
+
 type addr = int
 
+(* Committed memory and the per-core buffers are read or written on
+   every simulated load/store, so both live in the int-specialised
+   open-addressing table rather than a polymorphic [Hashtbl]. *)
 type t = {
-  mem : (addr, int) Hashtbl.t;
-  buffers : (addr, int) Hashtbl.t array;
+  mem : int Int_table.t;
+  buffers : int Int_table.t array;
 }
 
 let create ~cores =
   if cores <= 0 then invalid_arg "Store.create: cores must be positive";
   {
-    mem = Hashtbl.create 4096;
-    buffers = Array.init cores (fun _ -> Hashtbl.create 64);
+    mem = Int_table.create ~capacity:4096 ~dummy:0 ();
+    buffers =
+      Array.init cores (fun _ -> Int_table.create ~capacity:64 ~dummy:0 ());
   }
 
-let committed t addr =
-  match Hashtbl.find_opt t.mem addr with Some v -> v | None -> 0
+let committed t addr = Int_table.find t.mem addr ~default:0
 
-let poke t addr v = Hashtbl.replace t.mem addr v
+let poke t addr v = Int_table.replace t.mem addr v
 
 let read t ~core ~speculative addr =
   if speculative then
-    match Hashtbl.find_opt t.buffers.(core) addr with
+    match Int_table.find_opt t.buffers.(core) addr with
     | Some v -> v
     | None -> committed t addr
   else committed t addr
 
 let write t ~core ~speculative addr v =
-  if speculative then Hashtbl.replace t.buffers.(core) addr v
-  else Hashtbl.replace t.mem addr v
+  if speculative then Int_table.replace t.buffers.(core) addr v
+  else Int_table.replace t.mem addr v
 
 let commit t ~core =
   let buf = t.buffers.(core) in
-  let n = Hashtbl.length buf in
-  Hashtbl.iter (fun addr v -> Hashtbl.replace t.mem addr v) buf;
-  Hashtbl.reset buf;
+  let n = Int_table.length buf in
+  Int_table.iter buf (fun addr v -> Int_table.replace t.mem addr v);
+  Int_table.reset buf;
   n
 
 let discard t ~core =
   let buf = t.buffers.(core) in
-  let n = Hashtbl.length buf in
-  Hashtbl.reset buf;
+  let n = Int_table.length buf in
+  Int_table.reset buf;
   n
 
-let buffered t ~core = Hashtbl.length t.buffers.(core)
+let buffered t ~core = Int_table.length t.buffers.(core)
 
-let footprint t = Hashtbl.length t.mem
+let footprint t = Int_table.length t.mem

@@ -293,44 +293,52 @@ let rejector_alive t ~by =
    surrounding transaction died, possibly because of this access). *)
 let issue t core line what ~epoch k =
   let c = t.ctxs.(core) in
-  let rec go attempt =
+  (* The retry loop keeps the attempt counter in a ref so [go] and
+     [handle] are each allocated once per issue — the old shape rebuilt
+     a [fun () -> go (attempt + 1)] closure (and the outcome handler)
+     on every reject, a measurable hot-loop allocation under heavy
+     contention. *)
+  let attempt = ref 0 in
+  let rec go () =
+    if c.Txstate.epoch <> epoch then k `Aborted
+    else Protocol.access t.proto ~core ~line ~what ~epoch ~k:handle
+  and handle outcome =
     if c.Txstate.epoch <> epoch then k `Aborted
     else
-      Protocol.access t.proto ~core ~line ~what ~epoch ~k:(fun outcome ->
-          if c.Txstate.epoch <> epoch then k `Aborted
-          else
-            match outcome with
-            | Types.Granted -> k `Granted
-            | Types.Rejected { by } -> begin
-              let cs = t.per_core.(core) in
-              cs.rejects_received <- cs.rejects_received + 1;
-              Stats.incr t.s_rejects;
-              trace t core (Txtrace.Rejected { by });
-              match c.Txstate.mode with
-              | Txstate.Idle ->
-                (* Plain accesses cannot abort: bounded retry. *)
-                let delay =
-                  Policy.backoff_delay t.sysconf.Sysconf.retry ~attempt
-                in
-                Sim.schedule t.sim ~delay (fun () -> go (attempt + 1))
-              | Txstate.Tl | Txstate.Stl ->
-                (* Lock transactions carry top priority and are never
-                   rejected by arbitration; be robust anyway. *)
-                Sim.schedule t.sim ~delay:16 (fun () -> go (attempt + 1))
-              | Txstate.Htm -> (
-                match t.sysconf.Sysconf.reject_policy with
-                | Policy.Self_abort ->
-                  abort_core t core (reject_reason t ~by);
-                  k `Aborted
-                | Policy.Retry_later pause ->
-                  Sim.schedule t.sim ~delay:pause (fun () -> go (attempt + 1))
-                | Policy.Wait_wakeup ->
-                  park t core
-                    ~rejector_alive:(rejector_alive t ~by)
-                    (fun () -> go (attempt + 1)))
-            end)
+      match outcome with
+      | Types.Granted -> k `Granted
+      | Types.Rejected { by } -> begin
+        let cs = t.per_core.(core) in
+        cs.rejects_received <- cs.rejects_received + 1;
+        Stats.incr t.s_rejects;
+        trace t core (Txtrace.Rejected { by });
+        match c.Txstate.mode with
+        | Txstate.Idle ->
+          (* Plain accesses cannot abort: bounded retry. *)
+          let delay =
+            Policy.backoff_delay t.sysconf.Sysconf.retry ~attempt:!attempt
+          in
+          incr attempt;
+          Sim.schedule t.sim ~delay go
+        | Txstate.Tl | Txstate.Stl ->
+          (* Lock transactions carry top priority and are never
+             rejected by arbitration; be robust anyway. *)
+          incr attempt;
+          Sim.schedule t.sim ~delay:16 go
+        | Txstate.Htm -> (
+          match t.sysconf.Sysconf.reject_policy with
+          | Policy.Self_abort ->
+            abort_core t core (reject_reason t ~by);
+            k `Aborted
+          | Policy.Retry_later pause ->
+            incr attempt;
+            Sim.schedule t.sim ~delay:pause go
+          | Policy.Wait_wakeup ->
+            incr attempt;
+            park t core ~rejector_alive:(rejector_alive t ~by) go)
+      end
   in
-  go 0
+  go ()
 
 (* --- The coherence client -------------------------------------------- *)
 
@@ -703,27 +711,35 @@ let lock_acquire_ttas t core ~k =
   let retry =
     { t.sysconf.Sysconf.retry with Policy.backoff_base = 32; backoff_cap = 1024 }
   in
+  (* One closure per role, allocated once per acquisition; the attempt
+     counter lives in a ref so re-probing schedules [spin] itself
+     instead of building a fresh thunk per backoff. *)
+  let attempt = ref 0 in
   let rec test_and_set () =
-    let epoch = c.Txstate.epoch in
-    issue t core t.lock_line Types.Rmw ~epoch (function
-      | `Aborted -> test_and_set ()
-      | `Granted ->
-        if Store.committed t.store t.lock_addr = 0 then begin
-          Store.write t.store ~core ~speculative:false t.lock_addr 1;
-          trace t core Txtrace.Lock_acquired;
-          k ()
-        end
-        else spin 0)
-  and spin attempt =
-    let epoch = c.Txstate.epoch in
-    issue t core t.lock_line Types.Read ~epoch (function
-      | `Aborted -> spin attempt
-      | `Granted ->
-        if Store.committed t.store t.lock_addr = 0 then test_and_set ()
-        else
-          Sim.schedule t.sim
-            ~delay:(Policy.backoff_delay retry ~attempt)
-            (fun () -> spin (attempt + 1)))
+    issue t core t.lock_line Types.Rmw ~epoch:c.Txstate.epoch on_tas
+  and on_tas = function
+    | `Aborted -> test_and_set ()
+    | `Granted ->
+      if Store.committed t.store t.lock_addr = 0 then begin
+        Store.write t.store ~core ~speculative:false t.lock_addr 1;
+        trace t core Txtrace.Lock_acquired;
+        k ()
+      end
+      else begin
+        attempt := 0;
+        spin ()
+      end
+  and spin () =
+    issue t core t.lock_line Types.Read ~epoch:c.Txstate.epoch on_spin
+  and on_spin = function
+    | `Aborted -> spin ()
+    | `Granted ->
+      if Store.committed t.store t.lock_addr = 0 then test_and_set ()
+      else begin
+        let delay = Policy.backoff_delay retry ~attempt:!attempt in
+        incr attempt;
+        Sim.schedule t.sim ~delay spin
+      end
   in
   test_and_set ()
 
@@ -735,17 +751,20 @@ let lock_acquire_ticket t core ~k =
   issue t core t.lock_line Types.Rmw ~epoch (fun _ ->
       let my = Store.committed t.store t.lock_addr in
       Store.write t.store ~core ~speculative:false t.lock_addr (my + 1);
-      let rec spin attempt =
-        issue t core serving_line Types.Read ~epoch (fun _ ->
-            if Store.committed t.store (serving_addr t) = my then begin
-              trace t core Txtrace.Lock_acquired;
-              k ()
-            end
-            else
-              let delay = min 512 (16 * (1 + attempt)) in
-              Sim.schedule t.sim ~delay (fun () -> spin (attempt + 1)))
+      let attempt = ref 0 in
+      let rec spin () = issue t core serving_line Types.Read ~epoch on_read
+      and on_read _ =
+        if Store.committed t.store (serving_addr t) = my then begin
+          trace t core Txtrace.Lock_acquired;
+          k ()
+        end
+        else begin
+          let delay = min 512 (16 * (1 + !attempt)) in
+          incr attempt;
+          Sim.schedule t.sim ~delay spin
+        end
       in
-      spin 0)
+      spin ())
 
 let lock_acquire t core ~k =
   let c = t.ctxs.(core) in

@@ -52,13 +52,14 @@ let place ~placement ~cores ~threads i =
 
 (* Shared execution engine for generated workloads and hand-written
    programs. *)
-let execute ?barrier_every ~machine ~oracle ~on_runtime ~placement
-    ~cycle_limit ~sysconf ~program ~(workload_name : string) ~cache () =
+let execute ?barrier_every ?queue_backend ~machine ~oracle ~on_runtime
+    ~placement ~cycle_limit ~sysconf ~program ~(workload_name : string)
+    ~cache () =
   let threads = Array.length program in
   if threads <= 0 || threads > machine.Config.cores then
     invalid_arg "Runner.run: thread count out of range";
   let core_of = place ~placement ~cores:machine.Config.cores ~threads in
-  let sim, net, protocol = Config.build machine in
+  let sim, net, protocol = Config.build ?backend:queue_backend machine in
   let store = Store.create ~cores:machine.Config.cores in
   let runtime =
     Runtime.create ~protocol ~store ~sysconf
@@ -85,7 +86,10 @@ let execute ?barrier_every ~machine ~oracle ~on_runtime ~placement
       program
   in
   Array.iter Core.start cpus;
-  Sim.run ~limit:cycle_limit sim;
+  let (), perf_sample =
+    Perf.observe sim (fun () -> Sim.run ~limit:cycle_limit sim)
+  in
+  Perf.note perf_sample;
   if !finished <> threads then
     failwith
       (Printf.sprintf "Runner.run: %s/%s/%d threads: only %d threads finished"
@@ -168,6 +172,7 @@ type options = {
   on_runtime : Runtime.t -> unit;
   placement : placement;
   cycle_limit : int;
+  queue_backend : Lk_engine.Event_queue.backend;
 }
 
 let default_options =
@@ -179,6 +184,7 @@ let default_options =
     on_runtime = (fun _ -> ());
     placement = Compact;
     cycle_limit = 1 lsl 30;
+    queue_backend = Lk_engine.Event_queue.Wheel;
   }
 
 (* The per-field optional arguments are the deprecated pre-[options]
@@ -194,6 +200,7 @@ let resolve_options ?(options = default_options) ?seed ?scale ?machine ?oracle
     on_runtime = Option.value on_runtime ~default:options.on_runtime;
     placement = Option.value placement ~default:options.placement;
     cycle_limit = Option.value cycle_limit ~default:options.cycle_limit;
+    queue_backend = options.queue_backend;
   }
 
 let run ?options ?seed ?scale ?machine ?oracle ?on_runtime ?placement
@@ -202,13 +209,22 @@ let run ?options ?seed ?scale ?machine ?oracle ?on_runtime ?placement
     resolve_options ?options ?seed ?scale ?machine ?oracle ?on_runtime
       ?placement ?cycle_limit ()
   in
-  let { seed; scale; machine; oracle; on_runtime; placement; cycle_limit } =
+  let {
+    seed;
+    scale;
+    machine;
+    oracle;
+    on_runtime;
+    placement;
+    cycle_limit;
+    queue_backend;
+  } =
     o
   in
   let program = Workload.generate workload ~threads ~seed ~scale in
   let store, result =
-    execute ?barrier_every:workload.Workload.barrier_every ~machine ~oracle
-      ~on_runtime ~placement ~cycle_limit ~sysconf ~program
+    execute ?barrier_every:workload.Workload.barrier_every ~queue_backend
+      ~machine ~oracle ~on_runtime ~placement ~cycle_limit ~sysconf ~program
       ~workload_name:workload.Workload.name ~cache:machine.Config.cache ()
   in
   (* End-to-end atomicity check: committed hot counters must equal the
@@ -226,7 +242,8 @@ let run ?options ?seed ?scale ?machine ?oracle ?on_runtime ?placement
 
 let run_program ?options ?machine ?oracle ?on_runtime ?placement ?cycle_limit
     ?(name = "custom") ~sysconf ~program () =
-  let { machine; oracle; on_runtime; placement; cycle_limit; _ } =
+  let { machine; oracle; on_runtime; placement; cycle_limit; queue_backend; _ }
+      =
     resolve_options ?options ?machine ?oracle ?on_runtime ?placement
       ?cycle_limit ()
   in
@@ -242,8 +259,9 @@ let run_program ?options ?machine ?oracle ?on_runtime ?placement ?cycle_limit
              addr))
     (Lk_cpu.Program.touched_addresses program);
   let _, result =
-    execute ~machine ~oracle ~on_runtime ~placement ~cycle_limit ~sysconf
-      ~program ~workload_name:name ~cache:machine.Config.cache ()
+    execute ~queue_backend ~machine ~oracle ~on_runtime ~placement
+      ~cycle_limit ~sysconf ~program ~workload_name:name
+      ~cache:machine.Config.cache ()
   in
   result
 

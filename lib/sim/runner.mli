@@ -60,6 +60,11 @@ type options = {
           bypass the {!Cache}. *)
   placement : placement;
   cycle_limit : int;  (** Runaway guard; exceeding it is a [Failure]. *)
+  queue_backend : Lk_engine.Event_queue.backend;
+      (** Pending-event set implementation (default wheel). Both
+          backends produce bit-identical results — the heap is the
+          differential-testing reference — so, like [on_runtime], this
+          field is excluded from cache keys. *)
 }
 (** Everything {!run} needs besides the (system, workload, threads)
     triple, collapsed from the former pile of optional arguments.
@@ -68,7 +73,8 @@ type options = {
 
 val default_options : options
 (** Seed 1, scale 1.0, the paper's 32-core machine, oracle enabled,
-    no [on_runtime] hook, [Compact] placement, a 2^30-cycle guard. *)
+    no [on_runtime] hook, [Compact] placement, a 2^30-cycle guard, the
+    wheel event queue. *)
 
 val run :
   ?options:options ->

@@ -200,6 +200,162 @@ let prop_eq_stable =
         popped;
       !ok)
 
+(* Differential test of the two backends: the heap is the reference
+   implementation, the wheel must pop the exact same (time, payload)
+   sequence through ~10k random schedule/pop/clear interleavings,
+   including adds below the wheel's current window (reachable only
+   through the raw queue API) and far beyond its horizon. *)
+let test_eq_backend_differential () =
+  let run_ops seed =
+    let rng = Rng.create seed in
+    let qw = Event_queue.create ~backend:Event_queue.Wheel () in
+    let qh = Event_queue.create ~backend:Event_queue.Heap () in
+    let clock = ref 0 in
+    let next_id = ref 0 in
+    for op = 1 to 10_000 do
+      let r = Rng.int rng 100 in
+      if r < 55 then begin
+        let time =
+          if r < 35 then !clock + Rng.int rng 300 (* near window *)
+          else if r < 48 then !clock + Rng.int rng 8192 (* far heap *)
+          else if !clock = 0 then 0
+          else Rng.int rng !clock (* below the window: reshuffle *)
+        in
+        let id = !next_id in
+        incr next_id;
+        Event_queue.add qw ~time id;
+        Event_queue.add qh ~time id
+      end
+      else if r < 97 then begin
+        let a = Event_queue.pop qw and b = Event_queue.pop qh in
+        if a <> b then
+          Alcotest.failf "seed %d op %d: wheel and heap popped differently"
+            seed op;
+        match a with Some (t, _) -> clock := t | None -> ()
+      end
+      else begin
+        Event_queue.clear qw;
+        Event_queue.clear qh;
+        clock := 0
+      end;
+      check_int "lengths agree" (Event_queue.length qh)
+        (Event_queue.length qw);
+      if Event_queue.peek_time qw <> Event_queue.peek_time qh then
+        Alcotest.failf "seed %d op %d: peek_time disagrees" seed op
+    done;
+    (* Drain whatever is left and compare the full tail. *)
+    let rec drain () =
+      let a = Event_queue.pop qw and b = Event_queue.pop qh in
+      if a <> b then Alcotest.failf "seed %d drain: tail mismatch" seed;
+      if a <> None then drain ()
+    in
+    drain ()
+  in
+  List.iter run_ops [ 1; 42; 1337 ]
+
+(* Regression test for the space leak where [pop] left the popped entry
+   reachable through the heap array's vacated slot: attach finalisers
+   to every payload, pop them all, and require the GC to collect every
+   one while the queue itself is still live and non-empty. *)
+let test_eq_pop_releases_payloads backend () =
+  let q = Event_queue.create ~backend () in
+  let collected = ref 0 in
+  let n = 64 in
+  for i = 0 to n - 1 do
+    let payload = ref i in
+    Gc.finalise (fun _ -> incr collected) payload;
+    Event_queue.add q ~time:i payload
+  done;
+  for _ = 1 to n do
+    ignore (Event_queue.pop q)
+  done;
+  (* Keep the queue alive and non-empty across the collection so the
+     test observes the queue dropping the payloads, not the queue
+     itself dying. *)
+  Event_queue.add q ~time:1000 (ref (-1));
+  Gc.full_major ();
+  Gc.full_major ();
+  check_int "queue still holds the sentinel event" 1 (Event_queue.length q);
+  check_int "all popped payloads collected" n !collected
+
+(* --- Int_table -------------------------------------------------------- *)
+
+module Int_table = Lk_engine.Int_table
+
+let test_int_table_basic () =
+  let t = Int_table.create ~dummy:(-1) () in
+  check_bool "fresh empty" true (Int_table.is_empty t);
+  Int_table.replace t 5 50;
+  Int_table.replace t 9 90;
+  Int_table.replace t 5 55;
+  check_int "length counts keys, not writes" 2 (Int_table.length t);
+  check_bool "mem" true (Int_table.mem t 5);
+  check_bool "find_opt" true (Int_table.find_opt t 5 = Some 55);
+  check_int "find default" 90 (Int_table.find t ~default:0 9);
+  check_int "find miss" 0 (Int_table.find t ~default:0 7);
+  Int_table.remove t 5;
+  check_bool "removed" false (Int_table.mem t 5);
+  check_int "length after remove" 1 (Int_table.length t);
+  Int_table.reset t;
+  check_bool "reset empties" true (Int_table.is_empty t)
+
+let test_int_table_rejects_negative () =
+  let t = Int_table.create ~dummy:0 () in
+  Alcotest.check_raises "negative key"
+    (Invalid_argument "Int_table.replace: negative key") (fun () ->
+      Int_table.replace t (-3) 1)
+
+(* Property test against Hashtbl as the reference: random interleaved
+   replace/remove/find churn (keys drawn from a small range so slots
+   are hit repeatedly, exercising tombstone reuse and same-capacity
+   rehash as well as growth). *)
+let prop_int_table_matches_hashtbl =
+  QCheck.Test.make ~name:"Int_table behaves like Hashtbl under churn"
+    ~count:50
+    QCheck.(list (pair (int_bound 200) (int_bound 3)))
+    (fun ops ->
+      let t = Int_table.create ~capacity:4 ~dummy:(-1) () in
+      let h = Hashtbl.create 16 in
+      List.iteri
+        (fun i (key, op) ->
+          match op with
+          | 0 | 1 ->
+            Int_table.replace t key i;
+            Hashtbl.replace h key i
+          | 2 -> (
+            Int_table.remove t key;
+            Hashtbl.remove h key;
+            match Int_table.find_opt t key with
+            | Some _ -> failwith "find after remove"
+            | None -> ())
+          | _ ->
+            if Int_table.find_opt t key <> Hashtbl.find_opt h key then
+              failwith "lookup mismatch")
+        ops;
+      (* Full-state comparison both ways. *)
+      Int_table.length t = Hashtbl.length h
+      && Int_table.fold t ~init:true ~f:(fun k v acc ->
+             acc && Hashtbl.find_opt h k = Some v)
+      && Hashtbl.fold
+           (fun k v acc -> acc && Int_table.find_opt t k = Some v)
+           h true)
+
+let test_int_table_iter_visits_all () =
+  let t = Int_table.create ~capacity:4 ~dummy:0 () in
+  for k = 0 to 99 do
+    Int_table.replace t k (k * 3)
+  done;
+  for k = 0 to 99 do
+    if k mod 2 = 0 then Int_table.remove t k
+  done;
+  let sum = ref 0 and count = ref 0 in
+  Int_table.iter t (fun k v ->
+      check_int "value matches key" (k * 3) v;
+      incr count;
+      sum := !sum + k);
+  check_int "iterates live keys only" 50 !count;
+  check_int "sum of odd keys" 2500 !sum
+
 (* --- Sim ------------------------------------------------------------- *)
 
 let test_sim_runs_in_order () =
@@ -391,6 +547,21 @@ let () =
           Alcotest.test_case "interleaved add/pop" `Quick test_eq_interleaved;
           QCheck_alcotest.to_alcotest prop_eq_sorted;
           QCheck_alcotest.to_alcotest prop_eq_stable;
+          Alcotest.test_case "wheel vs heap differential" `Quick
+            test_eq_backend_differential;
+          Alcotest.test_case "pop releases payloads (wheel)" `Quick
+            (test_eq_pop_releases_payloads Event_queue.Wheel);
+          Alcotest.test_case "pop releases payloads (heap)" `Quick
+            (test_eq_pop_releases_payloads Event_queue.Heap);
+        ] );
+      ( "int-table",
+        [
+          Alcotest.test_case "basic operations" `Quick test_int_table_basic;
+          Alcotest.test_case "negative key rejected" `Quick
+            test_int_table_rejects_negative;
+          QCheck_alcotest.to_alcotest prop_int_table_matches_hashtbl;
+          Alcotest.test_case "iter visits live keys" `Quick
+            test_int_table_iter_visits_all;
         ] );
       ( "sim",
         [
