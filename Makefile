@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 SHELL := /bin/bash
 
-.PHONY: all build test bench perfcheck ci clean
+.PHONY: all build test bench perfcheck doc ci clean
 
 all: build
 
@@ -13,6 +13,23 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# API docs (doc/index.mld + the interface docstrings). odoc is an
+# optional dev dependency, so the target degrades to a notice when it
+# is absent; when it runs, any odoc warning (broken {!reference},
+# missing docstring markup, bad .mld syntax) fails the build.
+doc:
+	@if command -v odoc >/dev/null 2>&1; then \
+	  out=$$(dune build @doc 2>&1); status=$$?; \
+	  if [ -n "$$out" ]; then printf '%s\n' "$$out"; fi; \
+	  if [ $$status -ne 0 ]; then exit $$status; fi; \
+	  if printf '%s' "$$out" | grep -qi warning; then \
+	    echo "make doc: odoc warnings are treated as errors"; exit 1; \
+	  fi; \
+	  echo "docs built: _build/default/_doc/_html/index.html"; \
+	else \
+	  echo "make doc: odoc not installed, skipping (opam install odoc)"; \
+	fi
 
 # Perf regression gate: rerun the event-engine microbenchmarks and
 # compare against the committed baseline with a 2x tolerance band —
@@ -30,6 +47,7 @@ perfcheck:
 ci:
 	dune build
 	dune runtest
+	$(MAKE) doc
 	rm -rf _build/ci-cache
 	dune exec bench/main.exe -- fig7 --scale 0.1 --jobs 2 \
 	  --cache-dir _build/ci-cache > _build/ci-cold.out

@@ -16,6 +16,7 @@ module Reason = Lockiller.Htm.Reason
 module Json = Lockiller.Sim.Json
 module Cache = Lockiller.Sim.Cache
 module Pool = Lockiller.Sim.Pool
+module Tracing = Lockiller.Sim.Tracing
 
 (* --- shared options ---------------------------------------------------- *)
 
@@ -72,6 +73,59 @@ let cache_dir_t =
 let resolve_cache_dir = function
   | Some dir -> dir
   | None -> Cache.default_dir ()
+
+(* --- observability options --------------------------------------------- *)
+
+let trace_events_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-events" ] ~docv:"FILE"
+        ~doc:"Write a Chrome/Perfetto trace of the run to $(docv): one \
+              track per core, transactions as duration slices (aborts \
+              tagged with their cause), NACKs/kills/parks as instants. \
+              Load it at https://ui.perfetto.dev.")
+
+let abort_breakdown_t =
+  Arg.(
+    value & flag
+    & info [ "abort-breakdown" ]
+        ~doc:"Print the abort-cause breakdown aggregated from the event \
+              ledger (counts match the abort statistics exactly unless \
+              the ledger overflowed).")
+
+let trace_capacity_t =
+  Arg.(
+    value
+    & opt int 65536
+    & info [ "trace-capacity" ] ~docv:"N"
+        ~doc:"Event-ledger ring capacity in records, for --trace-events \
+              and --abort-breakdown; older records are dropped beyond it.")
+
+(* The ledger is enabled lazily: zero simulation overhead unless one of
+   the observability flags asked for it. *)
+let want_ledger ~trace_events ~breakdown = trace_events <> None || breakdown
+
+let emit_observability ~format ~trace_events ~breakdown rt =
+  let module Runtime = Lockiller.Mechanisms.Runtime in
+  match Runtime.ledger rt with
+  | None -> ()
+  | Some l ->
+    (match trace_events with
+    | None -> ()
+    | Some file ->
+      Tracing.write_perfetto ~file l;
+      Printf.printf "# trace-events: wrote %s (%d events, %d dropped)\n" file
+        (Lockiller.Engine.Ledger.length l)
+        (Lockiller.Engine.Ledger.dropped l));
+    if breakdown then begin
+      let b = Tracing.abort_breakdown l in
+      let table = Tracing.breakdown_table b in
+      match format with
+      | `Text -> Report.print table
+      | `Csv -> print_string (Report.to_csv table)
+      | `Json -> print_endline (Json.to_string (Tracing.json_of_breakdown b))
+    end
 
 (* --- run --------------------------------------------------------------- *)
 
@@ -169,7 +223,8 @@ let run_cmd =
       & opt (some int) None
       & info [ "threads"; "t" ] ~doc:"Thread count (2..cores).")
   in
-  let action system workload threads stats format seed scale cache cores =
+  let action system workload threads stats format seed scale cache cores
+      trace_events breakdown trace_capacity =
     let module Runtime = Lockiller.Mechanisms.Runtime in
     let module Stats = Lockiller.Engine.Stats in
     let handle = ref None in
@@ -188,7 +243,11 @@ let run_cmd =
               seed;
               scale;
               machine = Config.machine ~cache ~cores ();
-              on_runtime = (fun rt -> handle := Some rt);
+              on_runtime =
+                (fun rt ->
+                  handle := Some rt;
+                  if want_ledger ~trace_events ~breakdown then
+                    ignore (Runtime.enable_ledger ~capacity:trace_capacity rt));
             }
           ~sysconf ~workload:profile ~threads ()
       with
@@ -231,13 +290,16 @@ let run_cmd =
             else Runner.json_of_result r
           in
           print_endline (Json.to_string doc));
+        Option.iter (emit_observability ~format ~trace_events ~breakdown)
+          !handle;
         `Ok ())
   in
   let term =
     Term.(
       ret
         (const action $ system $ workload $ threads $ stats_t $ format_t
-       $ seed_t $ scale_t $ cache_t $ cores_t))
+       $ seed_t $ scale_t $ cache_t $ cores_t $ trace_events_t
+       $ abort_breakdown_t $ trace_capacity_t))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate one system/workload/thread combination")
@@ -386,7 +448,8 @@ let trace_cmd =
       & opt int 200
       & info [ "last"; "n" ] ~doc:"How many trailing events to print.")
   in
-  let action system workload threads last seed scale cache cores =
+  let action system workload threads last seed scale cache cores trace_events
+      breakdown trace_capacity =
     let module Txtrace = Lockiller.Mechanisms.Txtrace in
     let module Runtime = Lockiller.Mechanisms.Runtime in
     match
@@ -397,10 +460,15 @@ let trace_cmd =
     | _, None -> `Error (false, "unknown workload " ^ workload)
     | Some sysconf, Some profile -> (
       let trace = ref None in
+      let handle = ref None in
       match
         Runner.run ~seed ~scale
           ~machine:(Config.machine ~cache ~cores ())
-          ~on_runtime:(fun rt -> trace := Some (Runtime.enable_txtrace rt))
+          ~on_runtime:(fun rt ->
+            handle := Some rt;
+            trace := Some (Runtime.enable_txtrace rt);
+            if want_ledger ~trace_events ~breakdown then
+              ignore (Runtime.enable_ledger ~capacity:trace_capacity rt))
           ~sysconf ~workload:profile ~threads ()
       with
       | exception (Failure msg | Invalid_argument msg) -> `Error (false, msg)
@@ -411,6 +479,9 @@ let trace_cmd =
           Printf.printf "# %d lifecycle events recorded; last %d:\n"
             (Txtrace.recorded tr) last;
           Txtrace.dump ~limit:last Format.std_formatter tr);
+        Option.iter
+          (emit_observability ~format:`Text ~trace_events ~breakdown)
+          !handle;
         Printf.printf "\n# run summary: %d cycles, commit rate %.1f%%\n"
           r.Runner.cycles
           (100.0 *. r.Runner.commit_rate);
@@ -420,7 +491,8 @@ let trace_cmd =
     Term.(
       ret
         (const action $ system $ workload $ threads $ last $ seed_t $ scale_t
-       $ cache_t $ cores_t))
+       $ cache_t $ cores_t $ trace_events_t $ abort_breakdown_t
+       $ trace_capacity_t))
   in
   Cmd.v
     (Cmd.info "trace"

@@ -50,6 +50,7 @@ type t = {
      number through the int-specialised table — this is touched twice
      per L1 miss. *)
   busy : request Queue.t Lk_engine.Int_table.t;
+  mutable ledger : Lk_engine.Ledger.t option;
   stats : Stats.group;
   s_l1_hits : Stats.counter;
   s_l1_misses : Stats.counter;
@@ -89,6 +90,7 @@ let create ~sim ~network cfg =
         ~ways:cfg.llc_ways;
     client = Client.plain;
     busy = Lk_engine.Int_table.create ~capacity:256 ~dummy:(Queue.create ()) ();
+    ledger = None;
     stats;
     s_l1_hits = Stats.counter stats "l1_hits";
     s_l1_misses = Stats.counter stats "l1_misses";
@@ -107,6 +109,23 @@ let create ~sim ~network cfg =
   }
 
 let set_client t client = t.client <- client
+let set_ledger t ledger = t.ledger <- Some ledger
+
+(* Ledger feeds from the coherence layer: a [Nack] when the home sends
+   a reject reply ([arg] = the holder that won, -1 for the LLC overflow
+   signatures), an [Abort_kill] when a conflicting holder is aborted on
+   behalf of a requester ([core] = victim, [arg] = aggressor). *)
+let note_nack t ~requester ~by =
+  match t.ledger with
+  | None -> ()
+  | Some l -> Lk_engine.Ledger.emit l ~core:requester Lk_engine.Ledger.Nack ~arg:by
+
+let note_kill t ~victim ~aggressor =
+  match t.ledger with
+  | None -> ()
+  | Some l ->
+    Lk_engine.Ledger.emit l ~core:victim Lk_engine.Ledger.Abort_kill
+      ~arg:aggressor
 let sim t = t.sim
 let network t = t.net
 let config t = t.cfg
@@ -295,6 +314,7 @@ let rec dispatch t req (party : Types.party) ~extra ~depth =
       with
       | Client.Reject_requester ->
         Stats.incr t.s_owner_rejects;
+        note_nack t ~requester:req.core ~by:o;
         t.client.Client.on_reject ~requester:req.core ~by:(Some o)
           ~line:req.line;
         let lat =
@@ -307,6 +327,7 @@ let rec dispatch t req (party : Types.party) ~extra ~depth =
         (Types.Rejected { by = Some o }, lat)
       | Client.Abort_holder ->
         Stats.incr t.s_conflict_aborts;
+        note_kill t ~victim:o ~aggressor:req.core;
         t.client.Client.abort ~victim:o ~aggressor:req.core
           ~aggressor_mode:party.Types.mode ~line:req.line;
         (* NACK leg: home -> owner -> home, then retry the decision
@@ -389,6 +410,7 @@ let rec dispatch t req (party : Types.party) ~extra ~depth =
     List.iter
       (fun c ->
         Stats.incr t.s_conflict_aborts;
+        note_kill t ~victim:c ~aggressor:req.core;
         t.client.Client.abort ~victim:c ~aggressor:req.core
           ~aggressor_mode:party.Types.mode ~line:req.line)
       losers;
@@ -422,6 +444,7 @@ let rec dispatch t req (party : Types.party) ~extra ~depth =
       (plain @ losers);
     if winners <> [] then begin
       Stats.incr t.s_sharer_rejects;
+      note_nack t ~requester:req.core ~by:(List.hd winners);
       let keep =
         if L1_cache.resident t.l1s.(req.core) req.line then req.core :: winners
         else winners
@@ -480,6 +503,7 @@ let process t req =
       match sig_verdict with
       | Some Client.Reject_requester ->
         Stats.incr t.s_sig_rejects;
+        note_nack t ~requester:req.core ~by:(-1);
         t.client.Client.on_reject ~requester:req.core ~by:None ~line:req.line;
         ( Types.Rejected { by = None },
           t.cfg.llc_hit_latency + extra + ctrl t ~src:home ~dst:req.core )

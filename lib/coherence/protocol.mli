@@ -46,6 +46,15 @@ val create :
 val set_client : t -> Client.t -> unit
 (** Install the transactional policy. Defaults to {!Client.plain}. *)
 
+val set_ledger : t -> Lk_engine.Ledger.t -> unit
+(** Feed coherence-level transactional events into an event ledger:
+    [Nack] whenever the home replies with a reject ([arg] = winning
+    holder core, or [-1] when the LLC overflow signatures rejected) and
+    [Abort_kill] whenever a conflicting holder is aborted on behalf of
+    a requester ([core] = victim, [arg] = aggressor). Off (and free)
+    until called; normally wired by
+    [Lk_lockiller.Runtime.enable_ledger]. *)
+
 val sim : t -> Lk_engine.Sim.t
 val network : t -> Lk_mesh.Network.t
 val config : t -> config

@@ -1,0 +1,130 @@
+type kind =
+  | Tx_begin
+  | Tx_commit
+  | Tx_abort
+  | Nack
+  | Reject
+  | Abort_kill
+  | Park
+  | Wake
+  | Lock_acquire
+  | Lock_release
+  | Hl_begin
+  | Hl_end
+  | Switch_granted
+  | Switch_denied
+  | Spill
+  | Spec_publish
+  | Spec_discard
+
+let kinds =
+  [
+    Tx_begin; Tx_commit; Tx_abort; Nack; Reject; Abort_kill; Park; Wake;
+    Lock_acquire; Lock_release; Hl_begin; Hl_end; Switch_granted;
+    Switch_denied; Spill; Spec_publish; Spec_discard;
+  ]
+
+let kind_code = function
+  | Tx_begin -> 0
+  | Tx_commit -> 1
+  | Tx_abort -> 2
+  | Nack -> 3
+  | Reject -> 4
+  | Abort_kill -> 5
+  | Park -> 6
+  | Wake -> 7
+  | Lock_acquire -> 8
+  | Lock_release -> 9
+  | Hl_begin -> 10
+  | Hl_end -> 11
+  | Switch_granted -> 12
+  | Switch_denied -> 13
+  | Spill -> 14
+  | Spec_publish -> 15
+  | Spec_discard -> 16
+
+let kind_table = Array.of_list kinds
+
+let kind_of_code c =
+  if c >= 0 && c < Array.length kind_table then Some kind_table.(c) else None
+
+let kind_label = function
+  | Tx_begin -> "xbegin"
+  | Tx_commit -> "commit"
+  | Tx_abort -> "abort"
+  | Nack -> "nack"
+  | Reject -> "reject"
+  | Abort_kill -> "kill"
+  | Park -> "park"
+  | Wake -> "wake"
+  | Lock_acquire -> "lock-acquire"
+  | Lock_release -> "lock-release"
+  | Hl_begin -> "hlbegin"
+  | Hl_end -> "hlend"
+  | Switch_granted -> "switch-granted"
+  | Switch_denied -> "switch-denied"
+  | Spill -> "spill"
+  | Spec_publish -> "spec-publish"
+  | Spec_discard -> "spec-discard"
+
+(* Four machine words per record — time, core, code, arg — in one flat
+   preallocated array, so [emit] writes four slots and touches nothing
+   else. *)
+type t = {
+  sim : Sim.t;
+  data : int array;
+  cap : int;
+  mutable next : int;  (* total recorded *)
+}
+
+let create ?(capacity = 65536) sim =
+  if capacity <= 0 then invalid_arg "Ledger.create: capacity must be positive";
+  { sim; data = Array.make (4 * capacity) 0; cap = capacity; next = 0 }
+
+let emit t ~core kind ~arg =
+  let base = 4 * (t.next mod t.cap) in
+  t.data.(base) <- Sim.now t.sim;
+  t.data.(base + 1) <- core;
+  t.data.(base + 2) <- kind_code kind;
+  t.data.(base + 3) <- arg;
+  t.next <- t.next + 1
+
+let capacity t = t.cap
+let recorded t = t.next
+let length t = min t.next t.cap
+let dropped t = max 0 (t.next - t.cap)
+
+let clear t =
+  Array.fill t.data 0 (Array.length t.data) 0;
+  t.next <- 0
+
+let iter t f =
+  let first = max 0 (t.next - t.cap) in
+  for i = first to t.next - 1 do
+    let base = 4 * (i mod t.cap) in
+    f ~time:t.data.(base) ~core:t.data.(base + 1)
+      ~kind:kind_table.(t.data.(base + 2))
+      ~arg:t.data.(base + 3)
+  done
+
+type entry = { time : int; core : int; kind : kind; arg : int }
+
+let entries t =
+  let out = ref [] in
+  iter t (fun ~time ~core ~kind ~arg ->
+      out := { time; core; kind; arg } :: !out);
+  List.rev !out
+
+let pp_entry ppf e =
+  Format.fprintf ppf "%d %d %s %d" e.time e.core (kind_label e.kind) e.arg
+
+let dump ?limit ppf t =
+  let n = length t in
+  let skip = match limit with None -> 0 | Some l -> max 0 (n - l) in
+  if dropped t > 0 then
+    Format.fprintf ppf "# %d earlier events dropped@." (dropped t);
+  let i = ref 0 in
+  iter t (fun ~time ~core ~kind ~arg ->
+      if !i >= skip then
+        Format.fprintf ppf "%d %d %s %d@." time core (kind_label kind) arg;
+      incr i)

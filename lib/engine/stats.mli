@@ -17,21 +17,41 @@ val counter : group -> string -> counter
 (** Create-or-get the counter [name] inside the group. *)
 
 val accumulator : group -> string -> accumulator
+(** Create-or-get the accumulator [name] inside the group. *)
+
 val histogram : group -> string -> histogram
+(** Create-or-get the histogram [name] inside the group. *)
 
 val incr : counter -> unit
+(** Add one to the counter. *)
+
 val add : counter -> int -> unit
+(** Add an arbitrary (possibly negative) amount to the counter. *)
+
 val value : counter -> int
+(** Current counter value (0 at creation). *)
 
 val sample : accumulator -> int -> unit
+(** Record one integer sample. *)
+
 val count : accumulator -> int
+(** Number of samples recorded so far. *)
+
 val sum : accumulator -> int
+(** Sum of all samples (0 when empty). *)
+
 val min_sample : accumulator -> int option
+(** Smallest sample, or [None] when empty. *)
+
 val max_sample : accumulator -> int option
+(** Largest sample, or [None] when empty. *)
+
 val mean : accumulator -> float
 (** Mean of the samples; 0 when empty. *)
 
 val observe : histogram -> int -> unit
+(** Record one sample into its power-of-two bucket. *)
+
 val buckets : histogram -> (int * int) list
 (** [(upper_bound, count)] pairs for non-empty power-of-two buckets, in
     increasing bound order. *)
@@ -40,6 +60,7 @@ val counters : group -> (string * int) list
 (** All counters of the group with their values, sorted by name. *)
 
 val accumulators : group -> (string * accumulator) list
+(** All accumulators of the group, sorted by name. *)
 
 val reset : group -> unit
 (** Zero every statistic in the group (the namespace survives). *)

@@ -4,7 +4,16 @@ let setup ?(level = Logs.Debug) () =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some level)
 
+(* The level test must come before any formatting: [kasprintf] renders
+   its arguments eagerly, so guarding inside the [Logs.debug] closure
+   would still pay the full string build on every rejected message. The
+   disabled path consumes the format arguments with [ikfprintf], which
+   formats nothing and allocates nothing. *)
 let debugf src ~cycle fmt =
-  Format.kasprintf
-    (fun s -> Logs.debug ~src (fun m -> m "[%d] %s" cycle s))
-    fmt
+  match Logs.Src.level src with
+  | Some Logs.Debug ->
+    Format.kasprintf
+      (fun s -> Logs.debug ~src (fun m -> m "[%d] %s" cycle s))
+      fmt
+  | Some (Logs.App | Logs.Error | Logs.Warning | Logs.Info) | None ->
+    Format.ikfprintf ignore Format.str_formatter fmt

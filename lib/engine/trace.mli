@@ -15,4 +15,7 @@ val setup : ?level:Logs.level -> unit -> unit
 val debugf :
   Logs.src -> cycle:int -> ('a, Format.formatter, unit, unit) format4 -> 'a
 (** [debugf src ~cycle fmt ...] logs a debug line prefixed with the
-    simulated cycle. *)
+    simulated cycle. The source's level is tested {e before} the
+    message is rendered: when the source does not admit [Debug] the
+    format arguments are consumed without formatting or allocating, so
+    hot-path trace calls are free in normal runs. *)

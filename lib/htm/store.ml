@@ -8,6 +8,7 @@ type addr = int
 type t = {
   mem : int Int_table.t;
   buffers : int Int_table.t array;
+  mutable ledger : Lk_engine.Ledger.t option;
 }
 
 let create ~cores =
@@ -16,7 +17,10 @@ let create ~cores =
     mem = Int_table.create ~capacity:4096 ~dummy:0 ();
     buffers =
       Array.init cores (fun _ -> Int_table.create ~capacity:64 ~dummy:0 ());
+    ledger = None;
   }
+
+let set_ledger t ledger = t.ledger <- Some ledger
 
 let committed t addr = Int_table.find t.mem addr ~default:0
 
@@ -38,12 +42,18 @@ let commit t ~core =
   let n = Int_table.length buf in
   Int_table.iter buf (fun addr v -> Int_table.replace t.mem addr v);
   Int_table.reset buf;
+  (match t.ledger with
+  | None -> ()
+  | Some l -> Lk_engine.Ledger.emit l ~core Lk_engine.Ledger.Spec_publish ~arg:n);
   n
 
 let discard t ~core =
   let buf = t.buffers.(core) in
   let n = Int_table.length buf in
   Int_table.reset buf;
+  (match t.ledger with
+  | None -> ()
+  | Some l -> Lk_engine.Ledger.emit l ~core Lk_engine.Ledger.Spec_discard ~arg:n);
   n
 
 let buffered t ~core = Int_table.length t.buffers.(core)

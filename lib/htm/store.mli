@@ -16,6 +16,14 @@ type t
 
 val create : cores:int -> t
 
+val set_ledger : t -> Lk_engine.Ledger.t -> unit
+(** Feed the value layer's lifecycle into an event ledger: every
+    {!commit} emits [Spec_publish] and every {!discard} emits
+    [Spec_discard], each carrying the number of buffered speculative
+    writes involved. Normally wired by
+    [Lk_lockiller.Runtime.enable_ledger], which attaches one ledger to
+    all three emitting layers at once. *)
+
 val committed : t -> addr -> int
 (** Committed value of an address (0 if never written). *)
 

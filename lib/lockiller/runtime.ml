@@ -1,5 +1,6 @@
 module Sim = Lk_engine.Sim
 module Stats = Lk_engine.Stats
+module Ledger = Lk_engine.Ledger
 module Net = Lk_mesh.Network
 module Msg = Lk_mesh.Message
 module Types = Lk_coherence.Types
@@ -66,6 +67,10 @@ type t = {
   pending_wake : bool array;
   mutable oracle : Oracle.t option;
   mutable txtrace : Txtrace.t option;
+  mutable ledger : Ledger.t option;
+  (* Cycle at which each core acquired the fallback spinlock; -1 when
+     not holding it. Feeds the lock-dwell counter. *)
+  lock_held_since : int array;
   (* Per-core operation log of the current critical section (reversed),
      and whether the core is inside a plain (lock-protected,
      non-transactional) section that should be logged. *)
@@ -83,6 +88,7 @@ type t = {
   s_switch_denied : Stats.counter;
   s_spilled_lines : Stats.counter;
   s_lock_busy : Stats.counter;
+  s_lock_dwell : Stats.counter;
 }
 
 let sysconf t = t.sysconf
@@ -132,10 +138,26 @@ let enable_txtrace ?capacity t =
 
 let txtrace t = t.txtrace
 
+let enable_ledger ?capacity t =
+  let l = Ledger.create ?capacity t.sim in
+  t.ledger <- Some l;
+  Protocol.set_ledger t.proto l;
+  Store.set_ledger t.store l;
+  l
+
+let ledger t = t.ledger
+
 let trace t core event =
   match t.txtrace with
   | None -> ()
   | Some tr -> Txtrace.record tr ~time:(Sim.now t.sim) ~core event
+
+(* The structured counterpart of [trace]: one branch when disabled, an
+   allocation-free four-word write when enabled. *)
+let emit t core kind ~arg =
+  match t.ledger with
+  | None -> ()
+  | Some l -> Ledger.emit l ~core kind ~arg
 
 let log_op t core op =
   match t.oracle with
@@ -211,6 +233,7 @@ let wake t core =
     t.parked.(core) <- None;
     Stats.incr t.s_wakeups;
     trace t core Txtrace.Woken;
+    emit t core Ledger.Wake ~arg:0;
     Sim.schedule t.sim ~delay:0 resume
   | None ->
     (* The wake-up raced ahead of the reject reply; remember it so the
@@ -240,6 +263,7 @@ let park t core ~rejector_alive resume =
     t.parked.(core) <- Some resume;
     t.per_core.(core).parks <- t.per_core.(core).parks + 1;
     trace t core Txtrace.Parked;
+    emit t core Ledger.Park ~arg:0;
     Stats.incr t.s_parks
   end
 
@@ -257,6 +281,7 @@ let abort_core t core reason =
     cs.abort_reasons.(Reason.index reason) + 1;
   Stats.incr t.s_aborts;
   trace t core (Txtrace.Abort reason);
+  emit t core Ledger.Tx_abort ~arg:(Reason.index reason);
   ignore (Store.discard t.store ~core);
   clear_log t core;
   Txstate.abort c reason;
@@ -312,6 +337,8 @@ let issue t core line what ~epoch k =
         cs.rejects_received <- cs.rejects_received + 1;
         Stats.incr t.s_rejects;
         trace t core (Txtrace.Rejected { by });
+        emit t core Ledger.Reject
+          ~arg:(match by with Some r -> r | None -> -1);
         match c.Txstate.mode with
         | Txstate.Idle ->
           (* Plain accesses cannot abort: bounded retry. *)
@@ -348,6 +375,7 @@ let spill t core (view : L1.view) =
   | Some _ -> invalid_arg "Runtime.spill: signature owned by another core"
   | None -> t.sig_owner <- Some core);
   Stats.incr t.s_spilled_lines;
+  emit t core Ledger.Spill ~arg:view.L1.line;
   if view.L1.tx_write then Signature.add t.of_wr view.L1.line
   else Signature.add t.of_rd view.L1.line
 
@@ -370,6 +398,7 @@ let on_tx_eviction t ~core ~(view : L1.view) =
     if Arbiter.try_acquire t.arb core then begin
       Stats.incr t.s_switch_ok;
       trace t core Txtrace.Switch_granted;
+      emit t core Ledger.Switch_granted ~arg:0;
       c.Txstate.mode <- Txstate.Stl;
       (* The transaction is irrevocable from here on: its speculative
          writes become real. *)
@@ -380,6 +409,7 @@ let on_tx_eviction t ~core ~(view : L1.view) =
     else begin
       Stats.incr t.s_switch_denied;
       trace t core Txtrace.Switch_denied;
+      emit t core Ledger.Switch_denied ~arg:0;
       abort_core t core Reason.Capacity;
       Client.Abort_tx rtt
     end
@@ -469,6 +499,8 @@ let create ?(costs = default_costs) ~protocol:proto ~store ~sysconf ~lock_addr
       pending_wake = Array.make cores false;
       oracle = None;
       txtrace = None;
+      ledger = None;
+      lock_held_since = Array.make cores (-1);
       op_logs = Array.make cores [];
       plain_section = Array.make cores false;
       per_core =
@@ -495,6 +527,7 @@ let create ?(costs = default_costs) ~protocol:proto ~store ~sysconf ~lock_addr
       s_switch_denied = Stats.counter stats "switches_denied";
       s_spilled_lines = Stats.counter stats "spilled_lines";
       s_lock_busy = Stats.counter stats "lock_busy_aborts";
+      s_lock_dwell = Stats.counter stats "lock_dwell_cycles";
     }
   in
   Protocol.set_client proto (client t);
@@ -521,6 +554,7 @@ let xbegin t core ~k =
     invalid_arg "Runtime.xbegin: already in a transaction";
   Txstate.begin_htm c;
   trace t core Txtrace.Xbegin;
+  emit t core Ledger.Tx_begin ~arg:c.Txstate.attempt;
   (* Static priorities are drawn once per transaction, before the first
      attempt, and survive retries (Section III-A: "determined before
      the transaction and remain unchanged"). *)
@@ -562,6 +596,7 @@ let xend t core ~k =
         ignore (Store.commit t.store ~core);
         record_section t core Oracle.Htm_commit;
         trace t core Txtrace.Commit;
+        emit t core Ledger.Tx_commit ~arg:(c.Txstate.attempt + 1);
         let cs = t.per_core.(core) in
         cs.commits <- cs.commits + 1;
         cs.attempts_at_commit <-
@@ -585,6 +620,7 @@ let hlbegin t core ~k =
           Txstate.reset_attempt c;
           clear_log t core;
           trace t core Txtrace.Hlbegin;
+          emit t core Ledger.Hl_begin ~arg:0;
           k ()
         end
         else
@@ -601,6 +637,7 @@ let hlbegin t core ~k =
         Txstate.reset_attempt c;
         clear_log t core;
         trace t core Txtrace.Hlbegin;
+        emit t core Ledger.Hl_begin ~arg:0;
         k ())
 
 let hlend t core ~k =
@@ -625,6 +662,7 @@ let hlend t core ~k =
       record_section t core
         (if was_stl then Oracle.Stl_commit else Oracle.Tl_commit);
       trace t core (Txtrace.Hlend { was_stl });
+      emit t core Ledger.Hl_end ~arg:(if was_stl then 1 else 0);
       let cs = t.per_core.(core) in
       if was_stl then cs.stl_commits <- cs.stl_commits + 1
       else cs.lock_commits <- cs.lock_commits + 1;
@@ -703,6 +741,18 @@ let fault t core ~k =
    on the lock line, the now-serving counter on the next line. *)
 let serving_addr t = t.lock_addr + Addr.line_size
 
+let note_lock_acquired t core =
+  t.lock_held_since.(core) <- Sim.now t.sim;
+  emit t core Ledger.Lock_acquire ~arg:0
+
+let note_lock_released t core =
+  let since = t.lock_held_since.(core) in
+  if since >= 0 then begin
+    Stats.add t.s_lock_dwell (Sim.now t.sim - since);
+    t.lock_held_since.(core) <- -1
+  end;
+  emit t core Ledger.Lock_release ~arg:0
+
 let lock_acquire_ttas t core ~k =
   let c = t.ctxs.(core) in
   (* Spin backoff is much tighter than the transactional retry backoff:
@@ -723,6 +773,7 @@ let lock_acquire_ttas t core ~k =
       if Store.committed t.store t.lock_addr = 0 then begin
         Store.write t.store ~core ~speculative:false t.lock_addr 1;
         trace t core Txtrace.Lock_acquired;
+        note_lock_acquired t core;
         k ()
       end
       else begin
@@ -756,6 +807,7 @@ let lock_acquire_ticket t core ~k =
       and on_read _ =
         if Store.committed t.store (serving_addr t) = my then begin
           trace t core Txtrace.Lock_acquired;
+          note_lock_acquired t core;
           k ()
         end
         else begin
@@ -787,6 +839,7 @@ let lock_release t core ~k =
       | `Aborted | `Granted ->
         Store.write t.store ~core ~speculative:false t.lock_addr 0;
         trace t core Txtrace.Lock_released;
+        note_lock_released t core;
         k ())
   | Policy.Ticket ->
     let serving_line = Addr.line_of_byte (serving_addr t) in
@@ -796,4 +849,5 @@ let lock_release t core ~k =
         Store.write t.store ~core ~speculative:false s_addr
           (Store.committed t.store s_addr + 1);
         trace t core Txtrace.Lock_released;
+        note_lock_released t core;
         k ())

@@ -152,6 +152,21 @@ val enable_txtrace : ?capacity:int -> t -> Txtrace.t
 
 val txtrace : t -> Txtrace.t option
 
+val enable_ledger : ?capacity:int -> t -> Lk_engine.Ledger.t
+(** Start recording the structured transaction-event ledger and wire it
+    into all three emitting layers at once: this runtime (begins,
+    commits, aborts, rejects, parks/wakes, HTMLock entries and exits,
+    switch decisions, spills, lock acquire/release), the coherence
+    protocol ([Nack]/[Abort_kill], via
+    {!Lk_coherence.Protocol.set_ledger}) and the value layer
+    ([Spec_publish]/[Spec_discard], via {!Lk_htm.Store.set_ledger}).
+    Until called the runtime performs no ledger work at all (a single
+    [None] test per would-be event). [capacity] bounds the ring (default
+    65536 records); older records are dropped, see
+    {!Lk_engine.Ledger.dropped}. *)
+
+val ledger : t -> Lk_engine.Ledger.t option
+
 val plain_section_begin : t -> Lk_coherence.Types.core_id -> unit
 (** The core enters a lock-protected non-transactional critical section
     (CGL, or the fallback path without HTMLock); its operations are

@@ -1,7 +1,7 @@
 module Sysconf = Lk_lockiller.Sysconf
 module Workload = Lk_stamp.Workload
 
-let schema_version = "1"
+let schema_version = "2"
 
 type t = {
   root : string;

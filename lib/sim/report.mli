@@ -10,6 +10,8 @@ type table = {
 val table :
   ?notes:string list -> title:string -> headers:string list ->
   string list list -> table
+(** Build a table; every row must have as many cells as [headers]
+    (renderers pad, they do not check). [notes] default to none. *)
 
 val f1 : float -> string
 (** One decimal ("1.9"). *)

@@ -30,6 +30,7 @@ type result = {
   switches_granted : int;
   switches_denied : int;
   spilled_lines : int;
+  lock_dwell_cycles : int;
   watchdog_rescues : int;
   network_messages : int;
   network_flits : int;
@@ -152,6 +153,7 @@ let execute ?barrier_every ?queue_backend ~machine ~oracle ~on_runtime
     switches_granted = counter_value stats "switches_granted";
     switches_denied = counter_value stats "switches_denied";
     spilled_lines = counter_value stats "spilled_lines";
+    lock_dwell_cycles = counter_value stats "lock_dwell_cycles";
     watchdog_rescues = Runtime.watchdog_rescues runtime;
     network_messages = Network.messages_sent net;
     network_flits = Network.flits_sent net;
@@ -312,6 +314,7 @@ let json_of_result r =
       ("switches_granted", Json.Int r.switches_granted);
       ("switches_denied", Json.Int r.switches_denied);
       ("spilled_lines", Json.Int r.spilled_lines);
+      ("lock_dwell_cycles", Json.Int r.lock_dwell_cycles);
       ("watchdog_rescues", Json.Int r.watchdog_rescues);
       ("network_messages", Json.Int r.network_messages);
       ("network_flits", Json.Int r.network_flits);
@@ -371,6 +374,7 @@ let result_of_json_value v =
   let* switches_granted = int "switches_granted" in
   let* switches_denied = int "switches_denied" in
   let* spilled_lines = int "spilled_lines" in
+  let* lock_dwell_cycles = int "lock_dwell_cycles" in
   let* watchdog_rescues = int "watchdog_rescues" in
   let* network_messages = int "network_messages" in
   let* network_flits = int "network_flits" in
@@ -396,6 +400,7 @@ let result_of_json_value v =
       switches_granted;
       switches_denied;
       spilled_lines;
+      lock_dwell_cycles;
       watchdog_rescues;
       network_messages;
       network_flits;

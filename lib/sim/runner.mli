@@ -36,6 +36,10 @@ type result = {
   switches_granted : int;
   switches_denied : int;
   spilled_lines : int;
+  lock_dwell_cycles : int;
+      (** Cycles the fallback spinlock was held, summed over all
+          acquisitions (acquire-to-release, per the event ledger's
+          clock). High dwell with low [lock_commits] flags convoying. *)
   watchdog_rescues : int;
   network_messages : int;
   network_flits : int;
@@ -52,13 +56,15 @@ type options = {
   seed : int;  (** Workload-generation RNG seed. *)
   scale : float;  (** Multiplier on transactions per thread. *)
   machine : Config.t;
+      (** The simulated machine (Table I by default); build variants
+          with {!Config.machine}. *)
   oracle : bool;  (** Run the serializability oracle. *)
   on_runtime : Lk_lockiller.Runtime.t -> unit;
       (** Called with the freshly built runtime before any core starts
           — use it to enable tracing or keep a handle for post-run
           inspection. Excluded from cache keys: runs that need it must
           bypass the {!Cache}. *)
-  placement : placement;
+  placement : placement;  (** Thread-to-tile binding, see {!placement}. *)
   cycle_limit : int;  (** Runaway guard; exceeding it is a [Failure]. *)
   queue_backend : Lk_engine.Event_queue.backend;
       (** Pending-event set implementation (default wheel). Both

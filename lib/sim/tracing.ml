@@ -1,0 +1,258 @@
+module Ledger = Lk_engine.Ledger
+module Reason = Lk_htm.Reason
+
+type breakdown = {
+  aborts : int;
+  by_reason : (Reason.t * int) list;
+  nacks : int;
+  kills : int;
+  rejects : int;
+  parks : int;
+  wakes : int;
+  dropped : int;
+}
+
+let reason_of_index =
+  let arr = Array.of_list Reason.all in
+  fun i -> if i >= 0 && i < Array.length arr then Some arr.(i) else None
+
+let abort_breakdown l =
+  let by = Array.make Reason.count 0 in
+  let aborts = ref 0
+  and nacks = ref 0
+  and kills = ref 0
+  and rejects = ref 0
+  and parks = ref 0
+  and wakes = ref 0 in
+  Ledger.iter l (fun ~time:_ ~core:_ ~kind ~arg ->
+      match kind with
+      | Ledger.Tx_abort -> (
+        incr aborts;
+        match reason_of_index arg with
+        | Some r -> by.(Reason.index r) <- by.(Reason.index r) + 1
+        | None -> ())
+      | Ledger.Nack -> incr nacks
+      | Ledger.Abort_kill -> incr kills
+      | Ledger.Reject -> incr rejects
+      | Ledger.Park -> incr parks
+      | Ledger.Wake -> incr wakes
+      | _ -> ());
+  {
+    aborts = !aborts;
+    by_reason = List.map (fun r -> (r, by.(Reason.index r))) Reason.all;
+    nacks = !nacks;
+    kills = !kills;
+    rejects = !rejects;
+    parks = !parks;
+    wakes = !wakes;
+    dropped = Ledger.dropped l;
+  }
+
+let breakdown_table ?(title = "Abort breakdown") b =
+  let share n =
+    if b.aborts = 0 then "-"
+    else Report.pct (float_of_int n /. float_of_int b.aborts)
+  in
+  let rows =
+    List.map
+      (fun (r, n) -> [ Reason.label r; string_of_int n; share n ])
+      b.by_reason
+    @ [ [ "total"; string_of_int b.aborts; share b.aborts ] ]
+  in
+  let notes =
+    [
+      Printf.sprintf
+        "conflict traffic: %d nacks, %d kills, %d rejects, %d parks, %d wakes"
+        b.nacks b.kills b.rejects b.parks b.wakes;
+    ]
+    @
+    if b.dropped = 0 then []
+    else
+      [
+        Printf.sprintf
+          "WARNING: %d ledger records dropped; counts are lower bounds"
+          b.dropped;
+      ]
+  in
+  Report.table ~notes ~title ~headers:[ "reason"; "aborts"; "share" ] rows
+
+let json_of_breakdown b =
+  Json.Obj
+    [
+      ("aborts", Json.Int b.aborts);
+      ( "by_reason",
+        Json.Obj
+          (List.map (fun (r, n) -> (Reason.label r, Json.Int n)) b.by_reason)
+      );
+      ("nacks", Json.Int b.nacks);
+      ("kills", Json.Int b.kills);
+      ("rejects", Json.Int b.rejects);
+      ("parks", Json.Int b.parks);
+      ("wakes", Json.Int b.wakes);
+      ("dropped", Json.Int b.dropped);
+    ]
+
+(* --- Perfetto export --------------------------------------------------- *)
+
+let slice ~name ~ts ~dur ~tid ~args =
+  Json.Obj
+    ([
+       ("name", Json.String name);
+       ("ph", Json.String "X");
+       ("ts", Json.Int ts);
+       ("dur", Json.Int dur);
+       ("pid", Json.Int 0);
+       ("tid", Json.Int tid);
+     ]
+    @ match args with [] -> [] | a -> [ ("args", Json.Obj a) ])
+
+let instant ~name ~ts ~tid ~args =
+  Json.Obj
+    ([
+       ("name", Json.String name);
+       ("ph", Json.String "i");
+       ("s", Json.String "t");
+       ("ts", Json.Int ts);
+       ("pid", Json.Int 0);
+       ("tid", Json.Int tid);
+     ]
+    @ match args with [] -> [] | a -> [ ("args", Json.Obj a) ])
+
+let metadata ~name ~tid value =
+  Json.Obj
+    [
+      ("name", Json.String name);
+      ("ph", Json.String "M");
+      ("pid", Json.Int 0);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj [ ("name", Json.String value) ]);
+    ]
+
+let perfetto_json l =
+  let entries = Ledger.entries l in
+  let cores =
+    List.fold_left (fun m e -> max m (e.Ledger.core + 1)) 0 entries
+  in
+  let last_time = List.fold_left (fun m e -> max m e.Ledger.time) 0 entries in
+  (* Per-core open spans: start time of the pending transaction (with
+     its attempt number), HTMLock section and lock hold. *)
+  let tx_open = Array.make (max cores 1) None in
+  let hl_open = Array.make (max cores 1) None in
+  let lock_open = Array.make (max cores 1) None in
+  let events = ref [] in
+  let push e = events := e :: !events in
+  List.iter
+    (fun { Ledger.time; core; kind; arg } ->
+      match kind with
+      | Ledger.Tx_begin -> tx_open.(core) <- Some (time, arg)
+      | Ledger.Tx_commit -> (
+        match tx_open.(core) with
+        | Some (t0, attempt) ->
+          tx_open.(core) <- None;
+          push
+            (slice ~name:"tx" ~ts:t0 ~dur:(time - t0) ~tid:core
+               ~args:[ ("attempt", Json.Int attempt);
+                       ("attempts", Json.Int arg) ])
+        | None -> push (instant ~name:"commit" ~ts:time ~tid:core ~args:[]))
+      | Ledger.Tx_abort -> (
+        let label =
+          match reason_of_index arg with
+          | Some r -> Reason.label r
+          | None -> "?"
+        in
+        let args = [ ("reason", Json.String label) ] in
+        match tx_open.(core) with
+        | Some (t0, attempt) ->
+          tx_open.(core) <- None;
+          push
+            (slice ~name:("abort:" ^ label) ~ts:t0 ~dur:(time - t0) ~tid:core
+               ~args:(("attempt", Json.Int attempt) :: args))
+        | None ->
+          push (instant ~name:("abort:" ^ label) ~ts:time ~tid:core ~args))
+      | Ledger.Hl_begin -> hl_open.(core) <- Some time
+      | Ledger.Hl_end -> (
+        let name = if arg = 1 then "STL" else "TL" in
+        match hl_open.(core) with
+        | Some t0 ->
+          hl_open.(core) <- None;
+          push (slice ~name ~ts:t0 ~dur:(time - t0) ~tid:core ~args:[])
+        | None -> push (instant ~name:"hlend" ~ts:time ~tid:core ~args:[]))
+      | Ledger.Lock_acquire -> lock_open.(core) <- Some time
+      | Ledger.Lock_release -> (
+        match lock_open.(core) with
+        | Some t0 ->
+          lock_open.(core) <- None;
+          push (slice ~name:"lock" ~ts:t0 ~dur:(time - t0) ~tid:core ~args:[])
+        | None ->
+          push (instant ~name:"lock-release" ~ts:time ~tid:core ~args:[]))
+      | Ledger.Nack ->
+        push
+          (instant ~name:"nack" ~ts:time ~tid:core
+             ~args:[ ("by", Json.Int arg) ])
+      | Ledger.Reject ->
+        push
+          (instant ~name:"reject" ~ts:time ~tid:core
+             ~args:[ ("by", Json.Int arg) ])
+      | Ledger.Abort_kill ->
+        push
+          (instant ~name:"kill" ~ts:time ~tid:core
+             ~args:[ ("by", Json.Int arg) ])
+      | Ledger.Park | Ledger.Wake | Ledger.Switch_granted
+      | Ledger.Switch_denied ->
+        push (instant ~name:(Ledger.kind_label kind) ~ts:time ~tid:core ~args:[])
+      | Ledger.Spill ->
+        push
+          (instant ~name:"spill" ~ts:time ~tid:core
+             ~args:[ ("line", Json.Int arg) ])
+      | Ledger.Spec_publish | Ledger.Spec_discard ->
+        push
+          (instant ~name:(Ledger.kind_label kind) ~ts:time ~tid:core
+             ~args:[ ("writes", Json.Int arg) ]))
+    entries;
+  (* Anything still open when the ledger ends (e.g. a thread parked at
+     simulation exit) is closed at the last recorded timestamp. *)
+  Array.iteri
+    (fun core -> function
+      | Some (t0, attempt) ->
+        push
+          (slice ~name:"tx (open)" ~ts:t0 ~dur:(last_time - t0) ~tid:core
+             ~args:[ ("attempt", Json.Int attempt) ])
+      | None -> ())
+    tx_open;
+  Array.iteri
+    (fun core -> function
+      | Some t0 ->
+        push
+          (slice ~name:"hl (open)" ~ts:t0 ~dur:(last_time - t0) ~tid:core
+             ~args:[])
+      | None -> ())
+    hl_open;
+  Array.iteri
+    (fun core -> function
+      | Some t0 ->
+        push
+          (slice ~name:"lock (open)" ~ts:t0 ~dur:(last_time - t0) ~tid:core
+             ~args:[])
+      | None -> ())
+    lock_open;
+  let meta =
+    metadata ~name:"process_name" ~tid:0 "lockiller_sim"
+    :: List.init cores (fun c ->
+           metadata ~name:"thread_name" ~tid:c (Printf.sprintf "core %d" c))
+  in
+  Json.Obj [ ("traceEvents", Json.List (meta @ List.rev !events)) ]
+
+let with_out_file file f =
+  let oc = open_out file in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let write_perfetto ~file l =
+  with_out_file file (fun oc ->
+      output_string oc (Json.to_string_pretty (perfetto_json l));
+      output_char oc '\n')
+
+let write_dump ~file l =
+  with_out_file file (fun oc ->
+      let ppf = Format.formatter_of_out_channel oc in
+      Ledger.dump ppf l;
+      Format.pp_print_flush ppf ())

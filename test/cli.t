@@ -105,6 +105,35 @@ every result field, --format csv one header and one value row:
   $ lockiller_sim run -s CGL -w genome -t 2 --cores 4 --scale 0.1 --format csv | head -1 | cut -d, -f1-6
   system,workload,threads,cache,cycles,commit_rate
 
+Observability: --abort-breakdown aggregates the event ledger into the
+abort-cause table (totals match the abort statistics exactly), and
+--trace-events writes a Chrome/Perfetto trace of the run:
+
+  $ lockiller_sim run -s LockillerTM -w intruder -t 4 --cores 4 --scale 0.1 --abort-breakdown --trace-events trace.json | sed -n '9p;/^#/,$p'
+  aborts        17
+  # trace-events: wrote trace.json (307 events, 0 dropped)
+  == Abort breakdown ==
+  reason    aborts  share 
+  --------  ------  ------
+  mc        17      100.0%
+  lock      0       0.0%  
+  mutex     0       0.0%  
+  non_tran  0       0.0%  
+  of        0       0.0%  
+  fault     0       0.0%  
+  total     17      100.0%
+  conflict traffic: 50 nacks, 17 kills, 50 rejects, 43 parks, 36 wakes
+  
+
+  $ ./json_check.exe --trace < trace.json
+  valid trace (275 events)
+
+The same flags work on the trace subcommand, and the breakdown is also
+available as machine-readable JSON:
+
+  $ lockiller_sim run -s LockillerTM -w intruder -t 4 --cores 4 --scale 0.1 --abort-breakdown --format json | tail -1 | ./json_check.exe
+  valid json
+
 Experiments run through the on-disk result cache (here a local
 directory). The cold run simulates and stores; the stats reflect it;
 clear empties the directory:
@@ -113,7 +142,7 @@ clear empties the directory:
   valid json
 
   $ lockiller_sim cache stats --cache-dir ./cache | grep -v -e directory -e entries
-  schema        v1
+  schema        v2
   lifetime      0 hits, 18 misses, 18 stores
 
   $ lockiller_sim cache clear --cache-dir ./cache | cut -d' ' -f1-3

@@ -1,6 +1,8 @@
 (* Cram-test helper: read JSON on stdin and verify it parses; with
    --result, additionally require it to decode as a full
-   Runner.result (every field present and well-typed). *)
+   Runner.result (every field present and well-typed); with --trace,
+   require a Chrome/Perfetto trace (a traceEvents list whose events all
+   carry name/ph/pid/tid, duration slices with ts and dur). *)
 
 let read_all ic =
   let buf = Buffer.create 4096 in
@@ -11,10 +13,37 @@ let read_all ic =
    with End_of_file -> ());
   Buffer.contents buf
 
+let check_trace input =
+  let module Json = Lk_sim.Json in
+  let fail msg =
+    Printf.eprintf "invalid trace: %s\n" msg;
+    exit 1
+  in
+  let ( let* ) v f = match v with Ok x -> f x | Error m -> fail m in
+  let* v = Json.of_string input in
+  let* events = Result.bind (Json.member "traceEvents" v) Json.to_list in
+  List.iter
+    (fun e ->
+      let* name = Result.bind (Json.member "name" e) Json.to_str in
+      let* ph = Result.bind (Json.member "ph" e) Json.to_str in
+      let* _ = Result.bind (Json.member "pid" e) Json.to_int in
+      let* _ = Result.bind (Json.member "tid" e) Json.to_int in
+      match ph with
+      | "X" ->
+        let* _ = Result.bind (Json.member "ts" e) Json.to_int in
+        let* dur = Result.bind (Json.member "dur" e) Json.to_int in
+        if dur < 0 then fail (name ^ ": negative duration")
+      | "i" | "M" -> ()
+      | _ -> fail (name ^ ": unexpected phase " ^ ph))
+    events;
+  Printf.printf "valid trace (%d events)\n" (List.length events)
+
 let () =
   let want_result = Array.mem "--result" Sys.argv in
+  let want_trace = Array.mem "--trace" Sys.argv in
   let input = read_all stdin in
-  if want_result then
+  if want_trace then check_trace input
+  else if want_result then
     match Lk_sim.Runner.result_of_json input with
     | Ok r -> Printf.printf "valid result (%s/%s)\n" r.Lk_sim.Runner.system
         r.Lk_sim.Runner.workload

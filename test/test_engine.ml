@@ -465,6 +465,129 @@ let test_trace_disabled_is_silent () =
   Lk_engine.Trace.debugf src ~cycle:42 "event %d happened" 7;
   ()
 
+let test_trace_disabled_no_formatting () =
+  (* With the source below Debug, the format arguments must be consumed
+     without being rendered: the per-call allocation is a few closure
+     words (constant), not proportional to the payload. Formatting the
+     4KB payload would cost >500 words/call; the ikfprintf path
+     measures ~26. *)
+  let src = Lk_engine.Trace.src "alloc-probe" in
+  let payload = String.make 4096 'x' in
+  let calls = 10_000 in
+  for i = 1 to 100 do
+    Lk_engine.Trace.debugf src ~cycle:i "%s %d" payload i
+  done;
+  let w0 = Gc.minor_words () in
+  for i = 1 to calls do
+    Lk_engine.Trace.debugf src ~cycle:i "%s %d" payload i
+  done;
+  let per_call = (Gc.minor_words () -. w0) /. float_of_int calls in
+  check_bool
+    (Printf.sprintf "payload not formatted (%.1f words/call)" per_call)
+    true (per_call < 64.0)
+
+(* --- Ledger ---------------------------------------------------------- *)
+
+module Ledger = Lk_engine.Ledger
+
+let test_ledger_codes_roundtrip () =
+  List.iter
+    (fun k ->
+      check_bool "code roundtrips" true
+        (Ledger.kind_of_code (Ledger.kind_code k) = Some k))
+    Ledger.kinds;
+  let labels = List.map Ledger.kind_label Ledger.kinds in
+  check_int "labels distinct"
+    (List.length labels)
+    (List.length (List.sort_uniq compare labels));
+  check_bool "out of range" true (Ledger.kind_of_code (-1) = None);
+  check_bool "out of range" true
+    (Ledger.kind_of_code (List.length Ledger.kinds) = None)
+
+let test_ledger_ordering () =
+  let sim = Sim.create () in
+  let l = Ledger.create ~capacity:16 sim in
+  List.iter
+    (fun (delay, core, kind, arg) ->
+      Sim.schedule sim ~delay (fun () -> Ledger.emit l ~core kind ~arg))
+    [
+      (5, 0, Ledger.Tx_begin, 0);
+      (9, 1, Ledger.Tx_begin, 0);
+      (12, 0, Ledger.Tx_commit, 1);
+      (12, 1, Ledger.Tx_abort, 2);
+    ];
+  Sim.run sim;
+  check_int "recorded" 4 (Ledger.recorded l);
+  check_int "length" 4 (Ledger.length l);
+  check_int "dropped" 0 (Ledger.dropped l);
+  let es = Ledger.entries l in
+  check_bool "times nondecreasing" true
+    (List.for_all2
+       (fun a b -> a.Ledger.time <= b.Ledger.time)
+       (List.filteri (fun i _ -> i < 3) es)
+       (List.tl es));
+  match es with
+  | [ a; b; c; d ] ->
+    check_int "t0" 5 a.Ledger.time;
+    check_bool "k0" true (a.Ledger.kind = Ledger.Tx_begin);
+    check_int "core1" 1 b.Ledger.core;
+    check_bool "commit" true (c.Ledger.kind = Ledger.Tx_commit);
+    check_int "commit attempts" 1 c.Ledger.arg;
+    check_bool "abort" true (d.Ledger.kind = Ledger.Tx_abort);
+    check_int "abort reason index" 2 d.Ledger.arg
+  | _ -> Alcotest.fail "expected 4 entries"
+
+let test_ledger_wraparound () =
+  let sim = Sim.create () in
+  let l = Ledger.create ~capacity:4 sim in
+  for i = 0 to 9 do
+    Ledger.emit l ~core:i Ledger.Nack ~arg:(10 * i)
+  done;
+  check_int "capacity" 4 (Ledger.capacity l);
+  check_int "recorded" 10 (Ledger.recorded l);
+  check_int "length" 4 (Ledger.length l);
+  check_int "dropped" 6 (Ledger.dropped l);
+  let cores = List.map (fun e -> e.Ledger.core) (Ledger.entries l) in
+  Alcotest.(check (list int)) "keeps the trailing window" [ 6; 7; 8; 9 ] cores;
+  let dump = Format.asprintf "%a" (Ledger.dump ?limit:None) l in
+  check_bool "dump notes the drops" true
+    (let sub = "# 6 earlier events dropped" in
+     let rec find i =
+       i + String.length sub <= String.length dump
+       && (String.sub dump i (String.length sub) = sub || find (i + 1))
+     in
+     find 0)
+
+let test_ledger_clear () =
+  let sim = Sim.create () in
+  let l = Ledger.create ~capacity:4 sim in
+  for i = 0 to 9 do
+    Ledger.emit l ~core:0 Ledger.Park ~arg:i
+  done;
+  Ledger.clear l;
+  check_int "empty" 0 (Ledger.length l);
+  check_int "recorded reset" 0 (Ledger.recorded l);
+  check_int "dropped reset" 0 (Ledger.dropped l);
+  Ledger.emit l ~core:3 Ledger.Wake ~arg:0;
+  check_int "usable after clear" 1 (Ledger.length l)
+
+let test_ledger_emit_no_alloc () =
+  (* The hot path writes four ints into a preallocated array: steady
+     state must not allocate at all. *)
+  let sim = Sim.create () in
+  let l = Ledger.create ~capacity:1024 sim in
+  for i = 0 to 99 do
+    Ledger.emit l ~core:0 Ledger.Nack ~arg:i
+  done;
+  let w0 = Gc.minor_words () in
+  for i = 0 to 9_999 do
+    Ledger.emit l ~core:0 Ledger.Nack ~arg:i
+  done;
+  let per_call = (Gc.minor_words () -. w0) /. 10_000.0 in
+  check_bool
+    (Printf.sprintf "allocation-free emit (%.2f words/call)" per_call)
+    true (per_call < 0.01)
+
 (* --- Stats ----------------------------------------------------------- *)
 
 let test_stats_counter () =
@@ -586,6 +709,17 @@ let () =
           Alcotest.test_case "src naming" `Quick test_trace_src_naming;
           Alcotest.test_case "silent when disabled" `Quick
             test_trace_disabled_is_silent;
+          Alcotest.test_case "disabled skips formatting" `Quick
+            test_trace_disabled_no_formatting;
+        ] );
+      ( "ledger",
+        [
+          Alcotest.test_case "codes roundtrip" `Quick
+            test_ledger_codes_roundtrip;
+          Alcotest.test_case "ordering" `Quick test_ledger_ordering;
+          Alcotest.test_case "wraparound" `Quick test_ledger_wraparound;
+          Alcotest.test_case "clear" `Quick test_ledger_clear;
+          Alcotest.test_case "emit no alloc" `Quick test_ledger_emit_no_alloc;
         ] );
       ( "stats",
         [

@@ -407,6 +407,120 @@ let test_report_to_json () =
           ])
   | _ -> Alcotest.fail "table did not parse"
 
+(* --- Ledger / Tracing ------------------------------------------------------ *)
+
+module Tracing = Lk_sim.Tracing
+module Ledger = Lk_engine.Ledger
+module Runtime = Lk_lockiller.Runtime
+
+(* One observed run: LockillerTM on a small machine with the event
+   ledger on (capacity ample enough that nothing is dropped). Intruder
+   at this scale is contended enough to produce aborts, rejects and
+   parks while staying fast. *)
+let run_with_ledger ?(sysconf = Sysconf.lockiller) ?(threads = 4)
+    ?(queue_backend = Lk_engine.Event_queue.Wheel) () =
+  let w = Option.get (Suite.find "intruder") in
+  let ledger = ref None in
+  let r =
+    Runner.run
+      ~options:
+        {
+          Runner.default_options with
+          scale = 0.2;
+          machine = Config.machine ~cores:4 ();
+          queue_backend;
+          on_runtime =
+            (fun rt ->
+              ledger := Some (Runtime.enable_ledger ~capacity:(1 lsl 18) rt));
+        }
+      ~sysconf ~workload:w ~threads ()
+  in
+  (r, Option.get !ledger)
+
+let test_ledger_breakdown_matches_stats () =
+  let r, l = run_with_ledger () in
+  check_int "nothing dropped" 0 (Ledger.dropped l);
+  let b = Tracing.abort_breakdown l in
+  check_int "aborts" r.Runner.aborts b.Tracing.aborts;
+  List.iter2
+    (fun (reason, expected) (reason', got) ->
+      check_bool "reason order" true (reason = reason');
+      check_int (Reason.label reason) expected got)
+    r.Runner.abort_mix b.Tracing.by_reason;
+  check_int "rejects" r.Runner.rejects b.Tracing.rejects;
+  check_int "parks" r.Runner.parks b.Tracing.parks;
+  check_int "wakes" r.Runner.wakeups b.Tracing.wakes;
+  (* Commit events pair off with the runner's commit counters too. *)
+  let commits = ref 0 in
+  Ledger.iter l (fun ~time:_ ~core:_ ~kind ~arg:_ ->
+      if kind = Ledger.Tx_commit then incr commits);
+  check_int "commits" r.Runner.htm_commits !commits
+
+let test_ledger_backend_differential () =
+  (* The ledger is a total order over observable events, so it is a
+     stronger differential axis than aggregate results: both event
+     queue backends must produce byte-identical streams. *)
+  let dump l = Format.asprintf "%a" (Ledger.dump ?limit:None) l in
+  let _, wheel = run_with_ledger ~queue_backend:Lk_engine.Event_queue.Wheel ()
+  and _, heap = run_with_ledger ~queue_backend:Lk_engine.Event_queue.Heap () in
+  check_bool "non-trivial stream" true (Ledger.length wheel > 100);
+  check Alcotest.string "byte-identical dumps" (dump wheel) (dump heap)
+
+let test_ledger_jobs_differential () =
+  (* Each pool job builds its own simulator and ledger, so the event
+     stream must not depend on how many domains ran the grid. *)
+  let grid =
+    Array.of_list
+      [ (Sysconf.lockiller, 2); (Sysconf.lockiller, 4);
+        (Sysconf.baseline, 2); (Sysconf.baseline, 4) ]
+  in
+  let dump_of (sysconf, threads) =
+    let _, l = run_with_ledger ~sysconf ~threads () in
+    Format.asprintf "%a" (Ledger.dump ?limit:None) l
+  in
+  let seq = Pool.map ~jobs:1 dump_of grid in
+  let par = Pool.map ~jobs:4 dump_of grid in
+  check_bool "identical event streams" true (seq = par)
+
+let test_perfetto_export_wellformed () =
+  let r, l = run_with_ledger () in
+  match Tracing.perfetto_json l with
+  | Json.Obj [ ("traceEvents", Json.List events) ] ->
+    check_bool "has events" true (List.length events > 0);
+    (* Every event carries the mandatory members; slices have
+       non-negative durations; abort slices are tagged with a reason
+       and count exactly the runner's aborts. *)
+    let aborts = ref 0 in
+    List.iter
+      (fun e ->
+        let member name =
+          match Json.member name e with
+          | Ok v -> v
+          | Error m -> Alcotest.fail m
+        in
+        let name =
+          match Json.to_str (member "name") with
+          | Ok s -> s
+          | Error m -> Alcotest.fail m
+        in
+        match Json.to_str (member "ph") with
+        | Ok "X" ->
+          (match Json.to_int (member "dur") with
+          | Ok d -> check_bool "dur >= 0" true (d >= 0)
+          | Error m -> Alcotest.fail m);
+          if String.length name > 6 && String.sub name 0 6 = "abort:" then begin
+            incr aborts;
+            match Json.member "args" e with
+            | Ok (Json.Obj args) ->
+              check_bool "reason tag" true (List.mem_assoc "reason" args)
+            | Ok _ | Error _ -> Alcotest.fail "abort slice without args"
+          end
+        | Ok _ -> ()
+        | Error m -> Alcotest.fail m)
+      events;
+    check_int "abort slices" r.Runner.aborts !aborts
+  | _ -> Alcotest.fail "expected {\"traceEvents\": [...]}"
+
 (* --- Pool ------------------------------------------------------------------ *)
 
 let test_pool_matches_sequential () =
@@ -627,6 +741,17 @@ let () =
           Alcotest.test_case "float exactness" `Quick
             test_json_float_roundtrip;
           Alcotest.test_case "report to_json" `Quick test_report_to_json;
+        ] );
+      ( "ledger",
+        [
+          Alcotest.test_case "breakdown matches stats" `Quick
+            test_ledger_breakdown_matches_stats;
+          Alcotest.test_case "wheel vs heap streams" `Quick
+            test_ledger_backend_differential;
+          Alcotest.test_case "jobs:4 = jobs:1 streams" `Quick
+            test_ledger_jobs_differential;
+          Alcotest.test_case "perfetto well-formed" `Quick
+            test_perfetto_export_wellformed;
         ] );
       ( "pool",
         [
