@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 SHELL := /bin/bash
 
-.PHONY: all build test bench perfcheck doc ci clean
+.PHONY: all build test bench perfcheck doc lint check ci clean
 
 all: build
 
@@ -13,6 +13,19 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# Hot-path lint: the event engine, coherence protocol and HTM value
+# layer must stay free of polymorphic compare/max/min, generic Hashtbl
+# and Printf (see tools/lint.ml for the rules and the waiver pragmas).
+lint:
+	dune exec tools/lint.exe -- .
+
+# Correctness checkers (lib/check): exhaustively explore every event
+# interleaving of the small canned scenarios, fuzz 200 seeded random
+# schedules per scenario, and verify that each deliberately injected
+# protocol mutation is caught by both the sanitizer and the explorer.
+check:
+	dune exec bin/lockiller_sim.exe -- check
 
 # API docs (doc/index.mld + the interface docstrings). odoc is an
 # optional dev dependency, so the target degrades to a notice when it
@@ -46,7 +59,9 @@ perfcheck:
 # ("rendered in", "perf:") and the cache-hit counts ("simulations:").
 ci:
 	dune build
+	$(MAKE) lint
 	dune runtest
+	$(MAKE) check
 	$(MAKE) doc
 	rm -rf _build/ci-cache
 	dune exec bench/main.exe -- fig7 --scale 0.1 --jobs 2 \

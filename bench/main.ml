@@ -408,7 +408,14 @@ let () =
       scale := float_of_string v;
       parse rest
     | "--jobs" :: v :: rest ->
-      jobs := max 1 (int_of_string v);
+      (match int_of_string_opt v with
+      | Some j when j > 0 -> jobs := j
+      | Some j ->
+        Printf.eprintf "--jobs must be positive (got %d)\n%!" j;
+        exit 2
+      | None ->
+        Printf.eprintf "--jobs must be an integer (got %S)\n%!" v;
+        exit 2);
       parse rest
     | "--no-cache" :: rest ->
       no_cache := true;

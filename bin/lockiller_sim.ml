@@ -36,6 +36,39 @@ let cache_conv =
   in
   Arg.conv (parse, print)
 
+(* Reject nonsense argument values up front with a clear message rather
+   than clamping silently or failing deep inside a run. *)
+let pos_int_conv what =
+  let parse s =
+    match int_of_string_opt s with
+    | None ->
+      Error (`Msg (Printf.sprintf "%s must be an integer (got %S)" what s))
+    | Some n when n <= 0 ->
+      Error (`Msg (Printf.sprintf "%s must be positive (got %d)" what n))
+    | Some n -> Ok n
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+(* A path we will later open for writing: its parent directory must
+   already exist, and the path itself must not name a directory. *)
+let writable_path_conv =
+  let parse s =
+    if s = "" then Error (`Msg "output path must not be empty")
+    else
+      let dir = Filename.dirname s in
+      if not (Sys.file_exists dir) then
+        Error
+          (`Msg
+            (Printf.sprintf "cannot write %s: directory %s does not exist" s
+               dir))
+      else if not (Sys.is_directory dir) then
+        Error (`Msg (Printf.sprintf "cannot write %s: %s is not a directory" s dir))
+      else if Sys.file_exists s && Sys.is_directory s then
+        Error (`Msg (Printf.sprintf "cannot write %s: it is a directory" s))
+      else Ok s
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
 let seed_t =
   Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Deterministic RNG seed.")
 
@@ -79,7 +112,7 @@ let resolve_cache_dir = function
 let trace_events_t =
   Arg.(
     value
-    & opt (some string) None
+    & opt (some writable_path_conv) None
     & info [ "trace-events" ] ~docv:"FILE"
         ~doc:"Write a Chrome/Perfetto trace of the run to $(docv): one \
               track per core, transactions as duration slices (aborts \
@@ -97,7 +130,7 @@ let abort_breakdown_t =
 let trace_capacity_t =
   Arg.(
     value
-    & opt int 65536
+    & opt (pos_int_conv "--trace-capacity") 65536
     & info [ "trace-capacity" ] ~docv:"N"
         ~doc:"Event-ledger ring capacity in records, for --trace-events \
               and --abort-breakdown; older records are dropped beyond it.")
@@ -163,6 +196,16 @@ let print_result (r : Runner.result) =
           n)
     r.Runner.breakdown
 
+let check_t =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:"Attach the invariant sanitizer: event-level invariant \
+              predicates run at every ledger emission and the end-of-run \
+              checks after the last thread finishes; any violation fails \
+              the run. See the 'check' subcommand for the exhaustive \
+              small-configuration checker.")
+
 let stats_t =
   Arg.(
     value & flag
@@ -224,7 +267,7 @@ let run_cmd =
       & info [ "threads"; "t" ] ~doc:"Thread count (2..cores).")
   in
   let action system workload threads stats format seed scale cache cores
-      trace_events breakdown trace_capacity =
+      trace_events breakdown trace_capacity check =
     let module Runtime = Lockiller.Mechanisms.Runtime in
     let module Stats = Lockiller.Engine.Stats in
     let handle = ref None in
@@ -242,6 +285,7 @@ let run_cmd =
               Runner.default_options with
               seed;
               scale;
+              check;
               machine = Config.machine ~cache ~cores ();
               on_runtime =
                 (fun rt ->
@@ -299,10 +343,170 @@ let run_cmd =
       ret
         (const action $ system $ workload $ threads $ stats_t $ format_t
        $ seed_t $ scale_t $ cache_t $ cores_t $ trace_events_t
-       $ abort_breakdown_t $ trace_capacity_t))
+       $ abort_breakdown_t $ trace_capacity_t $ check_t))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate one system/workload/thread combination")
+    term
+
+(* --- check --------------------------------------------------------------- *)
+
+let check_cmd =
+  let module Check = Lockiller.Check in
+  let module Types = Lockiller.Coherence.Types in
+  let scenario_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:"Check only this scenario (default: all; see --list).")
+  in
+  let list_t =
+    Arg.(
+      value & flag
+      & info [ "list" ] ~doc:"List the scenarios and checked invariants.")
+  in
+  let fuzz_runs_t =
+    Arg.(
+      value
+      & opt (pos_int_conv "--fuzz-runs") 200
+      & info [ "fuzz-runs" ] ~docv:"N"
+          ~doc:"Randomized schedules per scenario.")
+  in
+  let max_schedules_t =
+    Arg.(
+      value
+      & opt (pos_int_conv "--max-schedules") 20000
+      & info [ "max-schedules" ] ~docv:"N"
+          ~doc:"Exhaustive-exploration bound per scenario.")
+  in
+  let no_mutations_t =
+    Arg.(
+      value & flag
+      & info [ "no-mutations" ]
+          ~doc:"Skip the mutation self-test (injected protocol bugs that \
+                the checkers must catch).")
+  in
+  let mutations =
+    [
+      (Types.Swmr_violation, Check.Scenario.read_forward);
+      (Types.Lost_wakeup, Check.Scenario.park_wake);
+      (Types.Dirty_commit, Check.Scenario.commit_race);
+    ]
+  in
+  let action scenario list fuzz_runs max_schedules no_mutations seed =
+    if list then begin
+      Printf.printf "scenarios:\n";
+      List.iter
+        (fun (s : Check.Scenario.t) ->
+          Printf.printf "  %-14s %s\n" s.Check.Scenario.name
+            s.Check.Scenario.descr)
+        Check.Scenario.all;
+      Printf.printf "\nstate invariants: %s\n"
+        (String.concat ", " Check.Invariant.names);
+      `Ok ()
+    end
+    else
+      let scenarios =
+        match scenario with
+        | None -> Ok Check.Scenario.all
+        | Some name -> (
+          match Check.Scenario.find name with
+          | Some s -> Ok [ s ]
+          | None ->
+            Error
+              (Printf.sprintf "unknown scenario %S; try: %s" name
+                 (String.concat ", "
+                    (List.map
+                       (fun (s : Check.Scenario.t) -> s.Check.Scenario.name)
+                       Check.Scenario.all))))
+      in
+      match scenarios with
+      | Error msg -> `Error (false, msg)
+      | Ok scenarios ->
+        let failures = ref 0 in
+        List.iter
+          (fun (s : Check.Scenario.t) ->
+            let verdict =
+              Check.Explorer.explore ~max_schedules:max_schedules s
+            in
+            (match verdict with
+            | Check.Explorer.Exhausted _ | Check.Explorer.Bounded _ -> ()
+            | Check.Explorer.Violation _ -> incr failures);
+            Printf.printf "%-14s explore  %s\n%!" s.Check.Scenario.name
+              (Format.asprintf "%a" Check.Explorer.pp_verdict verdict);
+            let outcome = Check.Fuzzer.fuzz ~runs:fuzz_runs ~seed s in
+            (match outcome with
+            | Check.Fuzzer.Passed _ -> ()
+            | Check.Fuzzer.Failed _ -> incr failures);
+            Printf.printf "%-14s fuzz     %s\n%!" s.Check.Scenario.name
+              (Format.asprintf "%a" Check.Fuzzer.pp_outcome outcome))
+          scenarios;
+        if (not no_mutations) && scenario = None then begin
+          Printf.printf "mutation self-test:\n%!";
+          List.iter
+            (fun (fault, (s : Check.Scenario.t)) ->
+              (* Each deliberately broken variant must be caught twice
+                 over: by the sanitizer checks during a default-schedule
+                 run, and by the explorer (whose counterexample must
+                 still fail on replay). *)
+              let label = Types.fault_label fault in
+              let default_run = Check.Harness.default ~inject_bug:fault s in
+              let default_caught =
+                match default_run.Check.Harness.status with
+                | Check.Harness.Completed -> false
+                | Check.Harness.Violated _ | Check.Harness.Livelocked _ ->
+                  true
+              in
+              let explorer_caught =
+                match
+                  Check.Explorer.explore ~max_schedules:max_schedules
+                    ~inject_bug:fault s
+                with
+                | Check.Explorer.Violation { schedule; violation; _ } -> (
+                  match
+                    (Check.Harness.replay ~inject_bug:fault ~schedule s)
+                      .Check.Harness.status
+                  with
+                  | Check.Harness.Completed -> None
+                  | Check.Harness.Violated _ | Check.Harness.Livelocked _ ->
+                    Some (schedule, violation))
+                | Check.Explorer.Exhausted _ | Check.Explorer.Bounded _ ->
+                  None
+              in
+              match (default_caught, explorer_caught) with
+              | true, Some (schedule, violation) ->
+                Printf.printf
+                  "  %-15s caught on %s (schedule %s: %s)\n%!" label
+                  s.Check.Scenario.name
+                  (Check.Schedule.to_string schedule)
+                  (Check.Invariant.violation_to_string violation)
+              | _ ->
+                incr failures;
+                Printf.printf "  %-15s NOT caught on %s%s\n%!" label
+                  s.Check.Scenario.name
+                  (if default_caught then " (explorer missed it)"
+                   else " (sanitizer missed it)"))
+            mutations
+        end;
+        if !failures = 0 then begin
+          Printf.printf "check: OK (%d scenarios)\n" (List.length scenarios);
+          `Ok ()
+        end
+        else
+          `Error
+            (false, Printf.sprintf "check: %d failure(s)" !failures)
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ scenario_t $ list_t $ fuzz_runs_t $ max_schedules_t
+       $ no_mutations_t $ seed_t))
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Exhaustively explore and fuzz event interleavings of small \
+             configurations against the protocol invariants")
     term
 
 (* --- experiment -------------------------------------------------------- *)
@@ -332,7 +536,7 @@ let experiment_cmd =
   let jobs_t =
     Arg.(
       value
-      & opt (some int) None
+      & opt (some (pos_int_conv "--jobs")) None
       & info [ "jobs"; "j" ] ~docv:"N"
           ~doc:"Simulations to run in parallel (default: the number of \
                 available cores; 1 disables the pool). Results are \
@@ -345,7 +549,9 @@ let experiment_cmd =
   in
   let action id threads csv_dir format jobs no_cache cache_dir seed scale
       cores =
-    let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
+    let jobs =
+      match jobs with Some j -> j | None -> Pool.default_jobs ()
+    in
     let cache =
       if no_cache then None
       else Some (Cache.create ~dir:(resolve_cache_dir cache_dir) ())
@@ -693,7 +899,7 @@ let main =
   let doc = "LockillerTM best-effort HTM simulator" in
   Cmd.group
     (Cmd.info "lockiller_sim" ~version:Lockiller.version ~doc)
-    [ run_cmd; experiment_cmd; sweep_cmd; trace_cmd; custom_cmd; cache_cmd;
-      list_cmd; params_cmd ]
+    [ run_cmd; check_cmd; experiment_cmd; sweep_cmd; trace_cmd; custom_cmd;
+      cache_cmd; list_cmd; params_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,98 @@
+type verdict =
+  | Exhausted of { schedules : int; states : int; max_decisions : int }
+  | Violation of {
+      schedule : Schedule.t;
+      violation : Invariant.violation;
+      schedules : int;
+    }
+  | Bounded of { schedules : int; states : int }
+
+exception Stop of verdict
+
+let same_failure (want : Invariant.violation) (r : Harness.run) =
+  match r.status with
+  | Harness.Violated v -> v.Invariant.invariant = want.Invariant.invariant
+  | Harness.Livelocked _ -> want.Invariant.invariant = "livelock"
+  | Harness.Completed -> false
+
+let shrink ?cycle_limit ?inject_bug scenario ~violation schedule =
+  Schedule.shrink
+    ~still_fails:(fun s ->
+      same_failure violation
+        (Harness.replay ?cycle_limit ?inject_bug ~schedule:s scenario))
+    schedule
+
+let explore ?(max_schedules = 20_000) ?cycle_limit ?inject_bug scenario =
+  let visited = Hashtbl.create 4096 in
+  let schedules = ref 0 in
+  let max_decisions = ref 0 in
+  let failed r =
+    match r.Harness.status with
+    | Harness.Completed -> None
+    | Harness.Violated v -> Some v
+    | Harness.Livelocked msg ->
+      Some { Invariant.invariant = "livelock"; detail = msg }
+  in
+  let rec dfs prefix =
+    if !schedules >= max_schedules then
+      raise
+        (Stop (Bounded { schedules = !schedules; states = Hashtbl.length visited }));
+    let r = Harness.replay ?cycle_limit ?inject_bug ~schedule:prefix scenario in
+    incr schedules;
+    let n = Array.length r.Harness.decisions in
+    if n > !max_decisions then max_decisions := n;
+    (match failed r with
+    | Some v ->
+      let schedule =
+        shrink ?cycle_limit ?inject_bug scenario ~violation:v
+          (Harness.choices r)
+      in
+      raise (Stop (Violation { schedule; violation = v; schedules = !schedules }))
+    | None -> ());
+    (* Branch on every decision point this run passed beyond the forced
+       prefix, stopping at the first already-visited state: every
+       continuation from an explored state has been (or will be)
+       covered from its first visit. *)
+    let i = ref (Array.length prefix) in
+    let stop = ref false in
+    while (not !stop) && !i < n do
+      let fp = r.Harness.fingerprints.(!i) in
+      if Hashtbl.mem visited fp then stop := true
+      else begin
+        Hashtbl.add visited fp ();
+        let _, arity = r.Harness.decisions.(!i) in
+        for c = 1 to arity - 1 do
+          let branch = Array.make (!i + 1) 0 in
+          for j = 0 to !i - 1 do
+            branch.(j) <- fst r.Harness.decisions.(j)
+          done;
+          branch.(!i) <- c;
+          dfs branch
+        done
+      end;
+      incr i
+    done
+  in
+  match dfs [||] with
+  | () ->
+    Exhausted
+      {
+        schedules = !schedules;
+        states = Hashtbl.length visited;
+        max_decisions = !max_decisions;
+      }
+  | exception Stop v -> v
+
+let pp_verdict ppf = function
+  | Exhausted { schedules; states; max_decisions } ->
+    Format.fprintf ppf
+      "exhausted: %d schedules, %d distinct decision states, deepest run \
+       made %d choices"
+      schedules states max_decisions
+  | Violation { schedule; violation; schedules } ->
+    Format.fprintf ppf "violation after %d schedules at %a: %a" schedules
+      Schedule.pp schedule Invariant.pp_violation violation
+  | Bounded { schedules; states } ->
+    Format.fprintf ppf
+      "bounded out after %d schedules (%d distinct states) with no violation"
+      schedules states

@@ -1,0 +1,48 @@
+type outcome =
+  | Passed of { runs : int; decisions : int }
+  | Failed of {
+      run : int;
+      seed : int;
+      schedule : Schedule.t;
+      violation : Invariant.violation;
+    }
+
+let fuzz ?(runs = 200) ?cycle_limit ?inject_bug ~seed scenario =
+  let decisions = ref 0 in
+  let rec go i =
+    if i >= runs then Passed { runs; decisions = !decisions }
+    else begin
+      let st = Random.State.make [| 0x5eed; seed; i |] in
+      let r =
+        Harness.run ?cycle_limit ?inject_bug
+          ~choose:(fun ~index:_ ~arity -> Random.State.int st arity)
+          scenario
+      in
+      decisions := !decisions + Array.length r.Harness.decisions;
+      match r.Harness.status with
+      | Harness.Completed -> go (i + 1)
+      | Harness.Violated _ | Harness.Livelocked _ ->
+        let violation =
+          match r.Harness.status with
+          | Harness.Violated v -> v
+          | Harness.Livelocked msg ->
+            { Invariant.invariant = "livelock"; detail = msg }
+          | Harness.Completed -> assert false
+        in
+        let schedule =
+          Explorer.shrink ?cycle_limit ?inject_bug scenario ~violation
+            (Harness.choices r)
+        in
+        Failed { run = i; seed; schedule; violation }
+    end
+  in
+  go 0
+
+let pp_outcome ppf = function
+  | Passed { runs; decisions } ->
+    Format.fprintf ppf "passed: %d randomized schedules (%d decisions)" runs
+      decisions
+  | Failed { run; seed; schedule; violation } ->
+    Format.fprintf ppf
+      "failed on run %d (seed %d), minimal schedule %a: %a" run seed
+      Schedule.pp schedule Invariant.pp_violation violation

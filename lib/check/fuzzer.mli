@@ -1,0 +1,34 @@
+(** Randomized schedule fuzzing.
+
+    Where the {!Explorer} exhausts small interleaving spaces, the
+    fuzzer samples larger ones: each run draws every same-cycle
+    ordering decision uniformly from a seeded PRNG (in the spirit of
+    probabilistic concurrency testing), so a fixed [seed] makes the
+    whole campaign reproducible — run [i] uses the PRNG seeded with
+    [(seed, i)], and a reported failure names the run that found it.
+
+    Failures are shrunk with {!Explorer.shrink} before being reported,
+    so the schedule in {!Failed} is a minimal replayable
+    counterexample, not the raw random walk. *)
+
+type outcome =
+  | Passed of { runs : int; decisions : int }
+      (** Every run completed cleanly; [decisions] is the total number
+          of scheduling choices exercised (a coverage proxy). *)
+  | Failed of {
+      run : int;  (** Index of the failing run (0-based). *)
+      seed : int;
+      schedule : Schedule.t;  (** Shrunk counterexample. *)
+      violation : Invariant.violation;
+    }
+
+val fuzz :
+  ?runs:int ->
+  ?cycle_limit:int ->
+  ?inject_bug:Lk_coherence.Types.injected_fault ->
+  seed:int ->
+  Scenario.t ->
+  outcome
+(** Run [runs] (default 200) randomized schedules of the scenario. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,225 @@
+module Types = Lk_coherence.Types
+module Protocol = Lk_coherence.Protocol
+module L1_cache = Lk_coherence.L1_cache
+module Addr = Lk_coherence.Addr
+module Txstate = Lk_htm.Txstate
+module Store = Lk_htm.Store
+module Oracle = Lk_htm.Oracle
+module Policy = Lk_htm.Policy
+module Ledger = Lk_engine.Ledger
+module Runtime = Lk_lockiller.Runtime
+module Sysconf = Lk_lockiller.Sysconf
+
+type violation = { invariant : string; detail : string }
+
+let pp_violation ppf v = Format.fprintf ppf "%s: %s" v.invariant v.detail
+
+let violation_to_string v = v.invariant ^ ": " ^ v.detail
+
+let fail invariant fmt =
+  Format.kasprintf (fun detail -> Some { invariant; detail }) fmt
+
+(* --- State predicates -------------------------------------------------- *)
+
+let check_coherence rt =
+  match Protocol.check_invariants (Runtime.protocol rt) with
+  | () -> None
+  | exception Failure msg -> Some { invariant = "coherence"; detail = msg }
+
+let check_tx_sets rt =
+  let proto = Runtime.protocol rt in
+  let store = Runtime.store rt in
+  let cores = (Protocol.config proto).Protocol.cores in
+  let found = ref None in
+  (try
+     for c = 0 to cores - 1 do
+       let mode = (Runtime.ctx rt c).Txstate.mode in
+       let buffered = Store.buffered store ~core:c in
+       if buffered > 0 && mode <> Txstate.Htm then begin
+         found :=
+           fail "tx-write-set"
+             "core %d holds %d speculative writes outside HTM mode" c buffered;
+         raise Exit
+       end;
+       if mode = Txstate.Htm then
+         Store.iter_buffered store ~core:c (fun addr _ ->
+             let line = Addr.line_of_byte addr in
+             match L1_cache.lookup (Protocol.l1 proto c) line with
+             | Some v when v.L1_cache.tx_write -> ()
+             | Some _ ->
+               found :=
+                 fail "tx-write-set"
+                   "core %d buffers %#x but line %d is resident without \
+                    tx_write"
+                   c addr line;
+               raise Exit
+             | None ->
+               found :=
+                 fail "tx-write-set"
+                   "core %d buffers %#x but line %d is not L1-resident" c addr
+                   line;
+               raise Exit)
+     done
+   with Exit -> ());
+  !found
+
+let lock_tx_cores rt =
+  let cores = (Protocol.config (Runtime.protocol rt)).Protocol.cores in
+  let out = ref [] in
+  for c = cores - 1 downto 0 do
+    match (Runtime.ctx rt c).Txstate.mode with
+    | Txstate.Tl | Txstate.Stl -> out := c :: !out
+    | Txstate.Idle | Txstate.Htm -> ()
+  done;
+  !out
+
+let pp_cores cs = String.concat "," (List.map string_of_int cs)
+
+let check_htmlock rt =
+  match lock_tx_cores rt with
+  | [] | [ _ ] -> None
+  | cs ->
+    fail "htmlock-unique" "cores {%s} are all in HTMLock (TL/STL) mode"
+      (pp_cores cs)
+
+let check_lock rt =
+  let holders = Runtime.lock_holders rt in
+  match holders with
+  | _ :: _ :: _ ->
+    fail "lock-unique" "cores {%s} all believe they hold the global lock"
+      (pp_cores holders)
+  | _ -> (
+    match (Runtime.sysconf rt).Sysconf.lock with
+    | Policy.Ticket -> None
+    | Policy.Ttas -> (
+      let v = Store.committed (Runtime.store rt) (Runtime.lock_addr rt) in
+      if v <> 0 && v <> 1 then
+        fail "lock-value" "TTAS lock word holds %d (expected 0 or 1)" v
+      else
+        match (holders, v) with
+        | [ c ], 0 ->
+          fail "lock-value" "core %d holds the lock but the lock word is 0" c
+        | [], _ | [ _ ], _ -> None
+        | _ :: _ :: _, _ -> assert false))
+
+let registry =
+  [
+    ("coherence", check_coherence);
+    ("tx-write-set", check_tx_sets);
+    ("htmlock-unique", check_htmlock);
+    ("lock", check_lock);
+  ]
+
+let names = List.map fst registry
+
+let check_state rt =
+  let rec go = function
+    | [] -> None
+    | (_, f) :: rest -> ( match f rt with Some _ as v -> v | None -> go rest)
+  in
+  go registry
+
+(* --- Event predicates -------------------------------------------------- *)
+
+let mode_label m = Format.asprintf "%a" Txstate.pp_mode m
+
+let check_event rt ~kind ~core ~arg =
+  ignore arg;
+  let mode () = (Runtime.ctx rt core).Txstate.mode in
+  match (kind : Ledger.kind) with
+  | Ledger.Tx_begin | Ledger.Tx_commit ->
+    if mode () <> Txstate.Htm then
+      fail
+        (match kind with Ledger.Tx_commit -> "dirty-commit" | _ -> "event-mode")
+        "core %d emitted %s while in %s mode" core (Ledger.kind_label kind)
+        (mode_label (mode ()))
+    else None
+  | Ledger.Hl_begin -> (
+    if mode () <> Txstate.Tl then
+      fail "event-mode" "core %d emitted hlbegin while not in TL mode" core
+    else
+      match lock_tx_cores rt with
+      | [] | [ _ ] -> None
+      | cs ->
+        fail "htmlock-unique" "hlbegin on core %d with cores {%s} in HTMLock"
+          core (pp_cores cs))
+  | Ledger.Hl_end -> (
+    match mode () with
+    | Txstate.Tl | Txstate.Stl -> None
+    | m ->
+      fail "event-mode" "core %d emitted hlend while in %s mode" core
+        (mode_label m))
+  | Ledger.Spec_publish -> (
+    match mode () with
+    | Txstate.Idle ->
+      fail "dirty-commit"
+        "core %d published its speculative buffer with no live transaction"
+        core
+    | _ -> None)
+  | Ledger.Lock_acquire ->
+    if not (Runtime.lock_held rt) then
+      fail "lock-value" "core %d emitted lock-acquire but the lock is free"
+        core
+    else None
+  | Ledger.Park ->
+    if not (Runtime.is_parked rt core) then
+      fail "wakeup" "core %d emitted park but is not parked" core
+    else None
+  | Ledger.Tx_abort | Ledger.Nack | Ledger.Reject | Ledger.Abort_kill
+  | Ledger.Wake | Ledger.Lock_release | Ledger.Switch_granted
+  | Ledger.Switch_denied | Ledger.Spill | Ledger.Spec_discard ->
+    None
+
+(* --- End-of-run checks ------------------------------------------------- *)
+
+let check_end rt =
+  let proto = Runtime.protocol rt in
+  let store = Runtime.store rt in
+  let cores = (Protocol.config proto).Protocol.cores in
+  let vs = ref [] in
+  let push v = match v with Some v -> vs := v :: !vs | None -> () in
+  for c = 0 to cores - 1 do
+    (match (Runtime.ctx rt c).Txstate.mode with
+    | Txstate.Idle -> ()
+    | m ->
+      push (fail "quiescence" "core %d finished in mode %s" c (mode_label m)));
+    if Store.buffered store ~core:c > 0 then
+      push
+        (fail "quiescence" "core %d finished with %d buffered writes" c
+           (Store.buffered store ~core:c))
+  done;
+  (match Runtime.parked_cores rt with
+  | [] -> ()
+  | cs -> push (fail "wakeup" "cores {%s} are still parked" (pp_cores cs)));
+  if Runtime.watchdog_rescues rt > 0 then
+    push
+      (fail "lost-wakeup" "the quiescence watchdog rescued parked cores %d \
+                           times (a healthy run has none)"
+         (Runtime.watchdog_rescues rt));
+  if Runtime.wake_pending rt > 0 then
+    push
+      (fail "wakeup" "%d wake-table subscriptions were never drained"
+         (Runtime.wake_pending rt));
+  (match Runtime.arbiter_holder rt with
+  | None -> ()
+  | Some c -> push (fail "quiescence" "core %d still holds the arbiter" c));
+  (match Runtime.sig_owner rt with
+  | None -> ()
+  | Some c ->
+    push (fail "quiescence" "core %d still owns the overflow signatures" c));
+  (match Runtime.lock_holders rt with
+  | [] -> ()
+  | cs ->
+    push (fail "quiescence" "cores {%s} finished holding the lock"
+            (pp_cores cs)));
+  push (check_state rt);
+  (match Runtime.oracle rt with
+  | None -> ()
+  | Some o -> (
+    match Oracle.verify o with
+    | Ok () -> ()
+    | Error v ->
+      push
+        (fail "serializability" "%s"
+           (Format.asprintf "%a" Oracle.pp_violation v))));
+  List.rev !vs

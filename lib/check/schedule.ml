@@ -1,0 +1,44 @@
+type t = int array
+
+let to_string s =
+  "["
+  ^ String.concat " " (Array.to_list (Array.map string_of_int s))
+  ^ "]"
+
+let pp ppf s = Format.pp_print_string ppf (to_string s)
+
+let strip_trailing_zeros s =
+  let n = ref (Array.length s) in
+  while !n > 0 && s.(!n - 1) = 0 do
+    decr n
+  done;
+  Array.sub s 0 !n
+
+(* Smallest L such that the first L decisions still fail, assuming
+   failure is monotone in the prefix length (verified: the binary
+   search result is re-checked by the caller's later candidates). *)
+let shortest_failing_prefix ~still_fails s =
+  let lo = ref 0 and hi = ref (Array.length s) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if still_fails (Array.sub s 0 mid) then hi := mid else lo := mid + 1
+  done;
+  let s' = Array.sub s 0 !lo in
+  if still_fails s' then s' else s
+
+let shrink ~still_fails s =
+  let s = strip_trailing_zeros s in
+  let s = shortest_failing_prefix ~still_fails s in
+  let s = Array.copy s in
+  (* Greedy left-to-right: revert each non-default choice to 0 when the
+     failure survives. Replay treats trailing zeros as absent, so the
+     result is the minimal non-default decision set this greedy pass
+     can reach. *)
+  for i = 0 to Array.length s - 1 do
+    if s.(i) <> 0 then begin
+      let saved = s.(i) in
+      s.(i) <- 0;
+      if not (still_fails s) then s.(i) <- saved
+    end
+  done;
+  strip_trailing_zeros s

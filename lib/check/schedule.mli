@@ -1,0 +1,26 @@
+(** Schedules and counterexample shrinking.
+
+    A schedule is the decision vector of a {!Harness} run: entry [i] is
+    the insertion rank fired at the [i]-th point where several events
+    were runnable in the same cycle. The empty schedule is the
+    production schedule (always fire the oldest runnable event), and
+    replay treats positions beyond the vector as 0, so a schedule is
+    fully described by its non-default choices. *)
+
+type t = int array
+
+val to_string : t -> string
+(** ["[1 0 2]"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val strip_trailing_zeros : t -> t
+(** Drop trailing default choices — replay semantics are unchanged. *)
+
+val shrink : still_fails:(t -> bool) -> t -> t
+(** Minimise a failing schedule: truncate to the shortest failing
+    prefix (binary search, result re-verified), then greedily revert
+    each remaining non-default choice to 0 when the failure survives.
+    [still_fails] must be a pure replay predicate ("does this schedule
+    still exhibit the same violation"); it is called O(log n + n)
+    times. The result still fails. *)

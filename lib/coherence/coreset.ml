@@ -4,7 +4,7 @@ let max_cores = 62
 
 let check c =
   if c < 0 || c >= max_cores then
-    invalid_arg (Printf.sprintf "Coreset: core id %d out of range" c)
+    invalid_arg ("Coreset: core id " ^ string_of_int c ^ " out of range")
 
 let empty = 0
 

@@ -51,6 +51,9 @@ type t = {
      per L1 miss. *)
   busy : request Queue.t Lk_engine.Int_table.t;
   mutable ledger : Lk_engine.Ledger.t option;
+  (* Deliberately broken variant for the checker-of-the-checker
+     mutation tests; [None] in every real run. *)
+  mutable inject : Types.injected_fault option;
   stats : Stats.group;
   s_l1_hits : Stats.counter;
   s_l1_misses : Stats.counter;
@@ -72,8 +75,8 @@ let create ~sim ~network cfg =
   let tiles = Lk_mesh.Topology.tiles (Net.topology network) in
   if tiles <> cfg.cores then
     invalid_arg
-      (Printf.sprintf "Protocol.create: %d cores but %d mesh tiles" cfg.cores
-         tiles);
+      ("Protocol.create: " ^ string_of_int cfg.cores ^ " cores but "
+      ^ string_of_int tiles ^ " mesh tiles");
   if cfg.cores > Coreset.max_cores then
     invalid_arg "Protocol.create: too many cores for the directory bitset";
   let stats = Stats.group "protocol" in
@@ -91,6 +94,7 @@ let create ~sim ~network cfg =
     client = Client.plain;
     busy = Lk_engine.Int_table.create ~capacity:256 ~dummy:(Queue.create ()) ();
     ledger = None;
+    inject = None;
     stats;
     s_l1_hits = Stats.counter stats "l1_hits";
     s_l1_misses = Stats.counter stats "l1_misses";
@@ -110,6 +114,7 @@ let create ~sim ~network cfg =
 
 let set_client t client = t.client <- client
 let set_ledger t ledger = t.ledger <- Some ledger
+let set_inject_bug t fault = t.inject <- fault
 
 (* Ledger feeds from the coherence layer: a [Nack] when the home sends
    a reject reply ([arg] = the holder that won, -1 for the LLC overflow
@@ -360,7 +365,12 @@ let rec dispatch t req (party : Types.party) ~extra ~depth =
           Llc.set_dirty t.llc req.line true;
           L1_cache.clear_dirty t.l1s.(o) req.line
         end;
-        L1_cache.set_state t.l1s.(o) req.line L1_cache.S;
+        (* The injected SWMR mutation skips exactly this downgrade: the
+           directory then lists two sharers while the old owner still
+           holds the line in M/E. *)
+        (match t.inject with
+        | Some Types.Swmr_violation -> ()
+        | Some _ | None -> L1_cache.set_state t.l1s.(o) req.line L1_cache.S);
         Llc.set_dir t.llc req.line
           (Llc.Sharers (Coreset.of_list [ o; req.core ]));
         let inst = install t req ~state:L1_cache.S in

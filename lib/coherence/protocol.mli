@@ -55,6 +55,13 @@ val set_ledger : t -> Lk_engine.Ledger.t -> unit
     until called; normally wired by
     [Lk_lockiller.Runtime.enable_ledger]. *)
 
+val set_inject_bug : t -> Types.injected_fault option -> unit
+(** Arm (or disarm) a deliberately broken protocol variant for the
+    checker mutation self-tests. The only fault this layer implements
+    is {!Types.Swmr_violation} — the owner downgrade on a read forward
+    is skipped; the other faults live in the runtime and are ignored
+    here. Never set in real runs. *)
+
 val sim : t -> Lk_engine.Sim.t
 val network : t -> Lk_mesh.Network.t
 val config : t -> config

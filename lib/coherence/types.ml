@@ -13,6 +13,13 @@ let non_tx_party = { mode = Non_tx; priority = max_int }
 
 type outcome = Granted | Rejected of { by : core_id option }
 
+type injected_fault = Swmr_violation | Lost_wakeup | Dirty_commit
+
+let fault_label = function
+  | Swmr_violation -> "swmr-violation"
+  | Lost_wakeup -> "lost-wakeup"
+  | Dirty_commit -> "dirty-commit"
+
 let pp_access ppf a =
   Format.pp_print_string ppf
     (match a with Read -> "read" | Write -> "write" | Rmw -> "rmw")

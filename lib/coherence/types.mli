@@ -43,6 +43,26 @@ type outcome =
           the core whose transaction caused the rejection, or [None]
           when the LLC overflow signatures rejected it. *)
 
+(** A deliberately broken protocol variant, used only by the mutation
+    self-tests of the correctness checkers ([lockiller.check]): each
+    fault disables exactly one guard the invariant catalogue is
+    supposed to police, proving the checkers actually detect real
+    violations (checker-of-the-checker).
+
+    - [Swmr_violation]: the directory forwards a read from an exclusive
+      owner without downgrading the owner to shared — two cores end up
+      with incompatible views of the line.
+    - [Lost_wakeup]: the runtime drops the first waiter when draining a
+      wake table — a parked core that nobody will ever wake.
+    - [Dirty_commit]: [xend] skips the epoch check that turns a
+      committed-but-killed transaction into an abort — a killed
+      transaction publishes its speculative writes. *)
+type injected_fault = Swmr_violation | Lost_wakeup | Dirty_commit
+
+val fault_label : injected_fault -> string
+(** Stable CLI/report label: ["swmr-violation"], ["lost-wakeup"],
+    ["dirty-commit"]. *)
+
 val pp_access : Format.formatter -> access -> unit
 val pp_mode : Format.formatter -> mode -> unit
 val pp_outcome : Format.formatter -> outcome -> unit

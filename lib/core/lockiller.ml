@@ -6,6 +6,7 @@ module Mechanisms = Lk_lockiller
 module Cpu = Lk_cpu
 module Stamp = Lk_stamp
 module Sim = Lk_sim
+module Check = Lk_check
 
 let version = "1.0.0"
 

@@ -40,6 +40,10 @@ module Stamp = Lk_stamp
 module Sim = Lk_sim
 (** Machine configs (Table I), runner, metrics, experiments. *)
 
+module Check = Lk_check
+(** Correctness checkers: invariant sanitizer, bounded interleaving
+    explorer, schedule fuzzer (see docs/CHECKING.md). *)
+
 (** {1 One-call API} *)
 
 val systems : string list

@@ -141,7 +141,7 @@ let rec sift_down q i =
 let heap_push q e =
   let capacity = Array.length q.harr in
   if q.hsize = capacity then begin
-    let ncap = max 16 (2 * capacity) in
+    let ncap = Int.max 16 (2 * capacity) in
     let narr = Array.make ncap q.nil in
     Array.blit q.harr 0 narr 0 q.hsize;
     q.harr <- narr
@@ -287,6 +287,118 @@ let pop_payload q =
     let payload = e.payload in
     recycle q e;
     payload
+
+(* --- schedule exploration hooks -------------------------------------- *)
+
+(* Size of the "runnable set": the group of pending events sharing the
+   earliest time. Only the explorer/fuzzer in lib/check calls this, so
+   the O(n) heap scan is acceptable — checking runs use tiny models. *)
+let runnable q =
+  if q.count = 0 then 0
+  else
+    match q.kind with
+    | Heap ->
+      let tmin = q.harr.(0).time in
+      let n = ref 0 in
+      for i = 0 to q.hsize - 1 do
+        if q.harr.(i).time = tmin then incr n
+      done;
+      !n
+    | Wheel ->
+      (* After rebase/advance the slot at [cur] holds exactly the
+         events of the earliest cycle, in FIFO (= seq) order; far-heap
+         entries all have time >= limit > cur. *)
+      if q.near_count = 0 then rebase q;
+      advance q;
+      let n = ref 0 in
+      let e = ref q.slots_head.(q.cur land wheel_mask) in
+      let continue = ref (!e != q.nil) in
+      while !continue do
+        incr n;
+        if (!e).next == !e then continue := false else e := (!e).next
+      done;
+      !n
+
+(* Remove the entry at arbitrary heap index [i]: swap with the last
+   slot, then restore the heap property in whichever direction the
+   replacement violates it. *)
+let heap_remove_at q i =
+  let e = q.harr.(i) in
+  q.hsize <- q.hsize - 1;
+  if i < q.hsize then begin
+    q.harr.(i) <- q.harr.(q.hsize);
+    q.harr.(q.hsize) <- q.nil;
+    sift_down q i;
+    sift_up q i
+  end
+  else q.harr.(i) <- q.nil;
+  e
+
+let pop_payload_nth q k =
+  if q.count = 0 then invalid_arg "Event_queue.pop_payload_nth: empty queue";
+  if k < 0 then invalid_arg "Event_queue.pop_payload_nth: negative index";
+  if k = 0 then pop_payload q
+  else
+    match q.kind with
+    | Heap ->
+      (* Select the entry with the (k+1)-smallest seq among the
+         min-time entries by repeated selection — O(k*n), fine for the
+         tiny models the explorer drives. *)
+      let tmin = q.harr.(0).time in
+      let last = ref (-1) in
+      let pick = ref (-1) in
+      for _ = 0 to k do
+        let best = ref (-1) in
+        for i = 0 to q.hsize - 1 do
+          let e = q.harr.(i) in
+          if
+            e.time = tmin && e.seq > !last
+            && (!best = -1 || e.seq < q.harr.(!best).seq)
+          then best := i
+        done;
+        if !best = -1 then
+          invalid_arg "Event_queue.pop_payload_nth: index out of range";
+        last := q.harr.(!best).seq;
+        pick := !best
+      done;
+      q.count <- q.count - 1;
+      let e = heap_remove_at q !pick in
+      let payload = e.payload in
+      recycle q e;
+      payload
+    | Wheel ->
+      if q.near_count = 0 then rebase q;
+      advance q;
+      let i = q.cur land wheel_mask in
+      (* Walk to the k-th node of the cycle's FIFO chain and unlink
+         it, patching head/tail as needed. *)
+      let prev = ref q.nil in
+      let e = ref q.slots_head.(i) in
+      (try
+         for _ = 1 to k do
+           if (!e).next == !e then raise Exit;
+           prev := !e;
+           e := (!e).next
+         done
+       with Exit ->
+         invalid_arg "Event_queue.pop_payload_nth: index out of range");
+      let node = !e in
+      if !prev == q.nil then
+        if node.next == node then begin
+          q.slots_head.(i) <- q.nil;
+          q.slots_tail.(i) <- q.nil
+        end
+        else q.slots_head.(i) <- node.next
+      else if node.next == node then begin
+        (!prev).next <- !prev;
+        q.slots_tail.(i) <- !prev
+      end
+      else (!prev).next <- node.next;
+      q.near_count <- q.near_count - 1;
+      q.count <- q.count - 1;
+      let payload = node.payload in
+      recycle q node;
+      payload
 
 let pop q =
   let time = next_time q in

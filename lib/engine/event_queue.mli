@@ -60,4 +60,24 @@ val pop_payload : 'a t -> 'a
     payload bare; read its time with {!next_time} first. Never
     allocates. Raises [Invalid_argument] on an empty queue. *)
 
+(** {2 Schedule exploration}
+
+    The model explorer and schedule fuzzer in [lockiller.check] treat
+    the group of pending events sharing the earliest time — the
+    {e runnable set} — as the nondeterminism of the model: the kernel
+    normally fires them in insertion order, and these two calls let a
+    checker pick any other member instead. Neither is ever called by
+    the kernel unless a chooser is installed on the {!Sim}. *)
+
+val runnable : 'a t -> int
+(** Number of pending events sharing the earliest pending time (0 when
+    empty). *)
+
+val pop_payload_nth : 'a t -> int -> 'a
+(** [pop_payload_nth q k] removes and returns the payload of the [k]-th
+    (0-based, insertion order) event among the earliest-time events.
+    [pop_payload_nth q 0] is exactly {!pop_payload}. Raises
+    [Invalid_argument] when [k] is out of range or the queue is
+    empty. *)
+
 val clear : 'a t -> unit

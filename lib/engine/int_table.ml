@@ -34,7 +34,7 @@ let capacity_for n =
   go 16
 
 let create ?(capacity = 16) ~dummy () =
-  let cap = capacity_for (max 16 capacity) in
+  let cap = capacity_for (Int.max 16 capacity) in
   {
     keys = Array.make cap empty;
     vals = Array.make cap dummy;

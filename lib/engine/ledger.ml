@@ -75,31 +75,39 @@ type t = {
   data : int array;
   cap : int;
   mutable next : int;  (* total recorded *)
+  (* Live tap on [emit] for the invariant sanitizer; [None] costs one
+     immediate-vs-block branch per event, like [Sim]'s hooks. *)
+  mutable sink : (time:int -> core:int -> kind:kind -> arg:int -> unit) option;
 }
 
 let create ?(capacity = 65536) sim =
   if capacity <= 0 then invalid_arg "Ledger.create: capacity must be positive";
-  { sim; data = Array.make (4 * capacity) 0; cap = capacity; next = 0 }
+  { sim; data = Array.make (4 * capacity) 0; cap = capacity; next = 0;
+    sink = None }
+
+let set_sink t sink = t.sink <- sink
 
 let emit t ~core kind ~arg =
   let base = 4 * (t.next mod t.cap) in
-  t.data.(base) <- Sim.now t.sim;
+  let time = Sim.now t.sim in
+  t.data.(base) <- time;
   t.data.(base + 1) <- core;
   t.data.(base + 2) <- kind_code kind;
   t.data.(base + 3) <- arg;
-  t.next <- t.next + 1
+  t.next <- t.next + 1;
+  match t.sink with None -> () | Some f -> f ~time ~core ~kind ~arg
 
 let capacity t = t.cap
 let recorded t = t.next
-let length t = min t.next t.cap
-let dropped t = max 0 (t.next - t.cap)
+let length t = Int.min t.next t.cap
+let dropped t = Int.max 0 (t.next - t.cap)
 
 let clear t =
   Array.fill t.data 0 (Array.length t.data) 0;
   t.next <- 0
 
 let iter t f =
-  let first = max 0 (t.next - t.cap) in
+  let first = Int.max 0 (t.next - t.cap) in
   for i = first to t.next - 1 do
     let base = 4 * (i mod t.cap) in
     f ~time:t.data.(base) ~core:t.data.(base + 1)
@@ -120,7 +128,7 @@ let pp_entry ppf e =
 
 let dump ?limit ppf t =
   let n = length t in
-  let skip = match limit with None -> 0 | Some l -> max 0 (n - l) in
+  let skip = match limit with None -> 0 | Some l -> Int.max 0 (n - l) in
   if dropped t > 0 then
     Format.fprintf ppf "# %d earlier events dropped@." (dropped t);
   let i = ref 0 in

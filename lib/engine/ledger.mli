@@ -85,7 +85,17 @@ val create : ?capacity:int -> Sim.t -> t
 
 val emit : t -> core:int -> kind -> arg:int -> unit
 (** Record one event at the current simulated cycle. Allocation-free;
-    overwrites the oldest record when the ring is full. *)
+    overwrites the oldest record when the ring is full. When a sink is
+    installed it is called with the same record after it is stored. *)
+
+val set_sink :
+  t -> (time:int -> core:int -> kind:kind -> arg:int -> unit) option -> unit
+(** Install (or clear) a live tap called from {!emit} after each record
+    is stored. This is the invariant sanitizer's event-level observation
+    point ([lockiller.check]): emission sites mark semantically
+    meaningful protocol transitions (commits, parks, lock hand-offs), so
+    a sink checks exactly where violations can first appear. [None]
+    (the default) costs one branch per emit. *)
 
 val capacity : t -> int
 

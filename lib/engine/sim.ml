@@ -3,6 +3,11 @@ type t = {
   mutable clock : int;
   mutable events : int;
   mutable quiescent_hooks : (unit -> unit) list;
+  (* Schedule-exploration hooks (lockiller.check). Both default to
+     [None]; the hot path pays exactly one immediate-vs-block branch per
+     event for each, same as the ledger pattern elsewhere. *)
+  mutable chooser : (int -> int) option;
+  mutable observer : (unit -> unit) option;
 }
 
 exception Stalled of string
@@ -13,6 +18,8 @@ let create ?backend () =
     clock = 0;
     events = 0;
     quiescent_hooks = [];
+    chooser = None;
+    observer = None;
   }
 
 let now t = t.clock
@@ -31,13 +38,26 @@ let pending t = Event_queue.length t.queue
 
 let on_quiescent t hook = t.quiescent_hooks <- hook :: t.quiescent_hooks
 
+let set_chooser t chooser = t.chooser <- chooser
+let set_observer t observer = t.observer <- observer
+
 (* [fire] assumes the queue is non-empty; allocation-free (no tuple/
-   option boxing, and no polymorphic [max] on the clock). *)
+   option boxing, and no polymorphic [max] on the clock). With a
+   chooser installed the kernel lets it pick any member of the runnable
+   set (the same-cycle group) instead of strict insertion order. *)
 let fire t time =
   if time > t.clock then t.clock <- time;
   t.events <- t.events + 1;
-  let f = Event_queue.pop_payload t.queue in
-  f ()
+  let f =
+    match t.chooser with
+    | None -> Event_queue.pop_payload t.queue
+    | Some choose ->
+      let n = Event_queue.runnable t.queue in
+      if n <= 1 then Event_queue.pop_payload t.queue
+      else Event_queue.pop_payload_nth t.queue (choose n)
+  in
+  f ();
+  match t.observer with None -> () | Some g -> g ()
 
 let step t =
   let time = Event_queue.next_time t.queue in
@@ -65,9 +85,8 @@ let run ?limit t =
           if !hook_rounds > 1000 then
             raise
               (Stalled
-                 (Printf.sprintf
-                    "quiescence hooks injected work 1000 times at cycle %d without progress"
-                    t.clock))
+                 ("quiescence hooks injected work 1000 times at cycle "
+                 ^ string_of_int t.clock ^ " without progress"))
         end
         else begin
           last_hook_clock := t.clock;

@@ -50,3 +50,25 @@ val run : ?limit:int -> t -> unit
 val step : t -> bool
 (** Fire the single earliest event. Returns false when the queue is
     empty. Useful for tests that need cycle-level control. *)
+
+(** {1 Schedule exploration}
+
+    Hooks for the correctness checkers in [lockiller.check]. Both
+    default to [None] and cost the kernel exactly one branch per event
+    when unset — a normal simulation pays nothing for them. *)
+
+val set_chooser : t -> (int -> int) option -> unit
+(** Install (or clear) the schedule chooser. When set and more than one
+    event shares the earliest pending time, the kernel calls
+    [choose n] with the size [n >= 2] of that runnable set and fires
+    the event whose 0-based insertion rank within the set is the
+    returned index (which must be in [0, n)). Insertion order — index
+    0 every time — reproduces the default deterministic schedule. The
+    explorer enumerates these indices exhaustively; the fuzzer draws
+    them from a seeded RNG. *)
+
+val set_observer : t -> (unit -> unit) option -> unit
+(** Install (or clear) a callback invoked after every fired event —
+    the invariant sanitizer's per-step observation point. The observer
+    runs after the event's thunk returns, so it sees a settled
+    state. *)

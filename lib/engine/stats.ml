@@ -1,3 +1,6 @@
+(* lint: allow hashtbl — the registries below key counters by name at
+   setup time only; the hot path mutates the counter records directly. *)
+
 type counter = { c_name : string; mutable c_value : int }
 
 type accumulator = {
@@ -84,7 +87,7 @@ let bucket_index v =
     go 0 1
 
 let observe h v =
-  let i = min (bucket_index v) (Array.length h.h_buckets - 1) in
+  let i = Int.min (bucket_index v) (Array.length h.h_buckets - 1) in
   h.h_buckets.(i) <- h.h_buckets.(i) + 1
 
 let buckets h =

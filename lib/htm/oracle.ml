@@ -1,3 +1,6 @@
+(* lint: allow hashtbl — [verify] replays the run once, after the
+   simulation has finished; nothing here is on the simulated hot path. *)
+
 type op = R of int * int | W of int * int
 
 type kind = Htm_commit | Tl_commit | Stl_commit | Plain_section

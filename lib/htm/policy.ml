@@ -14,8 +14,8 @@ let default_retry = { max_retries = 6; backoff_base = 32; backoff_cap = 2048 }
 
 let backoff_delay r ~attempt =
   if attempt < 0 then invalid_arg "Policy.backoff_delay: negative attempt";
-  let shift = min attempt 20 in
-  min r.backoff_cap (r.backoff_base * (1 lsl shift))
+  let shift = Int.min attempt 20 in
+  Int.min r.backoff_cap (r.backoff_base * (1 lsl shift))
 
 let pp_reject_policy ppf = function
   | Self_abort -> Format.pp_print_string ppf "self-abort"

@@ -49,5 +49,16 @@ val discard : t -> core:Lk_coherence.Types.core_id -> int
 val buffered : t -> core:Lk_coherence.Types.core_id -> int
 (** Current buffer size (tests). *)
 
+val iter_buffered :
+  t -> core:Lk_coherence.Types.core_id -> (addr -> int -> unit) -> unit
+(** Visit the core's buffered speculative writes, unspecified order.
+    Used by the invariant checkers ([lockiller.check]) to relate the
+    speculative write set to the lines the L1 tracks, and by state
+    fingerprinting. *)
+
+val iter_committed : t -> (addr -> int -> unit) -> unit
+(** Visit every committed address/value pair, unspecified order
+    (checkers and state fingerprinting). *)
+
 val footprint : t -> int
 (** Number of distinct committed addresses (tests). *)

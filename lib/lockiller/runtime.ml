@@ -76,6 +76,9 @@ type t = {
      non-transactional) section that should be logged. *)
   op_logs : Oracle.op list array;
   plain_section : bool array;
+  (* Deliberately broken variant for the checker-of-the-checker
+     mutation tests; [None] in every real run. *)
+  inject : Types.injected_fault option;
   per_core : core_stats array;
   stats : Stats.group;
   s_commits : Stats.counter;
@@ -104,6 +107,22 @@ let watchdog_rescues t = Stats.value t.s_rescues
 let parked_cores t =
   let out = ref [] in
   Array.iteri (fun c p -> if p <> None then out := c :: !out) t.parked;
+  List.rev !out
+
+(* --- Checker introspection -------------------------------------------- *)
+
+let arbiter_holder t = Arbiter.holder t.arb
+let sig_owner t = t.sig_owner
+let wake_waiters t ~rejector = Wake_table.waiters t.wake ~rejector
+let wake_pending t = Wake_table.pending t.wake
+let has_pending_wake t core = t.pending_wake.(core)
+let is_parked t core = t.parked.(core) <> None
+
+let lock_holders t =
+  let out = ref [] in
+  Array.iteri
+    (fun c since -> if since >= 0 then out := c :: !out)
+    t.lock_held_since;
   List.rev !out
 
 let commit_rate t =
@@ -241,6 +260,16 @@ let wake t core =
     t.pending_wake.(core) <- true
 
 let send_wakeups t core =
+  let waiters = Wake_table.drain t.wake ~rejector:core in
+  (* The injected lost-wakeup mutation silently drops the first waiter
+     of every drain — the bug the no-lost-wakeup invariant and the
+     quiescence watchdog exist to expose. *)
+  let waiters =
+    match t.inject with
+    | Some Types.Lost_wakeup -> (
+      match waiters with [] -> [] | _ :: rest -> rest)
+    | Some _ | None -> waiters
+  in
   List.iter
     (fun w ->
       let lat =
@@ -248,7 +277,7 @@ let send_wakeups t core =
           ~class_:Msg.Control
       in
       Sim.schedule t.sim ~delay:lat (fun () -> wake t w))
-    (Wake_table.drain t.wake ~rejector:core)
+    waiters
 
 let park t core ~rejector_alive resume =
   if t.pending_wake.(core) then begin
@@ -472,8 +501,8 @@ let client t =
 
 (* --- Construction ----------------------------------------------------- *)
 
-let create ?(costs = default_costs) ~protocol:proto ~store ~sysconf ~lock_addr
-    () =
+let create ?(costs = default_costs) ?inject_bug ~protocol:proto ~store ~sysconf
+    ~lock_addr () =
   (match Sysconf.validate sysconf with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Runtime.create: " ^ msg));
@@ -503,6 +532,7 @@ let create ?(costs = default_costs) ~protocol:proto ~store ~sysconf ~lock_addr
       lock_held_since = Array.make cores (-1);
       op_logs = Array.make cores [];
       plain_section = Array.make cores false;
+      inject = inject_bug;
       per_core =
         Array.init cores (fun _ ->
             {
@@ -531,6 +561,9 @@ let create ?(costs = default_costs) ~protocol:proto ~store ~sysconf ~lock_addr
     }
   in
   Protocol.set_client proto (client t);
+  (* The coherence-level mutation lives in the protocol; the others are
+     handled here and ignored there. *)
+  Protocol.set_inject_bug proto inject_bug;
   (* Lost-wakeup safety net: if the simulation drains while cores are
      parked, release them (and count it — a healthy run never needs
      this). *)
@@ -589,8 +622,15 @@ let xend t core ~k =
     invalid_arg "Runtime.xend: not in an HTM transaction";
   let epoch = c.Txstate.epoch in
   Sim.schedule t.sim ~delay:t.costs.commit_cost (fun () ->
-      (* A conflict may still kill us during the commit window. *)
-      if c.Txstate.epoch <> epoch then k ()
+      (* A conflict may still kill us during the commit window. The
+         injected dirty-commit mutation skips exactly this guard, so a
+         killed transaction publishes its commit anyway. *)
+      let guard_ok =
+        match t.inject with
+        | Some Types.Dirty_commit -> true
+        | Some _ | None -> c.Txstate.epoch = epoch
+      in
+      if not guard_ok then k ()
       else begin
         ignore (Protocol.commit_flush t.proto core);
         ignore (Store.commit t.store ~core);

@@ -40,6 +40,7 @@ val default_costs : costs
 
 val create :
   ?costs:costs ->
+  ?inject_bug:Lk_coherence.Types.injected_fault ->
   protocol:Lk_coherence.Protocol.t ->
   store:Lk_htm.Store.t ->
   sysconf:Sysconf.t ->
@@ -48,7 +49,14 @@ val create :
   t
 (** Installs the runtime as the protocol's client and registers a
     quiescence watchdog that rescues parked cores if a wake-up message
-    was lost (it also counts such rescues — a healthy run has none). *)
+    was lost (it also counts such rescues — a healthy run has none).
+
+    [inject_bug] arms one deliberately broken variant
+    ({!Lk_coherence.Types.injected_fault}) for the correctness
+    checkers' mutation self-tests: [Swmr_violation] is forwarded to the
+    protocol, [Lost_wakeup] drops the first waiter of every wake-table
+    drain, [Dirty_commit] removes the killed-during-commit-window guard
+    in {!xend}. Never set in real runs. *)
 
 val sysconf : t -> Sysconf.t
 val costs : t -> costs
@@ -199,3 +207,33 @@ val commit_rate : t -> float
 
 val watchdog_rescues : t -> int
 val parked_cores : t -> Lk_coherence.Types.core_id list
+
+(* -- Checker introspection -------------------------------------------- *)
+
+(** Read-only views of the runtime's private coordination state, for
+    the invariant catalogue in [lockiller.check] (and tests). None of
+    these mutate anything. *)
+
+val arbiter_holder : t -> Lk_coherence.Types.core_id option
+(** Current holder of the HTMLock/switching LLC authorization. *)
+
+val sig_owner : t -> Lk_coherence.Types.core_id option
+(** Core owning the LLC overflow signatures, if any. *)
+
+val wake_waiters :
+  t -> rejector:Lk_coherence.Types.core_id -> Lk_coherence.Types.core_id list
+(** Cores recorded in the wake table against [rejector]
+    (non-destructive). *)
+
+val wake_pending : t -> int
+(** Total recorded (rejector, waiter) pairs in the wake table. *)
+
+val has_pending_wake : t -> Lk_coherence.Types.core_id -> bool
+(** A wake-up raced ahead of the core's park and is waiting to be
+    consumed. *)
+
+val is_parked : t -> Lk_coherence.Types.core_id -> bool
+
+val lock_holders : t -> Lk_coherence.Types.core_id list
+(** Cores currently between [note_lock_acquired] and the matching
+    release — i.e. holding the fallback spinlock. *)

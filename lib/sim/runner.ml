@@ -53,9 +53,9 @@ let place ~placement ~cores ~threads i =
 
 (* Shared execution engine for generated workloads and hand-written
    programs. *)
-let execute ?barrier_every ?queue_backend ~machine ~oracle ~on_runtime
-    ~placement ~cycle_limit ~sysconf ~program ~(workload_name : string)
-    ~cache () =
+let execute ?barrier_every ?queue_backend ?(check = false) ~machine ~oracle
+    ~on_runtime ~placement ~cycle_limit ~sysconf ~program
+    ~(workload_name : string) ~cache () =
   let threads = Array.length program in
   if threads <= 0 || threads > machine.Config.cores then
     invalid_arg "Runner.run: thread count out of range";
@@ -70,6 +70,9 @@ let execute ?barrier_every ?queue_backend ~machine ~oracle ~on_runtime
     if oracle then Some (Runtime.enable_oracle runtime) else None
   in
   on_runtime runtime;
+  let sanitizer =
+    if check then Some (Lk_check.Sanitizer.attach runtime) else None
+  in
   let acct = Accounting.create ~cores:machine.Config.cores in
   let finished = ref 0 in
   let barrier =
@@ -108,6 +111,19 @@ let execute ?barrier_every ?queue_backend ~machine ~oracle ~on_runtime
         (Format.asprintf "Runner.run: %s/%s: serializability violated: %a"
            sysconf.Sysconf.name workload_name
            Lk_htm.Oracle.pp_violation v)));
+  (match sanitizer with
+  | None -> ()
+  | Some s -> (
+    match Lk_check.Sanitizer.finish s with
+    | [] -> ()
+    | v :: _ as vs ->
+      failwith
+        (Printf.sprintf "Runner.run: %s/%s: invariant sanitizer: %s%s"
+           sysconf.Sysconf.name workload_name
+           (Lk_check.Invariant.violation_to_string v)
+           (match List.length vs with
+           | 1 -> ""
+           | n -> Printf.sprintf " (+%d more)" (n - 1)))));
   let cycles =
     Array.fold_left (fun acc cpu -> max acc (Core.finish_time cpu)) 0 cpus
   in
@@ -175,6 +191,7 @@ type options = {
   placement : placement;
   cycle_limit : int;
   queue_backend : Lk_engine.Event_queue.backend;
+  check : bool;
 }
 
 let default_options =
@@ -187,6 +204,7 @@ let default_options =
     placement = Compact;
     cycle_limit = 1 lsl 30;
     queue_backend = Lk_engine.Event_queue.Wheel;
+    check = false;
   }
 
 (* The per-field optional arguments are the deprecated pre-[options]
@@ -203,6 +221,7 @@ let resolve_options ?(options = default_options) ?seed ?scale ?machine ?oracle
     placement = Option.value placement ~default:options.placement;
     cycle_limit = Option.value cycle_limit ~default:options.cycle_limit;
     queue_backend = options.queue_backend;
+    check = options.check;
   }
 
 let run ?options ?seed ?scale ?machine ?oracle ?on_runtime ?placement
@@ -220,14 +239,16 @@ let run ?options ?seed ?scale ?machine ?oracle ?on_runtime ?placement
     placement;
     cycle_limit;
     queue_backend;
+    check;
   } =
     o
   in
   let program = Workload.generate workload ~threads ~seed ~scale in
   let store, result =
     execute ?barrier_every:workload.Workload.barrier_every ~queue_backend
-      ~machine ~oracle ~on_runtime ~placement ~cycle_limit ~sysconf ~program
-      ~workload_name:workload.Workload.name ~cache:machine.Config.cache ()
+      ~check ~machine ~oracle ~on_runtime ~placement ~cycle_limit ~sysconf
+      ~program ~workload_name:workload.Workload.name
+      ~cache:machine.Config.cache ()
   in
   (* End-to-end atomicity check: committed hot counters must equal the
      increments the program performs. *)
@@ -244,8 +265,16 @@ let run ?options ?seed ?scale ?machine ?oracle ?on_runtime ?placement
 
 let run_program ?options ?machine ?oracle ?on_runtime ?placement ?cycle_limit
     ?(name = "custom") ~sysconf ~program () =
-  let { machine; oracle; on_runtime; placement; cycle_limit; queue_backend; _ }
-      =
+  let {
+    machine;
+    oracle;
+    on_runtime;
+    placement;
+    cycle_limit;
+    queue_backend;
+    check;
+    _;
+  } =
     resolve_options ?options ?machine ?oracle ?on_runtime ?placement
       ?cycle_limit ()
   in
@@ -261,7 +290,7 @@ let run_program ?options ?machine ?oracle ?on_runtime ?placement ?cycle_limit
              addr))
     (Lk_cpu.Program.touched_addresses program);
   let _, result =
-    execute ~queue_backend ~machine ~oracle ~on_runtime ~placement
+    execute ~queue_backend ~check ~machine ~oracle ~on_runtime ~placement
       ~cycle_limit ~sysconf ~program ~workload_name:name
       ~cache:machine.Config.cache ()
   in

@@ -71,6 +71,16 @@ type options = {
           backends produce bit-identical results — the heap is the
           differential-testing reference — so, like [on_runtime], this
           field is excluded from cache keys. *)
+  check : bool;
+      (** Attach the invariant sanitizer ({!Lk_check.Sanitizer}): the
+          event-level invariant predicates run at every ledger emission
+          and the end-of-run checks after the last thread finishes; any
+          violation fails the run with a diagnostic. Does not change
+          simulated behaviour, so — like [queue_backend] — it is
+          excluded from cache keys (a warm-cache hit skips the run and
+          therefore the checks; use the cache-bypassing paths to force
+          a checked execution). Default false: no sink is installed and
+          the only cost is the ledger's per-emission [None] branch. *)
 }
 (** Everything {!run} needs besides the (system, workload, threads)
     triple, collapsed from the former pile of optional arguments.
@@ -80,7 +90,7 @@ type options = {
 val default_options : options
 (** Seed 1, scale 1.0, the paper's 32-core machine, oracle enabled,
     no [on_runtime] hook, [Compact] placement, a 2^30-cycle guard, the
-    wheel event queue. *)
+    wheel event queue, checking off. *)
 
 val run :
   ?options:options ->

@@ -147,3 +147,31 @@ clear empties the directory:
 
   $ lockiller_sim cache clear --cache-dir ./cache | cut -d' ' -f1-3
   removed 18 entries
+
+The check subcommand lists the model-checking scenario catalogue and
+runs the explorer/fuzzer over it; mutation self-tests are skippable for
+a quick pass:
+
+  $ lockiller_sim check --list | head -3
+  scenarios:
+    read-forward   an exclusive owner is read by a second core (owner must downgrade to S)
+    incr-incr      two cores increment the same line under best-effort HTM
+
+  $ lockiller_sim check --scenario read-forward --fuzz-runs 20 --no-mutations
+  read-forward   explore  exhausted: 4 schedules, 3 distinct decision states, deepest run made 6 choices
+  read-forward   fuzz     passed: 20 randomized schedules (120 decisions)
+  check: OK (1 scenarios)
+
+Trace and parallelism arguments are validated up front:
+
+  $ lockiller_sim run -s LockillerTM -w intruder -t 4 --trace-capacity=0 2>&1 | head -2
+  lockiller_sim: option '--trace-capacity': --trace-capacity must be positive
+                 (got 0)
+
+  $ lockiller_sim run -s LockillerTM -w intruder -t 4 --trace-events /nonexistent/t.json 2>&1 | head -2
+  lockiller_sim: option '--trace-events': cannot write /nonexistent/t.json:
+                 directory /nonexistent does not exist
+
+  $ lockiller_sim experiment fig1 --jobs 0 2>&1 | head -2
+  lockiller_sim: option '--jobs': --jobs must be positive (got 0)
+  Usage: lockiller_sim experiment [OPTION]… ID
