@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 SHELL := /bin/bash
 
-.PHONY: all build test bench perfcheck doc lint check ci clean
+.PHONY: all build test bench perfcheck doc lint check telemetry ci clean
 
 all: build
 
@@ -44,6 +44,23 @@ doc:
 	  echo "make doc: odoc not installed, skipping (opam install odoc)"; \
 	fi
 
+# Telemetry smoke: one sampled run exporting both the time series and
+# a Perfetto trace with counter tracks, validated by the JSON checker
+# (the same checks the cram suite pins byte-for-byte).
+telemetry:
+	rm -rf _build/telemetry-smoke && mkdir -p _build/telemetry-smoke
+	dune exec bin/lockiller_sim.exe -- run -s LockillerTM -w intruder \
+	  -t 4 --cores 4 --scale 0.1 --sample-interval 256 \
+	  --telemetry _build/telemetry-smoke/tel.json \
+	  --trace-events _build/telemetry-smoke/trace.json > /dev/null
+	dune exec test/json_check.exe < _build/telemetry-smoke/tel.json
+	dune exec test/json_check.exe -- --trace \
+	  < _build/telemetry-smoke/trace.json
+	dune exec bin/lockiller_sim.exe -- top _build/telemetry-smoke/tel.json \
+	  --once > /dev/null
+	rm -rf _build/telemetry-smoke
+	@echo "telemetry smoke: OK"
+
 # Perf regression gate: rerun the event-engine microbenchmarks and
 # compare against the committed baseline with a 2x tolerance band —
 # wide enough for machine-to-machine noise, tight enough to catch a
@@ -72,6 +89,7 @@ ci:
 	diff <(grep -v "rendered in\|simulations:\|perf:" _build/ci-cold.out) \
 	     <(grep -v "rendered in\|simulations:\|perf:" _build/ci-warm.out)
 	rm -rf _build/ci-cache
+	$(MAKE) telemetry
 	$(MAKE) perfcheck
 
 clean:

@@ -17,6 +17,7 @@ module Json = Lockiller.Sim.Json
 module Cache = Lockiller.Sim.Cache
 module Pool = Lockiller.Sim.Pool
 module Tracing = Lockiller.Sim.Tracing
+module Telemetry = Lockiller.Sim.Telemetry
 
 (* --- shared options ---------------------------------------------------- *)
 
@@ -135,11 +136,45 @@ let trace_capacity_t =
         ~doc:"Event-ledger ring capacity in records, for --trace-events \
               and --abort-breakdown; older records are dropped beyond it.")
 
+let telemetry_file_t =
+  Arg.(
+    value
+    & opt (some writable_path_conv) None
+    & info [ "telemetry" ] ~docv:"FILE"
+        ~doc:"Sample per-core phases, machine gauges and per-link flit \
+              counters periodically during the run and write the time \
+              series to $(docv) (CSV if it ends in .csv, JSON \
+              otherwise). Off by default: no sampling cost. Inspect \
+              with 'lockiller_sim top'.")
+
+let sample_interval_t =
+  Arg.(
+    value
+    & opt (pos_int_conv "--sample-interval") 1024
+    & info [ "sample-interval" ] ~docv:"CYCLES"
+        ~doc:"Telemetry sampling period in cycles (with --telemetry).")
+
 (* The ledger is enabled lazily: zero simulation overhead unless one of
    the observability flags asked for it. *)
 let want_ledger ~trace_events ~breakdown = trace_events <> None || breakdown
 
-let emit_observability ~format ~trace_events ~breakdown rt =
+let telemetry_option ~telemetry_file ~sample_interval sink =
+  match telemetry_file with
+  | None -> None
+  | Some _ ->
+    Some
+      (Runner.telemetry_request ~interval:sample_interval (fun t ->
+           sink := Some t))
+
+let emit_telemetry ~telemetry_file tele =
+  match (telemetry_file, tele) with
+  | Some file, Some t ->
+    Telemetry.write t ~file;
+    Printf.printf "# telemetry: wrote %s (%d samples, %d dropped)\n" file
+      (Telemetry.samples t) (Telemetry.dropped t)
+  | _ -> ()
+
+let emit_observability ?telemetry ~format ~trace_events ~breakdown rt =
   let module Runtime = Lockiller.Mechanisms.Runtime in
   match Runtime.ledger rt with
   | None -> ()
@@ -147,7 +182,7 @@ let emit_observability ~format ~trace_events ~breakdown rt =
     (match trace_events with
     | None -> ()
     | Some file ->
-      Tracing.write_perfetto ~file l;
+      Tracing.write_perfetto ?telemetry ~file l;
       Printf.printf "# trace-events: wrote %s (%d events, %d dropped)\n" file
         (Lockiller.Engine.Ledger.length l)
         (Lockiller.Engine.Ledger.dropped l));
@@ -267,10 +302,12 @@ let run_cmd =
       & info [ "threads"; "t" ] ~doc:"Thread count (2..cores).")
   in
   let action system workload threads stats format seed scale cache cores
-      trace_events breakdown trace_capacity check =
+      trace_events breakdown trace_capacity check telemetry_file
+      sample_interval =
     let module Runtime = Lockiller.Mechanisms.Runtime in
     let module Stats = Lockiller.Engine.Stats in
     let handle = ref None in
+    let tele = ref None in
     match
       ( Lockiller.Mechanisms.Sysconf.find system,
         Lockiller.Stamp.Suite.find workload )
@@ -292,6 +329,8 @@ let run_cmd =
                   handle := Some rt;
                   if want_ledger ~trace_events ~breakdown then
                     ignore (Runtime.enable_ledger ~capacity:trace_capacity rt));
+              telemetry =
+                telemetry_option ~telemetry_file ~sample_interval tele;
             }
           ~sysconf ~workload:profile ~threads ()
       with
@@ -334,7 +373,10 @@ let run_cmd =
             else Runner.json_of_result r
           in
           print_endline (Json.to_string doc));
-        Option.iter (emit_observability ~format ~trace_events ~breakdown)
+        emit_telemetry ~telemetry_file !tele;
+        Option.iter
+          (emit_observability ?telemetry:!tele ~format ~trace_events
+             ~breakdown)
           !handle;
         `Ok ())
   in
@@ -343,7 +385,8 @@ let run_cmd =
       ret
         (const action $ system $ workload $ threads $ stats_t $ format_t
        $ seed_t $ scale_t $ cache_t $ cores_t $ trace_events_t
-       $ abort_breakdown_t $ trace_capacity_t $ check_t))
+       $ abort_breakdown_t $ trace_capacity_t $ check_t $ telemetry_file_t
+       $ sample_interval_t))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate one system/workload/thread combination")
@@ -655,7 +698,7 @@ let trace_cmd =
       & info [ "last"; "n" ] ~doc:"How many trailing events to print.")
   in
   let action system workload threads last seed scale cache cores trace_events
-      breakdown trace_capacity =
+      breakdown trace_capacity telemetry_file sample_interval =
     let module Txtrace = Lockiller.Mechanisms.Txtrace in
     let module Runtime = Lockiller.Mechanisms.Runtime in
     match
@@ -667,14 +710,24 @@ let trace_cmd =
     | Some sysconf, Some profile -> (
       let trace = ref None in
       let handle = ref None in
+      let tele = ref None in
       match
-        Runner.run ~seed ~scale
-          ~machine:(Config.machine ~cache ~cores ())
-          ~on_runtime:(fun rt ->
-            handle := Some rt;
-            trace := Some (Runtime.enable_txtrace rt);
-            if want_ledger ~trace_events ~breakdown then
-              ignore (Runtime.enable_ledger ~capacity:trace_capacity rt))
+        Runner.run
+          ~options:
+            {
+              Runner.default_options with
+              seed;
+              scale;
+              machine = Config.machine ~cache ~cores ();
+              on_runtime =
+                (fun rt ->
+                  handle := Some rt;
+                  trace := Some (Runtime.enable_txtrace rt);
+                  if want_ledger ~trace_events ~breakdown then
+                    ignore (Runtime.enable_ledger ~capacity:trace_capacity rt));
+              telemetry =
+                telemetry_option ~telemetry_file ~sample_interval tele;
+            }
           ~sysconf ~workload:profile ~threads ()
       with
       | exception (Failure msg | Invalid_argument msg) -> `Error (false, msg)
@@ -685,8 +738,10 @@ let trace_cmd =
           Printf.printf "# %d lifecycle events recorded; last %d:\n"
             (Txtrace.recorded tr) last;
           Txtrace.dump ~limit:last Format.std_formatter tr);
+        emit_telemetry ~telemetry_file !tele;
         Option.iter
-          (emit_observability ~format:`Text ~trace_events ~breakdown)
+          (emit_observability ?telemetry:!tele ~format:`Text ~trace_events
+             ~breakdown)
           !handle;
         Printf.printf "\n# run summary: %d cycles, commit rate %.1f%%\n"
           r.Runner.cycles
@@ -698,7 +753,7 @@ let trace_cmd =
       ret
         (const action $ system $ workload $ threads $ last $ seed_t $ scale_t
        $ cache_t $ cores_t $ trace_events_t $ abort_breakdown_t
-       $ trace_capacity_t))
+       $ trace_capacity_t $ telemetry_file_t $ sample_interval_t))
   in
   Cmd.v
     (Cmd.info "trace"
@@ -830,6 +885,265 @@ let custom_cmd =
     (Cmd.info "custom" ~doc:"Run a hand-written workload from a text file")
     term
 
+(* --- compare ------------------------------------------------------------ *)
+
+let read_file file =
+  let ic = open_in file in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Two saved run results (lockiller_sim run --format json > FILE) side
+   by side, with absolute deltas and B/A ratios. *)
+let compare_table (a : Runner.result) (b : Runner.result) =
+  let ratio va vb =
+    if va = 0.0 then "-" else Printf.sprintf "%.3f" (vb /. va)
+  in
+  let int_row label va vb =
+    [
+      label;
+      string_of_int va;
+      string_of_int vb;
+      Printf.sprintf "%+d" (vb - va);
+      ratio (float_of_int va) (float_of_int vb);
+    ]
+  in
+  let float_row label va vb =
+    [
+      label;
+      Printf.sprintf "%.4f" va;
+      Printf.sprintf "%.4f" vb;
+      Printf.sprintf "%+.4f" (vb -. va);
+      ratio va vb;
+    ]
+  in
+  let abort_rows =
+    List.map2
+      (fun (reason, na) (reason', nb) ->
+        assert (reason == reason' || Reason.index reason = Reason.index reason');
+        int_row ("abort:" ^ Reason.label reason) na nb)
+      a.Runner.abort_mix b.Runner.abort_mix
+  in
+  let rows =
+    [
+      int_row "cycles" a.Runner.cycles b.Runner.cycles;
+      float_row "commit_rate" a.Runner.commit_rate b.Runner.commit_rate;
+      int_row "htm_commits" a.Runner.htm_commits b.Runner.htm_commits;
+      int_row "stl_commits" a.Runner.stl_commits b.Runner.stl_commits;
+      int_row "lock_commits" a.Runner.lock_commits b.Runner.lock_commits;
+      int_row "aborts" a.Runner.aborts b.Runner.aborts;
+    ]
+    @ abort_rows
+    @ [
+        int_row "rejects" a.Runner.rejects b.Runner.rejects;
+        int_row "parks" a.Runner.parks b.Runner.parks;
+        int_row "network_flits" a.Runner.network_flits b.Runner.network_flits;
+        int_row "tx_latency_p50" a.Runner.tx_latency_p50
+          b.Runner.tx_latency_p50;
+        int_row "tx_latency_p95" a.Runner.tx_latency_p95
+          b.Runner.tx_latency_p95;
+        int_row "tx_latency_p99" a.Runner.tx_latency_p99
+          b.Runner.tx_latency_p99;
+      ]
+  in
+  let describe (r : Runner.result) =
+    Printf.sprintf "%s/%s t%d" r.Runner.system r.Runner.workload
+      r.Runner.threads
+  in
+  let notes =
+    if b.Runner.cycles = 0 then []
+    else
+      [
+        Printf.sprintf "speedup (A cycles / B cycles): %.3f"
+          (float_of_int a.Runner.cycles /. float_of_int b.Runner.cycles);
+      ]
+  in
+  Report.table ~notes
+    ~title:(Printf.sprintf "compare: A=%s vs B=%s" (describe a) (describe b))
+    ~headers:[ "metric"; "A"; "B"; "delta"; "B/A" ]
+    rows
+
+let compare_cmd =
+  let file_a =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"A.json"
+          ~doc:"Baseline result (lockiller_sim run --format json > A.json).")
+  in
+  let file_b =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"B.json" ~doc:"Result to compare against the baseline.")
+  in
+  let action a b format =
+    let load file =
+      match Runner.result_of_json (read_file file) with
+      | Ok r -> Ok r
+      | Error msg -> Error (file ^ ": " ^ msg)
+      | exception Sys_error msg -> Error msg
+    in
+    match (load a, load b) with
+    | Error msg, _ | _, Error msg -> `Error (false, msg)
+    | Ok ra, Ok rb ->
+      let table = compare_table ra rb in
+      (match format with
+      | `Text -> Report.print table
+      | `Csv -> print_string (Report.to_csv table)
+      | `Json -> print_endline (Json.to_string (Report.json_of_table table)));
+      `Ok ()
+  in
+  let term = Term.(ret (const action $ file_a $ file_b $ format_t)) in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Diff two saved run results (JSON from 'run --format json'): \
+             absolute deltas and ratios for every headline metric, \
+             including the latency percentiles")
+    term
+
+(* --- top ---------------------------------------------------------------- *)
+
+(* Render a saved telemetry export (run --telemetry FILE) as per-core
+   phase strips plus gauge sparklines. *)
+let top_cmd =
+  let module Runtime = Lockiller.Mechanisms.Runtime in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"Telemetry JSON written by 'run --telemetry FILE'.")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:"Print one frame (the newest sample) instead of the full \
+                timeline.")
+  in
+  let width =
+    Arg.(
+      value
+      & opt (pos_int_conv "--width") 64
+      & info [ "width" ] ~docv:"N"
+          ~doc:"Timeline columns: the newest N samples are shown.")
+  in
+  let phase_char c =
+    (* Mirrors Runtime.phase_label: non-tx, HTM, STL, lock, parked,
+       aborting. *)
+    match c with
+    | 0 -> '.'
+    | 1 -> 'H'
+    | 2 -> 'S'
+    | 3 -> 'L'
+    | 4 -> 'p'
+    | 5 -> 'a'
+    | _ -> '?'
+  in
+  let spark_ramp = " .:-=+*#" in
+  let exception Bad of string in
+  let ok = function Ok v -> v | Error m -> raise (Bad m) in
+  let ring doc name =
+    let r = ok (Json.member name doc) in
+    let channels =
+      List.map
+        (fun c -> ok (Json.to_str c))
+        (ok (Json.to_list (ok (Json.member "channels" r))))
+    in
+    let rows =
+      List.map
+        (fun row -> List.map (fun c -> ok (Json.to_int c)) (ok (Json.to_list row)))
+        (ok (Json.to_list (ok (Json.member "rows" r))))
+    in
+    (channels, rows)
+  in
+  let action file once width =
+    match
+      let doc = ok (Json.of_string (read_file file)) in
+      let interval = ok (Result.bind (Json.member "interval" doc) Json.to_int) in
+      let samples = ok (Result.bind (Json.member "samples" doc) Json.to_int) in
+      let cores, phase_rows = ring doc "phases" in
+      let gauge_names, gauge_rows = ring doc "gauges" in
+      (interval, samples, cores, phase_rows, gauge_names, gauge_rows)
+    with
+    | exception Bad msg -> `Error (false, file ^ ": " ^ msg)
+    | exception Sys_error msg -> `Error (false, msg)
+    | interval, samples, cores, phase_rows, gauge_names, gauge_rows ->
+      if phase_rows = [] then `Error (false, file ^ ": no samples")
+      else begin
+        Printf.printf "# %s: interval %d cycles, %d samples\n" file interval
+          samples;
+        if once then begin
+          (* One frame: the newest sample of each ring. *)
+          let last l = List.nth l (List.length l - 1) in
+          let row = last phase_rows in
+          let time, phases =
+            match row with t :: ps -> (t, ps) | [] -> (0, [])
+          in
+          Printf.printf "t=%d\n" time;
+          List.iteri
+            (fun i p ->
+              Printf.printf "  %-8s %s\n"
+                (List.nth cores i)
+                (Runtime.phase_label p))
+            phases;
+          let grow = match last gauge_rows with _ :: gs -> gs | [] -> [] in
+          List.iteri
+            (fun i v ->
+              Printf.printf "  %-14s %d\n" (List.nth gauge_names i) v)
+            grow
+        end
+        else begin
+          (* Timeline: newest [width] samples, one phase strip per core
+             and one scaled sparkline per gauge. *)
+          let rows = Array.of_list phase_rows in
+          let n = Array.length rows in
+          let first = max 0 (n - width) in
+          let shown = n - first in
+          let t0 = List.hd rows.(first) and t1 = List.hd rows.(n - 1) in
+          Printf.printf "# showing %d of %d retained samples, t=%d..%d\n"
+            shown n t0 t1;
+          List.iteri
+            (fun c name ->
+              let strip =
+                String.init shown (fun s ->
+                    phase_char (List.nth rows.(first + s) (c + 1)))
+              in
+              Printf.printf "%-14s %s\n" name strip)
+            cores;
+          Printf.printf "%-14s %s\n" "phases"
+            ".=non-tx H=htm S=stl L=lock p=parked a=aborting";
+          let grows = Array.of_list gauge_rows in
+          List.iteri
+            (fun g name ->
+              let value s = List.nth grows.(first + s) (g + 1) in
+              let vmax = ref 0 in
+              for s = 0 to shown - 1 do
+                vmax := max !vmax (value s)
+              done;
+              let strip =
+                String.init shown (fun s ->
+                    if !vmax = 0 then ' '
+                    else
+                      spark_ramp.[value s
+                                  * (String.length spark_ramp - 1)
+                                  / !vmax])
+              in
+              Printf.printf "%-14s %s (max %d)\n" name strip !vmax)
+            gauge_names
+        end;
+        `Ok ()
+      end
+  in
+  let term = Term.(ret (const action $ file $ once $ width)) in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Render a saved telemetry export as per-core phase strips and \
+             gauge sparklines ('--once' prints just the newest sample)")
+    term
+
 (* --- cache --------------------------------------------------------------- *)
 
 let cache_cmd =
@@ -900,6 +1214,6 @@ let main =
   Cmd.group
     (Cmd.info "lockiller_sim" ~version:Lockiller.version ~doc)
     [ run_cmd; check_cmd; experiment_cmd; sweep_cmd; trace_cmd; custom_cmd;
-      cache_cmd; list_cmd; params_cmd ]
+      compare_cmd; top_cmd; cache_cmd; list_cmd; params_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,104 @@
+(* Utilization timeline from the telemetry sampler. Runs one contended
+   workload with the periodic sampler attached (Runner.options.telemetry),
+   then renders each core's execution-phase strip and two machine gauges
+   straight from the Timeseries rings — the same data behind
+   `lockiller_sim top` and the Perfetto counter tracks — and closes with
+   the always-on latency histograms.
+
+     dune exec examples/utilization_timeline.exe *)
+
+module Runner = Lockiller.Sim.Runner
+module Telemetry = Lockiller.Sim.Telemetry
+module Timeseries = Lockiller.Engine.Timeseries
+module Stats = Lockiller.Engine.Stats
+module Suite = Lockiller.Stamp.Suite
+module Sysconf = Lockiller.Mechanisms.Sysconf
+module Runtime = Lockiller.Mechanisms.Runtime
+
+let workload = "yada"
+let threads = 4
+let interval = 512
+
+(* One glyph per Runtime.phase_code: non-tx, HTM, STL/TL, lock-held,
+   parked, aborting. *)
+let phase_char = function
+  | 0 -> '.'
+  | 1 -> 'H'
+  | 2 -> 'S'
+  | 3 -> 'L'
+  | 4 -> 'p'
+  | 5 -> 'a'
+  | _ -> '?'
+
+let spark_ramp = " .:-=+*#"
+
+let sparkline ring ~channel =
+  let n = Timeseries.length ring in
+  let hi = ref 1 in
+  for i = 0 to n - 1 do
+    hi := max !hi (Timeseries.get ring ~sample:i ~channel)
+  done;
+  let buf = Bytes.create n in
+  for i = 0 to n - 1 do
+    let v = Timeseries.get ring ~sample:i ~channel in
+    let idx = v * (String.length spark_ramp - 1) / !hi in
+    Bytes.set buf i spark_ramp.[idx]
+  done;
+  (Bytes.to_string buf, !hi)
+
+let () =
+  let w = Option.get (Suite.find workload) in
+  let tele = ref None in
+  let r =
+    Runner.run
+      ~options:
+        {
+          Runner.default_options with
+          scale = 0.2;
+          machine = Lockiller.Sim.Config.machine ~cores:4 ();
+          telemetry =
+            Some (Runner.telemetry_request ~interval (fun t -> tele := Some t));
+        }
+      ~sysconf:Sysconf.lockiller ~workload:w ~threads ()
+  in
+  let t = Option.get !tele in
+  let phases = Telemetry.phases t in
+  let n = Timeseries.length phases in
+  Printf.printf
+    "Utilization timeline: %s, %d threads on %s — one column every %d\n\
+     cycles (%d samples over %d cycles, %d htm / %d stl / %d lock commits).\n\n"
+    workload threads Sysconf.lockiller.Sysconf.name interval n r.Runner.cycles
+    r.Runner.htm_commits r.Runner.stl_commits r.Runner.lock_commits;
+  (* Per-core phase strips: what each core was doing at every sample. *)
+  for core = 0 to Timeseries.width phases - 1 do
+    let buf = Bytes.create n in
+    for i = 0 to n - 1 do
+      Bytes.set buf i
+        (phase_char (Timeseries.get phases ~sample:i ~channel:core))
+    done;
+    Printf.printf "core %d  %s\n" core (Bytes.to_string buf)
+  done;
+  Printf.printf "        phases: . non-tx  H htm  S stl  L lock  p parked  a aborting\n\n";
+  (* Two machine-wide gauges as sparklines over the same sample grid. *)
+  let gauges = Telemetry.gauges t in
+  List.iter
+    (fun name ->
+      let channel =
+        Option.get (List.find_index (String.equal name) Telemetry.gauge_channels)
+      in
+      let line, hi = sparkline gauges ~channel in
+      Printf.printf "%-12s %s (max %d)\n" name line hi)
+    [ "lock_holders"; "queue_depth" ];
+  (* The always-on latency histograms the sampler exports alongside the
+     rings; the runner surfaces tx_latency's percentiles in the result. *)
+  Printf.printf "\nlatency histograms (cycles):\n";
+  List.iter
+    (fun (name, h) ->
+      Printf.printf "  %-12s n=%-4d p50=%-6d p95=%-6d p99=%-6d max=%d\n" name
+        (Stats.hdr_count h)
+        (Stats.percentile h 50.0)
+        (Stats.percentile h 95.0)
+        (Stats.percentile h 99.0)
+        (Option.value ~default:0 (Stats.hdr_max h)))
+    (Telemetry.histograms t);
+  assert (r.Runner.tx_latency_p50 = Stats.percentile (List.assoc "tx_latency" (Telemetry.histograms t)) 50.0)

@@ -238,6 +238,8 @@ let occupancy t =
   Array.fold_left (fun acc slot -> if slot.tag = -1 then acc else acc + 1) 0
     t.slots
 
+let tx_count t = t.tx_count
+
 let iter t f =
   Array.iteri
     (fun i slot ->

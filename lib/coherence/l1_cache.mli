@@ -78,4 +78,9 @@ val clear_tx : t -> drop_written:bool -> view list
 val occupancy : t -> int
 (** Resident line count (for tests). *)
 
+val tx_count : t -> int
+(** Number of transactionally marked resident lines (the length of
+    {!tx_lines}, without building the list — allocation-free, for the
+    telemetry sampler). *)
+
 val iter : t -> (view -> unit) -> unit

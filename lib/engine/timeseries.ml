@@ -1,0 +1,94 @@
+(* A fixed-capacity ring of time-stamped gauge rows, following the
+   Ledger discipline: one flat preallocated int array, no allocation
+   on the recording path, wraparound keeps the trailing rows and
+   counts how many earlier ones were dropped.
+
+   Each row is [1 + width] machine words: the sample time followed by
+   one slot per channel. Producers stage values into a scratch row
+   with [set] and then [commit] the whole row at once, so a sample is
+   always internally consistent even when several subsystems feed it. *)
+
+type t = {
+  channels : string array;
+  width : int;
+  cap : int;
+  data : int array;  (* (width + 1) * cap slots: time, then values *)
+  scratch : int array;  (* width slots, staged by [set] *)
+  mutable next : int;  (* total rows committed *)
+}
+
+let create ?(capacity = 4096) ~channels () =
+  if capacity <= 0 then
+    invalid_arg "Timeseries.create: capacity must be positive";
+  let channels = Array.of_list channels in
+  let width = Array.length channels in
+  if width = 0 then
+    invalid_arg "Timeseries.create: at least one channel required";
+  {
+    channels;
+    width;
+    cap = capacity;
+    data = Array.make ((width + 1) * capacity) 0;
+    scratch = Array.make width 0;
+    next = 0;
+  }
+
+let channels t = Array.to_list t.channels
+let width t = t.width
+let capacity t = t.cap
+let recorded t = t.next
+let length t = Int.min t.next t.cap
+let dropped t = Int.max 0 (t.next - t.cap)
+
+let set t ch v =
+  if ch < 0 || ch >= t.width then invalid_arg "Timeseries.set: bad channel";
+  t.scratch.(ch) <- v
+
+let commit t ~time =
+  let base = (t.width + 1) * (t.next mod t.cap) in
+  t.data.(base) <- time;
+  Array.blit t.scratch 0 t.data (base + 1) t.width;
+  t.next <- t.next + 1
+
+let clear t =
+  Array.fill t.data 0 (Array.length t.data) 0;
+  Array.fill t.scratch 0 t.width 0;
+  t.next <- 0
+
+(* The row array handed to [iter]'s callback is reused between calls:
+   consumers must copy it if they keep it. *)
+let iter t f =
+  let row = Array.make t.width 0 in
+  let first = Int.max 0 (t.next - t.cap) in
+  for i = first to t.next - 1 do
+    let base = (t.width + 1) * (i mod t.cap) in
+    Array.blit t.data (base + 1) row 0 t.width;
+    f ~time:t.data.(base) ~row
+  done
+
+let get t ~sample ~channel =
+  let n = length t in
+  if sample < 0 || sample >= n then invalid_arg "Timeseries.get: bad sample";
+  if channel < 0 || channel >= t.width then
+    invalid_arg "Timeseries.get: bad channel";
+  let first = Int.max 0 (t.next - t.cap) in
+  let i = first + sample in
+  t.data.(((t.width + 1) * (i mod t.cap)) + channel + 1)
+
+let time t ~sample =
+  let n = length t in
+  if sample < 0 || sample >= n then invalid_arg "Timeseries.time: bad sample";
+  let first = Int.max 0 (t.next - t.cap) in
+  let i = first + sample in
+  t.data.((t.width + 1) * (i mod t.cap))
+
+let dump ppf t =
+  if dropped t > 0 then
+    Format.fprintf ppf "# %d earlier samples dropped@." (dropped t);
+  Format.fprintf ppf "time";
+  Array.iter (fun c -> Format.fprintf ppf " %s" c) t.channels;
+  Format.fprintf ppf "@.";
+  iter t (fun ~time ~row ->
+      Format.fprintf ppf "%d" time;
+      Array.iter (fun v -> Format.fprintf ppf " %d" v) row;
+      Format.fprintf ppf "@.")

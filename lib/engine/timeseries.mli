@@ -1,0 +1,64 @@
+(** Fixed-capacity multi-channel gauge ring.
+
+    A timeseries holds rows of integer gauge values sampled at known
+    simulation times, in one flat preallocated array (the same
+    discipline as {!Ledger}): recording allocates nothing, and when
+    the ring wraps the trailing rows survive while {!dropped} counts
+    the earlier ones.
+
+    Producers stage a row with {!set} (one slot per channel) and then
+    {!commit} it with its timestamp, so every committed row is an
+    internally consistent snapshot. *)
+
+type t
+
+val create : ?capacity:int -> channels:string list -> unit -> t
+(** [create ~channels ()] makes an empty ring with one slot per
+    channel and room for [capacity] (default 4096) rows.
+    @raise Invalid_argument if [capacity <= 0] or [channels = []]. *)
+
+val channels : t -> string list
+(** Channel names, in slot order. *)
+
+val width : t -> int
+(** Number of channels per row. *)
+
+val capacity : t -> int
+(** Maximum number of rows retained. *)
+
+val recorded : t -> int
+(** Total rows committed, including any that have since been
+    overwritten. *)
+
+val length : t -> int
+(** Rows currently retained ([min recorded capacity]). *)
+
+val dropped : t -> int
+(** Rows lost to wraparound ([max 0 (recorded - capacity)]). *)
+
+val set : t -> int -> int -> unit
+(** [set t ch v] stages value [v] for channel [ch] in the pending
+    row. Allocation-free. *)
+
+val commit : t -> time:int -> unit
+(** Append the staged row with timestamp [time]. The scratch row is
+    kept (channels not re-[set] carry their previous value), which
+    suits monotonic gauges. Allocation-free. *)
+
+val clear : t -> unit
+(** Drop every row and zero the scratch values. *)
+
+val iter : t -> (time:int -> row:int array -> unit) -> unit
+(** Iterate retained rows oldest-first. [row] is a buffer reused
+    between callbacks — copy it to keep it. *)
+
+val get : t -> sample:int -> channel:int -> int
+(** Value of [channel] in retained row [sample] (0 = oldest
+    retained). *)
+
+val time : t -> sample:int -> int
+(** Timestamp of retained row [sample]. *)
+
+val dump : Format.formatter -> t -> unit
+(** Deterministic text dump: a header line of channel names then one
+    line per retained row, noting dropped rows first. *)

@@ -71,6 +71,12 @@ type t = {
   (* Cycle at which each core acquired the fallback spinlock; -1 when
      not holding it. Feeds the lock-dwell counter. *)
   lock_held_since : int array;
+  (* Cycle at which each core first attempted its current critical
+     section (-1 outside one) and cycle of its last abort (-1 once the
+     section commits): together they feed the always-on latency
+     histograms below. *)
+  section_start : int array;
+  last_abort : int array;
   (* Per-core operation log of the current critical section (reversed),
      and whether the core is inside a plain (lock-protected,
      non-transactional) section that should be logged. *)
@@ -92,6 +98,11 @@ type t = {
   s_spilled_lines : Stats.counter;
   s_lock_busy : Stats.counter;
   s_lock_dwell : Stats.counter;
+  (* Always-on log-linear histograms (array increments on commit-rate
+     paths; no allocation, no measurable cost). *)
+  d_tx_latency : Stats.hdr;
+  d_retry_gap : Stats.hdr;
+  d_lock_dwell : Stats.hdr;
 }
 
 let sysconf t = t.sysconf
@@ -124,6 +135,48 @@ let lock_holders t =
     (fun c since -> if since >= 0 then out := c :: !out)
     t.lock_held_since;
   List.rev !out
+
+(* --- Telemetry introspection ------------------------------------------ *)
+
+(* Integer phase codes sampled by [Lk_sim.Telemetry]. Every accessor
+   below is allocation-free: the sampler runs them thousands of times
+   per simulation and must not disturb the GC. *)
+
+let num_phases = 6
+
+let phase_label = function
+  | 0 -> "non-tx"
+  | 1 -> "htm"
+  | 2 -> "stl"
+  | 3 -> "lock"
+  | 4 -> "parked"
+  | 5 -> "aborting"
+  | _ -> invalid_arg "Runtime.phase_label"
+
+let phase_code t core =
+  match t.parked.(core) with
+  | Some _ -> 4
+  | None ->
+    if t.lock_held_since.(core) >= 0 then 3
+    else begin
+      let c = t.ctxs.(core) in
+      match c.Txstate.mode with
+      | Txstate.Tl | Txstate.Stl -> 2
+      | Txstate.Htm -> (
+        match c.Txstate.pending_abort with Some _ -> 5 | None -> 1)
+      | Txstate.Idle -> 0
+    end
+
+let holds_lock t core = t.lock_held_since.(core) >= 0
+
+let arbiter_engaged t =
+  match Arbiter.holder t.arb with Some _ -> true | None -> false
+
+let sig_rd_population t = Signature.population t.of_rd
+let sig_wr_population t = Signature.population t.of_wr
+let tx_latency_hdr t = t.d_tx_latency
+let retry_gap_hdr t = t.d_retry_gap
+let lock_dwell_hdr t = t.d_lock_dwell
 
 let commit_rate t =
   let starts = ref 0 and commits = ref 0 in
@@ -308,6 +361,7 @@ let abort_core t core reason =
   cs.aborts <- cs.aborts + 1;
   cs.abort_reasons.(Reason.index reason) <-
     cs.abort_reasons.(Reason.index reason) + 1;
+  t.last_abort.(core) <- Sim.now t.sim;
   Stats.incr t.s_aborts;
   trace t core (Txtrace.Abort reason);
   emit t core Ledger.Tx_abort ~arg:(Reason.index reason);
@@ -530,6 +584,8 @@ let create ?(costs = default_costs) ?inject_bug ~protocol:proto ~store ~sysconf
       txtrace = None;
       ledger = None;
       lock_held_since = Array.make cores (-1);
+      section_start = Array.make cores (-1);
+      last_abort = Array.make cores (-1);
       op_logs = Array.make cores [];
       plain_section = Array.make cores false;
       inject = inject_bug;
@@ -558,6 +614,9 @@ let create ?(costs = default_costs) ?inject_bug ~protocol:proto ~store ~sysconf
       s_spilled_lines = Stats.counter stats "spilled_lines";
       s_lock_busy = Stats.counter stats "lock_busy_aborts";
       s_lock_dwell = Stats.counter stats "lock_dwell_cycles";
+      d_tx_latency = Stats.hdr stats "tx_latency";
+      d_retry_gap = Stats.hdr stats "retry_gap";
+      d_lock_dwell = Stats.hdr stats "lock_dwell";
     }
   in
   Protocol.set_client proto (client t);
@@ -588,6 +647,13 @@ let xbegin t core ~k =
   Txstate.begin_htm c;
   trace t core Txtrace.Xbegin;
   emit t core Ledger.Tx_begin ~arg:c.Txstate.attempt;
+  (* First attempt opens the critical section for the latency
+     histogram; retries record the abort-to-retry gap. *)
+  if c.Txstate.attempt = 0 then t.section_start.(core) <- Sim.now t.sim
+  else if t.last_abort.(core) >= 0 then begin
+    Stats.record t.d_retry_gap (Sim.now t.sim - t.last_abort.(core));
+    t.last_abort.(core) <- -1
+  end;
   (* Static priorities are drawn once per transaction, before the first
      attempt, and survive retries (Section III-A: "determined before
      the transaction and remain unchanged"). *)
@@ -616,6 +682,16 @@ let xbegin t core ~k =
             end
             else k `Started))
 
+(* A critical section completed (HTM commit, hlend or plain fallback):
+   close out the latency histogram sample. *)
+let close_section t core =
+  let ss = t.section_start.(core) in
+  if ss >= 0 then begin
+    Stats.record t.d_tx_latency (Sim.now t.sim - ss);
+    t.section_start.(core) <- -1
+  end;
+  t.last_abort.(core) <- -1
+
 let xend t core ~k =
   let c = t.ctxs.(core) in
   if c.Txstate.mode <> Txstate.Htm then
@@ -642,6 +718,7 @@ let xend t core ~k =
         cs.attempts_at_commit <-
           cs.attempts_at_commit + c.Txstate.attempt + 1;
         Stats.incr t.s_commits;
+        close_section t core;
         Txstate.finish c;
         send_wakeups t core;
         k ()
@@ -659,6 +736,8 @@ let hlbegin t core ~k =
           c.Txstate.pending_abort <- None;
           Txstate.reset_attempt c;
           clear_log t core;
+          if t.section_start.(core) < 0 then
+            t.section_start.(core) <- Sim.now t.sim;
           trace t core Txtrace.Hlbegin;
           emit t core Ledger.Hl_begin ~arg:0;
           k ()
@@ -676,6 +755,8 @@ let hlbegin t core ~k =
         c.Txstate.pending_abort <- None;
         Txstate.reset_attempt c;
         clear_log t core;
+        if t.section_start.(core) < 0 then
+          t.section_start.(core) <- Sim.now t.sim;
         trace t core Txtrace.Hlbegin;
         emit t core Ledger.Hl_begin ~arg:0;
         k ())
@@ -706,6 +787,7 @@ let hlend t core ~k =
       let cs = t.per_core.(core) in
       if was_stl then cs.stl_commits <- cs.stl_commits + 1
       else cs.lock_commits <- cs.lock_commits + 1;
+      close_section t core;
       Txstate.finish c;
       send_wakeups t core;
       k ())
@@ -789,6 +871,7 @@ let note_lock_released t core =
   let since = t.lock_held_since.(core) in
   if since >= 0 then begin
     Stats.add t.s_lock_dwell (Sim.now t.sim - since);
+    Stats.record t.d_lock_dwell (Sim.now t.sim - since);
     t.lock_held_since.(core) <- -1
   end;
   emit t core Ledger.Lock_release ~arg:0
@@ -868,7 +951,8 @@ let lock_acquire t core ~k =
 
 let note_lock_commit t core =
   let cs = t.per_core.(core) in
-  cs.lock_commits <- cs.lock_commits + 1
+  cs.lock_commits <- cs.lock_commits + 1;
+  close_section t core
 
 let lock_release t core ~k =
   let c = t.ctxs.(core) in

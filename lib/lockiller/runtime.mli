@@ -237,3 +237,51 @@ val is_parked : t -> Lk_coherence.Types.core_id -> bool
 val lock_holders : t -> Lk_coherence.Types.core_id list
 (** Cores currently between [note_lock_acquired] and the matching
     release — i.e. holding the fallback spinlock. *)
+
+(* -- Telemetry introspection ------------------------------------------ *)
+
+(** Allocation-free gauges sampled by [Lk_sim.Telemetry]: the periodic
+    sampler calls these thousands of times per run and must not
+    disturb the GC, so none of them build options, lists or tuples. *)
+
+val num_phases : int
+(** Number of distinct {!phase_code} values (codes are [0 ..
+    num_phases - 1]). *)
+
+val phase_code : t -> Lk_coherence.Types.core_id -> int
+(** The core's current execution phase as a stable integer code:
+    0 non-tx, 1 HTM, 2 STL/TL (lock transaction), 3 holding the
+    fallback lock, 4 parked, 5 aborting (asynchronous abort pending).
+    Parked wins over lock-held wins over the transactional modes. *)
+
+val phase_label : int -> string
+(** Human-readable name of a {!phase_code}.
+    @raise Invalid_argument outside [0 .. num_phases - 1]. *)
+
+val holds_lock : t -> Lk_coherence.Types.core_id -> bool
+(** The core holds the fallback spinlock ([lock_holders] without the
+    list). *)
+
+val arbiter_engaged : t -> bool
+(** Some core holds the HTMLock/switching LLC authorization
+    ([arbiter_holder <> None] without the option). *)
+
+val sig_rd_population : t -> int
+(** Set bits in the overflow read signature. *)
+
+val sig_wr_population : t -> int
+(** Set bits in the overflow write signature. *)
+
+val tx_latency_hdr : t -> Lk_engine.Stats.hdr
+(** Always-on critical-section latency histogram: cycles from the
+    first [xbegin] (or [hlbegin]) of a critical section to its commit,
+    across HTM, STL and fallback completions. *)
+
+val retry_gap_hdr : t -> Lk_engine.Stats.hdr
+(** Always-on abort-to-retry gap histogram: cycles between an abort
+    and the next [xbegin] of the same critical section. *)
+
+val lock_dwell_hdr : t -> Lk_engine.Stats.hdr
+(** Always-on fallback-lock dwell histogram: cycles each acquisition
+    held the lock (the histogram behind the [lock_dwell_cycles]
+    counter). *)

@@ -75,6 +75,8 @@ let queueing_cycles t = Stats.value t.queueing
 
 let messages_sent t = Stats.value t.messages
 let flits_sent t = Stats.value t.flits
+let num_links t = Array.length t.link_flits
+let link_flits t i = t.link_flits.(i)
 
 let link_utilisation t =
   Topology.links t.topology

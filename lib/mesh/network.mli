@@ -44,6 +44,15 @@ val queueing_cycles : t -> int
 val messages_sent : t -> int
 val flits_sent : t -> int
 
+val num_links : t -> int
+(** Size of the per-link flit-counter array (= [Topology.num_links]). *)
+
+val link_flits : t -> int -> int
+(** Cumulative flits carried by link index [i] (see
+    {!Topology.link_index}). Allocation-free, for the telemetry
+    sampler; {!link_utilisation} presents the same data as a sorted
+    association list. *)
+
 val link_utilisation : t -> (Topology.link * int) list
 (** Flit count per directed link, non-zero links only, densest first. *)
 

@@ -622,9 +622,13 @@ let headline =
         in
         let max_threads = List.fold_left max 2 ctx.threads in
         let extreme_max vs =
-          Metrics.max_of
-            (rel ~cache:Config.Small ~of_:Sysconf.lockiller ~vs
-               ~workloads:Suite.high_contention ~threads:max_threads)
+          match
+            Metrics.max_of
+              (rel ~cache:Config.Small ~of_:Sysconf.lockiller ~vs
+                 ~workloads:Suite.high_contention ~threads:max_threads)
+          with
+          | Some v -> v
+          | None -> assert false (* high_contention is never empty *)
         in
         [
           Report.table ~title:"Headline claims"
@@ -1023,8 +1027,12 @@ let variance =
                 sysconf.Sysconf.name;
                 Report.f2 (Metrics.mean samples);
                 Report.f2 (Metrics.stddev samples);
-                Report.f2 (Metrics.min_of samples);
-                Report.f2 (Metrics.max_of samples);
+                (match Metrics.min_of samples with
+                | Some v -> Report.f2 v
+                | None -> "-");
+                (match Metrics.max_of samples with
+                | Some v -> Report.f2 v
+                | None -> "-");
               ])
             variance_systems
         in
@@ -1185,6 +1193,55 @@ let protocol_knobs =
         ]);
   }
 
+(* --- Tx-latency percentiles ------------------------------------------- *)
+
+let latency_systems = [ Sysconf.baseline; Sysconf.lockiller ]
+
+let latency =
+  {
+    id = "latency";
+    artefact = "Tx-latency percentiles (extension)";
+    describe =
+      "Critical-section latency p50/p95/p99 per workload at 2 threads, from \
+       the always-on log-linear histograms";
+    plan =
+      (fun ctx ->
+        grid ctx ~systems:latency_systems ~workloads:Suite.all ~threads:[ 2 ]
+          ());
+    render =
+      (fun ctx ->
+        let row w =
+          w.Workload.name
+          :: List.concat_map
+               (fun s ->
+                 let r = result ctx ~sysconf:s ~workload:w ~threads:2 () in
+                 [
+                   string_of_int r.Runner.tx_latency_p50;
+                   string_of_int r.Runner.tx_latency_p95;
+                   string_of_int r.Runner.tx_latency_p99;
+                 ])
+               latency_systems
+        in
+        [
+          Report.table
+            ~title:
+              "Critical-section latency percentiles (cycles), 2 threads"
+            ~headers:
+              ("workload"
+              :: List.concat_map
+                   (fun s ->
+                     let n = s.Sysconf.name in
+                     [ n ^ " p50"; n ^ " p95"; n ^ " p99" ])
+                   latency_systems)
+            ~notes:
+              [
+                "First xbegin to commit, including retries and the fallback \
+                 path; tail/median >> 1 flags convoying.";
+              ]
+            (List.map row Suite.all);
+        ]);
+  }
+
 let all =
   [
     table1;
@@ -1205,6 +1262,7 @@ let all =
     placement;
     protocol_knobs;
     variance;
+    latency;
   ]
 
 let find id =

@@ -20,9 +20,8 @@ let mean = function
   | [] -> 0.0
   | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
 
-let max_of = function [] -> 0.0 | x :: xs -> List.fold_left max x xs
-
-let min_of = function [] -> 0.0 | x :: xs -> List.fold_left min x xs
+let max_of = function [] -> None | x :: xs -> Some (List.fold_left max x xs)
+let min_of = function [] -> None | x :: xs -> Some (List.fold_left min x xs)
 
 let stddev xs =
   match xs with

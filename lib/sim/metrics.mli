@@ -11,11 +11,12 @@ val geomean : float list -> float
 val mean : float list -> float
 (** Arithmetic mean; 0 for the empty list. *)
 
-val max_of : float list -> float
-(** Maximum; 0 for the empty list. *)
+val max_of : float list -> float option
+(** Maximum; [None] for the empty list (a [0.] sentinel would be
+    indistinguishable from a genuine zero sample). *)
 
-val min_of : float list -> float
-(** Minimum; 0 for the empty list. *)
+val min_of : float list -> float option
+(** Minimum; [None] for the empty list. *)
 
 val stddev : float list -> float
 (** Population standard deviation; 0 for fewer than two samples. *)

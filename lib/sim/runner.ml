@@ -36,7 +36,19 @@ type result = {
   network_flits : int;
   oracle_sections : int;
   avg_attempts_per_commit : float;
+  tx_latency_p50 : int;
+  tx_latency_p95 : int;
+  tx_latency_p99 : int;
 }
+
+type telemetry_request = {
+  sample_interval : int;
+  sample_capacity : int;
+  consume : Telemetry.t -> unit;
+}
+
+let telemetry_request ?(interval = 1024) ?(capacity = 4096) consume =
+  { sample_interval = interval; sample_capacity = capacity; consume }
 
 let counter_value stats name =
   match List.assoc_opt name (Stats.counters stats) with
@@ -53,8 +65,8 @@ let place ~placement ~cores ~threads i =
 
 (* Shared execution engine for generated workloads and hand-written
    programs. *)
-let execute ?barrier_every ?queue_backend ?(check = false) ~machine ~oracle
-    ~on_runtime ~placement ~cycle_limit ~sysconf ~program
+let execute ?barrier_every ?queue_backend ?(check = false) ?telemetry ~machine
+    ~oracle ~on_runtime ~placement ~cycle_limit ~sysconf ~program
     ~(workload_name : string) ~cache () =
   let threads = Array.length program in
   if threads <= 0 || threads > machine.Config.cores then
@@ -70,6 +82,14 @@ let execute ?barrier_every ?queue_backend ?(check = false) ~machine ~oracle
     if oracle then Some (Runtime.enable_oracle runtime) else None
   in
   on_runtime runtime;
+  let tele =
+    Option.map
+      (fun req ->
+        ( req,
+          Telemetry.attach ~interval:req.sample_interval
+            ~capacity:req.sample_capacity runtime ))
+      telemetry
+  in
   let sanitizer =
     if check then Some (Lk_check.Sanitizer.attach runtime) else None
   in
@@ -148,7 +168,11 @@ let execute ?barrier_every ?queue_backend ?(check = false) ~machine ~oracle
       (fun i n -> mix.(i) <- mix.(i) + n)
       cs.Runtime.abort_reasons
   done;
+  (match tele with
+  | Some (req, handle) -> req.consume handle
+  | None -> ());
   let stats = Runtime.stats runtime in
+  let latency = Runtime.tx_latency_hdr runtime in
   ( store,
     {
     system = sysconf.Sysconf.name;
@@ -180,6 +204,9 @@ let execute ?barrier_every ?queue_backend ?(check = false) ~machine ~oracle
     avg_attempts_per_commit =
       (if !htm_commits = 0 then 0.0
        else float_of_int !attempts /. float_of_int !htm_commits);
+    tx_latency_p50 = Stats.percentile latency 50.;
+    tx_latency_p95 = Stats.percentile latency 95.;
+    tx_latency_p99 = Stats.percentile latency 99.;
   } )
 
 type options = {
@@ -192,6 +219,7 @@ type options = {
   cycle_limit : int;
   queue_backend : Lk_engine.Event_queue.backend;
   check : bool;
+  telemetry : telemetry_request option;
 }
 
 let default_options =
@@ -205,6 +233,7 @@ let default_options =
     cycle_limit = 1 lsl 30;
     queue_backend = Lk_engine.Event_queue.Wheel;
     check = false;
+    telemetry = None;
   }
 
 (* The per-field optional arguments are the deprecated pre-[options]
@@ -222,6 +251,7 @@ let resolve_options ?(options = default_options) ?seed ?scale ?machine ?oracle
     cycle_limit = Option.value cycle_limit ~default:options.cycle_limit;
     queue_backend = options.queue_backend;
     check = options.check;
+    telemetry = options.telemetry;
   }
 
 let run ?options ?seed ?scale ?machine ?oracle ?on_runtime ?placement
@@ -240,14 +270,15 @@ let run ?options ?seed ?scale ?machine ?oracle ?on_runtime ?placement
     cycle_limit;
     queue_backend;
     check;
+    telemetry;
   } =
     o
   in
   let program = Workload.generate workload ~threads ~seed ~scale in
   let store, result =
     execute ?barrier_every:workload.Workload.barrier_every ~queue_backend
-      ~check ~machine ~oracle ~on_runtime ~placement ~cycle_limit ~sysconf
-      ~program ~workload_name:workload.Workload.name
+      ~check ?telemetry ~machine ~oracle ~on_runtime ~placement ~cycle_limit
+      ~sysconf ~program ~workload_name:workload.Workload.name
       ~cache:machine.Config.cache ()
   in
   (* End-to-end atomicity check: committed hot counters must equal the
@@ -273,6 +304,7 @@ let run_program ?options ?machine ?oracle ?on_runtime ?placement ?cycle_limit
     cycle_limit;
     queue_backend;
     check;
+    telemetry;
     _;
   } =
     resolve_options ?options ?machine ?oracle ?on_runtime ?placement
@@ -290,8 +322,8 @@ let run_program ?options ?machine ?oracle ?on_runtime ?placement ?cycle_limit
              addr))
     (Lk_cpu.Program.touched_addresses program);
   let _, result =
-    execute ~queue_backend ~check ~machine ~oracle ~on_runtime ~placement
-      ~cycle_limit ~sysconf ~program ~workload_name:name
+    execute ~queue_backend ~check ?telemetry ~machine ~oracle ~on_runtime
+      ~placement ~cycle_limit ~sysconf ~program ~workload_name:name
       ~cache:machine.Config.cache ()
   in
   result
@@ -349,6 +381,9 @@ let json_of_result r =
       ("network_flits", Json.Int r.network_flits);
       ("oracle_sections", Json.Int r.oracle_sections);
       ("avg_attempts_per_commit", Json.Float r.avg_attempts_per_commit);
+      ("tx_latency_p50", Json.Int r.tx_latency_p50);
+      ("tx_latency_p95", Json.Int r.tx_latency_p95);
+      ("tx_latency_p99", Json.Int r.tx_latency_p99);
     ]
 
 let result_to_json r = Json.to_string (json_of_result r)
@@ -409,6 +444,9 @@ let result_of_json_value v =
   let* network_flits = int "network_flits" in
   let* oracle_sections = int "oracle_sections" in
   let* avg_attempts_per_commit = float "avg_attempts_per_commit" in
+  let* tx_latency_p50 = int "tx_latency_p50" in
+  let* tx_latency_p95 = int "tx_latency_p95" in
+  let* tx_latency_p99 = int "tx_latency_p99" in
   Ok
     {
       system;
@@ -435,6 +473,9 @@ let result_of_json_value v =
       network_flits;
       oracle_sections;
       avg_attempts_per_commit;
+      tx_latency_p50;
+      tx_latency_p95;
+      tx_latency_p99;
     }
 
 let result_of_json s =

@@ -50,7 +50,29 @@ type result = {
       (** Mean HTM attempts a committed transaction needed (1.0 =
           everything committed first try); 0 when nothing committed
           speculatively. *)
+  tx_latency_p50 : int;
+      (** Median critical-section latency in cycles: first attempt
+          ([xbegin]/[hlbegin]) to commit, across HTM, STL and fallback
+          completions — from the runtime's always-on log-linear
+          histogram (see {!Lk_lockiller.Runtime.tx_latency_hdr}), so
+          values carry its <= ~3% bucketing error. 0 when no critical
+          section completed. *)
+  tx_latency_p95 : int;  (** 95th percentile of the same histogram. *)
+  tx_latency_p99 : int;  (** 99th percentile of the same histogram. *)
 }
+
+type telemetry_request = {
+  sample_interval : int;  (** Sampling period in cycles. *)
+  sample_capacity : int;  (** Ring capacity in samples. *)
+  consume : Telemetry.t -> unit;
+      (** Called with the attached sampler after the run completes
+          (e.g. to {!Telemetry.write} an export). *)
+}
+
+val telemetry_request :
+  ?interval:int -> ?capacity:int -> (Telemetry.t -> unit) -> telemetry_request
+(** Convenience constructor with {!Telemetry.attach}'s defaults
+    (interval 1024 cycles, capacity 4096 samples). *)
 
 type options = {
   seed : int;  (** Workload-generation RNG seed. *)
@@ -81,6 +103,13 @@ type options = {
           therefore the checks; use the cache-bypassing paths to force
           a checked execution). Default false: no sink is installed and
           the only cost is the ledger's per-emission [None] branch. *)
+  telemetry : telemetry_request option;
+      (** Attach the periodic {!Telemetry} sampler and hand the result
+          to [consume] after the run. The sampler is read-only and
+          allocation-free, so it changes no simulation result — like
+          [on_runtime] it is excluded from cache keys (a warm-cache hit
+          skips the run and produces no telemetry; bypass the cache to
+          force a sampled execution). Default [None]: zero cost. *)
 }
 (** Everything {!run} needs besides the (system, workload, threads)
     triple, collapsed from the former pile of optional arguments.

@@ -128,7 +128,7 @@ let metadata ~name ~tid value =
       ("args", Json.Obj [ ("name", Json.String value) ]);
     ]
 
-let perfetto_json l =
+let perfetto_json ?telemetry l =
   let entries = Ledger.entries l in
   let cores =
     List.fold_left (fun m e -> max m (e.Ledger.core + 1)) 0 entries
@@ -240,15 +240,20 @@ let perfetto_json l =
     :: List.init cores (fun c ->
            metadata ~name:"thread_name" ~tid:c (Printf.sprintf "core %d" c))
   in
-  Json.Obj [ ("traceEvents", Json.List (meta @ List.rev !events)) ]
+  let counters =
+    match telemetry with
+    | None -> []
+    | Some tele -> Telemetry.perfetto_counters tele
+  in
+  Json.Obj [ ("traceEvents", Json.List (meta @ List.rev !events @ counters)) ]
 
 let with_out_file file f =
   let oc = open_out file in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
 
-let write_perfetto ~file l =
+let write_perfetto ?telemetry ~file l =
   with_out_file file (fun oc ->
-      output_string oc (Json.to_string_pretty (perfetto_json l));
+      output_string oc (Json.to_string_pretty (perfetto_json ?telemetry l));
       output_char oc '\n')
 
 let write_dump ~file l =

@@ -61,11 +61,17 @@ val json_of_breakdown : breakdown -> Json.t
     decisions, spills, speculative publishes/discards) is emitted as an
     instant event on the core's track. Spans still open when the ledger
     ends are closed at the last recorded timestamp with an ["(open)"]
-    suffix. *)
+    suffix.
 
-val perfetto_json : Lk_engine.Ledger.t -> Json.t
+    With [?telemetry] the sampled gauges are appended as counter
+    tracks (ph ["C"]) alongside the slices: per-core phase, signature
+    fill, queue depth, lock-holder/parked occupancy and link
+    utilization — see {!Telemetry.perfetto_counters}. *)
 
-val write_perfetto : file:string -> Lk_engine.Ledger.t -> unit
+val perfetto_json : ?telemetry:Telemetry.t -> Lk_engine.Ledger.t -> Json.t
+
+val write_perfetto :
+  ?telemetry:Telemetry.t -> file:string -> Lk_engine.Ledger.t -> unit
 (** {!perfetto_json} pretty-printed to [file]. *)
 
 val write_dump : file:string -> Lk_engine.Ledger.t -> unit

@@ -51,6 +51,7 @@ Listing systems, workloads and experiments:
     placement  Thread binding (extension)
     protocol   Coherence-protocol ablation (extension)
     variance   Statistical robustness (extension)
+    latency    Tx-latency percentiles (extension)
 
 
 
@@ -94,7 +95,7 @@ Unknown names are reported, not crashed on:
   $ lockiller_sim run -s NoSuchSystem -w genome -t 2 --cores 4 2>&1 | head -1
   lockiller_sim: unknown system NoSuchSystem
   $ lockiller_sim experiment fig99 2>&1 | head -1
-  lockiller_sim: unknown experiment "fig99"; try: table1, table2, fig1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, headline, ablation, txsize, noc, topology, placement, protocol, variance
+  lockiller_sim: unknown experiment "fig99"; try: table1, table2, fig1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, headline, ablation, txsize, noc, topology, placement, protocol, variance, latency
 
 The machine-readable results API: --format json emits one object with
 every result field, --format csv one header and one value row:
@@ -128,6 +129,58 @@ abort-cause table (totals match the abort statistics exactly), and
   $ ./json_check.exe --trace < trace.json
   valid trace (275 events)
 
+Time-series telemetry: --telemetry samples per-core phases, machine
+gauges and link counters through the run's own event queue and writes
+the series to a file; 'top' renders a saved export as phase strips and
+sparklines (--once prints just the newest sample):
+
+  $ lockiller_sim run -s LockillerTM -w intruder -t 4 --cores 4 --scale 0.1 --sample-interval 256 --telemetry tel.json | tail -1
+  # telemetry: wrote tel.json (52 samples, 0 dropped)
+
+  $ ./json_check.exe < tel.json
+  valid json
+
+  $ lockiller_sim top tel.json --once | head -7
+  # tel.json: interval 256 cycles, 52 samples
+  t=13056
+    core0    non-tx
+    core1    non-tx
+    core2    non-tx
+    core3    non-tx
+    lock_holders   0
+
+  $ lockiller_sim top tel.json --width 16 | sed -n '1,3p'
+  # tel.json: interval 256 cycles, 52 samples
+  # showing 16 of 52 retained samples, t=9216..13056
+  core0          ................
+
+With both --telemetry and --trace-events the sampled gauges are
+appended to the Perfetto trace as counter tracks (ph "C"), which the
+trace checker validates:
+
+  $ lockiller_sim run -s LockillerTM -w intruder -t 4 --cores 4 --scale 0.1 --sample-interval 256 --telemetry tel2.json --trace-events trace2.json | grep '^#'
+  # telemetry: wrote tel2.json (52 samples, 0 dropped)
+  # trace-events: wrote trace2.json (307 events, 0 dropped)
+
+  $ ./json_check.exe --trace < trace2.json
+  valid trace (691 events)
+
+Two saved results diff into a metric-by-metric comparison (the
+fixtures are committed outputs of 'run --format json'):
+
+  $ lockiller_sim compare compare_a.json compare_b.json | sed -n '1,7p'
+  == compare: A=Baseline/intruder t4 vs B=LockillerTM/intruder t4 ==
+  metric          A       B       delta    B/A  
+  --------------  ------  ------  -------  -----
+  cycles          19366   12806   -6560    0.661
+  commit_rate     0.1519  0.5405  +0.3886  3.559
+  htm_commits     12      20      +8       1.667
+  stl_commits     0       0       +0       -    
+
+  $ lockiller_sim compare compare_a.json compare_b.json | grep -E 'speedup|tx_latency_p50'
+  tx_latency_p50  1215    1375    +160     1.132
+  speedup (A cycles / B cycles): 1.512
+
 The same flags work on the trace subcommand, and the breakdown is also
 available as machine-readable JSON:
 
@@ -142,7 +195,7 @@ clear empties the directory:
   valid json
 
   $ lockiller_sim cache stats --cache-dir ./cache | grep -v -e directory -e entries
-  schema        v2
+  schema        v3
   lifetime      0 hits, 18 misses, 18 stores
 
   $ lockiller_sim cache clear --cache-dir ./cache | cut -d' ' -f1-3
@@ -175,3 +228,13 @@ Trace and parallelism arguments are validated up front:
   $ lockiller_sim experiment fig1 --jobs 0 2>&1 | head -2
   lockiller_sim: option '--jobs': --jobs must be positive (got 0)
   Usage: lockiller_sim experiment [OPTION]… ID
+
+So are the telemetry arguments:
+
+  $ lockiller_sim run -s LockillerTM -w intruder -t 4 --sample-interval 0 2>&1 | head -2
+  lockiller_sim: option '--sample-interval': --sample-interval must be positive
+                 (got 0)
+
+  $ lockiller_sim run -s LockillerTM -w intruder -t 4 --telemetry /nonexistent/t.json 2>&1 | head -2
+  lockiller_sim: option '--telemetry': cannot write /nonexistent/t.json:
+                 directory /nonexistent does not exist

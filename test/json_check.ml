@@ -2,7 +2,8 @@
    --result, additionally require it to decode as a full
    Runner.result (every field present and well-typed); with --trace,
    require a Chrome/Perfetto trace (a traceEvents list whose events all
-   carry name/ph/pid/tid, duration slices with ts and dur). *)
+   carry name/ph/pid/tid, duration slices with ts and dur, counter
+   tracks with ts and at least one numeric series). *)
 
 let read_all ic =
   let buf = Buffer.create 4096 in
@@ -27,13 +28,30 @@ let check_trace input =
       let* name = Result.bind (Json.member "name" e) Json.to_str in
       let* ph = Result.bind (Json.member "ph" e) Json.to_str in
       let* _ = Result.bind (Json.member "pid" e) Json.to_int in
-      let* _ = Result.bind (Json.member "tid" e) Json.to_int in
       match ph with
       | "X" ->
+        let* _ = Result.bind (Json.member "tid" e) Json.to_int in
         let* _ = Result.bind (Json.member "ts" e) Json.to_int in
         let* dur = Result.bind (Json.member "dur" e) Json.to_int in
         if dur < 0 then fail (name ^ ": negative duration")
-      | "i" | "M" -> ()
+      | "i" | "M" ->
+        let* _ = Result.bind (Json.member "tid" e) Json.to_int in
+        ()
+      | "C" -> (
+        (* Counter tracks: a timestamp plus at least one numeric
+           series in args (tid is optional for counters). *)
+        let* _ = Result.bind (Json.member "ts" e) Json.to_int in
+        match Json.member "args" e with
+        | Error m -> fail (name ^ ": " ^ m)
+        | Ok (Json.Obj members) ->
+          if members = [] then fail (name ^ ": counter with no series");
+          List.iter
+            (fun (k, v) ->
+              match v with
+              | Json.Int _ | Json.Float _ -> ()
+              | _ -> fail (name ^ ": series " ^ k ^ " is not numeric"))
+            members
+        | Ok _ -> fail (name ^ ": counter args is not an object"))
       | _ -> fail (name ^ ": unexpected phase " ^ ph))
     events;
   Printf.printf "valid trace (%d events)\n" (List.length events)

@@ -636,6 +636,208 @@ let test_stats_counters_sorted () =
   let names = List.map fst (Stats.counters g) in
   Alcotest.(check (list string)) "sorted" [ "apple"; "zebra" ] names
 
+(* --- HDR histograms --------------------------------------------------- *)
+
+let test_hdr_empty () =
+  let g = Stats.group "g" in
+  let d = Stats.hdr g "lat" in
+  check_int "count" 0 (Stats.hdr_count d);
+  check_int "sum" 0 (Stats.hdr_sum d);
+  check_bool "min none" true (Stats.hdr_min d = None);
+  check_bool "max none" true (Stats.hdr_max d = None);
+  check (Alcotest.float 0.001) "mean 0" 0.0 (Stats.hdr_mean d);
+  check_int "p50 of empty" 0 (Stats.percentile d 50.)
+
+let test_hdr_exact_below_32 () =
+  (* Values below 32 land in unit-width buckets: every percentile is
+     exact, not just within the 1/32 relative error bound. *)
+  let g = Stats.group "g" in
+  let d = Stats.hdr g "small" in
+  for v = 0 to 31 do
+    Stats.record d v
+  done;
+  check_int "count" 32 (Stats.hdr_count d);
+  check_int "sum" (31 * 32 / 2) (Stats.hdr_sum d);
+  check_bool "min" true (Stats.hdr_min d = Some 0);
+  check_bool "max" true (Stats.hdr_max d = Some 31);
+  (* rank ceil(50/100*32) = 16 -> 16th smallest = 15 *)
+  check_int "p50 exact" 15 (Stats.percentile d 50.);
+  check_int "p100 exact" 31 (Stats.percentile d 100.);
+  check_int "p0 exact" 0 (Stats.percentile d 0.)
+
+let test_hdr_singleton () =
+  let g = Stats.group "g" in
+  let d = Stats.hdr g "one" in
+  Stats.record d 123456;
+  check_int "p50 clamps to the only sample" 123456 (Stats.percentile d 50.);
+  check_int "p99 clamps to the only sample" 123456 (Stats.percentile d 99.)
+
+let test_hdr_percentile_error_bound () =
+  (* Log-linear buckets with 32 sub-buckets per octave: any percentile
+     is within 1/32 (~3.2%) of the true order statistic. *)
+  let g = Stats.group "g" in
+  let d = Stats.hdr g "wide" in
+  for v = 1 to 100_000 do
+    Stats.record d v
+  done;
+  List.iter
+    (fun p ->
+      let truth = int_of_float (ceil (p /. 100. *. 100_000.)) in
+      let got = Stats.percentile d p in
+      let err =
+        abs_float (float_of_int (got - truth)) /. float_of_int truth
+      in
+      check_bool
+        (Printf.sprintf "p%.0f within 3.2%% (truth %d, got %d)" p truth got)
+        true (err <= 0.032))
+    [ 50.; 90.; 95.; 99. ];
+  check_bool "max exact" true (Stats.hdr_max d = Some 100_000);
+  check_int "p100 clamps to max" 100_000 (Stats.percentile d 100.)
+
+let test_hdr_negative_clamped () =
+  let g = Stats.group "g" in
+  let d = Stats.hdr g "neg" in
+  Stats.record d (-5);
+  check_int "counted" 1 (Stats.hdr_count d);
+  check_bool "clamped to 0" true (Stats.hdr_min d = Some 0);
+  check_int "p50" 0 (Stats.percentile d 50.)
+
+let test_hdr_reset_and_listing () =
+  let g = Stats.group "g" in
+  let d = Stats.hdr g "zulu" in
+  ignore (Stats.hdr g "alpha");
+  Stats.record d 7;
+  check_bool "same name same hdr" true (Stats.hdr_count (Stats.hdr g "zulu") = 1);
+  Alcotest.(check (list string))
+    "sorted listing" [ "alpha"; "zulu" ]
+    (List.map fst (Stats.hdrs g));
+  Stats.reset g;
+  check_int "reset zeroes count" 0 (Stats.hdr_count d);
+  check_bool "reset zeroes min" true (Stats.hdr_min d = None)
+
+let test_hdr_record_no_alloc () =
+  let g = Stats.group "g" in
+  let d = Stats.hdr g "hot" in
+  for i = 0 to 99 do
+    Stats.record d (i * 37)
+  done;
+  let w0 = Gc.minor_words () in
+  for i = 0 to 9_999 do
+    Stats.record d (i * 37)
+  done;
+  let per_call = (Gc.minor_words () -. w0) /. 10_000.0 in
+  check_bool
+    (Printf.sprintf "allocation-free record (%.2f words/call)" per_call)
+    true (per_call < 0.01)
+
+(* --- Timeseries ------------------------------------------------------- *)
+
+module Timeseries = Lk_engine.Timeseries
+
+let test_ts_invalid () =
+  check_bool "zero capacity rejected" true
+    (try
+       ignore (Timeseries.create ~capacity:0 ~channels:[ "x" ] ());
+       false
+     with Invalid_argument _ -> true);
+  check_bool "no channels rejected" true
+    (try
+       ignore (Timeseries.create ~channels:[] ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_ts_basic () =
+  let ts = Timeseries.create ~capacity:8 ~channels:[ "a"; "b" ] () in
+  Alcotest.(check (list string)) "channels" [ "a"; "b" ]
+    (Timeseries.channels ts);
+  check_int "width" 2 (Timeseries.width ts);
+  check_int "capacity" 8 (Timeseries.capacity ts);
+  Timeseries.set ts 0 10;
+  Timeseries.set ts 1 20;
+  Timeseries.commit ts ~time:5;
+  Timeseries.set ts 1 21;
+  Timeseries.commit ts ~time:9;
+  check_int "recorded" 2 (Timeseries.recorded ts);
+  check_int "length" 2 (Timeseries.length ts);
+  check_int "t0" 5 (Timeseries.time ts ~sample:0);
+  check_int "t1" 9 (Timeseries.time ts ~sample:1);
+  check_int "s0 a" 10 (Timeseries.get ts ~sample:0 ~channel:0);
+  check_int "s1 b" 21 (Timeseries.get ts ~sample:1 ~channel:1);
+  (* Scratch persists across commits: channel a was not re-set. *)
+  check_int "s1 a sticky" 10 (Timeseries.get ts ~sample:1 ~channel:0)
+
+let test_ts_wraparound () =
+  let ts = Timeseries.create ~capacity:4 ~channels:[ "v" ] () in
+  for i = 0 to 9 do
+    Timeseries.set ts 0 (100 + i);
+    Timeseries.commit ts ~time:(10 * i)
+  done;
+  check_int "recorded" 10 (Timeseries.recorded ts);
+  check_int "length" 4 (Timeseries.length ts);
+  check_int "dropped" 6 (Timeseries.dropped ts);
+  check_int "oldest retained time" 60 (Timeseries.time ts ~sample:0);
+  check_int "newest value" 109 (Timeseries.get ts ~sample:3 ~channel:0);
+  let seen = ref [] in
+  Timeseries.iter ts (fun ~time ~row ->
+      seen := (time, row.(0)) :: !seen);
+  Alcotest.(check (list (pair int int)))
+    "iter yields the trailing window, oldest first"
+    [ (60, 106); (70, 107); (80, 108); (90, 109) ]
+    (List.rev !seen)
+
+let test_ts_clear () =
+  let ts = Timeseries.create ~capacity:4 ~channels:[ "v" ] () in
+  for i = 0 to 6 do
+    Timeseries.set ts 0 i;
+    Timeseries.commit ts ~time:i
+  done;
+  Timeseries.clear ts;
+  check_int "length" 0 (Timeseries.length ts);
+  check_int "recorded" 0 (Timeseries.recorded ts);
+  check_int "dropped" 0 (Timeseries.dropped ts);
+  Timeseries.set ts 0 42;
+  Timeseries.commit ts ~time:3;
+  check_int "usable after clear" 42 (Timeseries.get ts ~sample:0 ~channel:0)
+
+let test_ts_dump () =
+  let ts = Timeseries.create ~capacity:2 ~channels:[ "a"; "b" ] () in
+  for i = 0 to 2 do
+    Timeseries.set ts 0 i;
+    Timeseries.set ts 1 (10 * i);
+    Timeseries.commit ts ~time:i
+  done;
+  let dump = Format.asprintf "%a" Timeseries.dump ts in
+  let contains sub =
+    let rec find i =
+      i + String.length sub <= String.length dump
+      && (String.sub dump i (String.length sub) = sub || find (i + 1))
+    in
+    find 0
+  in
+  check_bool "header" true (contains "a");
+  check_bool "drop note" true (contains "1");
+  check_bool "last row present" true (contains "20")
+
+let test_ts_commit_no_alloc () =
+  (* set is one array store, commit one blit into the preallocated
+     ring: steady state must not allocate. *)
+  let ts = Timeseries.create ~capacity:1024 ~channels:[ "a"; "b"; "c" ] () in
+  for i = 0 to 99 do
+    Timeseries.set ts 0 i;
+    Timeseries.set ts 2 (2 * i);
+    Timeseries.commit ts ~time:i
+  done;
+  let w0 = Gc.minor_words () in
+  for i = 0 to 9_999 do
+    Timeseries.set ts 0 i;
+    Timeseries.set ts 2 (2 * i);
+    Timeseries.commit ts ~time:(100 + i)
+  done;
+  let per_call = (Gc.minor_words () -. w0) /. 10_000.0 in
+  check_bool
+    (Printf.sprintf "allocation-free sampling (%.2f words/commit)" per_call)
+    true (per_call < 0.01)
+
 let () =
   Alcotest.run "engine"
     [
@@ -731,5 +933,27 @@ let () =
           Alcotest.test_case "reset" `Quick test_stats_reset;
           Alcotest.test_case "counters sorted" `Quick
             test_stats_counters_sorted;
+        ] );
+      ( "hdr",
+        [
+          Alcotest.test_case "empty" `Quick test_hdr_empty;
+          Alcotest.test_case "exact below 32" `Quick test_hdr_exact_below_32;
+          Alcotest.test_case "singleton" `Quick test_hdr_singleton;
+          Alcotest.test_case "percentile error bound" `Quick
+            test_hdr_percentile_error_bound;
+          Alcotest.test_case "negative clamped" `Quick
+            test_hdr_negative_clamped;
+          Alcotest.test_case "reset and listing" `Quick
+            test_hdr_reset_and_listing;
+          Alcotest.test_case "record no alloc" `Quick test_hdr_record_no_alloc;
+        ] );
+      ( "timeseries",
+        [
+          Alcotest.test_case "invalid args rejected" `Quick test_ts_invalid;
+          Alcotest.test_case "basic set/commit/get" `Quick test_ts_basic;
+          Alcotest.test_case "wraparound" `Quick test_ts_wraparound;
+          Alcotest.test_case "clear" `Quick test_ts_clear;
+          Alcotest.test_case "dump" `Quick test_ts_dump;
+          Alcotest.test_case "commit no alloc" `Quick test_ts_commit_no_alloc;
         ] );
     ]

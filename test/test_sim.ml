@@ -85,10 +85,18 @@ let test_geomean () =
     (Invalid_argument "Metrics.geomean: non-positive value") (fun () ->
       ignore (Metrics.geomean [ 1.0; 0.0 ]))
 
+let check_float_opt msg expected got =
+  Alcotest.(check (option (float 1e-9))) msg expected got
+
 let test_mean_max () =
   check_float "mean" 2.0 (Metrics.mean [ 1.0; 2.0; 3.0 ]);
   check_float "mean empty" 0.0 (Metrics.mean []);
-  check_float "max" 3.0 (Metrics.max_of [ 1.0; 3.0; 2.0 ]);
+  check_float_opt "max" (Some 3.0) (Metrics.max_of [ 1.0; 3.0; 2.0 ]);
+  check_float_opt "min" (Some 1.0) (Metrics.min_of [ 1.0; 3.0; 2.0 ]);
+  check_float_opt "max empty" None (Metrics.max_of []);
+  check_float_opt "min empty" None (Metrics.min_of []);
+  check_float_opt "max singleton" (Some 7.0) (Metrics.max_of [ 7.0 ]);
+  check_float_opt "min singleton" (Some 7.0) (Metrics.min_of [ 7.0 ]);
   check_float "pct" 50.0 (Metrics.pct 0.5)
 
 let prop_geomean_between_min_max =
@@ -521,6 +529,163 @@ let test_perfetto_export_wellformed () =
     check_int "abort slices" r.Runner.aborts !aborts
   | _ -> Alcotest.fail "expected {\"traceEvents\": [...]}"
 
+(* --- Telemetry ------------------------------------------------------------- *)
+
+module Telemetry = Lk_sim.Telemetry
+module Timeseries = Lk_engine.Timeseries
+
+(* One sampled run: intruder is contended enough at this scale that the
+   phase strips show transactional, lock and parked states. *)
+let run_with_telemetry ?(queue_backend = Lk_engine.Event_queue.Wheel)
+    ?(sysconf = Sysconf.lockiller) ?(threads = 4) ?(interval = 256) () =
+  let w = Option.get (Suite.find "intruder") in
+  let tele = ref None in
+  let r =
+    Runner.run
+      ~options:
+        {
+          Runner.default_options with
+          scale = 0.2;
+          machine = Config.machine ~cores:4 ();
+          queue_backend;
+          telemetry =
+            Some (Runner.telemetry_request ~interval (fun t -> tele := Some t));
+        }
+      ~sysconf ~workload:w ~threads ()
+  in
+  (r, Option.get !tele)
+
+let test_telemetry_samples_the_run () =
+  let r, t = run_with_telemetry () in
+  check_int "interval" 256 (Telemetry.interval t);
+  check_bool "sampled repeatedly" true (Telemetry.samples t > 10);
+  check_int "nothing dropped" 0 (Telemetry.dropped t);
+  check_int "one channel per core" 4 (Timeseries.width (Telemetry.phases t));
+  Alcotest.(check (list string))
+    "gauge channels" Telemetry.gauge_channels
+    (Timeseries.channels (Telemetry.gauges t));
+  (* The rings sample in lockstep on an exact interval grid. (The last
+     samples may land shortly after the final core finishes, while the
+     simulator drains trailing events.) *)
+  let phases = Telemetry.phases t in
+  let n = Timeseries.length phases in
+  check_int "rings in lockstep" n (Timeseries.length (Telemetry.gauges t));
+  check_int "rings in lockstep" n (Timeseries.length (Telemetry.links t));
+  for s = 0 to n - 1 do
+    let time = Timeseries.time phases ~sample:s in
+    check_int "sample on the grid" 0 (time mod 256);
+    if s > 0 then
+      check_int "consecutive samples" (Timeseries.time phases ~sample:(s - 1) + 256) time
+  done;
+  check_bool "sampling stops soon after the run" true
+    (Timeseries.time phases ~sample:(n - 1) <= r.Runner.cycles + (2 * 256));
+  (* Phase codes stay in range and the run visits a transactional
+     phase at some point. *)
+  let saw_tx = ref false in
+  Timeseries.iter phases (fun ~time:_ ~row ->
+      Array.iter
+        (fun p ->
+          check_bool "phase code in range" true (p >= 0 && p < Runtime.num_phases);
+          if p = 1 then saw_tx := true)
+        row);
+  check_bool "saw a transactional phase" true !saw_tx
+
+let test_telemetry_does_not_change_results () =
+  (* The sampler is read-only: the simulated outcome must be identical
+     with telemetry on and off. *)
+  let w = Option.get (Suite.find "intruder") in
+  let base_options =
+    {
+      Runner.default_options with
+      scale = 0.2;
+      machine = Config.machine ~cores:4 ();
+    }
+  in
+  let plain =
+    Runner.run ~options:base_options ~sysconf:Sysconf.lockiller ~workload:w
+      ~threads:4 ()
+  in
+  let sampled, _ = run_with_telemetry () in
+  check_bool "identical results" true (plain = sampled)
+
+let test_telemetry_backend_differential () =
+  let _, wheel =
+    run_with_telemetry ~queue_backend:Lk_engine.Event_queue.Wheel ()
+  and _, heap =
+    run_with_telemetry ~queue_backend:Lk_engine.Event_queue.Heap ()
+  in
+  check Alcotest.string "byte-identical JSON" (Telemetry.to_json wheel)
+    (Telemetry.to_json heap);
+  check Alcotest.string "byte-identical CSV" (Telemetry.to_csv wheel)
+    (Telemetry.to_csv heap)
+
+let test_telemetry_jobs_differential () =
+  let grid =
+    Array.of_list
+      [ (Sysconf.lockiller, 2); (Sysconf.lockiller, 4);
+        (Sysconf.baseline, 2); (Sysconf.baseline, 4) ]
+  in
+  let export_of (sysconf, threads) =
+    let _, t = run_with_telemetry ~sysconf ~threads () in
+    Telemetry.to_json t ^ Telemetry.to_csv t
+  in
+  let seq = Pool.map ~jobs:1 export_of grid in
+  let par = Pool.map ~jobs:4 export_of grid in
+  check_bool "identical exports" true (seq = par)
+
+let test_telemetry_sample_no_alloc () =
+  (* The sampling path must not allocate: phase/gauge reads are plain
+     field loads and the ring writes are stores into preallocated
+     arrays. *)
+  let _, t = run_with_telemetry () in
+  for _ = 1 to 100 do
+    Telemetry.sample_now t
+  done;
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    Telemetry.sample_now t
+  done;
+  let per_call = (Gc.minor_words () -. w0) /. 10_000.0 in
+  check_bool
+    (Printf.sprintf "allocation-free sampling (%.2f words/sample)" per_call)
+    true (per_call < 0.01)
+
+let test_telemetry_perfetto_counters () =
+  let _, t = run_with_telemetry () in
+  let events = Telemetry.perfetto_counters t in
+  let retained = Timeseries.length (Telemetry.phases t) in
+  let cores = Timeseries.width (Telemetry.phases t) in
+  (* Per sample: one counter per core plus signature fill, queue depth,
+     cores waiting and link utilization. *)
+  check_int "event count" (retained * (cores + 4)) (List.length events);
+  List.iter
+    (fun e ->
+      let member name =
+        match Json.member name e with
+        | Ok v -> v
+        | Error m -> Alcotest.fail m
+      in
+      check_bool "ph C" true (Json.to_str (member "ph") = Ok "C");
+      check_bool "has ts" true (Result.is_ok (Json.to_int (member "ts")));
+      match member "args" with
+      | Json.Obj members ->
+        check_bool "has a series" true (members <> []);
+        List.iter
+          (fun (_, v) ->
+            match v with
+            | Json.Int _ | Json.Float _ -> ()
+            | _ -> Alcotest.fail "non-numeric series")
+          members
+      | _ -> Alcotest.fail "args not an object")
+    events
+
+let test_telemetry_latency_percentiles_in_result () =
+  let r, _ = run_with_telemetry () in
+  check_bool "p50 positive" true (r.Runner.tx_latency_p50 > 0);
+  check_bool "ordered" true
+    (r.Runner.tx_latency_p50 <= r.Runner.tx_latency_p95
+    && r.Runner.tx_latency_p95 <= r.Runner.tx_latency_p99)
+
 (* --- Pool ------------------------------------------------------------------ *)
 
 let test_pool_matches_sequential () =
@@ -752,6 +917,23 @@ let () =
             test_ledger_jobs_differential;
           Alcotest.test_case "perfetto well-formed" `Quick
             test_perfetto_export_wellformed;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "samples the run" `Quick
+            test_telemetry_samples_the_run;
+          Alcotest.test_case "results unchanged" `Quick
+            test_telemetry_does_not_change_results;
+          Alcotest.test_case "wheel vs heap exports" `Quick
+            test_telemetry_backend_differential;
+          Alcotest.test_case "jobs:4 = jobs:1 exports" `Quick
+            test_telemetry_jobs_differential;
+          Alcotest.test_case "sample no alloc" `Quick
+            test_telemetry_sample_no_alloc;
+          Alcotest.test_case "perfetto counters" `Quick
+            test_telemetry_perfetto_counters;
+          Alcotest.test_case "latency percentiles" `Quick
+            test_telemetry_latency_percentiles_in_result;
         ] );
       ( "pool",
         [
