@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 SHELL := /bin/bash
 
-.PHONY: all build test bench perfcheck doc lint check telemetry ci clean
+.PHONY: all build test bench perfcheck doc lint check telemetry replay-smoke ci clean
 
 all: build
 
@@ -61,6 +61,32 @@ telemetry:
 	rm -rf _build/telemetry-smoke
 	@echo "telemetry smoke: OK"
 
+# Replay smoke: generate an open-loop trace, replay it against two
+# systems, validate the result JSON (including the open-loop block)
+# with the checker, and diff the two with 'compare'. A second replay of
+# the same trace must be byte-identical to the first — open-loop runs
+# are as deterministic as closed-loop ones.
+replay-smoke:
+	rm -rf _build/replay-smoke && mkdir -p _build/replay-smoke
+	dune exec bin/lockiller_sim.exe -- gen-trace --users 4000 \
+	  --duration 200000 --seed 7 -o _build/replay-smoke/t.lkt
+	dune exec bin/lockiller_sim.exe -- replay _build/replay-smoke/t.lkt \
+	  --threads 8 --format json > _build/replay-smoke/lockiller.json
+	dune exec bin/lockiller_sim.exe -- replay _build/replay-smoke/t.lkt \
+	  --threads 8 -s Baseline --format json > _build/replay-smoke/base.json
+	dune exec test/json_check.exe -- --result \
+	  < _build/replay-smoke/lockiller.json
+	dune exec test/json_check.exe -- --result \
+	  < _build/replay-smoke/base.json
+	dune exec bin/lockiller_sim.exe -- compare \
+	  _build/replay-smoke/base.json _build/replay-smoke/lockiller.json \
+	  > /dev/null
+	dune exec bin/lockiller_sim.exe -- replay _build/replay-smoke/t.lkt \
+	  --threads 8 --format json > _build/replay-smoke/lockiller2.json
+	cmp _build/replay-smoke/lockiller.json _build/replay-smoke/lockiller2.json
+	rm -rf _build/replay-smoke
+	@echo "replay smoke: OK"
+
 # Perf regression gate: rerun the event-engine microbenchmarks and
 # compare against the committed baseline with a 2x tolerance band —
 # wide enough for machine-to-machine noise, tight enough to catch a
@@ -90,6 +116,7 @@ ci:
 	     <(grep -v "rendered in\|simulations:\|perf:" _build/ci-warm.out)
 	rm -rf _build/ci-cache
 	$(MAKE) telemetry
+	$(MAKE) replay-smoke
 	$(MAKE) perfcheck
 
 clean:

@@ -157,6 +157,45 @@ let sim_micro ~backend ~ops =
   let (), s = Perf.observe sim (fun () -> Sim.run sim) in
   s
 
+(* Trace ingestion: streaming read throughput over a generated binary
+   trace. Written once to a temp file, then measured over a full
+   streaming read pass (header + varint decode + monotonicity check),
+   the same path 'lockiller_sim replay' feeds from. *)
+let trace_micro ~ops =
+  let module Gen = Lockiller.Trace.Gen in
+  let module Stream = Lockiller.Trace.Stream in
+  let profile = { Gen.default with duration = max 1 ops } in
+  let file = Filename.temp_file "lockiller_bench" ".lkt" in
+  Fun.protect ~finally:(fun () -> Sys.remove file) @@ fun () ->
+  let oc = open_out_bin file in
+  let w = Stream.writer_to_channel Stream.Binary oc in
+  let n =
+    match
+      Gen.generate profile ~seed:1 ~emit:(fun r ->
+          match Stream.write w r with Ok () -> () | Error e -> failwith e)
+    with
+    | Ok n -> n
+    | Error e -> failwith e
+  in
+  close_out oc;
+  let read_pass () =
+    let ic = open_in_bin file in
+    Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+    match Stream.reader_of_channel ~name:file ic with
+    | Error e -> failwith e
+    | Ok r -> (
+      let probe = Perf.start () in
+      match
+        Stream.fold r ~init:0 ~f:(fun _ rec_ ->
+            rec_.Lockiller.Trace.Record.arrival)
+      with
+      | Error e -> failwith e
+      | Ok last -> Perf.stop probe ~events:n ~cycles:last)
+  in
+  (* First run warms code and minor heap; report the second. *)
+  ignore (read_pass ());
+  read_pass ()
+
 let bench_micro_file = "BENCH_micro.json"
 
 let run_perf_micro ~scale ~format =
@@ -173,6 +212,7 @@ let run_perf_micro ~scale ~format =
   let qh = measure queue_micro Event_queue.Heap in
   let sw = measure sim_micro Event_queue.Wheel in
   let sh = measure sim_micro Event_queue.Heap in
+  let tr = trace_micro ~ops in
   let speedup w h =
     let h = Perf.events_per_sec h in
     if h <= 0.0 then 0.0 else Perf.events_per_sec w /. h
@@ -194,6 +234,7 @@ let run_perf_micro ~scale ~format =
           ("ops", Json.Int ops);
           ("queue", section qw qh);
           ("sim", section sw sh);
+          ("trace", Json.Obj [ ("read", Perf.json_of_sample tr) ]);
         ]
     in
     let oc = open_out bench_micro_file in
@@ -216,6 +257,9 @@ let run_perf_micro ~scale ~format =
         ("sim", Event_queue.Wheel, sw);
         ("sim", Event_queue.Heap, sh);
       ];
+    Printf.printf "%-8s %-8s %14.0f %16.2f\n" "trace" "read"
+      (Perf.events_per_sec tr)
+      (Perf.minor_words_per_event tr);
     Printf.printf "\nqueue wheel speedup over heap: %.2fx\n" (speedup qw qh);
     Printf.printf "sim   wheel speedup over heap: %.2fx\n\n%!" (speedup sw sh)
 
@@ -234,10 +278,16 @@ let run_traced ~scale ~file =
   | Some w ->
     let handle = ref None in
     let r =
-      Runner.run ~scale
-        ~on_runtime:(fun rt ->
-          handle := Some rt;
-          ignore (Runtime.enable_ledger rt))
+      Runner.run
+        ~options:
+          {
+            Runner.default_options with
+            scale;
+            on_runtime =
+              (fun rt ->
+                handle := Some rt;
+                ignore (Runtime.enable_ledger rt));
+          }
         ~sysconf:Sysconf.lockiller ~workload:w ~threads:8 ()
     in
     (match Option.map Runtime.ledger !handle with
@@ -332,8 +382,13 @@ let test_full_sim =
          | None -> assert false
          | Some w ->
            ignore
-             (Runner.run ~scale:0.2
-                ~machine:(Lockiller.Sim.Config.machine ~cores:4 ())
+             (Runner.run
+                ~options:
+                  {
+                    Runner.default_options with
+                    scale = 0.2;
+                    machine = Lockiller.Sim.Config.machine ~cores:4 ();
+                  }
                 ~sysconf:Sysconf.lockiller ~workload:w ~threads:4 ())))
 
 let microbenchmarks =
@@ -408,13 +463,10 @@ let () =
       scale := float_of_string v;
       parse rest
     | "--jobs" :: v :: rest ->
-      (match int_of_string_opt v with
-      | Some j when j > 0 -> jobs := j
-      | Some j ->
-        Printf.eprintf "--jobs must be positive (got %d)\n%!" j;
-        exit 2
-      | None ->
-        Printf.eprintf "--jobs must be an integer (got %S)\n%!" v;
+      (match Lockiller.Sim.Cli.positive_int ~what:"--jobs" v with
+      | Ok j -> jobs := j
+      | Error msg ->
+        Printf.eprintf "%s\n%!" msg;
         exit 2);
       parse rest
     | "--no-cache" :: rest ->

@@ -18,57 +18,32 @@ module Cache = Lockiller.Sim.Cache
 module Pool = Lockiller.Sim.Pool
 module Tracing = Lockiller.Sim.Tracing
 module Telemetry = Lockiller.Sim.Telemetry
+module Cli = Lockiller.Sim.Cli
+module Trace_record = Lockiller.Trace.Record
+module Trace_stream = Lockiller.Trace.Stream
+module Trace_gen = Lockiller.Trace.Gen
+module Suite = Lockiller.Stamp.Suite
+module Workload_source = Lockiller.Sim.Workload_source
 
 (* --- shared options ---------------------------------------------------- *)
 
+(* The validators live in [Lk_sim.Cli] (shared with bench/main.ml);
+   here they are only wrapped into cmdliner converters. *)
+let conv_of_check check print =
+  Arg.conv ((fun s -> Result.map_error (fun m -> `Msg m) (check s)), print)
+
 let cache_conv =
-  let parse = function
-    | "typical" -> Ok Config.Typical
-    | "small" -> Ok Config.Small
-    | "large" -> Ok Config.Large
-    | s -> Error (`Msg (Printf.sprintf "unknown cache profile %S" s))
-  in
-  let print ppf c =
-    Format.pp_print_string ppf
-      (match c with
-      | Config.Typical -> "typical"
-      | Config.Small -> "small"
-      | Config.Large -> "large")
-  in
-  Arg.conv (parse, print)
+  conv_of_check Cli.cache_profile (fun ppf c ->
+      Format.pp_print_string ppf (Config.cache_profile_id c))
 
 (* Reject nonsense argument values up front with a clear message rather
    than clamping silently or failing deep inside a run. *)
 let pos_int_conv what =
-  let parse s =
-    match int_of_string_opt s with
-    | None ->
-      Error (`Msg (Printf.sprintf "%s must be an integer (got %S)" what s))
-    | Some n when n <= 0 ->
-      Error (`Msg (Printf.sprintf "%s must be positive (got %d)" what n))
-    | Some n -> Ok n
-  in
-  Arg.conv (parse, Format.pp_print_int)
+  conv_of_check (Cli.positive_int ~what) Format.pp_print_int
 
-(* A path we will later open for writing: its parent directory must
-   already exist, and the path itself must not name a directory. *)
+(* A path we will later open for writing. *)
 let writable_path_conv =
-  let parse s =
-    if s = "" then Error (`Msg "output path must not be empty")
-    else
-      let dir = Filename.dirname s in
-      if not (Sys.file_exists dir) then
-        Error
-          (`Msg
-            (Printf.sprintf "cannot write %s: directory %s does not exist" s
-               dir))
-      else if not (Sys.is_directory dir) then
-        Error (`Msg (Printf.sprintf "cannot write %s: %s is not a directory" s dir))
-      else if Sys.file_exists s && Sys.is_directory s then
-        Error (`Msg (Printf.sprintf "cannot write %s: it is a directory" s))
-      else Ok s
-  in
-  Arg.conv (parse, Format.pp_print_string)
+  conv_of_check Cli.writable_path Format.pp_print_string
 
 let seed_t =
   Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Deterministic RNG seed.")
@@ -229,7 +204,20 @@ let print_result (r : Runner.result) =
         Printf.printf "  %-10s %6.1f%%  (%d cycles)\n" (Accounting.label cat)
           (100.0 *. float_of_int n /. float_of_int total)
           n)
-    r.Runner.breakdown
+    r.Runner.breakdown;
+  match r.Runner.open_loop with
+  | None -> ()
+  | Some o ->
+    Printf.printf "open loop:\n";
+    Printf.printf "  arrivals    %d (%d completed, max backlog %d)\n"
+      o.Runner.arrivals o.Runner.completed o.Runner.max_backlog;
+    Printf.printf "  queue delay p50/p95/p99  %d/%d/%d cycles\n"
+      o.Runner.queue_delay_p50 o.Runner.queue_delay_p95 o.Runner.queue_delay_p99;
+    Printf.printf "  sojourn     p50/p95/p99  %d/%d/%d cycles\n"
+      o.Runner.sojourn_p50 o.Runner.sojourn_p95 o.Runner.sojourn_p99;
+    List.iter
+      (fun (phase, n) -> Printf.printf "  phase %-2d    %d completions\n" phase n)
+      o.Runner.phase_mix
 
 let check_t =
   Arg.(
@@ -250,7 +238,8 @@ let stats_t =
               ignored with --format csv.")
 
 (* Flatten the JSON encoding of a result into (column, cell) pairs:
-   nested objects (abort_mix, breakdown) become dotted columns. *)
+   nested objects (abort_mix, breakdown, open_loop with its phase_mix)
+   become dotted columns, at any depth. *)
 let result_csv_cells r =
   let cell = function
     | Json.Null -> ""
@@ -260,15 +249,15 @@ let result_csv_cells r =
     | Json.String s -> s
     | Json.List _ | Json.Obj _ -> assert false
   in
+  let rec flatten prefix = function
+    | Json.Obj sub ->
+      List.concat_map
+        (fun (k, v) -> flatten (if prefix = "" then k else prefix ^ "." ^ k) v)
+        sub
+    | v -> [ (prefix, cell v) ]
+  in
   match Runner.json_of_result r with
-  | Json.Obj members ->
-    List.concat_map
-      (fun (k, v) ->
-        match v with
-        | Json.Obj sub ->
-          List.map (fun (k', v') -> (k ^ "." ^ k', cell v')) sub
-        | v -> [ (k, cell v) ])
-      members
+  | Json.Obj _ as obj -> flatten "" obj
   | _ -> assert false
 
 let print_result_csv r =
@@ -871,7 +860,11 @@ let custom_cmd =
       | Some sysconf -> (
         match
           Runner.run_program
-            ~machine:(Config.machine ~cache ~cores ())
+            ~options:
+              {
+                Runner.default_options with
+                machine = Config.machine ~cache ~cores ();
+              }
             ~name:(Filename.basename file) ~sysconf ~program ()
         with
         | exception (Failure msg | Invalid_argument msg) ->
@@ -883,6 +876,374 @@ let custom_cmd =
   let term = Term.(ret (const action $ file $ system $ cache_t $ cores_t)) in
   Cmd.v
     (Cmd.info "custom" ~doc:"Run a hand-written workload from a text file")
+    term
+
+(* --- gen-trace ---------------------------------------------------------- *)
+
+let trace_format_conv =
+  conv_of_check Trace_stream.format_of_string (fun ppf f ->
+      Format.pp_print_string ppf (Trace_stream.format_to_string f))
+
+let gen_trace_cmd =
+  let d = Trace_gen.default in
+  let out =
+    Arg.(
+      value & opt string "-"
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Trace destination; - (the default) writes to stdout for \
+                piping into 'replay -'.")
+  in
+  let users =
+    Arg.(
+      value
+      & opt (pos_int_conv "--users") d.Trace_gen.users
+      & info [ "users" ] ~docv:"N" ~doc:"Simulated user population.")
+  in
+  let think =
+    Arg.(
+      value
+      & opt float d.Trace_gen.think_time
+      & info [ "think" ] ~docv:"CYCLES"
+          ~doc:"Mean cycles between one user's transactions.")
+  in
+  let duration =
+    Arg.(
+      value
+      & opt (pos_int_conv "--duration") d.Trace_gen.duration
+      & info [ "duration" ] ~docv:"CYCLES" ~doc:"Trace horizon in cycles.")
+  in
+  let day =
+    Arg.(
+      value
+      & opt (pos_int_conv "--day") d.Trace_gen.day
+      & info [ "day" ] ~docv:"CYCLES"
+          ~doc:"Diurnal period; arrivals are tagged with the quarter of \
+                the day they fall in (phase 0..3).")
+  in
+  let diurnal_amp =
+    Arg.(
+      value
+      & opt float d.Trace_gen.diurnal_amp
+      & info [ "diurnal-amp" ] ~docv:"A"
+          ~doc:"Diurnal rate-swing amplitude in [0, 1).")
+  in
+  let burst_every =
+    Arg.(
+      value
+      & opt int d.Trace_gen.burst_every
+      & info [ "burst-every" ] ~docv:"CYCLES"
+          ~doc:"Burst window period; 0 disables bursts.")
+  in
+  let burst_len =
+    Arg.(
+      value
+      & opt int d.Trace_gen.burst_len
+      & info [ "burst-len" ] ~docv:"CYCLES" ~doc:"Burst window length.")
+  in
+  let burst_mult =
+    Arg.(
+      value
+      & opt float d.Trace_gen.burst_mult
+      & info [ "burst-mult" ] ~docv:"M"
+          ~doc:"Arrival-rate multiplier inside a burst (>= 1).")
+  in
+  let reads =
+    Arg.(
+      value
+      & opt (pair int int) d.Trace_gen.reads_per_tx
+      & info [ "reads" ] ~docv:"LO,HI"
+          ~doc:"Inclusive uniform range of reads per transaction.")
+  in
+  let writes =
+    Arg.(
+      value
+      & opt (pair int int) d.Trace_gen.writes_per_tx
+      & info [ "writes" ] ~docv:"LO,HI"
+          ~doc:"Inclusive uniform range of writes per transaction.")
+  in
+  let gcores =
+    Arg.(
+      value
+      & opt (pos_int_conv "--cores") d.Trace_gen.cores
+      & info [ "cores" ] ~docv:"N"
+          ~doc:"Target core count for affinity tagging.")
+  in
+  let affinity =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("any", Trace_gen.Any);
+               ("uniform", Trace_gen.Uniform);
+               ("sticky", Trace_gen.Sticky);
+             ])
+          d.Trace_gen.affinity
+      & info [ "affinity" ]
+          ~doc:"Core affinity of arrivals: any (untagged), uniform, or \
+                sticky (Zipf-popular users pinned to user mod cores).")
+  in
+  let sticky_skew =
+    Arg.(
+      value
+      & opt float d.Trace_gen.sticky_skew
+      & info [ "sticky-skew" ] ~docv:"S"
+          ~doc:"Zipf skew of the user popularity for --affinity sticky.")
+  in
+  let fmt =
+    Arg.(
+      value
+      & opt trace_format_conv Trace_stream.Binary
+      & info [ "format" ] ~doc:"Trace encoding: bin (default) or text.")
+  in
+  let action out users think duration day diurnal_amp burst_every burst_len
+      burst_mult reads writes cores affinity sticky_skew fmt seed =
+    let profile =
+      {
+        Trace_gen.users;
+        think_time = think;
+        duration;
+        day;
+        diurnal_amp;
+        burst_every;
+        burst_len;
+        burst_mult;
+        reads_per_tx = reads;
+        writes_per_tx = writes;
+        cores;
+        affinity;
+        sticky_skew;
+      }
+    in
+    let emit_trace oc =
+      set_binary_mode_out oc true;
+      let w = Trace_stream.writer_to_channel fmt oc in
+      let exception Emit of string in
+      match
+        Trace_gen.generate profile ~seed ~emit:(fun r ->
+            match Trace_stream.write w r with
+            | Ok () -> ()
+            | Error msg -> raise (Emit msg))
+      with
+      | exception Emit msg -> Error msg
+      | Error msg -> Error msg
+      | Ok n ->
+        flush oc;
+        Ok n
+    in
+    let res =
+      if out = "-" then emit_trace stdout
+      else
+        match Cli.writable_path out with
+        | Error msg -> Error msg
+        | Ok path ->
+          let oc = open_out_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () -> emit_trace oc)
+    in
+    match res with
+    | Error msg -> `Error (false, msg)
+    | Ok n ->
+      Printf.eprintf "# gen-trace: %d records (%s, seed %d)\n%!" n
+        (Trace_stream.format_to_string fmt) seed;
+      `Ok ()
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ out $ users $ think $ duration $ day $ diurnal_amp
+       $ burst_every $ burst_len $ burst_mult $ reads $ writes $ gcores
+       $ affinity $ sticky_skew $ fmt $ seed_t))
+  in
+  Cmd.v
+    (Cmd.info "gen-trace"
+       ~doc:"Generate a deterministic open-loop arrival trace: \
+             non-homogeneous Poisson traffic (diurnal swing plus burst \
+             windows) from a simulated user population, streamed in O(1) \
+             memory. Pipe into 'replay -' or save with -o.")
+    term
+
+(* --- replay ------------------------------------------------------------- *)
+
+let replay_cmd =
+  let trace_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE"
+          ~doc:"Trace to replay (from 'gen-trace'); - reads stdin, which \
+                supports a single --system only.")
+  in
+  let systems_t =
+    Arg.(
+      value
+      & opt_all string [ "LockillerTM" ]
+      & info [ "system"; "s" ]
+          ~doc:"System to drive (repeatable; a trace file is re-read per \
+                system, see 'list').")
+  in
+  let body_t =
+    Arg.(
+      value
+      & opt string "vacation"
+      & info [ "body" ] ~docv:"WORKLOAD"
+          ~doc:"Access-pattern template for transaction bodies \
+                (hot/shared/private mix, compute interleave); per-record \
+                footprints come from the trace.")
+  in
+  let threads_t =
+    Arg.(
+      value
+      & opt (pos_int_conv "--threads") 8
+      & info [ "threads"; "t" ] ~doc:"Stream cores serving the arrivals.")
+  in
+  let oracle_t =
+    Arg.(
+      value & flag
+      & info [ "oracle" ]
+          ~doc:"Re-enable the serializability oracle. Off by default in \
+                replay: its log grows with trace length, defeating \
+                bounded-memory streaming.")
+  in
+  let jobs_t =
+    Arg.(
+      value
+      & opt (pos_int_conv "--jobs") 1
+      & info [ "jobs"; "j" ]
+          ~doc:"Worker domains when replaying multiple systems.")
+  in
+  let action trace systems body threads oracle jobs stats format seed cache
+      cores telemetry_file sample_interval =
+    let module Runtime = Lockiller.Mechanisms.Runtime in
+    let module Stats = Lockiller.Engine.Stats in
+    let unknown =
+      List.filter
+        (fun s -> Lockiller.Mechanisms.Sysconf.find s = None)
+        systems
+    in
+    if unknown <> [] then
+      `Error (false, "unknown system " ^ String.concat ", " unknown)
+    else if trace = "-" && List.length systems > 1 then
+      `Error
+        ( false,
+          "replay from stdin drives a single --system; save the trace to \
+           a file to replay it against several" )
+    else if telemetry_file <> None && List.length systems > 1 then
+      `Error (false, "--telemetry records a single --system per file")
+    else
+      let body_profile =
+        Result.bind (Suite.spec_of_name body) Suite.realise
+      in
+      match body_profile with
+      | Error msg -> `Error (false, msg)
+      | Ok profile ->
+        let trace_name =
+          if trace = "-" then "stdin"
+          else Filename.remove_extension (Filename.basename trace)
+        in
+        let tele = ref None in
+        let run_one system =
+          let sysconf =
+            Option.get (Lockiller.Mechanisms.Sysconf.find system)
+          in
+          let ic = if trace = "-" then stdin else open_in_bin trace in
+          let close () = if trace <> "-" then close_in ic in
+          Fun.protect ~finally:close (fun () ->
+              match
+                Trace_stream.reader_of_channel
+                  ~name:(if trace = "-" then "<stdin>" else trace)
+                  ic
+              with
+              | Error msg -> Error msg
+              | Ok reader -> (
+                let source =
+                  Workload_source.of_reader ~name:trace_name ~body:profile
+                    reader
+                in
+                match
+                  Runner.run_source
+                    ~options:
+                      {
+                        Runner.default_options with
+                        seed;
+                        oracle;
+                        machine = Config.machine ~cache ~cores ();
+                        telemetry =
+                          telemetry_option ~telemetry_file ~sample_interval
+                            tele;
+                      }
+                    ~sysconf ~source ~threads ()
+                with
+                | exception (Failure msg | Invalid_argument msg) -> Error msg
+                | r -> Ok r))
+        in
+        let results = Pool.map ~jobs run_one (Array.of_list systems) in
+        let first_error =
+          Array.fold_left
+            (fun acc r ->
+              match (acc, r) with
+              | Some _, _ -> acc
+              | None, Error msg -> Some msg
+              | None, Ok _ -> None)
+            None results
+        in
+        (match first_error with
+        | Some msg -> `Error (false, msg)
+        | None ->
+          let results =
+            Array.map
+              (function Ok r -> r | Error _ -> assert false)
+              results
+          in
+          (match format with
+          | `Text ->
+            Array.iteri
+              (fun i r ->
+                if i > 0 then print_newline ();
+                print_result r)
+              results
+          | `Csv ->
+            print_endline
+              (String.concat ","
+                 (List.map fst (result_csv_cells results.(0))));
+            Array.iter
+              (fun r ->
+                print_endline
+                  (String.concat "," (List.map snd (result_csv_cells r))))
+              results
+          | `Json -> (
+            match results with
+            | [| r |] ->
+              let doc =
+                if stats then
+                  Json.Obj [ ("result", Runner.json_of_result r) ]
+                else Runner.json_of_result r
+              in
+              print_endline (Json.to_string doc)
+            | _ ->
+              print_endline
+                (Json.to_string
+                   (Json.List
+                      (List.map Runner.json_of_result
+                         (Array.to_list results))))));
+          emit_telemetry ~telemetry_file !tele;
+          `Ok ())
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ trace_arg $ systems_t $ body_t $ threads_t $ oracle_t
+       $ jobs_t $ stats_t $ format_t $ seed_t $ cache_t $ cores_t
+       $ telemetry_file_t $ sample_interval_t))
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Replay an arrival trace open-loop: records are admitted at \
+             their trace arrival cycles whether or not the cores keep up, \
+             and queueing delay / sojourn-time percentiles are reported \
+             next to the usual commit statistics. Streaming: memory use \
+             is independent of trace length.")
     term
 
 (* --- compare ------------------------------------------------------------ *)
@@ -946,6 +1307,26 @@ let compare_table (a : Runner.result) (b : Runner.result) =
         int_row "tx_latency_p99" a.Runner.tx_latency_p99
           b.Runner.tx_latency_p99;
       ]
+    @
+    (* Open-loop rows only when both sides are replay results — the
+       tail-latency-under-load view per system. *)
+    (match (a.Runner.open_loop, b.Runner.open_loop) with
+    | Some oa, Some ob ->
+      [
+        int_row "arrivals" oa.Runner.arrivals ob.Runner.arrivals;
+        int_row "completed" oa.Runner.completed ob.Runner.completed;
+        int_row "max_backlog" oa.Runner.max_backlog ob.Runner.max_backlog;
+        int_row "queue_delay_p50" oa.Runner.queue_delay_p50
+          ob.Runner.queue_delay_p50;
+        int_row "queue_delay_p95" oa.Runner.queue_delay_p95
+          ob.Runner.queue_delay_p95;
+        int_row "queue_delay_p99" oa.Runner.queue_delay_p99
+          ob.Runner.queue_delay_p99;
+        int_row "sojourn_p50" oa.Runner.sojourn_p50 ob.Runner.sojourn_p50;
+        int_row "sojourn_p95" oa.Runner.sojourn_p95 ob.Runner.sojourn_p95;
+        int_row "sojourn_p99" oa.Runner.sojourn_p99 ob.Runner.sojourn_p99;
+      ]
+    | Some _, None | None, Some _ | None, None -> [])
   in
   let describe (r : Runner.result) =
     Printf.sprintf "%s/%s t%d" r.Runner.system r.Runner.workload
@@ -1214,6 +1595,7 @@ let main =
   Cmd.group
     (Cmd.info "lockiller_sim" ~version:Lockiller.version ~doc)
     [ run_cmd; check_cmd; experiment_cmd; sweep_cmd; trace_cmd; custom_cmd;
-      compare_cmd; top_cmd; cache_cmd; list_cmd; params_cmd ]
+      gen_trace_cmd; replay_cmd; compare_cmd; top_cmd; cache_cmd; list_cmd;
+      params_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -39,9 +39,8 @@ let () =
     "commits" "of-aborts" "switches" "stl-commits" "spills";
   List.iter
     (fun sysconf ->
-      (* Deliberately the pre-[Runner.options] call shape: the per-field
-         optional arguments still work. *)
-      let r = Runner.run ~machine ~sysconf ~workload:overflowing ~threads () in
+      let options = { Runner.default_options with machine } in
+      let r = Runner.run ~options ~sysconf ~workload:overflowing ~threads () in
       let of_aborts =
         List.assoc Lockiller.Htm.Reason.Capacity r.Runner.abort_mix
       in

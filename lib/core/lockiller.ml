@@ -5,6 +5,7 @@ module Htm = Lk_htm
 module Mechanisms = Lk_lockiller
 module Cpu = Lk_cpu
 module Stamp = Lk_stamp
+module Trace = Lk_trace
 module Sim = Lk_sim
 module Check = Lk_check
 
@@ -35,8 +36,14 @@ let run ?(seed = 1) ?(scale = 1.0) ?(cache = Lk_sim.Config.Typical)
   | Error _ as e -> e
   | Ok (sysconf, profile) -> (
     match
-      Lk_sim.Runner.run ~seed ~scale
-        ~machine:(Lk_sim.Config.machine ~cache ~cores ())
+      Lk_sim.Runner.run
+        ~options:
+          {
+            Lk_sim.Runner.default_options with
+            seed;
+            scale;
+            machine = Lk_sim.Config.machine ~cache ~cores ();
+          }
         ~sysconf ~workload:profile ~threads ()
     with
     | r -> Ok r
@@ -52,7 +59,11 @@ let run_text ?(cache = Lk_sim.Config.Typical) ?(cores = 32) ~system ~program
     | Ok program -> (
       match
         Lk_sim.Runner.run_program
-          ~machine:(Lk_sim.Config.machine ~cache ~cores ())
+          ~options:
+            {
+              Lk_sim.Runner.default_options with
+              machine = Lk_sim.Config.machine ~cache ~cores ();
+            }
           ~sysconf ~program ()
       with
       | r -> Ok r

@@ -37,6 +37,11 @@ module Cpu = Lk_cpu
 module Stamp = Lk_stamp
 (** Synthetic STAMP workload generators. *)
 
+module Trace = Lk_trace
+(** Trace format for open-loop replay: records, streaming
+    reader/writer, and the synthetic traffic generator
+    (see docs/REPLAY.md). *)
+
 module Sim = Lk_sim
 (** Machine configs (Table I), runner, metrics, experiments. *)
 

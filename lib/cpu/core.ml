@@ -4,6 +4,23 @@ module Txstate = Lk_htm.Txstate
 module Sysconf = Lk_lockiller.Sysconf
 module Runtime = Lk_lockiller.Runtime
 
+(* A transaction waiting in a stream core's service queue. The body is
+   a thunk, not an op list: under open-loop backlog the queue can grow
+   long, and a thunk (a closure over a few ints and an RNG) keeps the
+   queued footprint O(1) per entry no matter how large the transaction
+   it will synthesise. *)
+type pending = {
+  gen : unit -> Program.transaction;
+  notify : started:int -> unit;  (** fired at completion; [started] is
+                                     the cycle service began. *)
+}
+
+type stream = {
+  q : pending Queue.t;
+  mutable busy : bool;  (** a transaction is currently in service *)
+  mutable sealed : bool;  (** no further [submit]s will arrive *)
+}
+
 type t = {
   core : Lk_coherence.Types.core_id;
   rt : Runtime.t;
@@ -15,6 +32,7 @@ type t = {
   mutable finish_time : int;
   barrier : (Barrier.t * int) option;
   mutable completed_txs : int;
+  stream : stream option;
 }
 
 let spawn ?barrier ~runtime ~core ~thread ~accounting ~on_done () =
@@ -33,11 +51,32 @@ let spawn ?barrier ~runtime ~core ~thread ~accounting ~on_done () =
     finish_time = 0;
     barrier;
     completed_txs = 0;
+    stream = None;
+  }
+
+let spawn_stream ~runtime ~core ~accounting ~on_done () =
+  {
+    core;
+    rt = runtime;
+    sim = Lk_coherence.Protocol.sim (Runtime.protocol runtime);
+    acct = accounting;
+    remaining = [];
+    on_done;
+    finished = false;
+    finish_time = 0;
+    barrier = None;
+    completed_txs = 0;
+    stream = Some { q = Queue.create (); busy = false; sealed = false };
   }
 
 let finished t = t.finished
 let finish_time t = t.finish_time
 let transactions_left t = List.length t.remaining
+
+let backlog t =
+  match t.stream with
+  | None -> 0
+  | Some s -> Queue.length s.q + if s.busy then 1 else 0
 
 let now t = Sim.now t.sim
 
@@ -287,4 +326,48 @@ let rec run t = function
                 t.completed_txs <- t.completed_txs + 1;
                 sync_phase t (fun () -> run t rest))))
 
-let start t = run t t.remaining
+let start t =
+  match t.stream with
+  | Some _ -> invalid_arg "Core.start: stream core (use submit/seal)"
+  | None -> run t t.remaining
+
+(* Open-loop service loop: pop the next pending arrival, synthesise its
+   body, run it through the same pre/critical/post pipeline as the
+   closed-loop path, report completion, repeat until the queue drains.
+   The core finishes when drained *and* sealed. *)
+let rec pump t s =
+  if Queue.is_empty s.q then begin
+    s.busy <- false;
+    if s.sealed && not t.finished then begin
+      t.finished <- true;
+      t.finish_time <- now t;
+      t.on_done ()
+    end
+  end
+  else begin
+    s.busy <- true;
+    let p = Queue.pop s.q in
+    let started = now t in
+    let tx = p.gen () in
+    compute t tx.Program.pre_compute Accounting.Non_tran (fun () ->
+        critical t tx (fun () ->
+            compute t tx.Program.post_compute Accounting.Non_tran (fun () ->
+                t.completed_txs <- t.completed_txs + 1;
+                p.notify ~started;
+                pump t s)))
+  end
+
+let submit t ~gen ~notify =
+  match t.stream with
+  | None -> invalid_arg "Core.submit: not a stream core"
+  | Some s ->
+    if s.sealed then invalid_arg "Core.submit: stream already sealed";
+    Queue.push { gen; notify } s.q;
+    if not s.busy then pump t s
+
+let seal t =
+  match t.stream with
+  | None -> invalid_arg "Core.seal: not a stream core"
+  | Some s ->
+    s.sealed <- true;
+    if not s.busy then pump t s

@@ -29,10 +29,44 @@ val spawn :
 
 val start : t -> unit
 (** Begin executing at the current simulated cycle. [on_done] fires
-    when the thread program is exhausted. *)
+    when the thread program is exhausted. Invalid on a stream core. *)
 
 val finished : t -> bool
 val finish_time : t -> int
 (** Cycle at which the thread completed (meaningful once [finished]). *)
 
 val transactions_left : t -> int
+
+(** {1 Open-loop streaming mode}
+
+    A stream core has no pre-built thread program: transactions are
+    {!submit}ted while the simulation runs (trace replay), queue at the
+    core, and are served in FIFO order through the same
+    pre-compute/critical-section/post-compute pipeline as closed-loop
+    threads. Queued entries hold a body {e thunk}, not an op list, so a
+    deep backlog costs O(1) memory per waiting transaction. *)
+
+val spawn_stream :
+  runtime:Lk_lockiller.Runtime.t ->
+  core:Lk_coherence.Types.core_id ->
+  accounting:Accounting.t ->
+  on_done:(unit -> unit) ->
+  unit ->
+  t
+(** Create an open-loop core. [on_done] fires once the core has been
+    {!seal}ed and its queue has drained. *)
+
+val submit :
+  t -> gen:(unit -> Program.transaction) -> notify:(started:int -> unit) -> unit
+(** Enqueue an arrival. [gen] is forced only when service begins;
+    [notify ~started] fires at completion with the cycle service began
+    (so the caller can split queueing delay from sojourn time). Invalid
+    on a non-stream core or after {!seal}. *)
+
+val seal : t -> unit
+(** Declare the arrival stream exhausted; the core finishes when its
+    queue drains (immediately if already empty). *)
+
+val backlog : t -> int
+(** Arrivals submitted but not yet completed (stream cores; 0
+    otherwise). *)

@@ -1,12 +1,12 @@
 module Sysconf = Lk_lockiller.Sysconf
 module Workload = Lk_stamp.Workload
 
-(* Migration note — v2 -> v3: the result JSON gained the
-   [tx_latency_p50/p95/p99] members (PR 5's percentile queries), which
-   v2 entries lack, so their decode would fail; entries live under a
-   per-schema directory, old ones are simply never read again ([cache
-   stats] counts them as stale, [cache clear] removes them). *)
-let schema_version = "3"
+(* The version lives in [Schema] (single source of truth with the
+   result-JSON codec; see [Schema.history] for the migration trail).
+   Entries live under a per-schema directory, so entries from another
+   version are simply never read again ([cache stats] counts them as
+   stale, [cache clear] removes them). *)
+let schema_version = Schema.version_string
 
 type t = {
   root : string;

@@ -1,0 +1,22 @@
+(** Argument validators shared by the command-line front-ends.
+
+    [bin/lockiller_sim] (cmdliner) and [bench/main] (hand-rolled argv
+    loop) parse the same kinds of values; these checks keep their error
+    messages identical and in one place. All functions are pure
+    [string -> (value, message) result] so either front-end can wrap
+    them in its own plumbing. *)
+
+val positive_int : what:string -> string -> (int, string) result
+(** Strictly positive integer; [what] names the flag in the message
+    (e.g. ["--jobs must be positive (got 0)"]). *)
+
+val non_negative_int : what:string -> string -> (int, string) result
+(** Integer >= 0, same message shapes with "non-negative". *)
+
+val cache_profile : string -> (Config.cache_profile, string) result
+(** One of [typical], [small], [large] (see
+    {!Config.cache_profile_of_id}). *)
+
+val writable_path : string -> (string, string) result
+(** A path we will later open for writing: non-empty, its parent
+    directory exists, and the path itself does not name a directory. *)

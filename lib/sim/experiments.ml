@@ -765,16 +765,19 @@ let ablation =
 
 (* --- Transaction-size sensitivity (paper future work) ------------------ *)
 
+(* Multiplier [m] is in quarter units (m/4 is the footprint factor);
+   transactions per thread shrink inversely so total work stays
+   roughly constant. *)
+let txsize_spec m =
+  Lk_stamp.Suite.spec ~tag:true
+    ~rw_scale:(float_of_int m /. 4.0)
+    ~txs_scale:(4.0 /. float_of_int m)
+    "vacation"
+
 let txsize_profile m =
-  let scale_range (lo, hi) = (max 1 (lo * m / 4), max 1 (hi * m / 4)) in
-  let base = Lk_stamp.Vacation.low in
-  {
-    base with
-    Workload.name = Printf.sprintf "vacation-x%.2g" (float_of_int m /. 4.0);
-    reads_per_tx = scale_range base.Workload.reads_per_tx;
-    writes_per_tx = scale_range base.Workload.writes_per_tx;
-    txs_per_thread = max 4 (base.Workload.txs_per_thread * 4 / m);
-  }
+  match Lk_stamp.Suite.realise (txsize_spec m) with
+  | Ok p -> p
+  | Error msg -> invalid_arg ("Experiments.txsize: " ^ msg)
 
 let txsize_multipliers = [ 2; 4; 8; 16; 32 ]
 

@@ -11,6 +11,24 @@ module Accounting = Lk_cpu.Accounting
 module Core = Lk_cpu.Core
 module Workload = Lk_stamp.Workload
 
+(* Open-loop replay statistics: how the service kept up with the
+   arrival stream. Queueing delay is arrival -> service start, sojourn
+   is arrival -> completion; both come from log-linear histograms
+   recorded incrementally, so a multi-gigabyte trace needs no
+   per-transaction storage. *)
+type open_loop_stats = {
+  arrivals : int;
+  completed : int;
+  max_backlog : int;
+  queue_delay_p50 : int;
+  queue_delay_p95 : int;
+  queue_delay_p99 : int;
+  sojourn_p50 : int;
+  sojourn_p95 : int;
+  sojourn_p99 : int;
+  phase_mix : (int * int) list;
+}
+
 type result = {
   system : string;
   workload : string;
@@ -39,6 +57,7 @@ type result = {
   tx_latency_p50 : int;
   tx_latency_p95 : int;
   tx_latency_p99 : int;
+  open_loop : open_loop_stats option;
 }
 
 type telemetry_request = {
@@ -63,12 +82,29 @@ let place ~placement ~cores ~threads i =
   | Compact -> i
   | Spread -> i * cores / threads
 
-(* Shared execution engine for generated workloads and hand-written
-   programs. *)
-let execute ?barrier_every ?queue_backend ?(check = false) ?telemetry ~machine
-    ~oracle ~on_runtime ~placement ~cycle_limit ~sysconf ~program
+(* How [execute] drives the cores: a closed-loop pre-built program or
+   an open-loop arrival stream served by stream cores. *)
+type exec_mode =
+  | Closed of { program : Program.t; barrier_every : int option }
+  | Open of {
+      ol : Workload_source.open_loop;
+      threads : int;
+      seed : int;
+      expected : (int, int) Hashtbl.t;
+          (* Hot-counter increments accumulated as bodies are
+             synthesised, for the post-run conservation check. *)
+    }
+
+(* Shared execution engine for generated workloads, hand-written
+   programs and trace replay. *)
+let execute ?queue_backend ?(check = false) ?telemetry ~machine ~oracle
+    ~on_runtime ~placement ~cycle_limit ~sysconf ~mode
     ~(workload_name : string) ~cache () =
-  let threads = Array.length program in
+  let threads =
+    match mode with
+    | Closed { program; _ } -> Array.length program
+    | Open { threads; _ } -> threads
+  in
   if threads <= 0 || threads > machine.Config.cores then
     invalid_arg "Runner.run: thread count out of range";
   let core_of = place ~placement ~cores:machine.Config.cores ~threads in
@@ -95,25 +131,146 @@ let execute ?barrier_every ?queue_backend ?(check = false) ?telemetry ~machine
   in
   let acct = Accounting.create ~cores:machine.Config.cores in
   let finished = ref 0 in
-  let barrier =
-    Option.map
-      (fun k -> (Lk_cpu.Barrier.create ~parties:threads, k))
-      barrier_every
+  let cpus, post_run, collect_open =
+    match mode with
+    | Closed { program; barrier_every } ->
+      let barrier =
+        Option.map
+          (fun k -> (Lk_cpu.Barrier.create ~parties:threads, k))
+          barrier_every
+      in
+      let cpus =
+        Array.mapi
+          (fun i thread ->
+            Core.spawn ?barrier ~runtime ~core:(core_of i) ~thread
+              ~accounting:acct
+              ~on_done:(fun () -> incr finished)
+              ())
+          program
+      in
+      Array.iter Core.start cpus;
+      (cpus, (fun () -> ()), fun () -> None)
+    | Open { ol; seed; expected; _ } ->
+      let cpus =
+        Array.init threads (fun i ->
+            Core.spawn_stream ~runtime ~core:(core_of i) ~accounting:acct
+              ~on_done:(fun () -> incr finished)
+              ())
+      in
+      let body = ol.Workload_source.body in
+      (* Per-slot body RNGs, seeded exactly like [Workload.generate]'s
+         per-thread streams so replay bodies are deterministic in
+         (profile, seed, threads). *)
+      let root =
+        Lk_engine.Rng.create
+          (seed + (1299721 * Hashtbl.hash body.Workload.name))
+      in
+      let rngs = Array.init threads (fun _ -> Lk_engine.Rng.split root) in
+      let group = Stats.group "replay" in
+      let qdelay = Stats.hdr group "queue_delay" in
+      let sojourn = Stats.hdr group "sojourn" in
+      let phases = Array.make (Lk_trace.Record.max_phase + 1) 0 in
+      let arrivals = ref 0
+      and completed = ref 0
+      and inflight = ref 0
+      and max_backlog = ref 0 in
+      let feed_error = ref None in
+      let rr = ref 0 in
+      let dispatch (r : Lk_trace.Record.t) =
+        let slot =
+          if r.core >= 0 then r.core mod threads
+          else begin
+            let s = !rr in
+            rr := (s + 1) mod threads;
+            s
+          end
+        in
+        incr arrivals;
+        incr inflight;
+        if !inflight > !max_backlog then max_backlog := !inflight;
+        let arrival = r.arrival and phase = r.phase in
+        let reads = r.reads and writes = r.writes in
+        Core.submit cpus.(slot)
+          ~gen:(fun () ->
+            let tx =
+              Workload.synthesize body rngs.(slot) ~threads ~thread:slot
+                ~reads ~writes
+            in
+            List.iter
+              (function
+                | Program.Incr a ->
+                  Hashtbl.replace expected a
+                    (1 + Option.value ~default:0 (Hashtbl.find_opt expected a))
+                | Program.Add _ | Program.Read _ | Program.Write _
+                | Program.Compute _ | Program.Fault ->
+                  ())
+              tx.Program.ops;
+            tx)
+          ~notify:(fun ~started ->
+            decr inflight;
+            incr completed;
+            phases.(phase) <- phases.(phase) + 1;
+            Stats.record qdelay (started - arrival);
+            Stats.record sojourn (Sim.now sim - arrival))
+      in
+      let seal_all () = Array.iter Core.seal cpus in
+      (* Pull-one-ahead feeder: at most one unscheduled record is in
+         memory at any time, so replay is O(1) in trace length. *)
+      let rec feed () =
+        let live = ref true in
+        while !live do
+          match ol.Workload_source.next () with
+          | Error e ->
+            feed_error := Some e;
+            seal_all ();
+            live := false
+          | Ok None ->
+            seal_all ();
+            live := false
+          | Ok (Some r) ->
+            if r.Lk_trace.Record.arrival <= Sim.now sim then dispatch r
+            else begin
+              Sim.schedule_at sim ~time:r.Lk_trace.Record.arrival (fun () ->
+                  dispatch r;
+                  feed ());
+              live := false
+            end
+        done
+      in
+      feed ();
+      let post_run () =
+        match !feed_error with
+        | Some e ->
+          failwith
+            (Printf.sprintf "Runner.replay: %s/%s: %s" sysconf.Sysconf.name
+               workload_name e)
+        | None -> ()
+      in
+      let collect () =
+        Some
+          {
+            arrivals = !arrivals;
+            completed = !completed;
+            max_backlog = !max_backlog;
+            queue_delay_p50 = Stats.percentile qdelay 50.;
+            queue_delay_p95 = Stats.percentile qdelay 95.;
+            queue_delay_p99 = Stats.percentile qdelay 99.;
+            sojourn_p50 = Stats.percentile sojourn 50.;
+            sojourn_p95 = Stats.percentile sojourn 95.;
+            sojourn_p99 = Stats.percentile sojourn 99.;
+            phase_mix =
+              Array.to_list phases
+              |> List.mapi (fun i n -> (i, n))
+              |> List.filter (fun (_, n) -> n > 0);
+          }
+      in
+      (cpus, post_run, collect)
   in
-  let cpus =
-    Array.mapi
-      (fun i thread ->
-        Core.spawn ?barrier ~runtime ~core:(core_of i) ~thread
-          ~accounting:acct
-          ~on_done:(fun () -> incr finished)
-          ())
-      program
-  in
-  Array.iter Core.start cpus;
   let (), perf_sample =
     Perf.observe sim (fun () -> Sim.run ~limit:cycle_limit sim)
   in
   Perf.note perf_sample;
+  post_run ();
   if !finished <> threads then
     failwith
       (Printf.sprintf "Runner.run: %s/%s/%d threads: only %d threads finished"
@@ -207,6 +364,7 @@ let execute ?barrier_every ?queue_backend ?(check = false) ?telemetry ~machine
     tx_latency_p50 = Stats.percentile latency 50.;
     tx_latency_p95 = Stats.percentile latency 95.;
     tx_latency_p99 = Stats.percentile latency 99.;
+    open_loop = collect_open ();
   } )
 
 type options = {
@@ -236,30 +394,7 @@ let default_options =
     telemetry = None;
   }
 
-(* The per-field optional arguments are the deprecated pre-[options]
-   interface; each one overrides the corresponding [options] field so
-   old call shapes keep compiling and behaving identically. *)
-let resolve_options ?(options = default_options) ?seed ?scale ?machine ?oracle
-    ?on_runtime ?placement ?cycle_limit () =
-  {
-    seed = Option.value seed ~default:options.seed;
-    scale = Option.value scale ~default:options.scale;
-    machine = Option.value machine ~default:options.machine;
-    oracle = Option.value oracle ~default:options.oracle;
-    on_runtime = Option.value on_runtime ~default:options.on_runtime;
-    placement = Option.value placement ~default:options.placement;
-    cycle_limit = Option.value cycle_limit ~default:options.cycle_limit;
-    queue_backend = options.queue_backend;
-    check = options.check;
-    telemetry = options.telemetry;
-  }
-
-let run ?options ?seed ?scale ?machine ?oracle ?on_runtime ?placement
-    ?cycle_limit ~sysconf ~workload ~threads () =
-  let o =
-    resolve_options ?options ?seed ?scale ?machine ?oracle ?on_runtime
-      ?placement ?cycle_limit ()
-  in
+let run ?(options = default_options) ~sysconf ~workload ~threads () =
   let {
     seed;
     scale;
@@ -272,14 +407,16 @@ let run ?options ?seed ?scale ?machine ?oracle ?on_runtime ?placement
     check;
     telemetry;
   } =
-    o
+    options
   in
   let program = Workload.generate workload ~threads ~seed ~scale in
   let store, result =
-    execute ?barrier_every:workload.Workload.barrier_every ~queue_backend
-      ~check ?telemetry ~machine ~oracle ~on_runtime ~placement ~cycle_limit
-      ~sysconf ~program ~workload_name:workload.Workload.name
-      ~cache:machine.Config.cache ()
+    execute ~queue_backend ~check ?telemetry ~machine ~oracle ~on_runtime
+      ~placement ~cycle_limit ~sysconf
+      ~mode:
+        (Closed
+           { program; barrier_every = workload.Workload.barrier_every })
+      ~workload_name:workload.Workload.name ~cache:machine.Config.cache ()
   in
   (* End-to-end atomicity check: committed hot counters must equal the
      increments the program performs. *)
@@ -294,8 +431,8 @@ let run ?options ?seed ?scale ?machine ?oracle ?on_runtime ?placement
     (Workload.expected_hot_increments workload ~threads ~seed ~scale);
   result
 
-let run_program ?options ?machine ?oracle ?on_runtime ?placement ?cycle_limit
-    ?(name = "custom") ~sysconf ~program () =
+let run_program ?(options = default_options) ?(name = "custom") ~sysconf
+    ~program () =
   let {
     machine;
     oracle;
@@ -305,10 +442,10 @@ let run_program ?options ?machine ?oracle ?on_runtime ?placement ?cycle_limit
     queue_backend;
     check;
     telemetry;
-    _;
+    seed = _;
+    scale = _;
   } =
-    resolve_options ?options ?machine ?oracle ?on_runtime ?placement
-      ?cycle_limit ()
+    options
   in
   (match Lk_cpu.Program.validate program with
   | Ok () -> ()
@@ -323,10 +460,64 @@ let run_program ?options ?machine ?oracle ?on_runtime ?placement ?cycle_limit
     (Lk_cpu.Program.touched_addresses program);
   let _, result =
     execute ~queue_backend ~check ?telemetry ~machine ~oracle ~on_runtime
-      ~placement ~cycle_limit ~sysconf ~program ~workload_name:name
-      ~cache:machine.Config.cache ()
+      ~placement ~cycle_limit ~sysconf
+      ~mode:(Closed { program; barrier_every = None })
+      ~workload_name:name ~cache:machine.Config.cache ()
   in
   result
+
+let replay ?(options = default_options) ~sysconf ~open_loop ~threads () =
+  let {
+    seed;
+    machine;
+    oracle;
+    on_runtime;
+    placement;
+    cycle_limit;
+    queue_backend;
+    check;
+    telemetry;
+    scale = _;
+  } =
+    options
+  in
+  (match Workload.validate open_loop.Workload_source.body with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Runner.replay: body profile: " ^ msg));
+  let expected = Hashtbl.create 64 in
+  let store, result =
+    execute ~queue_backend ~check ?telemetry ~machine ~oracle ~on_runtime
+      ~placement ~cycle_limit ~sysconf
+      ~mode:(Open { ol = open_loop; threads; seed; expected })
+      ~workload_name:open_loop.Workload_source.trace_name
+      ~cache:machine.Config.cache ()
+  in
+  (* Conservation, open-loop flavour: hot increments are tallied as
+     bodies are synthesised, so the check needs no second trace pass. *)
+  Hashtbl.iter
+    (fun addr want ->
+      let got = Store.committed store addr in
+      if got <> want then
+        failwith
+          (Printf.sprintf
+             "Runner.replay: %s/%s: conservation violated at %#x: %d <> %d"
+             sysconf.Sysconf.name open_loop.Workload_source.trace_name addr
+             got want))
+    expected;
+  result
+
+let run_source ?(options = default_options) ~sysconf ~source ~threads () =
+  match (source : Workload_source.t) with
+  | Workload_source.Workload workload -> run ~options ~sysconf ~workload ~threads ()
+  | Workload_source.Program { name; program } ->
+    if Array.length program <> threads then
+      invalid_arg
+        (Printf.sprintf
+           "Runner.run_source: %d threads requested but the program has %d"
+           threads (Array.length program));
+    run_program ~options ~name ~sysconf ~program ()
+  | Workload_source.Replay open_loop ->
+    replay ~options ~sysconf ~open_loop ~threads ()
 
 let abort_fraction r reason =
   if r.aborts = 0 then 0.0
@@ -346,9 +537,29 @@ let pp ppf r =
    [breakdown] become label-keyed objects. The cache and the CLI's
    [--format json] share this encoding, so round-tripping is exercised
    on every warm-cache run. *)
+let json_of_open_loop o =
+  Json.Obj
+    [
+      ("arrivals", Json.Int o.arrivals);
+      ("completed", Json.Int o.completed);
+      ("max_backlog", Json.Int o.max_backlog);
+      ("queue_delay_p50", Json.Int o.queue_delay_p50);
+      ("queue_delay_p95", Json.Int o.queue_delay_p95);
+      ("queue_delay_p99", Json.Int o.queue_delay_p99);
+      ("sojourn_p50", Json.Int o.sojourn_p50);
+      ("sojourn_p95", Json.Int o.sojourn_p95);
+      ("sojourn_p99", Json.Int o.sojourn_p99);
+      ( "phase_mix",
+        Json.Obj
+          (List.map
+             (fun (phase, n) -> (string_of_int phase, Json.Int n))
+             o.phase_mix) );
+    ]
+
 let json_of_result r =
   Json.Obj
     [
+      ("schema", Json.Int Schema.version);
       ("system", Json.String r.system);
       ("workload", Json.String r.workload);
       ("threads", Json.Int r.threads);
@@ -384,16 +595,72 @@ let json_of_result r =
       ("tx_latency_p50", Json.Int r.tx_latency_p50);
       ("tx_latency_p95", Json.Int r.tx_latency_p95);
       ("tx_latency_p99", Json.Int r.tx_latency_p99);
+      ( "open_loop",
+        match r.open_loop with
+        | None -> Json.Null
+        | Some o -> json_of_open_loop o );
     ]
 
 let result_to_json r = Json.to_string (json_of_result r)
 
 let ( let* ) = Result.bind
 
+let open_loop_of_json_value v =
+  let int name = let* m = Json.member name v in Json.to_int m in
+  let* arrivals = int "arrivals" in
+  let* completed = int "completed" in
+  let* max_backlog = int "max_backlog" in
+  let* queue_delay_p50 = int "queue_delay_p50" in
+  let* queue_delay_p95 = int "queue_delay_p95" in
+  let* queue_delay_p99 = int "queue_delay_p99" in
+  let* sojourn_p50 = int "sojourn_p50" in
+  let* sojourn_p95 = int "sojourn_p95" in
+  let* sojourn_p99 = int "sojourn_p99" in
+  let* phase_mix =
+    let* m = Json.member "phase_mix" v in
+    let* obj = Json.to_obj m in
+    List.fold_left
+      (fun acc (key, j) ->
+        let* acc = acc in
+        match (int_of_string_opt key, j) with
+        | Some phase, Json.Int n when phase >= 0 -> Ok ((phase, n) :: acc)
+        | _ ->
+          Error
+            (Printf.sprintf "phase_mix: bad entry %S: %s" key
+               (Json.to_string j)))
+      (Ok []) obj
+    |> Result.map List.rev
+  in
+  Ok
+    {
+      arrivals;
+      completed;
+      max_backlog;
+      queue_delay_p50;
+      queue_delay_p95;
+      queue_delay_p99;
+      sojourn_p50;
+      sojourn_p95;
+      sojourn_p99;
+      phase_mix;
+    }
+
 let result_of_json_value v =
   let int name = let* m = Json.member name v in Json.to_int m in
   let float name = let* m = Json.member name v in Json.to_float m in
   let str name = let* m = Json.member name v in Json.to_str m in
+  let* () =
+    match Json.member "schema" v with
+    | Error _ ->
+      Error
+        (Printf.sprintf
+           "missing \"schema\" member (result predates schema v%d); re-run \
+            to regenerate"
+           Schema.version)
+    | Ok m ->
+      let* s = Json.to_int m in
+      Schema.check s
+  in
   let labelled name all label of_pairs =
     let* m = Json.member name v in
     let* obj = Json.to_obj m in
@@ -447,6 +714,12 @@ let result_of_json_value v =
   let* tx_latency_p50 = int "tx_latency_p50" in
   let* tx_latency_p95 = int "tx_latency_p95" in
   let* tx_latency_p99 = int "tx_latency_p99" in
+  let* open_loop =
+    let* m = Json.member "open_loop" v in
+    match m with
+    | Json.Null -> Ok None
+    | m -> Result.map Option.some (open_loop_of_json_value m)
+  in
   Ok
     {
       system;
@@ -476,6 +749,7 @@ let result_of_json_value v =
       tx_latency_p50;
       tx_latency_p95;
       tx_latency_p99;
+      open_loop;
     }
 
 let result_of_json s =

@@ -15,6 +15,31 @@
     always interleaved over all tiles). *)
 type placement = Compact | Spread
 
+(** Open-loop replay statistics, present on results produced by
+    {!replay} / {!run_source} with a [Replay] source. Delays are in
+    cycles, from the same log-linear histograms as the tx-latency
+    percentiles (<= ~3% bucketing error), recorded incrementally so
+    replay memory is independent of trace length. *)
+type open_loop_stats = {
+  arrivals : int;  (** Trace records ingested. *)
+  completed : int;  (** Transactions that ran to completion. *)
+  max_backlog : int;
+      (** Peak number of arrivals admitted but not yet completed — the
+          high-water mark of the service queues. *)
+  queue_delay_p50 : int;
+      (** Median arrival-to-service-start wait in cycles. *)
+  queue_delay_p95 : int;
+  queue_delay_p99 : int;
+  sojourn_p50 : int;
+      (** Median arrival-to-completion time in cycles (queueing delay
+          plus service). *)
+  sojourn_p95 : int;
+  sojourn_p99 : int;
+  phase_mix : (int * int) list;
+      (** Completions per trace phase tag, nonzero phases only,
+          increasing phase order. *)
+}
+
 type result = {
   system : string;
   workload : string;
@@ -59,6 +84,9 @@ type result = {
           section completed. *)
   tx_latency_p95 : int;  (** 95th percentile of the same histogram. *)
   tx_latency_p99 : int;  (** 99th percentile of the same histogram. *)
+  open_loop : open_loop_stats option;
+      (** [Some] on open-loop replay results, [None] on closed-loop
+          runs. *)
 }
 
 type telemetry_request = {
@@ -123,23 +151,15 @@ val default_options : options
 
 val run :
   ?options:options ->
-  ?seed:int ->
-  ?scale:float ->
-  ?machine:Config.t ->
-  ?oracle:bool ->
-  ?on_runtime:(Lk_lockiller.Runtime.t -> unit) ->
-  ?placement:placement ->
-  ?cycle_limit:int ->
   sysconf:Lk_lockiller.Sysconf.t ->
   workload:Lk_stamp.Workload.profile ->
   threads:int ->
   unit ->
   result
-(** Pass [?options] (defaults to {!default_options}). The per-field
-    optional arguments are the {e deprecated} pre-[options] call shape,
-    kept so existing callers compile unchanged; each one overrides the
-    corresponding [options] field. New code should set fields on
-    {!default_options} instead.
+(** Closed-loop run. [?options] defaults to {!default_options}; build
+    variations with record update
+    ([{ Runner.default_options with seed = 7 }]) — the pre-[options]
+    per-field optional arguments were removed.
 
     [threads] must not exceed the machine's cores. Raises [Failure] if
     the run violates conservation or serializability, leaves a thread
@@ -148,11 +168,6 @@ val run :
 
 val run_program :
   ?options:options ->
-  ?machine:Config.t ->
-  ?oracle:bool ->
-  ?on_runtime:(Lk_lockiller.Runtime.t -> unit) ->
-  ?placement:placement ->
-  ?cycle_limit:int ->
   ?name:string ->
   sysconf:Lk_lockiller.Sysconf.t ->
   program:Lk_cpu.Program.t ->
@@ -165,6 +180,44 @@ val run_program :
     does not know the program's intent). The program must use addresses
     clear of the lock lines (bytes 0-127). *)
 
+val replay :
+  ?options:options ->
+  sysconf:Lk_lockiller.Sysconf.t ->
+  open_loop:Workload_source.open_loop ->
+  threads:int ->
+  unit ->
+  result
+(** Open-loop replay: [threads] stream cores serve the arrival stream.
+    Each record is admitted at its arrival cycle (immediately if the
+    trace is behind simulated time), queued FIFO at a core — its own
+    [core mod threads] when it has affinity, round-robin otherwise —
+    and its body is synthesised from [open_loop.body] plus the record's
+    footprint only when service begins, so memory use is
+    O(threads + backlog), independent of trace length. The result's
+    [open_loop] field reports arrivals, queueing-delay and sojourn
+    percentiles, peak backlog and the per-phase completion mix;
+    [options.scale] is ignored (the trace dictates offered load).
+
+    The serializability oracle ([options.oracle]) stores every
+    committed section, which defeats the bounded-memory property on
+    long traces — disable it for capacity-planning replays (the CLI's
+    [replay] does by default). Raises [Failure] on a malformed or
+    non-monotone trace (the feeder's position-tagged error), and on the
+    same conservation/serializability/invariant violations as {!run}
+    (hot-counter increments are tallied during body synthesis, so
+    conservation needs no second trace pass). *)
+
+val run_source :
+  ?options:options ->
+  sysconf:Lk_lockiller.Sysconf.t ->
+  source:Workload_source.t ->
+  threads:int ->
+  unit ->
+  result
+(** Dispatch on the workload source: [Workload] -> {!run}, [Program] ->
+    {!run_program} ([threads] must equal the program's width),
+    [Replay] -> {!replay}. *)
+
 val abort_fraction : result -> Lk_htm.Reason.t -> float
 (** Share of a reason among all aborts (0 when no aborts). *)
 
@@ -176,7 +229,13 @@ val pp : Format.formatter -> result -> unit
     one member per field in declaration order; [abort_mix] and
     [breakdown] are label-keyed objects (paper labels, paper order).
     The on-disk {!Cache} stores exactly this encoding, so every
-    warm-cache run round-trips it. *)
+    warm-cache run round-trips it.
+
+    Since schema v4 the object leads with a ["schema"] member
+    ({!Schema.version}); the decoder rejects documents whose version is
+    missing, older or newer with an explanatory error (see
+    {!Schema.check}). The trailing ["open_loop"] member is [null] for
+    closed-loop results. *)
 
 val json_of_result : result -> Json.t
 

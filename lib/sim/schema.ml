@@ -1,0 +1,29 @@
+let version = 4
+let version_string = string_of_int version
+
+let history =
+  [
+    (1, "initial result record");
+    (2, "tx-latency HDR percentiles added to results");
+    (3, "abort-reason breakdown and telemetry counters added");
+    (4, "embedded schema member and open-loop replay statistics added");
+  ]
+
+let check v =
+  if v = version then Ok ()
+  else if v > version then
+    Error
+      (Printf.sprintf
+         "result schema v%d is newer than this build understands (v%d); upgrade the binary to read it"
+         v version)
+  else
+    let changes =
+      List.filter_map
+        (fun (ver, what) -> if ver > v then Some (Printf.sprintf "v%d: %s" ver what) else None)
+        history
+    in
+    Error
+      (Printf.sprintf
+         "result schema v%d predates this build (v%d); re-run the simulation to regenerate it (changed since: %s)"
+         v version
+         (String.concat "; " changes))

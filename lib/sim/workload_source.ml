@@ -1,0 +1,18 @@
+type open_loop = {
+  trace_name : string;
+  next : unit -> (Lk_trace.Record.t option, string) result;
+  body : Lk_stamp.Workload.profile;
+}
+
+type t =
+  | Workload of Lk_stamp.Workload.profile
+  | Program of { name : string; program : Lk_cpu.Program.t }
+  | Replay of open_loop
+
+let name = function
+  | Workload p -> p.Lk_stamp.Workload.name
+  | Program { name; _ } -> name
+  | Replay ol -> ol.trace_name
+
+let of_reader ?(name = "trace") ~body reader =
+  Replay { trace_name = name; next = (fun () -> Lk_trace.Stream.read reader); body }

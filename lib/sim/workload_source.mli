@@ -1,0 +1,40 @@
+(** What drives a simulation: the workload-source abstraction.
+
+    The paper's experiments are {e closed-loop} — each thread owns a
+    fixed program and issues its next transaction as soon as the
+    previous one finishes, so offered load adapts to service capacity.
+    The replay mode is {e open-loop}: arrivals come from a trace on
+    their own clock whether or not the cores keep up, which is what
+    exposes queueing collapse when a policy's service rate degrades
+    under contention. *)
+
+type open_loop = {
+  trace_name : string;  (** Result/report label for the stream. *)
+  next : unit -> (Lk_trace.Record.t option, string) result;
+      (** Pull the next arrival ([Ok None] = end of trace). Called one
+          record ahead of simulated time, so a reader backed by a file
+          keeps replay memory constant. Arrival cycles must be
+          nondecreasing ({!Lk_trace.Stream.read} guarantees this). *)
+  body : Lk_stamp.Workload.profile;
+      (** Access-pattern template: hot/shared/private mix, compute
+          interleave, fault rate. Per-transaction footprints come from
+          the trace records; the profile's own per-tx ranges and
+          [txs_per_thread] are ignored. *)
+}
+
+type t =
+  | Workload of Lk_stamp.Workload.profile
+      (** Closed-loop generated STAMP-style workload. *)
+  | Program of { name : string; program : Lk_cpu.Program.t }
+      (** Closed-loop hand-written program, one thread per slot. *)
+  | Replay of open_loop  (** Open-loop trace stream. *)
+
+val name : t -> string
+
+val of_reader :
+  ?name:string ->
+  body:Lk_stamp.Workload.profile ->
+  Lk_trace.Stream.reader ->
+  t
+(** [Replay] source pulling from a {!Lk_trace.Stream.reader} ([name]
+    defaults to ["trace"]). *)

@@ -24,3 +24,70 @@ let find name =
 let names = List.map (fun p -> p.Workload.name) all
 
 let extra_names = List.map (fun p -> p.Workload.name) extras
+
+(* --- Workload specs ----------------------------------------------------- *)
+
+type size = Low | High
+
+type spec = {
+  app : string;
+  size : size;
+  rw_scale : float;
+  txs_scale : float;
+  tag : bool;
+}
+
+let spec ?(size = Low) ?(rw_scale = 1.0) ?(txs_scale = 1.0) ?tag app =
+  let tag =
+    match tag with Some t -> t | None -> rw_scale <> 1.0 || txs_scale <> 1.0
+  in
+  { app; size; rw_scale; txs_scale; tag }
+
+let spec_of_name name =
+  if name = "" then Error "empty workload name"
+  else
+    let base, size =
+      let n = String.length name in
+      if name.[n - 1] = '+' then (String.sub name 0 (n - 1), High)
+      else (name, Low)
+    in
+    if base = "" then Error (Printf.sprintf "bad workload name %S" name)
+    else Ok (spec ~size base)
+
+let spec_name s =
+  let base = s.app ^ match s.size with Low -> "" | High -> "+" in
+  if s.tag then Printf.sprintf "%s-x%.2g" base s.rw_scale else base
+
+(* Floor-scaling that matches the historical integer arithmetic
+   ([lo * m / 4] for power-of-two multiplier ratios): multiply in
+   floats, truncate, clamp to 1. *)
+let scale_floor ~floor v f =
+  if f = 1.0 then v else max floor (int_of_float (float_of_int v *. f))
+
+let realise s =
+  let lookup = s.app ^ match s.size with Low -> "" | High -> "+" in
+  match find lookup with
+  | None ->
+    Error
+      (Printf.sprintf "unknown workload %S (expected one of: %s)" lookup
+         (String.concat ", " (names @ extra_names)))
+  | Some base ->
+    if s.rw_scale <= 0.0 then
+      Error (Printf.sprintf "rw_scale must be positive (got %g)" s.rw_scale)
+    else if s.txs_scale <= 0.0 then
+      Error
+        (Printf.sprintf "txs_scale must be positive (got %g)" s.txs_scale)
+    else
+      let scale_range (lo, hi) =
+        ( scale_floor ~floor:1 lo s.rw_scale,
+          scale_floor ~floor:1 hi s.rw_scale )
+      in
+      Ok
+        {
+          base with
+          Workload.name = spec_name s;
+          reads_per_tx = scale_range base.Workload.reads_per_tx;
+          writes_per_tx = scale_range base.Workload.writes_per_tx;
+          txs_per_thread =
+            scale_floor ~floor:4 base.Workload.txs_per_thread s.txs_scale;
+        }

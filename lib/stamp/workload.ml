@@ -66,9 +66,7 @@ let pick_private p rng ~threads ~thread =
    with local compute between operations and an optional fault. Hot
    writes are conservation-checkable increments; private writes carry
    an arbitrary token. *)
-let gen_tx p rng ~threads ~thread =
-  let n_reads = uniform_in rng p.reads_per_tx in
-  let n_writes = uniform_in rng p.writes_per_tx in
+let sized_tx p rng ~threads ~thread ~n_reads ~n_writes =
   let mk_read () =
     let line =
       if Rng.chance rng p.hot_fraction && p.hot_lines > 0 then pick_hot p rng
@@ -115,6 +113,18 @@ let gen_tx p rng ~threads ~thread =
     ops;
     post_compute = uniform_in rng p.post_compute;
   }
+
+(* Closed-loop body: footprint sizes drawn from the profile's ranges. *)
+let gen_tx p rng ~threads ~thread =
+  let n_reads = uniform_in rng p.reads_per_tx in
+  let n_writes = uniform_in rng p.writes_per_tx in
+  sized_tx p rng ~threads ~thread ~n_reads ~n_writes
+
+(* Open-loop body: footprint sizes dictated by a trace record. *)
+let synthesize p rng ~threads ~thread ~reads ~writes =
+  if reads < 0 || writes < 0 then
+    invalid_arg "Workload.synthesize: negative footprint";
+  sized_tx p rng ~threads ~thread ~n_reads:reads ~n_writes:writes
 
 let generate p ~threads ~seed ~scale =
   (match validate p with

@@ -50,6 +50,21 @@ val generate :
     program. [scale] multiplies [txs_per_thread] (min 1). Threads must
     be positive. *)
 
+val synthesize :
+  profile ->
+  Lk_engine.Rng.t ->
+  threads:int ->
+  thread:int ->
+  reads:int ->
+  writes:int ->
+  Lk_cpu.Program.transaction
+(** One transaction body with an externally dictated footprint — the
+    access pattern (hot/shared/private mix, compute interleave, fault
+    injection, pre/post compute) follows [profile], but the read and
+    write counts come from the caller (a trace record) instead of the
+    profile's per-tx ranges. Used by open-loop replay to synthesise
+    bodies lazily at service time. *)
+
 val hot_addresses : profile -> int list
 (** Byte addresses of the hot records — their committed values after a
     run must equal the number of committed [Incr]s (conservation

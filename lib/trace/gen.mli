@@ -1,0 +1,47 @@
+(** Deterministic open-loop traffic generator.
+
+    Models a large population of users issuing transactions as a
+    non-homogeneous Poisson process: the instantaneous arrival rate is
+
+    {v rate(t) = users / think_time * (1 + diurnal_amp * sin(2*pi*t / day))
+               * (burst_mult when t falls inside a burst window) v}
+
+    sampled by thinning, so generation is O(1) memory regardless of
+    [users] or [duration]. Each arrival's phase tag is the quarter of
+    the diurnal [day] it falls in (0..3). *)
+
+type affinity =
+  | Any  (** No affinity: records carry core [-1]. *)
+  | Uniform  (** Each arrival picks a uniform core in [0, cores). *)
+  | Sticky
+      (** Each arrival belongs to a Zipf-distributed user (skew
+          [sticky_skew]) pinned to [user mod cores] — popular users hammer
+          the same core, a service-mesh session-affinity pattern. *)
+
+type profile = {
+  users : int;  (** Simulated user population. *)
+  think_time : float;  (** Mean cycles between one user's transactions. *)
+  duration : int;  (** Trace horizon in cycles. *)
+  day : int;  (** Diurnal period in cycles. *)
+  diurnal_amp : float;  (** Rate modulation amplitude in [0, 1). *)
+  burst_every : int;  (** Burst window period in cycles; 0 disables. *)
+  burst_len : int;  (** Burst window length in cycles. *)
+  burst_mult : float;  (** Rate multiplier inside a burst (>= 1). *)
+  reads_per_tx : int * int;  (** Inclusive uniform range. *)
+  writes_per_tx : int * int;
+  cores : int;  (** Target core count for affinity tagging. *)
+  affinity : affinity;
+  sticky_skew : float;  (** Zipf skew for [Sticky]. *)
+}
+
+val default : profile
+(** 10k users, think time 100k cycles, 1M-cycle horizon over a
+    250k-cycle day, 30% diurnal swing, 3x bursts, vacation-like 4-8
+    read / 2-4 write footprints, 8 cores, no affinity. *)
+
+val validate : profile -> (unit, string) result
+
+val generate :
+  profile -> seed:int -> emit:(Record.t -> unit) -> (int, string) result
+(** Streams the trace through [emit] in arrival order and returns the
+    record count. Deterministic in (profile, seed). *)

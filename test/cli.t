@@ -104,7 +104,7 @@ every result field, --format csv one header and one value row:
   valid result (LockillerTM/intruder)
 
   $ lockiller_sim run -s CGL -w genome -t 2 --cores 4 --scale 0.1 --format csv | head -1 | cut -d, -f1-6
-  system,workload,threads,cache,cycles,commit_rate
+  schema,system,workload,threads,cache,cycles
 
 Observability: --abort-breakdown aggregates the event ledger into the
 abort-cause table (totals match the abort statistics exactly), and
@@ -187,6 +187,58 @@ available as machine-readable JSON:
   $ lockiller_sim run -s LockillerTM -w intruder -t 4 --cores 4 --scale 0.1 --abort-breakdown --format json | tail -1 | ./json_check.exe
   valid json
 
+Open-loop replay: gen-trace streams a deterministic Poisson arrival
+trace (diurnal swing plus bursts), and replay admits its records at
+their arrival cycles whether or not the cores keep up, reporting
+queueing delay and sojourn percentiles next to the usual metrics:
+
+  $ lockiller_sim gen-trace --users 400 --duration 50000 --cores 4 --affinity uniform --seed 5 -o t.lkt
+  # gen-trace: 370 records (bin, seed 5)
+
+  $ lockiller_sim replay t.lkt --threads 4 --cores 4 | sed -n '1,4p;/^open loop/,$p'
+  system        LockillerTM
+  workload      t
+  threads       4
+  cycles        65382
+  open loop:
+    arrivals    370 (370 completed, max backlog 158)
+    queue delay p50/p95/p99  16383/25599/27135 cycles
+    sojourn     p50/p95/p99  16895/26111/27647 cycles
+    phase 0     370 completions
+
+A trace pipes through stdin, the JSON result carries the open-loop
+block (the checker requires it), and several systems replay the same
+trace file side by side:
+
+  $ lockiller_sim gen-trace --users 400 --duration 50000 --cores 4 --affinity uniform --seed 5 2>/dev/null | lockiller_sim replay - --threads 4 --cores 4 --format json | ./json_check.exe --result
+  valid result (LockillerTM/stdin)
+
+  $ lockiller_sim replay t.lkt -s Baseline -s LockillerTM --threads 4 --cores 4 --format csv | cut -d, -f1-6
+  schema,system,workload,threads,cache,cycles
+  4,Baseline,t,4,typical,68864
+  4,LockillerTM,t,4,typical,65382
+
+Replay is deterministic for any worker count — --jobs 4 must produce
+byte-identical output to the sequential run:
+
+  $ lockiller_sim replay t.lkt -s Baseline -s LockillerTM --threads 4 --cores 4 --jobs 4 --format csv > jobs4.csv
+  $ lockiller_sim replay t.lkt -s Baseline -s LockillerTM --threads 4 --cores 4 --jobs 1 --format csv | cmp - jobs4.csv
+
+Trace inputs and generator parameters are validated up front:
+
+  $ lockiller_sim replay - -s Baseline -s LockillerTM --threads 4 2>&1 | head -1
+  lockiller_sim: replay from stdin drives a single --system; save the trace to a file to replay it against several
+
+  $ echo garbage > bad.lkt
+  $ lockiller_sim replay bad.lkt --threads 4 2>&1 | head -1
+  lockiller_sim: bad.lkt: not a trace (expected header "lktrace 1 text|bin", got "garbage")
+
+  $ lockiller_sim gen-trace --users 0 2>&1 | head -1
+  lockiller_sim: option '--users': --users must be positive (got 0)
+
+  $ lockiller_sim replay t.lkt --body nonesuch 2>&1 | head -1
+  lockiller_sim: unknown workload "nonesuch" (expected one of: genome, intruder, kmeans, kmeans+, labyrinth, ssca2, vacation, vacation+, yada, bayes, micro-counter, micro-btree, micro-queue)
+
 Experiments run through the on-disk result cache (here a local
 directory). The cold run simulates and stores; the stats reflect it;
 clear empties the directory:
@@ -195,7 +247,7 @@ clear empties the directory:
   valid json
 
   $ lockiller_sim cache stats --cache-dir ./cache | grep -v -e directory -e entries
-  schema        v3
+  schema        v4
   lifetime      0 hits, 18 misses, 18 stores
 
   $ lockiller_sim cache clear --cache-dir ./cache | cut -d' ' -f1-3

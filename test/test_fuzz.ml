@@ -86,7 +86,11 @@ let run_scenario (profile, sysconf, cores, seed, tiny_l1) =
     let threads = cores in
     (* Runner.run itself asserts: all threads finish, protocol
        invariants hold, conservation holds, the oracle verifies. *)
-    let r = Runner.run ~seed ~machine ~sysconf ~workload:profile ~threads () in
+    let r =
+      Runner.run
+        ~options:{ Runner.default_options with seed; machine }
+        ~sysconf ~workload:profile ~threads ()
+    in
     r.Runner.cycles > 0 && r.Runner.watchdog_rescues = 0
 
 let fuzz =
@@ -135,7 +139,9 @@ let stress_lockiller =
       List.for_all
         (fun sysconf ->
           let r =
-            Runner.run ~seed ~machine ~sysconf ~workload:profile ~threads:8 ()
+            Runner.run
+              ~options:{ Runner.default_options with seed; machine }
+              ~sysconf ~workload:profile ~threads:8 ()
           in
           r.Runner.cycles > 0)
         [ Sysconf.lockiller_rwl; Sysconf.lockiller_rwil; Sysconf.lockiller ])
@@ -202,8 +208,13 @@ let tiny_retry_budgets =
                 { Policy.default_retry with Policy.max_retries } }
           in
           let r =
-            Runner.run ~seed
-              ~machine:(Config.machine ~cores:4 ())
+            Runner.run
+              ~options:
+                {
+                  Runner.default_options with
+                  seed;
+                  machine = Config.machine ~cores:4 ();
+                }
               ~sysconf ~workload:profile ~threads:4 ()
           in
           r.Runner.cycles > 0)

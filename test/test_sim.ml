@@ -142,9 +142,14 @@ let test_report_csv () =
 
 let quick_machine = Config.machine ~cores:4 ()
 
+(* Scaled-down options for fast runs; [machine_options] keeps the
+   default scale. *)
+let machine_options = { Runner.default_options with machine = quick_machine }
+let quick_options = { machine_options with scale = 0.25 }
+
 let quick_run ?(sysconf = Sysconf.lockiller) ?(threads = 4) workload_name =
   let workload = Option.get (Suite.find workload_name) in
-  Runner.run ~scale:0.25 ~machine:quick_machine ~sysconf ~workload ~threads ()
+  Runner.run ~options:quick_options ~sysconf ~workload ~threads ()
 
 let test_runner_basic_metrics () =
   let r = quick_run "intruder" in
@@ -177,11 +182,13 @@ let test_runner_deterministic () =
 let test_runner_seed_changes_outcome () =
   let workload = Option.get (Suite.find "kmeans+") in
   let a =
-    Runner.run ~seed:1 ~scale:0.25 ~machine:quick_machine
+    Runner.run
+      ~options:{ quick_options with seed = 1 }
       ~sysconf:Sysconf.baseline ~workload ~threads:4 ()
   in
   let b =
-    Runner.run ~seed:2 ~scale:0.25 ~machine:quick_machine
+    Runner.run
+      ~options:{ quick_options with seed = 2 }
       ~sysconf:Sysconf.baseline ~workload ~threads:4 ()
   in
   check_bool "different cycles" true (a.Runner.cycles <> b.Runner.cycles)
@@ -191,7 +198,7 @@ let test_runner_thread_bounds () =
   Alcotest.check_raises "too many threads"
     (Invalid_argument "Runner.run: thread count out of range") (fun () ->
       ignore
-        (Runner.run ~machine:quick_machine ~sysconf:Sysconf.cgl ~workload
+        (Runner.run ~options:machine_options ~sysconf:Sysconf.cgl ~workload
            ~threads:5 ()))
 
 let test_abort_fraction () =
@@ -213,11 +220,13 @@ let test_runner_fault_survival_in_lock_modes () =
 let test_placement_spread () =
   let workload = Option.get (Suite.find "intruder") in
   let compact =
-    Runner.run ~scale:0.25 ~machine:quick_machine ~placement:Runner.Compact
+    Runner.run
+      ~options:{ quick_options with placement = Runner.Compact }
       ~sysconf:Sysconf.baseline ~workload ~threads:2 ()
   in
   let spread =
-    Runner.run ~scale:0.25 ~machine:quick_machine ~placement:Runner.Spread
+    Runner.run
+      ~options:{ quick_options with placement = Runner.Spread }
       ~sysconf:Sysconf.baseline ~workload ~threads:2 ()
   in
   (* both complete and conserve (asserted inside run); timings differ
@@ -235,7 +244,8 @@ let test_cycle_limit_guard () =
   let workload = Option.get (Suite.find "ssca2") in
   check_bool "tiny limit trips the guard" true
     (match
-       Runner.run ~machine:quick_machine ~cycle_limit:50
+       Runner.run
+         ~options:{ machine_options with cycle_limit = 50 }
          ~sysconf:Sysconf.cgl ~workload ~threads:2 ()
      with
     | exception Failure _ -> true
@@ -261,7 +271,7 @@ let test_run_program () =
     |]
   in
   let r =
-    Runner.run_program ~machine:quick_machine ~name:"two-incr"
+    Runner.run_program ~options:machine_options ~name:"two-incr"
       ~sysconf:Sysconf.lockiller ~program ()
   in
   check_int "threads from program" 2 r.Runner.threads;
@@ -282,7 +292,7 @@ let test_run_program_rejects_lock_collision () =
   in
   check_bool "lock-line address rejected" true
     (match
-       Runner.run_program ~machine:quick_machine ~sysconf:Sysconf.cgl
+       Runner.run_program ~options:machine_options ~sysconf:Sysconf.cgl
          ~program ()
      with
     | exception Invalid_argument _ -> true
