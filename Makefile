@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 SHELL := /bin/bash
 
-.PHONY: all build test bench perfcheck doc lint check telemetry replay-smoke ci clean
+.PHONY: all build test bench perfcheck doc lint check telemetry replay-smoke pdes-smoke ci clean
 
 all: build
 
@@ -87,10 +87,32 @@ replay-smoke:
 	rm -rf _build/replay-smoke
 	@echo "replay smoke: OK"
 
+# PDES smoke: the same closed-loop run on a 256-core mesh executed
+# twice, single-queue and split across four conservative PDES domains.
+# Both results must validate, and the two must be byte-identical: the
+# domain split is an engine-internal execution detail that may never
+# leak into the result JSON (--pdes-domains is a Runner option, not
+# part of the configuration or its cache key).
+pdes-smoke:
+	rm -rf _build/pdes-smoke && mkdir -p _build/pdes-smoke
+	dune exec bin/lockiller_sim.exe -- run -s LockillerTM -w vacation \
+	  -t 16 --cores 256 --scale 0.1 --pdes-domains 1 --format json \
+	  > _build/pdes-smoke/d1.json
+	dune exec bin/lockiller_sim.exe -- run -s LockillerTM -w vacation \
+	  -t 16 --cores 256 --scale 0.1 --pdes-domains 4 --format json \
+	  > _build/pdes-smoke/d4.json
+	dune exec test/json_check.exe -- --result < _build/pdes-smoke/d1.json
+	dune exec test/json_check.exe -- --result < _build/pdes-smoke/d4.json
+	cmp _build/pdes-smoke/d1.json _build/pdes-smoke/d4.json
+	rm -rf _build/pdes-smoke
+	@echo "pdes smoke: OK"
+
 # Perf regression gate: rerun the event-engine microbenchmarks and
-# compare against the committed baseline with a 2x tolerance band —
-# wide enough for machine-to-machine noise, tight enough to catch a
-# reintroduced hot-loop allocation or a broken wheel fast path.
+# compare against the committed baseline — a 2x band on the
+# deterministic allocation metrics (tight enough to catch a
+# reintroduced hot-loop allocation) and a 3x band on wall-clock
+# throughput (wide enough for host CPU steal; a lost wheel fast path
+# costs 4x and more).
 perfcheck:
 	dune exec bench/main.exe -- --micro --format json --scale 0.1
 	dune exec bench/perfcheck.exe -- BENCH_micro.json bench/baseline.json
@@ -117,6 +139,7 @@ ci:
 	rm -rf _build/ci-cache
 	$(MAKE) telemetry
 	$(MAKE) replay-smoke
+	$(MAKE) pdes-smoke
 	$(MAKE) perfcheck
 
 clean:

@@ -2,17 +2,27 @@
    committed bench/baseline.json.
 
    Usage: perfcheck.exe [CURRENT] [BASELINE] [--tolerance F]
-   (defaults: BENCH_micro.json bench/baseline.json 2.0)
+                        [--wall-tolerance F]
+   (defaults: BENCH_micro.json bench/baseline.json 2.0 / 3.0)
 
    The baseline is walked recursively; only metric leaves are compared,
-   with a wide tolerance band so the gate trips on real regressions
-   (wrong data structure, reintroduced boxing), not machine noise:
+   with a tolerance band per metric family so the gate trips on real
+   regressions (wrong data structure, reintroduced boxing), not
+   machine noise:
 
-   - higher-is-better ("events_per_sec", "*speedup"): fail when the
-     current value drops below baseline / tolerance;
-   - lower-is-better ("minor_words_per_event"): fail when the current
-     value exceeds baseline * tolerance + 0.5 words of absolute slack
-     (the baselines sit near zero, where a ratio alone is meaningless).
+   - higher-is-better ("events_per_sec", "*speedup"): wall-clock
+     throughput, the noisy family — on a loaded or CPU-stealing host a
+     benign run can land 2-2.5x under an idle-host baseline, so these
+     use the wider --wall-tolerance (default 3.0): fail when the
+     current value drops below baseline / wall-tolerance. The real
+     regressions this family exists to catch (losing the wheel fast
+     path, a broken bucket chain) cost 4x and more;
+   - lower-is-better ("minor_words_per_event"): allocation per event
+     is deterministic — GC counters, not clocks — so these keep the
+     tight --tolerance (default 2.0): fail when the current value
+     exceeds baseline * tolerance + 0.5 words of absolute slack
+     (the baselines sit near zero, where a ratio alone is
+     meaningless).
 
    Everything else in the files (wall times, raw counters) is
    informational and ignored. *)
@@ -40,7 +50,7 @@ let lower_better key = key = "minor_words_per_event"
 let failures = ref 0
 let checks = ref 0
 
-let check ~tol path key baseline current =
+let check ~tol ~wall_tol path key baseline current =
   incr checks;
   let fail what limit =
     incr failures;
@@ -48,7 +58,7 @@ let check ~tol path key baseline current =
       current baseline what limit
   in
   if higher_better key then begin
-    let floor = baseline /. tol in
+    let floor = baseline /. wall_tol in
     if current < floor then fail "floor" floor
     else Printf.printf "ok   %-32s %12.3f (baseline %12.3f)\n" path current baseline
   end
@@ -60,14 +70,14 @@ let check ~tol path key baseline current =
 
 (* Recurse through objects; metric comparison is keyed on the member
    name of numeric leaves. *)
-let rec walk ~tol path key baseline current =
+let rec walk ~tol ~wall_tol path key baseline current =
   match (baseline, current) with
   | Json.Obj members, _ ->
     List.iter
       (fun (k, bv) ->
         let sub = if path = "" then k else path ^ "." ^ k in
         match Json.member k current with
-        | Ok cv -> walk ~tol sub k bv cv
+        | Ok cv -> walk ~tol ~wall_tol sub k bv cv
         | Error _ ->
           if higher_better k || lower_better k then
             die "perfcheck: current results lack %s" sub)
@@ -75,7 +85,7 @@ let rec walk ~tol path key baseline current =
   | (Json.Int _ | Json.Float _), _
     when higher_better key || lower_better key -> (
     match (Json.to_float baseline, Json.to_float current) with
-    | Ok b, Ok c -> check ~tol path key b c
+    | Ok b, Ok c -> check ~tol ~wall_tol path key b c
     | _ -> die "perfcheck: %s is not numeric in both files" path)
   | _ -> ()
 
@@ -83,11 +93,15 @@ let () =
   let current = ref "BENCH_micro.json" in
   let baseline = ref (Filename.concat "bench" "baseline.json") in
   let tol = ref 2.0 in
+  let wall_tol = ref 3.0 in
   let positional = ref 0 in
   let rec parse = function
     | [] -> ()
     | "--tolerance" :: v :: rest ->
       tol := float_of_string v;
+      parse rest
+    | "--wall-tolerance" :: v :: rest ->
+      wall_tol := float_of_string v;
       parse rest
     | arg :: rest ->
       (match !positional with
@@ -99,9 +113,9 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   let b = load !baseline and c = load !current in
-  Printf.printf "# perfcheck: %s vs %s (tolerance %.1fx)\n\n" !current
-    !baseline !tol;
-  walk ~tol:!tol "" "" b c;
+  Printf.printf "# perfcheck: %s vs %s (tolerance %.1fx alloc, %.1fx wall)\n\n"
+    !current !baseline !tol !wall_tol;
+  walk ~tol:!tol ~wall_tol:!wall_tol "" "" b c;
   if !checks = 0 then die "perfcheck: no metrics found in %s" !baseline;
   if !failures > 0 then die "\nperfcheck: %d of %d metrics regressed" !failures !checks;
   Printf.printf "\nperfcheck: %d metrics within tolerance\n" !checks

@@ -63,8 +63,19 @@ let cache_t =
 let cores_t =
   Arg.(
     value
-    & opt int 32
-    & info [ "cores" ] ~doc:"Machine size (2, 4, 8, 16 or 32 tiles).")
+    & opt (conv_of_check (Cli.cores ~what:"--cores") Format.pp_print_int) 32
+    & info [ "cores" ]
+        ~doc:"Machine size in tiles, 1 to 1024; the mesh takes the \
+              nearest-square shape (32 -> 4x8, 256 -> 16x16).")
+
+let pdes_domains_t =
+  Arg.(
+    value
+    & opt (pos_int_conv "--pdes-domains") 1
+    & info [ "pdes-domains" ] ~docv:"N"
+        ~doc:"Split the event kernel into $(docv) PDES partitions \
+              (clamped to the core count). Results are byte-identical \
+              for any value; partition/window statistics go to stderr.")
 
 let format_t =
   Arg.(
@@ -291,7 +302,7 @@ let run_cmd =
       & info [ "threads"; "t" ] ~doc:"Thread count (2..cores).")
   in
   let action system workload threads stats format seed scale cache cores
-      trace_events breakdown trace_capacity check telemetry_file
+      pdes_domains trace_events breakdown trace_capacity check telemetry_file
       sample_interval =
     let module Runtime = Lockiller.Mechanisms.Runtime in
     let module Stats = Lockiller.Engine.Stats in
@@ -312,6 +323,7 @@ let run_cmd =
               seed;
               scale;
               check;
+              pdes_domains;
               machine = Config.machine ~cache ~cores ();
               on_runtime =
                 (fun rt ->
@@ -373,9 +385,9 @@ let run_cmd =
     Term.(
       ret
         (const action $ system $ workload $ threads $ stats_t $ format_t
-       $ seed_t $ scale_t $ cache_t $ cores_t $ trace_events_t
-       $ abort_breakdown_t $ trace_capacity_t $ check_t $ telemetry_file_t
-       $ sample_interval_t))
+       $ seed_t $ scale_t $ cache_t $ cores_t $ pdes_domains_t
+       $ trace_events_t $ abort_breakdown_t $ trace_capacity_t $ check_t
+       $ telemetry_file_t $ sample_interval_t))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate one system/workload/thread combination")
@@ -1114,7 +1126,7 @@ let replay_cmd =
           ~doc:"Worker domains when replaying multiple systems.")
   in
   let action trace systems body threads oracle jobs stats format seed cache
-      cores telemetry_file sample_interval =
+      cores pdes_domains telemetry_file sample_interval =
     let module Runtime = Lockiller.Mechanisms.Runtime in
     let module Stats = Lockiller.Engine.Stats in
     let unknown =
@@ -1168,6 +1180,7 @@ let replay_cmd =
                         Runner.default_options with
                         seed;
                         oracle;
+                        pdes_domains;
                         machine = Config.machine ~cache ~cores ();
                         telemetry =
                           telemetry_option ~telemetry_file ~sample_interval
@@ -1235,7 +1248,7 @@ let replay_cmd =
       ret
         (const action $ trace_arg $ systems_t $ body_t $ threads_t $ oracle_t
        $ jobs_t $ stats_t $ format_t $ seed_t $ cache_t $ cores_t
-       $ telemetry_file_t $ sample_interval_t))
+       $ pdes_domains_t $ telemetry_file_t $ sample_interval_t))
   in
   Cmd.v
     (Cmd.info "replay"

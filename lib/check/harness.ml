@@ -119,6 +119,8 @@ let run ?(check_states = true) ?(cycle_limit = default_cycle_limit)
       llc_ways = 4;
       llc_hit_latency = 3;
       mem_latency = 10;
+      dir_shards =
+        (match scenario.Scenario.shards with None -> 0 | Some s -> s);
     }
   in
   let proto = Protocol.create ~sim ~network:net cfg in

@@ -1,6 +1,8 @@
 module Types = Lk_coherence.Types
 module Protocol = Lk_coherence.Protocol
 module L1_cache = Lk_coherence.L1_cache
+module Llc = Lk_coherence.Llc
+module Shard = Lk_coherence.Shard
 module Addr = Lk_coherence.Addr
 module Txstate = Lk_htm.Txstate
 module Store = Lk_htm.Store
@@ -102,9 +104,47 @@ let check_lock rt =
         | [], _ | [ _ ], _ -> None
         | _ :: _ :: _, _ -> assert false))
 
+(* Sharded-directory consistency, checked through the public plan API
+   (the deeper bank/FIFO checks run inside [check_coherence] via
+   [Protocol.check_invariants]): every line resident in any bank sits
+   in the bank its address hashes to, and the protocol serves it at
+   that shard's home tile. One wrong hash would let two shards serve
+   the same line concurrently — the sharded equivalent of an SWMR
+   violation. *)
+let check_shards rt =
+  let proto = Runtime.protocol rt in
+  let llc = Protocol.llc proto in
+  let plan = Protocol.plan proto in
+  let found = ref None in
+  (try
+     for s = 0 to Shard.count plan - 1 do
+       Llc.iter_shard llc s (fun v ->
+           let line = v.Llc.line in
+           let hashed = Shard.of_line plan line in
+           if hashed <> s then begin
+             found :=
+               fail "shard-consistency"
+                 "line %d sits in bank %d but hashes to shard %d" line s
+                 hashed;
+             raise Exit
+           end;
+           let home = Protocol.home_of proto line in
+           if home <> Shard.home_tile plan s then begin
+             found :=
+               fail "shard-consistency"
+                 "line %d is served at tile %d but its shard %d lives at \
+                  tile %d"
+                 line home s (Shard.home_tile plan s);
+             raise Exit
+           end)
+     done
+   with Exit -> ());
+  !found
+
 let registry =
   [
     ("coherence", check_coherence);
+    ("shard-consistency", check_shards);
     ("tx-write-set", check_tx_sets);
     ("htmlock-unique", check_htmlock);
     ("lock", check_lock);

@@ -9,6 +9,7 @@ type t = {
   program : Program.t;
   costs : Runtime.costs;
   expected : (int * int) list;
+  shards : int option;
 }
 
 (* Byte addresses used by scenario bodies. The fallback/CGL lock lives
@@ -44,6 +45,7 @@ let read_forward =
       |];
     costs;
     expected = [ (a0, 1) ];
+    shards = None;
   }
 
 let incr_incr =
@@ -55,6 +57,7 @@ let incr_incr =
       [| incr_thread ~pre:0 ~txs:2 a0; incr_thread ~pre:3 ~txs:2 a0 |];
     costs;
     expected = [ (a0, 4) ];
+    shards = None;
   }
 
 let two_lines =
@@ -70,6 +73,7 @@ let two_lines =
       |];
     costs;
     expected = [ (a0, 2); (a1, 2) ];
+    shards = None;
   }
 
 let park_wake =
@@ -82,6 +86,7 @@ let park_wake =
       [| incr_thread ~pre:0 ~txs:2 a0; incr_thread ~pre:1 ~txs:2 a0 |];
     costs;
     expected = [ (a0, 4) ];
+    shards = None;
   }
 
 let commit_race =
@@ -94,6 +99,7 @@ let commit_race =
       [| incr_thread ~pre:0 ~txs:3 a0; incr_thread ~pre:2 ~txs:3 a0 |];
     costs = slow_commit;
     expected = [ (a0, 6) ];
+    shards = None;
   }
 
 let fallback_lock =
@@ -109,6 +115,7 @@ let fallback_lock =
       |];
     costs;
     expected = [ (a0, 3) ];
+    shards = None;
   }
 
 let cgl =
@@ -121,6 +128,7 @@ let cgl =
       [| incr_thread ~pre:0 ~txs:2 a0; incr_thread ~pre:1 ~txs:2 a0 |];
     costs;
     expected = [ (a0, 4) ];
+    shards = None;
   }
 
 let htmlock =
@@ -136,6 +144,7 @@ let htmlock =
       |];
     costs;
     expected = [ (a0, 3); (a1, 1) ];
+    shards = None;
   }
 
 let trio =
@@ -152,6 +161,24 @@ let trio =
       |];
     costs;
     expected = [ (a0, 6) ];
+    shards = None;
+  }
+
+let sharded_trio =
+  {
+    name = "sharded-trio";
+    descr = "two-shard directory on three tiles: per-shard traffic \
+             plus a cross-shard transaction";
+    sysconf = Sysconf.lockiller_rwi;
+    program =
+      [|
+        incr_thread ~pre:0 ~txs:2 a0;
+        incr_thread ~pre:1 ~txs:2 a1;
+        [ tx ~pre:2 [ Program.Incr a0; Program.Incr a1 ] ];
+      |];
+    costs;
+    expected = [ (a0, 3); (a1, 3) ];
+    shards = Some 2;
   }
 
 let all =
@@ -165,6 +192,7 @@ let all =
     cgl;
     htmlock;
     trio;
+    sharded_trio;
   ]
 
 let find name =

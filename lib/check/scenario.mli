@@ -21,6 +21,11 @@ type t = {
   expected : (int * int) list;
       (** Committed [(address, value)] pairs a correct run must end
           with, regardless of schedule. *)
+  shards : int option;
+      (** Directory shard count for the harness machine ([None] = one
+          shard per tile, the historical machine). [Some n] with
+          [n < cores] exercises the hierarchical multi-bank directory:
+          several tiles share each LLC slice and request FIFO. *)
 }
 
 val read_forward : t
@@ -35,6 +40,11 @@ val fallback_lock : t
 val cgl : t
 val htmlock : t
 val trio : t
+
+val sharded_trio : t
+(** The two-shard hierarchical-directory scenario: three tiles, two
+    LLC banks, traffic homed at both shards plus one cross-shard
+    transaction. *)
 
 val all : t list
 (** Every scenario, in a stable order ([make check] runs these). *)

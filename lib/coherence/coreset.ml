@@ -1,51 +1,126 @@
-type t = int
+(* Multi-word bitset keyed by core id, 32 bits per word (shift/mask
+   index arithmetic, no division). The representation is canonical —
+   no trailing zero words, the empty set is the shared [[||]] — so
+   structural word-by-word comparison decides equality and [is_empty]
+   is a length test. Values are immutable: [add]/[remove] return fresh
+   arrays (a one-word array for sets confined to cores 0..31, the
+   common case at the paper's machine sizes), which keeps the
+   functional interface the directory code was written against. *)
 
-let max_cores = 62
+type t = int array
+
+let max_cores = 1024
+let word_bits = 5 (* 32 ids per word *)
+let word_mask = 31
 
 let check c =
   if c < 0 || c >= max_cores then
     invalid_arg ("Coreset: core id " ^ string_of_int c ^ " out of range")
 
-let empty = 0
+let empty : t = [||]
 
 let singleton c =
   check c;
-  1 lsl c
-
-let add c s =
-  check c;
-  s lor (1 lsl c)
-
-let remove c s =
-  check c;
-  s land lnot (1 lsl c)
+  let w = c lsr word_bits in
+  let a = Array.make (w + 1) 0 in
+  a.(w) <- 1 lsl (c land word_mask);
+  a
 
 let mem c s =
   check c;
-  s land (1 lsl c) <> 0
+  let w = c lsr word_bits in
+  w < Array.length s && s.(w) land (1 lsl (c land word_mask)) <> 0
 
-let is_empty s = s = 0
+let add c s =
+  check c;
+  let w = c lsr word_bits in
+  let n = Array.length s in
+  if w < n then
+    if s.(w) land (1 lsl (c land word_mask)) <> 0 then s
+    else begin
+      let a = Array.copy s in
+      a.(w) <- a.(w) lor (1 lsl (c land word_mask));
+      a
+    end
+  else begin
+    let a = Array.make (w + 1) 0 in
+    Array.blit s 0 a 0 n;
+    a.(w) <- 1 lsl (c land word_mask);
+    a
+  end
 
-let cardinal s =
-  let rec go s acc = if s = 0 then acc else go (s lsr 1) (acc + (s land 1)) in
-  go s 0
+(* Drop trailing zero words so the result stays canonical. *)
+let trim (a : t) =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = 0 then empty
+  else if !n = Array.length a then a
+  else Array.sub a 0 !n
 
-let fold f s init =
-  let rec go c s acc =
-    if s = 0 then acc
-    else
-      let acc = if s land 1 <> 0 then f c acc else acc in
-      go (c + 1) (s lsr 1) acc
-  in
-  go 0 s init
+let remove c s =
+  check c;
+  let w = c lsr word_bits in
+  if w >= Array.length s || s.(w) land (1 lsl (c land word_mask)) = 0 then s
+  else begin
+    let a = Array.copy s in
+    a.(w) <- a.(w) land lnot (1 lsl (c land word_mask));
+    trim a
+  end
+
+let is_empty (s : t) = Array.length s = 0
+
+let cardinal (s : t) =
+  let total = ref 0 in
+  for i = 0 to Array.length s - 1 do
+    let w = ref s.(i) in
+    while !w <> 0 do
+      w := !w land (!w - 1);
+      incr total
+    done
+  done;
+  !total
+
+let fold f (s : t) init =
+  let acc = ref init in
+  for i = 0 to Array.length s - 1 do
+    let w = ref s.(i) in
+    let base = i lsl word_bits in
+    let b = ref 0 in
+    while !w <> 0 do
+      if !w land 1 <> 0 then acc := f (base + !b) !acc;
+      w := !w lsr 1;
+      incr b
+    done
+  done;
+  !acc
 
 let elements s = List.rev (fold (fun c acc -> c :: acc) s [])
 
-let iter f s = List.iter f (elements s)
+let iter f (s : t) =
+  for i = 0 to Array.length s - 1 do
+    let w = ref s.(i) in
+    let base = i lsl word_bits in
+    let b = ref 0 in
+    while !w <> 0 do
+      if !w land 1 <> 0 then f (base + !b);
+      w := !w lsr 1;
+      incr b
+    done
+  done
 
 let of_list l = List.fold_left (fun s c -> add c s) empty l
 
-let equal (a : t) b = a = b
+let equal (a : t) (b : t) =
+  let n = Array.length a in
+  n = Array.length b
+  &&
+  let i = ref 0 in
+  while !i < n && a.(!i) = b.(!i) do
+    incr i
+  done;
+  !i = n
 
 let pp ppf s =
   Format.fprintf ppf "{%s}"

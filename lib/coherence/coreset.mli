@@ -1,7 +1,10 @@
 (** Compact sets of core ids (directory sharer lists).
 
-    Backed by a single [int] bitset, which caps the system at 62 cores —
-    comfortably above the paper's 32-core machine. *)
+    Backed by a canonical multi-word bitset (32 ids per word, no
+    trailing zero words), which supports machines up to
+    {!max_cores} = 1024 cores; sets confined to cores 0..31 — every
+    set on the paper's 32-core machine — stay one word wide. The
+    interface is functional, as the directory code expects. *)
 
 type t
 

@@ -12,22 +12,24 @@ type slot = {
 }
 
 type t = {
-  nbanks : int;
+  plan : Shard.t;
+  nbanks : int;  (* = Shard.count plan: one bank per directory shard *)
   nsets : int;  (* per bank *)
   nways : int;
   slots : slot array;  (* bank-major, then set, then way *)
   mutable tick : int;
 }
 
-let create ~banks ~bank_size_bytes ~ways =
-  if banks <= 0 || ways <= 0 then
-    invalid_arg "Llc.create: banks and ways must be positive";
+let create ~plan ~bank_size_bytes ~ways =
+  if ways <= 0 then invalid_arg "Llc.create: ways must be positive";
   let set_bytes = ways * Addr.line_size in
   if bank_size_bytes <= 0 || bank_size_bytes mod set_bytes <> 0 then
     invalid_arg "Llc.create: bank size must be a multiple of ways * line size";
+  let banks = Shard.count plan in
   let nsets = bank_size_bytes / set_bytes in
   let mk _ = { tag = -1; dir = Sharers Coreset.empty; dirty = false; used = 0 } in
   {
+    plan;
     nbanks = banks;
     nsets;
     nways = ways;
@@ -35,16 +37,17 @@ let create ~banks ~bank_size_bytes ~ways =
     tick = 0;
   }
 
+let plan t = t.plan
 let banks t = t.nbanks
 let sets_per_bank t = t.nsets
 
-(* Line decomposition: bank = line mod nbanks (home interleaving), then
-   set = (line / nbanks) mod nsets, tag = remainder. *)
-let bank_of t line = line mod t.nbanks
+(* Line placement: the bank is the line's directory shard (the plan's
+   address hash — [line mod nbanks] under the default [Mod] plan), the
+   set is the historical [(line / nbanks) mod nsets]. Slots store the
+   full line number as the tag, so placement is free to use any hash
+   without a tag/line reconstruction becoming ambiguous. *)
+let bank_of t line = Shard.of_line t.plan line
 let set_of t line = line / t.nbanks mod t.nsets
-let tag_of t line = line / t.nbanks / t.nsets
-
-let line_of t ~bank ~set ~tag = (((tag * t.nsets) + set) * t.nbanks) + bank
 
 let slot_range t line =
   let base = ((bank_of t line * t.nsets) + set_of t line) * t.nways in
@@ -52,21 +55,19 @@ let slot_range t line =
 
 let find_slot t line =
   let lo, hi = slot_range t line in
-  let tag = tag_of t line in
   let rec go i =
     if i > hi then None
-    else if t.slots.(i).tag = tag then Some t.slots.(i)
+    else if t.slots.(i).tag = line then Some t.slots.(i)
     else go (i + 1)
   in
   go lo
 
-let view_of t ~bank ~set slot =
-  { line = line_of t ~bank ~set ~tag:slot.tag; dir = slot.dir; dirty = slot.dirty }
+let view_of slot = { line = slot.tag; dir = slot.dir; dirty = slot.dirty }
 
 let lookup t line =
   match find_slot t line with
   | None -> None
-  | Some slot -> Some (view_of t ~bank:(bank_of t line) ~set:(set_of t line) slot)
+  | Some slot -> Some (view_of slot)
 
 let bump t slot =
   t.tick <- t.tick + 1;
@@ -105,7 +106,7 @@ let room_for t line =
       let victim =
         match !best_quiet with Some s -> s | None -> Option.get !best_private
       in
-      Evict (view_of t ~bank:(bank_of t line) ~set:(set_of t line) victim)
+      Evict (view_of victim)
 
 let insert t line =
   (match find_slot t line with
@@ -118,7 +119,7 @@ let insert t line =
     else free (i + 1)
   in
   let slot = free lo in
-  slot.tag <- tag_of t line;
+  slot.tag <- line;
   slot.dir <- Sharers Coreset.empty;
   slot.dirty <- false;
   bump t slot
@@ -130,7 +131,7 @@ let with_slot t line name f =
 
 let evict t line =
   with_slot t line "evict" (fun slot ->
-      let v = view_of t ~bank:(bank_of t line) ~set:(set_of t line) slot in
+      let v = view_of slot in
       slot.tag <- -1;
       slot.dir <- Sharers Coreset.empty;
       slot.dirty <- false;
@@ -153,11 +154,15 @@ let occupancy t =
     t.slots
 
 let iter t f =
-  Array.iteri
-    (fun i slot ->
-      if slot.tag <> -1 then
-        let per_bank = t.nsets * t.nways in
-        let bank = i / per_bank in
-        let set = i mod per_bank / t.nways in
-        f (view_of t ~bank ~set slot))
-    t.slots
+  Array.iter (fun slot -> if slot.tag <> -1 then f (view_of slot)) t.slots
+
+(* Per-shard (= per-bank) iteration, for the shard-consistency
+   invariants: every resident view of bank [shard], in slot order. *)
+let iter_shard t shard f =
+  if shard < 0 || shard >= t.nbanks then
+    invalid_arg "Llc.iter_shard: shard out of range";
+  let per_bank = t.nsets * t.nways in
+  for i = shard * per_bank to ((shard + 1) * per_bank) - 1 do
+    let slot = t.slots.(i) in
+    if slot.tag <> -1 then f (view_of slot)
+  done

@@ -1,13 +1,15 @@
 (** Shared, banked, inclusive last-level cache with a full-map
     directory.
 
-    One bank per tile; a line's bank is its home (see {!Addr}). Each
-    resident LLC line embeds its directory state: either unowned with a
-    (possibly empty) sharer set, or exclusively owned by one L1. The
-    LLC is inclusive: every line resident in any L1 is resident here,
-    so evicting an LLC line forces back-invalidation of L1 copies —
-    the protocol layer performs that and must call [evict] only after
-    it has done so. *)
+    One bank per directory shard; a line's bank is chosen by the
+    {!Shard} plan's address hash (under the default one-shard-per-tile
+    [Mod] plan, exactly the historical [line mod tiles] home
+    interleaving). Each resident LLC line embeds its directory state:
+    either unowned with a (possibly empty) sharer set, or exclusively
+    owned by one L1. The LLC is inclusive: every line resident in any
+    L1 is resident here, so evicting an LLC line forces
+    back-invalidation of L1 copies — the protocol layer performs that
+    and must call [evict] only after it has done so. *)
 
 type dir = Sharers of Coreset.t | Owner of Types.core_id
 
@@ -21,9 +23,10 @@ type room = Present | Free | Evict of view
 
 type t
 
-val create : banks:int -> bank_size_bytes:int -> ways:int -> t
-(** [banks] must equal the tile count of the machine. *)
+val create : plan:Shard.t -> bank_size_bytes:int -> ways:int -> t
+(** One bank per shard of [plan]. *)
 
+val plan : t -> Shard.t
 val banks : t -> int
 val sets_per_bank : t -> int
 
@@ -53,3 +56,7 @@ val resident : t -> Types.line -> bool
 val occupancy : t -> int
 
 val iter : t -> (view -> unit) -> unit
+
+val iter_shard : t -> int -> (view -> unit) -> unit
+(** [iter_shard t s f] applies [f] to every view resident in shard
+    [s]'s bank — the shard-consistency invariant walk. *)

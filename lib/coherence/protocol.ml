@@ -14,6 +14,10 @@ type config = {
   mem_latency : int;
   exclusive_state : bool;
   dir_pointers : int option;
+  (* Directory shards (LLC banks + request FIFOs). 0 means one shard
+     per tile — the historical machine. *)
+  dir_shards : int;
+  dir_hash : Shard.hash;
 }
 
 let default_config =
@@ -28,6 +32,8 @@ let default_config =
     mem_latency = 100;
     exclusive_state = true;
     dir_pointers = None;
+    dir_shards = 0;
+    dir_hash = Shard.Mod;
   }
 
 type request = {
@@ -43,13 +49,16 @@ type t = {
   net : Net.t;
   cfg : config;
   l1s : L1_cache.t array;
+  plan : Shard.t;
   llc : Llc.t;
   mutable client : Client.t;
-  (* Lines with a request being served at their home bank; waiters are
-     served FIFO when the current request completes. Keyed on the line
-     number through the int-specialised table — this is touched twice
-     per L1 miss. *)
-  busy : request Queue.t Lk_engine.Int_table.t;
+  (* Lines with a request being served at their home shard; waiters
+     are served FIFO when the current request completes. One
+     int-specialised table per shard, keyed on the line number — this
+     is touched twice per L1 miss, and keeping the tables per shard
+     both shrinks each one and confines the structure a partitioned
+     executor would have to own per domain. *)
+  busy : request Queue.t Lk_engine.Int_table.t array;
   mutable ledger : Lk_engine.Ledger.t option;
   (* Deliberately broken variant for the checker-of-the-checker
      mutation tests; [None] in every real run. *)
@@ -79,6 +88,8 @@ let create ~sim ~network cfg =
       ^ string_of_int tiles ^ " mesh tiles");
   if cfg.cores > Coreset.max_cores then
     invalid_arg "Protocol.create: too many cores for the directory bitset";
+  let shards = if cfg.dir_shards = 0 then cfg.cores else cfg.dir_shards in
+  let plan = Shard.make ~count:shards ~tiles:cfg.cores ~hash:cfg.dir_hash in
   let stats = Stats.group "protocol" in
   {
     sim;
@@ -87,12 +98,24 @@ let create ~sim ~network cfg =
     l1s =
       Array.init cfg.cores (fun _ ->
           L1_cache.create ~size_bytes:cfg.l1_size ~ways:cfg.l1_ways);
+    plan;
     llc =
-      Llc.create ~banks:cfg.cores
-        ~bank_size_bytes:(cfg.llc_size / cfg.cores)
-        ~ways:cfg.llc_ways;
+      (* Shard counts that do not divide the LLC size round each bank
+         down to whole sets (at least one), undershooting [llc_size]
+         by less than one set per bank; divisor counts — every
+         historical configuration — are unchanged. *)
+      (let set_bytes = cfg.llc_ways * Addr.line_size in
+       let bank_size_bytes =
+         Int.max set_bytes (cfg.llc_size / shards / set_bytes * set_bytes)
+       in
+       Llc.create ~plan ~bank_size_bytes ~ways:cfg.llc_ways);
     client = Client.plain;
-    busy = Lk_engine.Int_table.create ~capacity:256 ~dummy:(Queue.create ()) ();
+    busy =
+      (* Aggregate initial capacity matches the historical single
+         table, so footprint does not scale with the shard count. *)
+      (let capacity = Int.max 16 (256 / shards) in
+       Array.init shards (fun _ ->
+           Lk_engine.Int_table.create ~capacity ~dummy:(Queue.create ()) ()));
     ledger = None;
     inject = None;
     stats;
@@ -138,7 +161,10 @@ let l1 t core = t.l1s.(core)
 let llc t = t.llc
 let stats t = t.stats
 
-let home_of t line = Addr.home_of_line ~tiles:t.cfg.cores line
+let plan t = t.plan
+let shards t = Shard.count t.plan
+let shard_of t line = Shard.of_line t.plan line
+let home_of t line = Shard.home_tile t.plan (Shard.of_line t.plan line)
 
 (* Message helpers. [bg_*] charge traffic for messages that are off the
    request's critical path (writebacks, unblocks, invalidation sends
@@ -287,7 +313,9 @@ let finish t req outcome ~latency =
   let home = home_of t req.line in
   (* Unblock message closing the directory transaction (traffic only). *)
   bg_ctrl t ~src:req.core ~dst:home;
-  Sim.schedule t.sim ~delay:latency (fun () -> req.k outcome)
+  (* The completion runs at the requester's tile. *)
+  Sim.schedule_tile t.sim ~tile:req.core ~delay:latency (fun () ->
+      req.k outcome)
 
 (* --- The decision procedure, running at the home bank. --------------
    Returns the request outcome and its completion latency relative to
@@ -525,23 +553,27 @@ let process t req =
     lat
 
 let rec release t line =
-  match Lk_engine.Int_table.find_opt t.busy line with
+  let busy = t.busy.(shard_of t line) in
+  match Lk_engine.Int_table.find_opt busy line with
   | None -> failwith "Protocol.release: line not busy"
   | Some q ->
-    if Queue.is_empty q then Lk_engine.Int_table.remove t.busy line
+    if Queue.is_empty q then Lk_engine.Int_table.remove busy line
     else begin
       let req = Queue.pop q in
       let lat = process t req in
-      Sim.schedule t.sim ~delay:lat (fun () -> release t line)
+      Sim.schedule_tile t.sim ~tile:(home_of t line) ~delay:lat (fun () ->
+          release t line)
     end
 
 let arrive t req =
-  match Lk_engine.Int_table.find_opt t.busy req.line with
+  let busy = t.busy.(shard_of t req.line) in
+  match Lk_engine.Int_table.find_opt busy req.line with
   | Some q -> Queue.push req q
   | None ->
-    Lk_engine.Int_table.replace t.busy req.line (Queue.create ());
+    Lk_engine.Int_table.replace busy req.line (Queue.create ());
     let lat = process t req in
-    Sim.schedule t.sim ~delay:lat (fun () -> release t req.line)
+    Sim.schedule_tile t.sim ~tile:(home_of t req.line) ~delay:lat (fun () ->
+        release t req.line)
 
 let access t ~core ~line ~what ~epoch ~k =
   if core < 0 || core >= t.cfg.cores then
@@ -566,13 +598,14 @@ let access t ~core ~line ~what ~epoch ~k =
       L1_cache.set_state l1c line L1_cache.M
     end;
     if in_tx_mode party then L1_cache.mark_tx l1c line ~write;
-    Sim.schedule t.sim ~delay:t.cfg.l1_hit_latency (fun () -> k Types.Granted)
+    Sim.schedule_tile t.sim ~tile:core ~delay:t.cfg.l1_hit_latency (fun () ->
+        k Types.Granted)
   | Some _ | None ->
     Stats.incr t.s_l1_misses;
     let home = home_of t line in
     let lat = t.cfg.l1_hit_latency + ctrl t ~src:core ~dst:home in
     let req = { core; line; what; epoch; k } in
-    Sim.schedule t.sim ~delay:lat (fun () -> arrive t req)
+    Sim.schedule_tile t.sim ~tile:home ~delay:lat (fun () -> arrive t req)
 
 let flush_core t core =
   let l1c = t.l1s.(core) in
@@ -630,4 +663,23 @@ let check_invariants t =
       L1_cache.iter l1c (fun lv ->
           if not (Llc.resident t.llc lv.L1_cache.line) then
             fail "line %d: resident in L1 %d but not in LLC" lv.L1_cache.line c))
-    t.l1s
+    t.l1s;
+  (* Shard consistency: every line resident in a bank hashes to that
+     shard, every busy-FIFO entry sits in its line's shard table, and
+     every shard's home tile is a valid mesh tile. One wrong hash or a
+     FIFO filed under the wrong shard would let two shards serve the
+     same line concurrently — the sharded equivalent of an SWMR
+     violation. *)
+  for s = 0 to Shard.count t.plan - 1 do
+    let home = Shard.home_tile t.plan s in
+    if home < 0 || home >= t.cfg.cores then
+      fail "shard %d: home tile %d out of range" s home;
+    Llc.iter_shard t.llc s (fun (v : Llc.view) ->
+        if Shard.of_line t.plan v.line <> s then
+          fail "line %d: resident in bank %d but hashes to shard %d" v.line s
+            (Shard.of_line t.plan v.line));
+    Lk_engine.Int_table.iter t.busy.(s) (fun line _q ->
+        if Shard.of_line t.plan line <> s then
+          fail "line %d: busy at shard %d but hashes to shard %d" line s
+            (Shard.of_line t.plan line))
+  done

@@ -33,6 +33,15 @@ type config = {
           line has more sharers than pointers, invalidations broadcast
           to every core (cost model only — correctness is unchanged
           because the simulator always knows the true sharers). *)
+  dir_shards : int;
+      (** Directory shards = LLC banks = per-shard request FIFOs. [0]
+          (the default) means one shard per tile — the historical
+          machine, bit for bit. A smaller count models a hierarchical
+          directory where several tiles share an LLC slice; must not
+          exceed [cores]. *)
+  dir_hash : Shard.hash;
+      (** Address→shard hash; {!Shard.Mod} is the historical
+          interleaving. *)
 }
 
 val default_config : config
@@ -106,9 +115,20 @@ val llc : t -> Llc.t
 val stats : t -> Lk_engine.Stats.group
 
 val check_invariants : t -> unit
-(** Assert SWMR, directory exactness and LLC inclusivity over the whole
-    machine. Raises [Failure] with a description on violation. O(cache
-    capacity); intended for tests. *)
+(** Assert SWMR, directory exactness, LLC inclusivity and shard
+    consistency (bank placement matches the shard hash, busy FIFOs are
+    filed under their line's shard, shard homes are valid tiles) over
+    the whole machine. Raises [Failure] with a description on
+    violation. O(cache capacity); intended for tests. *)
 
 val home_of : t -> Types.line -> Types.core_id
-(** Home tile of a line under this configuration. *)
+(** Home tile of a line under this configuration: the tile hosting the
+    line's directory shard. *)
+
+val plan : t -> Shard.t
+(** The directory sharding plan in force. *)
+
+val shards : t -> int
+
+val shard_of : t -> Types.line -> int
+(** The directory shard serving a line. *)

@@ -87,7 +87,7 @@ let compute t n cat k =
   if n <= 0 then k ()
   else begin
     Runtime.add_insts t.rt t.core n;
-    Sim.schedule t.sim ~delay:n (fun () ->
+    Sim.schedule_tile t.sim ~tile:t.core ~delay:n (fun () ->
         account t cat n;
         k ())
   end
@@ -109,7 +109,7 @@ let exec_ops t ~epoch ops k =
         match (op : Program.op) with
         | Program.Compute n ->
           Runtime.add_insts t.rt t.core n;
-          Sim.schedule t.sim ~delay:(max n 0) (fun () ->
+          Sim.schedule_tile t.sim ~tile:t.core ~delay:(max n 0) (fun () ->
               if dead () then k `Aborted else go rest)
         | Program.Read addr ->
           Runtime.read t.rt t.core ~addr ~k:(function
@@ -131,7 +131,7 @@ let exec_ops t ~epoch ops k =
           Runtime.fault t.rt t.core ~k:(function
             | `Died -> k `Aborted
             | `Survived cost ->
-              Sim.schedule t.sim ~delay:cost (fun () ->
+              Sim.schedule_tile t.sim ~tile:t.core ~delay:cost (fun () ->
                   if dead () then k `Aborted else go rest))
       end
   in
@@ -159,7 +159,7 @@ let wait_lock_free t k =
     if Runtime.lock_held t.rt then begin
       pause := Policy.backoff_delay retry ~attempt:!attempt;
       incr attempt;
-      Sim.schedule t.sim ~delay:!pause on_pause
+      Sim.schedule_tile t.sim ~tile:t.core ~delay:!pause on_pause
     end
     else k ()
   and on_pause () =
@@ -183,7 +183,7 @@ let rollback_pause t ~attempt k =
     costs.Runtime.abort_penalty + fault_extra
     + Policy.backoff_delay retry ~attempt
   in
-  Sim.schedule t.sim ~delay:pause (fun () ->
+  Sim.schedule_tile t.sim ~tile:t.core ~delay:pause (fun () ->
       account t Accounting.Rollback pause;
       k ())
 

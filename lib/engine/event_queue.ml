@@ -49,7 +49,12 @@ let wheel_mask = wheel_size - 1
 type 'a t = {
   kind : backend;
   nil : 'a entry;  (* per-queue sentinel: empty slot / list end *)
-  mutable next_seq : int;
+  (* Insertion counter. Usually private to the queue, but the PDES
+     split hands the same ref to every partition queue so that
+     (time, seq) stays a *global* total order: merging N queues by
+     (time, seq) then reproduces exactly the order a single shared
+     queue would have popped. *)
+  seq_src : int ref;
   mutable count : int;  (* total live entries, both regions *)
   (* Heap backend, and the wheel's far-overflow region. Orders entries
      by (time, seq); vacated slots are overwritten with [nil] so popped
@@ -69,13 +74,13 @@ type 'a t = {
   mutable free : 'a entry;
 }
 
-let create ?(backend = Wheel) () =
+let create ?(backend = Wheel) ?seq () =
   let nil = make_entry min_int (-1) (absent ()) in
   let wheel = backend = Wheel in
   {
     kind = backend;
     nil;
-    next_seq = 0;
+    seq_src = (match seq with Some r -> r | None -> ref 0);
     count = 0;
     harr = [||];
     hsize = 0;
@@ -230,8 +235,8 @@ let advance q =
 (* --- queue API ------------------------------------------------------- *)
 
 let add q ~time payload =
-  let seq = q.next_seq in
-  q.next_seq <- seq + 1;
+  let seq = !(q.seq_src) in
+  q.seq_src := seq + 1;
   q.count <- q.count + 1;
   match q.kind with
   | Heap -> heap_push q (alloc q ~time ~seq payload)
@@ -258,6 +263,21 @@ let next_time q =
       if q.near_count = 0 then rebase q;
       advance q;
       q.cur
+
+(* Sequence number of the earliest pending event — the tie-break key
+   the PDES merge needs alongside [next_time] when several partition
+   queues agree on the earliest cycle. Positions the wheel exactly like
+   [next_time] (rebase + advance are idempotent once positioned), so
+   calling it right after [next_time] costs O(1). *)
+let min_seq q =
+  if q.count = 0 then max_int
+  else
+    match q.kind with
+    | Heap -> q.harr.(0).seq
+    | Wheel ->
+      if q.near_count = 0 then rebase q;
+      advance q;
+      (q.slots_head.(q.cur land wheel_mask)).seq
 
 (* Allocation-free pop: the payload is returned bare (no tuple, no
    [Some] — those cost 5 minor words per event in the kernel loop). *)

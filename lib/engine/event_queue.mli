@@ -18,8 +18,12 @@ type backend = Heap | Wheel
 
 type 'a t
 
-val create : ?backend:backend -> unit -> 'a t
-(** Defaults to [Wheel]. *)
+val create : ?backend:backend -> ?seq:int ref -> unit -> 'a t
+(** Defaults to [Wheel]. [seq] supplies a shared insertion counter:
+    queues created with the same ref draw sequence numbers from one
+    global stream, so (time, seq) remains a total order {e across}
+    queues — the property the PDES partition merge relies on. Omitted,
+    the queue gets a private counter (the classic behaviour). *)
 
 val backend : 'a t -> backend
 
@@ -59,6 +63,13 @@ val pop_payload : 'a t -> 'a
 (** Remove the earliest event (same order as {!pop}) and return its
     payload bare; read its time with {!next_time} first. Never
     allocates. Raises [Invalid_argument] on an empty queue. *)
+
+val min_seq : 'a t -> int
+(** Sequence number of the earliest pending event ([max_int] when
+    empty) — the cross-queue tie-break for merging several queues that
+    share a [seq] counter: among queues agreeing on {!next_time}, the
+    one with the smallest [min_seq] holds the globally next event.
+    Never allocates. *)
 
 (** {2 Schedule exploration}
 

@@ -1,0 +1,32 @@
+(* Contiguous block partition of [items] indices across [domains]
+   blocks. Block [b] covers [b*items/domains, (b+1)*items/domains), so
+   block sizes differ by at most one and neighbouring items — which in
+   the machine model are neighbouring mesh tiles, the ones that talk
+   most — land in the same block. Pure integer arithmetic: no tables,
+   no allocation, trivially the same mapping on every domain. *)
+
+type t = { items : int; domains : int }
+
+let create ~items ~domains =
+  if items <= 0 then invalid_arg "Partition.create: items must be positive";
+  if domains <= 0 then invalid_arg "Partition.create: domains must be positive";
+  (* More blocks than items would leave empty blocks; clamp instead of
+     erroring so callers can pass --pdes-domains 4 to a 2-core machine. *)
+  { items; domains = (if domains > items then items else domains) }
+
+let items t = t.items
+let domains t = t.domains
+
+(* Inverse of [bounds]: the unique [b] with
+   b*items/domains <= i < (b+1)*items/domains. *)
+let of_item t i =
+  if i < 0 || i >= t.items then invalid_arg "Partition.of_item: out of range";
+  (((i + 1) * t.domains) - 1) / t.items
+
+let bounds t b =
+  if b < 0 || b >= t.domains then invalid_arg "Partition.bounds: out of range";
+  (b * t.items / t.domains, (b + 1) * t.items / t.domains)
+
+let size t b =
+  let lo, hi = bounds t b in
+  hi - lo

@@ -1,0 +1,28 @@
+(** Contiguous block partition of [items] indices across [domains]
+    blocks — the tile→domain map of the conservative-PDES split.
+
+    Block [b] covers [[b*items/domains, (b+1)*items/domains)]: block
+    sizes differ by at most one, neighbouring indices share a block,
+    and the mapping is pure arithmetic (identical on every domain, no
+    allocation). *)
+
+type t
+
+val create : items:int -> domains:int -> t
+(** [create ~items ~domains] partitions [0..items-1] into [domains]
+    contiguous blocks. [domains] is clamped to [items] (never an empty
+    block); both must be positive. *)
+
+val items : t -> int
+
+val domains : t -> int
+(** Number of blocks after clamping. *)
+
+val of_item : t -> int -> int
+(** Block owning an item. Raises [Invalid_argument] out of range. *)
+
+val bounds : t -> int -> int * int
+(** [bounds t b] is the half-open item range [(lo, hi)] of block [b]. *)
+
+val size : t -> int -> int
+(** [size t b = hi - lo] of {!bounds}. *)

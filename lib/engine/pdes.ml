@@ -1,0 +1,209 @@
+(* Conservative time-windowed parallel discrete-event executor.
+
+   N partitions, each with a private event queue and clock, run on N
+   OCaml domains. Execution proceeds in lookahead windows:
+
+     1. barrier  — everyone has finished the previous window
+     2. drain    — each partition moves the messages posted to it into
+                   its queue, then publishes its earliest pending time
+     3. barrier  — all minima published
+     4. decide   — every domain computes the same global minimum; all
+                   empty -> terminate, else window = [min, min+lookahead)
+     5. execute  — each partition fires its local events with
+                   time < window end; cross-partition sends go to
+                   per-destination outboxes with delay >= lookahead,
+                   so they can only land in a later window
+     6. goto 1
+
+   Messages posted in window k are drained in window k+1, which is
+   sound because [post] requires delay >= lookahead: a message sent
+   from an event at time < wend carries a timestamp >= wstart +
+   lookahead = wend, i.e. it cannot affect the window that sent it.
+
+   Determinism: within a partition events fire in (time, local seq)
+   order; inboxes are drained at deterministic window boundaries, in
+   fixed source order, in send order per source. A run is therefore a
+   pure function of (model, domains, lookahead) — two runs on the same
+   configuration are identical, regardless of thread interleaving.
+   (Unlike the sequenced kernel in {!Sim}, the *same model* under a
+   different domain count may order same-cycle events differently:
+   local sequence numbers are per-partition here. The machine model
+   gets cross-domain byte-identity from the sequenced kernel; this
+   executor is for partition-confined models that want real CPUs.)
+
+   Memory model: outboxes and the published minima are plain (non
+   atomic) fields, but every write happens in a phase that a barrier
+   separates from the phase that reads it — the barrier's mutex
+   acquire/release pairs give the happens-before — so the program is
+   data-race-free. *)
+
+type port = {
+  id : int;
+  queue : (port -> unit) Event_queue.t;
+  mutable clock : int;
+  mutable events : int;
+  mutable sent : int;
+  (* Messages to partition [dst] accumulate in [outbox.(dst)] in
+     reverse send order; the owner of [dst] reverses on drain. *)
+  outbox : (int * (port -> unit)) list array;
+  lookahead : int;
+}
+
+(* Blocking (mutex + condvar) rather than spinning: when the host has
+   fewer CPUs than domains — the common case for an oversubscribed
+   simulation batch, and the only case on a single-CPU box — a spin
+   barrier burns a full scheduler quantum per waiter per window, which
+   turns a seconds-long run into minutes. Parking the waiter hands the
+   CPU straight to the domain everyone is waiting on. *)
+type barrier = {
+  parties : int;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable count : int;
+  mutable phase : int;
+}
+
+let barrier_make parties =
+  {
+    parties;
+    mutex = Mutex.create ();
+    cond = Condition.create ();
+    count = 0;
+    phase = 0;
+  }
+
+let barrier_await b =
+  if b.parties > 1 then begin
+    Mutex.lock b.mutex;
+    let ph = b.phase in
+    b.count <- b.count + 1;
+    if b.count = b.parties then begin
+      b.count <- 0;
+      b.phase <- b.phase + 1;
+      Condition.broadcast b.cond
+    end
+    else
+      while b.phase = ph do
+        Condition.wait b.cond b.mutex
+      done;
+    Mutex.unlock b.mutex
+  end
+
+type t = {
+  domains : int;
+  lookahead : int;
+  ports : port array;
+  mins : int array;  (* per-partition earliest time, published at drain *)
+  barrier : barrier;
+  mutable windows : int;
+  mutable ran : bool;
+}
+
+let create ?backend ~domains ~lookahead () =
+  if domains < 1 then invalid_arg "Pdes.create: domains must be positive";
+  if lookahead < 1 then invalid_arg "Pdes.create: lookahead must be positive";
+  let ports =
+    Array.init domains (fun id ->
+        {
+          id;
+          queue = Event_queue.create ?backend ();
+          clock = 0;
+          events = 0;
+          sent = 0;
+          outbox = Array.make domains [];
+          lookahead;
+        })
+  in
+  {
+    domains;
+    lookahead;
+    ports;
+    mins = Array.make domains Event_queue.no_event;
+    barrier = barrier_make domains;
+    windows = 0;
+    ran = false;
+  }
+
+let domains t = t.domains
+let port t i = t.ports.(i)
+let id p = p.id
+let now p = p.clock
+let events p = p.events
+
+let total_events t = Array.fold_left (fun acc p -> acc + p.events) 0 t.ports
+let messages t = Array.fold_left (fun acc p -> acc + p.sent) 0 t.ports
+let windows t = t.windows
+
+let schedule (p : port) ~delay f =
+  if delay < 0 then invalid_arg "Pdes.schedule: negative delay";
+  Event_queue.add p.queue ~time:(p.clock + delay) f
+
+(* Cross-partition send. The lookahead floor is the conservative
+   contract: it guarantees the message's timestamp lies beyond the
+   window that produced it, so next-window delivery loses nothing. *)
+let post (p : port) ~dst ~delay f =
+  if delay < p.lookahead then
+    invalid_arg "Pdes.post: delay below the lookahead";
+  if dst = p.id then Event_queue.add p.queue ~time:(p.clock + delay) f
+  else begin
+    p.sent <- p.sent + 1;
+    p.outbox.(dst) <- (p.clock + delay, f) :: p.outbox.(dst)
+  end
+
+(* One domain's run loop; [me] is its partition. *)
+let worker t me =
+  let continue = ref true in
+  while !continue do
+    (* previous window fully executed everywhere *)
+    barrier_await t.barrier;
+    (* drain: collect messages addressed to [me], sources in order *)
+    for src = 0 to t.domains - 1 do
+      let box = t.ports.(src).outbox.(me.id) in
+      if box != [] then begin
+        t.ports.(src).outbox.(me.id) <- [];
+        List.iter
+          (fun (time, f) -> Event_queue.add me.queue ~time f)
+          (List.rev box)
+      end
+    done;
+    t.mins.(me.id) <- Event_queue.next_time me.queue;
+    (* all minima published *)
+    barrier_await t.barrier;
+    (* decide: identical computation on every domain *)
+    let gmin = ref Event_queue.no_event in
+    for i = 0 to t.domains - 1 do
+      let m = t.mins.(i) in
+      if m <> Event_queue.no_event && (!gmin = Event_queue.no_event || m < !gmin)
+      then gmin := m
+    done;
+    if !gmin = Event_queue.no_event then continue := false
+    else begin
+      if me.id = 0 then t.windows <- t.windows + 1;
+      let wend = !gmin + t.lookahead in
+      (* execute the window locally *)
+      let running = ref true in
+      while !running do
+        let tm = Event_queue.next_time me.queue in
+        if tm = Event_queue.no_event || tm >= wend then running := false
+        else begin
+          if tm > me.clock then me.clock <- tm;
+          me.events <- me.events + 1;
+          let f = Event_queue.pop_payload me.queue in
+          f me
+        end
+      done
+    end
+  done
+
+let run t =
+  if t.ran then invalid_arg "Pdes.run: already run";
+  t.ran <- true;
+  if t.domains = 1 then worker t t.ports.(0)
+  else begin
+    let spawned =
+      Array.init (t.domains - 1) (fun i ->
+          Domain.spawn (fun () -> worker t t.ports.(i + 1)))
+    in
+    worker t t.ports.(0);
+    Array.iter Domain.join spawned
+  end

@@ -1,0 +1,66 @@
+(** Conservative time-windowed parallel discrete-event executor.
+
+    [N] partitions, each with a private event queue and clock, run on
+    [N] OCaml domains. Execution proceeds in lookahead windows
+    [[gmin, gmin + lookahead)] over the global minimum pending time:
+    within a window every partition fires only its own events, and
+    cross-partition messages — which {!post} requires to carry at
+    least [lookahead] of delay — are exchanged at the barrier between
+    windows, where they cannot affect the window that sent them.
+
+    Determinism: a run is a pure function of (model, domains,
+    lookahead); thread interleaving cannot change it. Event payloads
+    receive their {!port} and must confine themselves to that
+    partition's state — this executor is for partition-confined models
+    (the machine model's events share state and run on the sequenced
+    {!Sim} kernel instead, which is additionally byte-identical
+    {e across} domain counts).
+
+    On a single-CPU host the domains time-share and aggregate
+    throughput stays flat; wall-clock speedup needs real cores. *)
+
+type t
+
+type port
+(** One partition's capability: its clock, queue and outboxes. Handed
+    to every event fired on that partition; must not be used from any
+    other partition. *)
+
+val create :
+  ?backend:Event_queue.backend -> domains:int -> lookahead:int -> unit -> t
+(** Both [domains] and [lookahead] must be positive. *)
+
+val domains : t -> int
+
+val port : t -> int -> port
+(** [port t i] is partition [i]'s handle — used to seed initial events
+    before {!run}. *)
+
+val id : port -> int
+
+val now : port -> int
+(** The partition-local clock (time of the latest event fired there). *)
+
+val events : port -> int
+
+val schedule : port -> delay:int -> (port -> unit) -> unit
+(** Partition-local schedule; any non-negative delay. *)
+
+val post : port -> dst:int -> delay:int -> (port -> unit) -> unit
+(** Cross-partition send, delivered at the next window boundary.
+    Raises [Invalid_argument] when [delay < lookahead] — the
+    conservative contract. [dst = id p] degrades to {!schedule}. *)
+
+val run : t -> unit
+(** Spawn [domains - 1] additional OCaml domains, run every partition
+    to global quiescence, and join. Single-shot: a second call raises
+    [Invalid_argument]. *)
+
+val total_events : t -> int
+(** Sum of {!events} over all partitions (after {!run}). *)
+
+val messages : t -> int
+(** Cross-partition messages posted (after {!run}). *)
+
+val windows : t -> int
+(** Lookahead windows executed (after {!run}). *)

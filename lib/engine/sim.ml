@@ -1,7 +1,44 @@
+(* The kernel runs in one of two shapes:
+
+   - [domains = 1] (default): the classic single shared event queue.
+     This path is unchanged and allocation-free.
+
+   - [domains > 1]: the conservative-PDES split. Every partition owns
+     its own queue, but all queues draw sequence numbers from one
+     shared counter, so (time, seq) is still a *global* total order.
+     The sequenced executor below merges the queues by that order —
+     which reproduces, pop for pop, exactly what the single shared
+     queue would have done. Results are therefore byte-identical for
+     any domain count; what the split buys is the accounting (window /
+     cross-partition traffic counters) and the event placement that a
+     true multi-domain executor ({!Pdes}) needs. Machine-model events
+     close over shared protocol state, so they are run sequenced; the
+     parallel executor is for partition-confined models. *)
+
+type pdes_stats = {
+  domains : int;
+  lookahead : int;
+  windows : int;
+  cross_events : int;
+  short_hops : int;
+}
+
 type t = {
-  queue : (unit -> unit) Event_queue.t;
+  queues : (unit -> unit) Event_queue.t array;
+  queue : (unit -> unit) Event_queue.t;  (* == queues.(0): fast path *)
+  domains : int;
+  lookahead : int;
+  (* Item (tile) -> partition map; identity-to-0 until installed. *)
+  mutable tile_map : int -> int;
+  (* Partition of the event currently executing; schedules without an
+     explicit tile inherit it, so an event chain stays put. *)
+  mutable cur_part : int;
   mutable clock : int;
   mutable events : int;
+  mutable window_end : int;
+  mutable windows : int;
+  mutable cross_events : int;
+  mutable short_hops : int;
   mutable quiescent_hooks : (unit -> unit) list;
   (* Schedule-exploration hooks (lockiller.check). Both default to
      [None]; the hot path pays exactly one immediate-vs-block branch per
@@ -12,11 +49,26 @@ type t = {
 
 exception Stalled of string
 
-let create ?backend () =
+let create ?backend ?(domains = 1) ?(lookahead = 1) () =
+  if domains < 1 then invalid_arg "Sim.create: domains must be positive";
+  if lookahead < 1 then invalid_arg "Sim.create: lookahead must be positive";
+  let seq = ref 0 in
+  let queues =
+    Array.init domains (fun _ -> Event_queue.create ?backend ~seq ())
+  in
   {
-    queue = Event_queue.create ?backend ();
+    queues;
+    queue = queues.(0);
+    domains;
+    lookahead;
+    tile_map = (fun _ -> 0);
+    cur_part = 0;
     clock = 0;
     events = 0;
+    window_end = min_int;
+    windows = 0;
+    cross_events = 0;
+    short_hops = 0;
     quiescent_hooks = [];
     chooser = None;
     observer = None;
@@ -25,21 +77,65 @@ let create ?backend () =
 let now t = t.clock
 let events t = t.events
 let backend t = Event_queue.backend t.queue
+let domains t = t.domains
+
+let pdes_stats t =
+  {
+    domains = t.domains;
+    lookahead = t.lookahead;
+    windows = t.windows;
+    cross_events = t.cross_events;
+    short_hops = t.short_hops;
+  }
+
+let set_tile_map t f = t.tile_map <- f
 
 let schedule t ~delay f =
   if delay < 0 then invalid_arg "Sim.schedule: negative delay";
-  Event_queue.add t.queue ~time:(t.clock + delay) f
+  Event_queue.add t.queues.(t.cur_part) ~time:(t.clock + delay) f
 
 let schedule_at t ~time f =
   if time < t.clock then invalid_arg "Sim.schedule_at: time in the past";
-  Event_queue.add t.queue ~time f
+  Event_queue.add t.queues.(t.cur_part) ~time f
 
-let pending t = Event_queue.length t.queue
+(* Tile-tagged schedule: the event lands on the queue of [tile]'s
+   partition. Crossing a partition boundary is counted; crossing it
+   with a delay below the lookahead is counted separately — those are
+   the hops a true multi-domain executor would have to short-circuit
+   (deliver inside the current window), i.e. the model's violations of
+   the conservative lookahead contract. Sequenced execution is exact
+   either way; the counters report how parallelisable the run was. *)
+let schedule_tile t ~tile ~delay f =
+  if delay < 0 then invalid_arg "Sim.schedule_tile: negative delay";
+  let part = if t.domains = 1 then 0 else t.tile_map tile in
+  if part <> t.cur_part then begin
+    t.cross_events <- t.cross_events + 1;
+    if delay < t.lookahead then t.short_hops <- t.short_hops + 1
+  end;
+  Event_queue.add t.queues.(part) ~time:(t.clock + delay) f
+
+let pending t =
+  if t.domains = 1 then Event_queue.length t.queue
+  else begin
+    let n = ref 0 in
+    for i = 0 to t.domains - 1 do
+      n := !n + Event_queue.length t.queues.(i)
+    done;
+    !n
+  end
 
 let on_quiescent t hook = t.quiescent_hooks <- hook :: t.quiescent_hooks
 
-let set_chooser t chooser = t.chooser <- chooser
+let set_chooser t chooser =
+  (match chooser with
+  | Some _ when t.domains > 1 ->
+    invalid_arg "Sim.set_chooser: choosers require a single-domain kernel"
+  | _ -> ());
+  t.chooser <- chooser
+
 let set_observer t observer = t.observer <- observer
+
+(* --- single-queue path (domains = 1) --------------------------------- *)
 
 (* [fire] assumes the queue is non-empty; allocation-free (no tuple/
    option boxing, and no polymorphic [max] on the clock). With a
@@ -59,13 +155,73 @@ let fire t time =
   f ();
   match t.observer with None -> () | Some g -> g ()
 
+(* --- sequenced multi-queue path (domains > 1) ------------------------ *)
+
+(* Queue holding the globally earliest (time, seq) event, or -1 when
+   all queues are empty. Shared sequence numbers make the comparison
+   total, so the selection is unambiguous. *)
+let select t =
+  let best = ref (-1) in
+  let best_time = ref 0 in
+  let best_seq = ref 0 in
+  for i = 0 to t.domains - 1 do
+    let q = t.queues.(i) in
+    let ti = Event_queue.next_time q in
+    if ti <> Event_queue.no_event then
+      if !best < 0 || ti < !best_time then begin
+        best := i;
+        best_time := ti;
+        best_seq := Event_queue.min_seq q
+      end
+      else if ti = !best_time then begin
+        let si = Event_queue.min_seq q in
+        if si < !best_seq then begin
+          best := i;
+          best_seq := si
+        end
+      end
+  done;
+  !best
+
+(* Fire the earliest event of queue [qi]. The executing partition is
+   recorded first so that schedules issued by the event inherit it. *)
+let fire_part t qi time =
+  if time > t.clock then t.clock <- time;
+  (* Window accounting: a new lookahead window opens whenever the merge
+     crosses the previous window's end — the points where a parallel
+     executor would barrier. *)
+  if time >= t.window_end then begin
+    t.windows <- t.windows + 1;
+    t.window_end <- time + t.lookahead
+  end;
+  t.events <- t.events + 1;
+  t.cur_part <- qi;
+  let f = Event_queue.pop_payload t.queues.(qi) in
+  f ();
+  match t.observer with None -> () | Some g -> g ()
+
 let step t =
-  let time = Event_queue.next_time t.queue in
-  if time = Event_queue.no_event then false
-  else begin
-    fire t time;
-    true
+  if t.domains = 1 then begin
+    let time = Event_queue.next_time t.queue in
+    if time = Event_queue.no_event then false
+    else begin
+      fire t time;
+      true
+    end
   end
+  else begin
+    let qi = select t in
+    if qi < 0 then false
+    else begin
+      fire_part t qi (Event_queue.next_time t.queues.(qi));
+      true
+    end
+  end
+
+let clear_all t =
+  for i = 0 to t.domains - 1 do
+    Event_queue.clear t.queues.(i)
+  done
 
 let run ?limit t =
   let beyond time = match limit with None -> false | Some l -> time > l in
@@ -74,12 +230,17 @@ let run ?limit t =
      raise rather than spin forever. *)
   let hook_rounds = ref 0 in
   let last_hook_clock = ref (-1) in
+  let single = t.domains = 1 in
   let rec drain () =
-    let time = Event_queue.next_time t.queue in
+    let qi = if single then 0 else select t in
+    let time =
+      if qi < 0 then Event_queue.no_event
+      else Event_queue.next_time t.queues.(qi)
+    in
     if time = Event_queue.no_event then begin
       let hooks = t.quiescent_hooks in
       List.iter (fun hook -> hook ()) hooks;
-      if not (Event_queue.is_empty t.queue) then begin
+      if pending t > 0 then begin
         if t.clock = !last_hook_clock then begin
           incr hook_rounds;
           if !hook_rounds > 1000 then
@@ -96,11 +257,11 @@ let run ?limit t =
       end
     end
     else if beyond time then begin
-      Event_queue.clear t.queue;
+      clear_all t;
       match limit with Some l -> t.clock <- l | None -> ()
     end
     else begin
-      fire t time;
+      if single then fire t time else fire_part t qi time;
       drain ()
     end
   in

@@ -8,10 +8,21 @@
 
 type t
 
-val create : ?backend:Event_queue.backend -> unit -> t
+val create :
+  ?backend:Event_queue.backend -> ?domains:int -> ?lookahead:int -> unit -> t
 (** [backend] selects the pending-event set implementation (default
     {!Event_queue.Wheel}); both backends produce bit-identical runs —
-    the heap is retained for differential testing. *)
+    the heap is retained for differential testing.
+
+    [domains] (default 1) splits the pending-event set into that many
+    partition queues for the conservative-PDES accounting: every queue
+    draws sequence numbers from one shared counter and the kernel
+    merges them in global (time, seq) order, so a run is byte-identical
+    for {e any} domain count — the split changes where events are
+    stored, never the order they fire. [lookahead] (default 1, must be
+    positive) is the window length used by the {!pdes_stats} window
+    counter and the short-hop classification; the natural value is the
+    model's minimum cross-partition latency (a NoC link hop). *)
 
 val now : t -> int
 (** Current simulated cycle. *)
@@ -29,6 +40,43 @@ val schedule : t -> delay:int -> (unit -> unit) -> unit
 
 val schedule_at : t -> time:int -> (unit -> unit) -> unit
 (** Schedule at an absolute cycle, which must not be in the past. *)
+
+(** {1 Partitioned scheduling (conservative PDES)}
+
+    With [domains > 1] the kernel keeps one event queue per partition.
+    {!schedule}/{!schedule_at} place the event on the queue of the
+    partition whose event is currently executing (partition 0 outside
+    any event), so an event chain stays where it started;
+    {!schedule_tile} places it on the queue owning a tile. Execution
+    order is unaffected — the kernel merges all queues in global
+    (time, seq) order — but the placement drives the window /
+    cross-partition counters in {!pdes_stats}, and is what a true
+    multi-domain executor ({!Pdes}) partitions on. *)
+
+val domains : t -> int
+
+val set_tile_map : t -> (int -> int) -> unit
+(** Install the tile→partition map used by {!schedule_tile} (typically
+    {!Partition.of_item} over the mesh tiles). Defaults to all-zero. *)
+
+val schedule_tile : t -> tile:int -> delay:int -> (unit -> unit) -> unit
+(** [schedule_tile sim ~tile ~delay f] is {!schedule} onto the queue of
+    [tile]'s partition. Crossing a partition boundary increments
+    [cross_events]; crossing it with [delay] below the lookahead also
+    increments [short_hops] (a hop a conservative parallel executor
+    could not defer to the next window). *)
+
+type pdes_stats = {
+  domains : int;
+  lookahead : int;
+  windows : int;  (** lookahead windows opened (barriers + 1 ≈ windows) *)
+  cross_events : int;  (** events scheduled across a partition boundary *)
+  short_hops : int;  (** cross-partition events with delay < lookahead *)
+}
+
+val pdes_stats : t -> pdes_stats
+(** Accounting of the partitioned run. Diagnostic only — never part of
+    result JSON, which must stay byte-identical across domain counts. *)
 
 val pending : t -> int
 (** Number of scheduled events not yet fired. *)
@@ -65,7 +113,9 @@ val set_chooser : t -> (int -> int) option -> unit
     returned index (which must be in [0, n)). Insertion order — index
     0 every time — reproduces the default deterministic schedule. The
     explorer enumerates these indices exhaustively; the fuzzer draws
-    them from a seeded RNG. *)
+    them from a seeded RNG. Choosers require a single-domain kernel
+    (the checkers always build one); installing one on a partitioned
+    kernel raises [Invalid_argument]. *)
 
 val set_observer : t -> (unit -> unit) option -> unit
 (** Install (or clear) a callback invoked after every fired event —

@@ -306,7 +306,7 @@ let wake t core =
     Stats.incr t.s_wakeups;
     trace t core Txtrace.Woken;
     emit t core Ledger.Wake ~arg:0;
-    Sim.schedule t.sim ~delay:0 resume
+    Sim.schedule_tile t.sim ~tile:core ~delay:0 resume
   | None ->
     (* The wake-up raced ahead of the reject reply; remember it so the
        park consumes it immediately. *)
@@ -329,18 +329,18 @@ let send_wakeups t core =
         Net.send ~now:(Sim.now t.sim) t.net ~src:core ~dst:w
           ~class_:Msg.Control
       in
-      Sim.schedule t.sim ~delay:lat (fun () -> wake t w))
+      Sim.schedule_tile t.sim ~tile:w ~delay:lat (fun () -> wake t w))
     waiters
 
 let park t core ~rejector_alive resume =
   if t.pending_wake.(core) then begin
     t.pending_wake.(core) <- false;
-    Sim.schedule t.sim ~delay:1 resume
+    Sim.schedule_tile t.sim ~tile:core ~delay:1 resume
   end
   else if not rejector_alive then
     (* The rejecting transaction already finished; its wake-up will
        never come. Retry shortly instead of parking. *)
-    Sim.schedule t.sim ~delay:16 resume
+    Sim.schedule_tile t.sim ~tile:core ~delay:16 resume
   else begin
     t.parked.(core) <- Some resume;
     t.per_core.(core).parks <- t.per_core.(core).parks + 1;
@@ -377,7 +377,7 @@ let abort_core t core reason =
   match t.parked.(core) with
   | Some resume ->
     t.parked.(core) <- None;
-    Sim.schedule t.sim ~delay:0 resume
+    Sim.schedule_tile t.sim ~tile:core ~delay:0 resume
   | None -> ()
 
 (* --- Issue with reject policies -------------------------------------- *)
@@ -429,12 +429,12 @@ let issue t core line what ~epoch k =
             Policy.backoff_delay t.sysconf.Sysconf.retry ~attempt:!attempt
           in
           incr attempt;
-          Sim.schedule t.sim ~delay go
+          Sim.schedule_tile t.sim ~tile:core ~delay go
         | Txstate.Tl | Txstate.Stl ->
           (* Lock transactions carry top priority and are never
              rejected by arbitration; be robust anyway. *)
           incr attempt;
-          Sim.schedule t.sim ~delay:16 go
+          Sim.schedule_tile t.sim ~tile:core ~delay:16 go
         | Txstate.Htm -> (
           match t.sysconf.Sysconf.reject_policy with
           | Policy.Self_abort ->
@@ -442,7 +442,7 @@ let issue t core line what ~epoch k =
             k `Aborted
           | Policy.Retry_later pause ->
             incr attempt;
-            Sim.schedule t.sim ~delay:pause go
+            Sim.schedule_tile t.sim ~tile:core ~delay:pause go
           | Policy.Wait_wakeup ->
             incr attempt;
             park t core ~rejector_alive:(rejector_alive t ~by) go)
@@ -634,7 +634,7 @@ let create ?(costs = default_costs) ?inject_bug ~protocol:proto ~store ~sysconf
           | Some resume ->
             t.parked.(core) <- None;
             Stats.incr t.s_rescues;
-            Sim.schedule t.sim ~delay:1 resume)
+            Sim.schedule_tile t.sim ~tile:core ~delay:1 resume)
         t.parked);
   t
 
@@ -664,7 +664,7 @@ let xbegin t core ~k =
   let cs = t.per_core.(core) in
   cs.starts <- cs.starts + 1;
   let epoch = c.Txstate.epoch in
-  Sim.schedule t.sim ~delay:t.costs.begin_cost (fun () ->
+  Sim.schedule_tile t.sim ~tile:core ~delay:t.costs.begin_cost (fun () ->
       if c.Txstate.epoch <> epoch then k `Busy
       else if t.sysconf.Sysconf.htmlock then k `Started
       else
@@ -697,7 +697,7 @@ let xend t core ~k =
   if c.Txstate.mode <> Txstate.Htm then
     invalid_arg "Runtime.xend: not in an HTM transaction";
   let epoch = c.Txstate.epoch in
-  Sim.schedule t.sim ~delay:t.costs.commit_cost (fun () ->
+  Sim.schedule_tile t.sim ~tile:core ~delay:t.costs.commit_cost (fun () ->
       (* A conflict may still kill us during the commit window. The
          injected dirty-commit mutation skips exactly this guard, so a
          killed transaction publishes its commit anyway. *)
@@ -730,7 +730,7 @@ let hlbegin t core ~k =
     invalid_arg "Runtime.hlbegin: already in a transaction";
   let rec acquire_authorization () =
     let rtt = arbitration_rtt t core in
-    Sim.schedule t.sim ~delay:rtt (fun () ->
+    Sim.schedule_tile t.sim ~tile:core ~delay:rtt (fun () ->
         if Arbiter.try_acquire t.arb core then begin
           c.Txstate.mode <- Txstate.Tl;
           c.Txstate.pending_abort <- None;
@@ -745,11 +745,11 @@ let hlbegin t core ~k =
         else
           (* An STL transaction holds the authorization; it cannot be
              aborted, so wait for its hlend. *)
-          Sim.schedule t.sim ~delay:64 acquire_authorization)
+          Sim.schedule_tile t.sim ~tile:core ~delay:64 acquire_authorization)
   in
   if t.sysconf.Sysconf.switching then acquire_authorization ()
   else
-    Sim.schedule t.sim ~delay:t.costs.begin_cost (fun () ->
+    Sim.schedule_tile t.sim ~tile:core ~delay:t.costs.begin_cost (fun () ->
         ignore (Arbiter.try_acquire t.arb core);
         c.Txstate.mode <- Txstate.Tl;
         c.Txstate.pending_abort <- None;
@@ -768,7 +768,7 @@ let hlend t core ~k =
   | Txstate.Htm | Txstate.Idle ->
     invalid_arg "Runtime.hlend: not in HTMLock mode");
   let was_stl = c.Txstate.mode = Txstate.Stl in
-  Sim.schedule t.sim ~delay:t.costs.commit_cost (fun () ->
+  Sim.schedule_tile t.sim ~tile:core ~delay:t.costs.commit_cost (fun () ->
       ignore (Protocol.commit_flush t.proto core);
       ignore (Store.commit t.store ~core);
       (match t.sig_owner with
@@ -912,7 +912,7 @@ let lock_acquire_ttas t core ~k =
       else begin
         let delay = Policy.backoff_delay retry ~attempt:!attempt in
         incr attempt;
-        Sim.schedule t.sim ~delay spin
+        Sim.schedule_tile t.sim ~tile:core ~delay spin
       end
   in
   test_and_set ()
@@ -936,7 +936,7 @@ let lock_acquire_ticket t core ~k =
         else begin
           let delay = min 512 (16 * (1 + !attempt)) in
           incr attempt;
-          Sim.schedule t.sim ~delay spin
+          Sim.schedule_tile t.sim ~tile:core ~delay spin
         end
       in
       spin ())

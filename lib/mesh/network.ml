@@ -62,7 +62,7 @@ let send ?(now = 0) t ~src ~dst ~class_ =
     List.iter
       (fun link ->
         let i = Topology.link_index t.topology link in
-        let start = max !cursor t.link_free.(i) in
+        let start = Int.max !cursor t.link_free.(i) in
         queued := !queued + (start - !cursor);
         t.link_free.(i) <- start + flits;
         cursor := start + t.link_latency + t.router_latency)
@@ -83,7 +83,7 @@ let link_utilisation t =
   |> List.filter_map (fun link ->
          let n = t.link_flits.(Topology.link_index t.topology link) in
          if n > 0 then Some (link, n) else None)
-  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
 
 let stats t = t.stats
 

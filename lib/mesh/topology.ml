@@ -37,12 +37,13 @@ let tiles t = t.rows * t.cols
 
 let check_tile t id name =
   if id < 0 || id >= tiles t then
-    invalid_arg (Printf.sprintf "Topology.%s: tile %d out of range" name id)
+    invalid_arg
+      ("Topology." ^ name ^ ": tile " ^ string_of_int id ^ " out of range")
 
 (* Signed step of minimal magnitude from [a] to [b] on an axis of size
    [n], with and without wrap-around. Ties (exactly half-way on a wrap
    axis) go in the positive direction. *)
-let mesh_step a b = compare b a
+let mesh_step a b = Int.compare b a
 let wrap_step n a b =
   if a = b then 0
   else
@@ -56,7 +57,7 @@ let mesh_distance t src dst =
 
 let wrap_axis_distance n a b =
   let fwd = (b - a + n) mod n in
-  min fwd (n - fwd)
+  Int.min fwd (n - fwd)
 
 let distance t ~src ~dst =
   match t.kind with
@@ -160,7 +161,7 @@ let links t =
     List.concat
       (List.init (tiles t) (fun id ->
            grid_neighbours t id ~wrap
-           |> List.sort_uniq compare
+           |> List.sort_uniq Int.compare
            |> List.map (fun n -> { from_tile = id; to_tile = n })))
   | Ring ->
     let n = tiles t in

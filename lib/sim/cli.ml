@@ -12,6 +12,15 @@ let non_negative_int ~what s =
     Error (Printf.sprintf "%s must be non-negative (got %d)" what n)
   | Some n -> Ok n
 
+let cores ~what s =
+  match int_of_string_opt s with
+  | None -> Error (Printf.sprintf "%s must be an integer (got %S)" what s)
+  | Some n when n < 1 || n > Config.max_cores ->
+    Error
+      (Printf.sprintf "%s must be a core count in 1-%d (got %d)" what
+         Config.max_cores n)
+  | Some n -> Ok n
+
 let cache_profile s =
   match Config.cache_profile_of_id s with
   | Some c -> Ok c

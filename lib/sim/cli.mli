@@ -13,6 +13,11 @@ val positive_int : what:string -> string -> (int, string) result
 val non_negative_int : what:string -> string -> (int, string) result
 (** Integer >= 0, same message shapes with "non-negative". *)
 
+val cores : what:string -> string -> (int, string) result
+(** A machine size: an integer in [1, {!Config.max_cores}]. The error
+    message names the supported range (e.g. ["--cores must be a core
+    count in 1-1024 (got 2000)"]). *)
+
 val cache_profile : string -> (Config.cache_profile, string) result
 (** One of [typical], [small], [large] (see
     {!Config.cache_profile_of_id}). *)

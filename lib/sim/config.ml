@@ -30,13 +30,26 @@ let cache_profile_of_id = function
   | "large" -> Some Large
   | _ -> None
 
-let mesh_shape = function
-  | 2 -> (1, 2)
-  | 4 -> (2, 2)
-  | 8 -> (2, 4)
-  | 16 -> (4, 4)
-  | 32 -> (4, 8)
-  | n -> invalid_arg (Printf.sprintf "Config.machine: unsupported core count %d" n)
+let max_cores = 1024
+
+(* Nearest-square factorisation: rows is the largest divisor of [n]
+   not exceeding sqrt n, cols = n / rows. Reproduces the historical
+   table exactly (2->1x2, 4->2x2, 8->2x4, 16->4x4, 32->4x8) and
+   extends it to any count up to [max_cores]: every k*k and 2k*k mesh
+   has an exact factorisation, primes degrade to a 1xN chain. *)
+let mesh_shape n =
+  if n < 1 || n > max_cores then
+    invalid_arg
+      (Printf.sprintf
+         "Config.machine: unsupported core count %d (supported: 1-%d)" n
+         max_cores);
+  let rows = ref 1 in
+  let d = ref 1 in
+  while !d * !d <= n do
+    if n mod !d = 0 then rows := !d;
+    incr d
+  done;
+  (!rows, n / !rows)
 
 let cache_sizes = function
   | Typical -> (32 * 1024, 8 * 1024 * 1024)
@@ -45,7 +58,8 @@ let cache_sizes = function
 
 let machine ?(cache = Typical) ?(cores = 32) ?(noc_contention = false)
     ?(topology = Lk_mesh.Topology.Mesh) ?(exclusive_state = true)
-    ?(dir_pointers = None) () =
+    ?(dir_pointers = None) ?(dir_shards = 0) ?(dir_hash = Lk_coherence.Shard.Mod)
+    () =
   let rows, cols = mesh_shape cores in
   let l1_size, llc_size = cache_sizes cache in
   {
@@ -65,6 +79,8 @@ let machine ?(cache = Typical) ?(cores = 32) ?(noc_contention = false)
         mem_latency = 100;
         exclusive_state;
         dir_pointers;
+        dir_shards;
+        dir_hash;
       };
     link_latency = 1;
     router_latency = 1;
@@ -102,8 +118,19 @@ let table1 t =
       Printf.sprintf "%d cycle / 1 flit per cycle" t.link_latency );
   ]
 
-let build ?backend t =
-  let sim = Lk_engine.Sim.create ?backend () in
+let build ?backend ?(pdes_domains = 1) t =
+  if pdes_domains < 1 then
+    invalid_arg "Config.build: pdes_domains must be positive";
+  (* Clamp to the core count (a 2-core machine cannot feed 4 domains);
+     the lookahead of the PDES window is the NoC link latency — the
+     minimum time any cross-tile interaction takes. *)
+  let domains = if pdes_domains > t.cores then t.cores else pdes_domains in
+  let sim =
+    Lk_engine.Sim.create ?backend ~domains ~lookahead:t.link_latency ()
+  in
+  (if domains > 1 then
+     let part = Lk_engine.Partition.create ~items:t.cores ~domains in
+     Lk_engine.Sim.set_tile_map sim (Lk_engine.Partition.of_item part));
   let topo =
     match t.topology with
     | Lk_mesh.Topology.Mesh ->
@@ -129,7 +156,8 @@ let fingerprint t =
   let p = t.protocol in
   Printf.sprintf
     "cores=%d rows=%d cols=%d cache=%s l1=%d/%d/%d llc=%d/%d/%d mem=%d \
-     mesi=%b dirptr=%s link=%d router=%d contention=%b topology=%s"
+     mesi=%b dirptr=%s shards=%d shash=%s link=%d router=%d contention=%b \
+     topology=%s"
     t.cores t.rows t.cols (cache_profile_id t.cache) p.Protocol.l1_size
     p.Protocol.l1_ways p.Protocol.l1_hit_latency p.Protocol.llc_size
     p.Protocol.llc_ways p.Protocol.llc_hit_latency p.Protocol.mem_latency
@@ -137,5 +165,9 @@ let fingerprint t =
     (match p.Protocol.dir_pointers with
     | None -> "full"
     | Some k -> string_of_int k)
+    p.Protocol.dir_shards
+    (match p.Protocol.dir_hash with
+    | Lk_coherence.Shard.Mod -> "mod"
+    | Lk_coherence.Shard.Mix -> "mix")
     t.link_latency t.router_latency t.noc_contention
     (Lk_mesh.Topology.kind_name t.topology)

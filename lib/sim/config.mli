@@ -23,6 +23,17 @@ type t = {
           'topology' experiment exercises. *)
 }
 
+val max_cores : int
+(** Largest supported machine (1024 cores — the {!Lk_coherence.Coreset}
+    directory width). *)
+
+val mesh_shape : int -> int * int
+(** [(rows, cols)] for a core count: the largest divisor not exceeding
+    the square root, so k*k and 2k*k counts get their exact grid
+    (2->1x2, 4->2x2, 8->2x4, ..., 256->16x16, 512->16x32, 1024->32x32)
+    and primes degrade to a 1xN chain. Raises [Invalid_argument]
+    outside [1, max_cores]. *)
+
 val machine :
   ?cache:cache_profile ->
   ?cores:int ->
@@ -30,13 +41,17 @@ val machine :
   ?topology:Lk_mesh.Topology.kind ->
   ?exclusive_state:bool ->
   ?dir_pointers:int option ->
+  ?dir_shards:int ->
+  ?dir_hash:Lk_coherence.Shard.hash ->
   unit ->
   t
 (** Defaults to the paper's 32-core 4x8 tiled CMP: contention-free NoC,
     MESI ([exclusive_state = true]), full-map directory ([dir_pointers
     = None]); the last two are protocol-fidelity ablation knobs, see
-    {!Lk_coherence.Protocol.config}. Supported core counts: 2, 4, 8,
-    16, 32 (tests use the small ones). *)
+    {!Lk_coherence.Protocol.config}. Supported core counts: 1 to
+    {!max_cores}, shaped by {!mesh_shape}. [dir_shards] (default [0] =
+    one directory shard per tile) and [dir_hash] select the LLC
+    directory sharding plan ({!Lk_coherence.Shard}). *)
 
 val cache_profile_name : cache_profile -> string
 
@@ -57,8 +72,12 @@ val table1 : t -> (string * string) list
 
 val build :
   ?backend:Lk_engine.Event_queue.backend ->
+  ?pdes_domains:int ->
   t ->
   Lk_engine.Sim.t * Lk_mesh.Network.t * Lk_coherence.Protocol.t
 (** Instantiate the simulator, network and protocol. [backend] selects
-    the event-queue implementation (default wheel); results are
-    bit-identical under either, so it is not part of {!fingerprint}. *)
+    the event-queue implementation (default wheel) and [pdes_domains]
+    (default 1, clamped to the core count) the number of PDES
+    partitions the kernel splits the pending-event set into, with the
+    NoC link latency as the lookahead; results are bit-identical under
+    any combination, so neither is part of {!fingerprint}. *)

@@ -97,8 +97,8 @@ type exec_mode =
 
 (* Shared execution engine for generated workloads, hand-written
    programs and trace replay. *)
-let execute ?queue_backend ?(check = false) ?telemetry ~machine ~oracle
-    ~on_runtime ~placement ~cycle_limit ~sysconf ~mode
+let execute ?queue_backend ?(pdes_domains = 1) ?(check = false) ?telemetry
+    ~machine ~oracle ~on_runtime ~placement ~cycle_limit ~sysconf ~mode
     ~(workload_name : string) ~cache () =
   let threads =
     match mode with
@@ -108,7 +108,9 @@ let execute ?queue_backend ?(check = false) ?telemetry ~machine ~oracle
   if threads <= 0 || threads > machine.Config.cores then
     invalid_arg "Runner.run: thread count out of range";
   let core_of = place ~placement ~cores:machine.Config.cores ~threads in
-  let sim, net, protocol = Config.build ?backend:queue_backend machine in
+  let sim, net, protocol =
+    Config.build ?backend:queue_backend ~pdes_domains machine
+  in
   let store = Store.create ~cores:machine.Config.cores in
   let runtime =
     Runtime.create ~protocol ~store ~sysconf
@@ -270,6 +272,16 @@ let execute ?queue_backend ?(check = false) ?telemetry ~machine ~oracle
     Perf.observe sim (fun () -> Sim.run ~limit:cycle_limit sim)
   in
   Perf.note perf_sample;
+  (* Partition/window diagnostics go to stderr only: the result JSON
+     must stay byte-identical for every [pdes_domains]. *)
+  if pdes_domains > 1 then begin
+    let s = Sim.pdes_stats sim in
+    Printf.eprintf
+      "pdes: domains=%d lookahead=%d windows=%d cross_events=%d \
+       short_hops=%d\n%!"
+      s.Sim.domains s.Sim.lookahead s.Sim.windows s.Sim.cross_events
+      s.Sim.short_hops
+  end;
   post_run ();
   if !finished <> threads then
     failwith
@@ -376,6 +388,7 @@ type options = {
   placement : placement;
   cycle_limit : int;
   queue_backend : Lk_engine.Event_queue.backend;
+  pdes_domains : int;
   check : bool;
   telemetry : telemetry_request option;
 }
@@ -390,6 +403,7 @@ let default_options =
     placement = Compact;
     cycle_limit = 1 lsl 30;
     queue_backend = Lk_engine.Event_queue.Wheel;
+    pdes_domains = 1;
     check = false;
     telemetry = None;
   }
@@ -404,6 +418,7 @@ let run ?(options = default_options) ~sysconf ~workload ~threads () =
     placement;
     cycle_limit;
     queue_backend;
+    pdes_domains;
     check;
     telemetry;
   } =
@@ -411,7 +426,8 @@ let run ?(options = default_options) ~sysconf ~workload ~threads () =
   in
   let program = Workload.generate workload ~threads ~seed ~scale in
   let store, result =
-    execute ~queue_backend ~check ?telemetry ~machine ~oracle ~on_runtime
+    execute ~queue_backend ~pdes_domains ~check ?telemetry ~machine ~oracle
+      ~on_runtime
       ~placement ~cycle_limit ~sysconf
       ~mode:
         (Closed
@@ -440,6 +456,7 @@ let run_program ?(options = default_options) ?(name = "custom") ~sysconf
     placement;
     cycle_limit;
     queue_backend;
+    pdes_domains;
     check;
     telemetry;
     seed = _;
@@ -459,8 +476,8 @@ let run_program ?(options = default_options) ?(name = "custom") ~sysconf
              addr))
     (Lk_cpu.Program.touched_addresses program);
   let _, result =
-    execute ~queue_backend ~check ?telemetry ~machine ~oracle ~on_runtime
-      ~placement ~cycle_limit ~sysconf
+    execute ~queue_backend ~pdes_domains ~check ?telemetry ~machine ~oracle
+      ~on_runtime ~placement ~cycle_limit ~sysconf
       ~mode:(Closed { program; barrier_every = None })
       ~workload_name:name ~cache:machine.Config.cache ()
   in
@@ -475,6 +492,7 @@ let replay ?(options = default_options) ~sysconf ~open_loop ~threads () =
     placement;
     cycle_limit;
     queue_backend;
+    pdes_domains;
     check;
     telemetry;
     scale = _;
@@ -486,8 +504,8 @@ let replay ?(options = default_options) ~sysconf ~open_loop ~threads () =
   | Error msg -> invalid_arg ("Runner.replay: body profile: " ^ msg));
   let expected = Hashtbl.create 64 in
   let store, result =
-    execute ~queue_backend ~check ?telemetry ~machine ~oracle ~on_runtime
-      ~placement ~cycle_limit ~sysconf
+    execute ~queue_backend ~pdes_domains ~check ?telemetry ~machine ~oracle
+      ~on_runtime ~placement ~cycle_limit ~sysconf
       ~mode:(Open { ol = open_loop; threads; seed; expected })
       ~workload_name:open_loop.Workload_source.trace_name
       ~cache:machine.Config.cache ()

@@ -121,6 +121,13 @@ type options = {
           backends produce bit-identical results — the heap is the
           differential-testing reference — so, like [on_runtime], this
           field is excluded from cache keys. *)
+  pdes_domains : int;
+      (** PDES partitions the kernel splits the pending-event set into
+          (default 1; clamped to the core count; the NoC link latency
+          is the lookahead). The partitioned kernel merges its queues
+          in global (time, seq) order, so results are byte-identical
+          for any value — like [queue_backend], excluded from cache
+          keys. See {!Lk_engine.Sim} and DESIGN.md "Parallel engine". *)
   check : bool;
       (** Attach the invariant sanitizer ({!Lk_check.Sanitizer}): the
           event-level invariant predicates run at every ledger emission
@@ -147,7 +154,7 @@ type options = {
 val default_options : options
 (** Seed 1, scale 1.0, the paper's 32-core machine, oracle enabled,
     no [on_runtime] hook, [Compact] placement, a 2^30-cycle guard, the
-    wheel event queue, checking off. *)
+    wheel event queue, one PDES domain, checking off. *)
 
 val run :
   ?options:options ->

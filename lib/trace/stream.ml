@@ -61,19 +61,34 @@ let reader_of_channel ?(name = "<trace>") ic =
 
 let format r = r.fmt
 
-(* LEB128 unsigned varint. *)
+(* The binary decode path runs once per trace record inside the replay
+   feeder, so it is written exception-style: the five varints come back
+   as bare ints (no [Ok] box, no [Result.bind] closure per field) and
+   malformed input raises [Decode_error], converted to [Error] once at
+   the record boundary. The only allocations left per record are the
+   record itself and its [Ok (Some _)] wrapping — callers may retain
+   returned records, so those stay fresh. *)
+exception Decode_error of string
+
+let truncated r =
+  raise
+    (Decode_error
+       (err r "truncated record (unexpected end of input mid-varint)"))
+
+(* LEB128 unsigned varint, continuing from [acc] at bit [shift]. *)
+let rec varint_tail r shift acc =
+  if shift > 62 then raise (Decode_error (err r "varint overflows 63 bits"))
+  else
+    match input_byte r.ic with
+    | exception End_of_file -> truncated r
+    | b ->
+        let acc = acc lor ((b land 0x7f) lsl shift) in
+        if b land 0x80 = 0 then acc else varint_tail r (shift + 7) acc
+
 let read_varint r =
-  let rec go shift acc =
-    if shift > 62 then Error (err r "varint overflows 63 bits")
-    else
-      match input_byte r.ic with
-      | exception End_of_file ->
-          Error (err r "truncated record (unexpected end of input mid-varint)")
-      | b ->
-          let acc = acc lor ((b land 0x7f) lsl shift) in
-          if b land 0x80 = 0 then Ok acc else go (shift + 7) acc
-  in
-  go 0 0
+  match input_byte r.ic with
+  | exception End_of_file -> truncated r
+  | b0 -> if b0 land 0x80 = 0 then b0 else varint_tail r 7 (b0 land 0x7f)
 
 let check_monotone r (rec_ : Record.t) =
   if rec_.arrival < r.last_arrival then
@@ -102,45 +117,31 @@ let read_binary r =
   | exception End_of_file ->
       r.state <- Done;
       Ok None
-  | b0 ->
+  | b0 -> (
       r.line <- r.line + 1;
       (* [line] counts records past the header in binary mode. *)
-      let ( let* ) = Result.bind in
-      let resume shift acc =
-        if b0 land 0x80 = 0 then Ok acc
-        else
-          let rec go shift acc =
-            if shift > 62 then Error (err r "varint overflows 63 bits")
-            else
-              match input_byte r.ic with
-              | exception End_of_file ->
-                  Error (err r "truncated record (unexpected end of input mid-varint)")
-              | b ->
-                  let acc = acc lor ((b land 0x7f) lsl shift) in
-                  if b land 0x80 = 0 then Ok acc else go (shift + 7) acc
-          in
-          go shift acc
-      in
-      let* delta = resume 7 (b0 land 0x7f) in
-      let* core1 = read_varint r in
-      let* reads = read_varint r in
-      let* writes = read_varint r in
-      let* phase = read_varint r in
-      let rec_ : Record.t =
-        {
-          arrival = r.last_arrival + delta;
-          core = core1 - 1;
-          reads;
-          writes;
-          phase;
-        }
-      in
-      let* () =
-        match Record.validate rec_ with
-        | Ok () -> Ok ()
-        | Error e -> Error (err r "%s" e)
-      in
-      check_monotone r rec_
+      match
+        let delta =
+          if b0 land 0x80 = 0 then b0 else varint_tail r 7 (b0 land 0x7f)
+        in
+        let core1 = read_varint r in
+        let reads = read_varint r in
+        let writes = read_varint r in
+        let phase = read_varint r in
+        ({
+           arrival = r.last_arrival + delta;
+           core = core1 - 1;
+           reads;
+           writes;
+           phase;
+         }
+          : Record.t)
+      with
+      | rec_ -> (
+          match Record.validate rec_ with
+          | Ok () -> check_monotone r rec_
+          | Error e -> Error (err r "%s" e))
+      | exception Decode_error e -> Error e)
 
 let read r =
   match r.state with

@@ -8,6 +8,7 @@ module Sim = Lk_engine.Sim
 module Topology = Lk_mesh.Topology
 module Network = Lk_mesh.Network
 module Protocol = Lk_coherence.Protocol
+module Shard = Lk_coherence.Shard
 module Store = Lk_htm.Store
 module Txstate = Lk_htm.Txstate
 module Oracle = Lk_htm.Oracle
@@ -36,6 +37,8 @@ let mk ?(sysconf = Sysconf.lockiller) () =
         mem_latency = 100;
       exclusive_state = true;
       dir_pointers = None;
+      dir_shards = 0;
+      dir_hash = Shard.Mod;
       }
   in
   let store = Store.create ~cores:4 in

@@ -55,6 +55,25 @@ let test_explorer_reaches_fixpoint_clean () =
           (Invariant.violation_to_string violation))
     Scenario.all
 
+let test_sharded_trio_explored () =
+  (* The one scenario with a multi-bank directory (2 shards on 3
+     tiles): the explorer must exhaust it cleanly with the per-shard
+     consistency invariant active, and the plan must be what the
+     scenario declares. *)
+  (match Scenario.sharded_trio.Scenario.shards with
+  | Some 2 -> ()
+  | _ -> Alcotest.fail "sharded-trio should declare a two-shard plan");
+  check_bool "registered in Scenario.all" true
+    (List.memq Scenario.sharded_trio Scenario.all);
+  match Explorer.explore Scenario.sharded_trio with
+  | Explorer.Exhausted { schedules; states; _ } ->
+    check_bool "explored several schedules" true (schedules > 1);
+    check_bool "deduplicated states" true (states >= 1)
+  | Explorer.Bounded _ -> Alcotest.fail "sharded-trio hit the schedule bound"
+  | Explorer.Violation { violation; _ } ->
+    Alcotest.failf "sharded-trio: %s"
+      (Invariant.violation_to_string violation)
+
 let test_fuzzer_clean_across_seeds () =
   (* Several seeds over the park/wake scenarios: the random schedules
      permute wake deliveries against aborts and re-parks, covering
@@ -212,9 +231,9 @@ let test_wake_table_core_bounds () =
   Wake_table.record w ~rejector:0 ~waiter:61;
   check Alcotest.(list int) "highest core id" [ 61 ]
     (Wake_table.waiters w ~rejector:0);
-  Alcotest.check_raises "core 62 rejected"
-    (Invalid_argument "Coreset: core id 62 out of range") (fun () ->
-      Wake_table.record w ~rejector:0 ~waiter:62);
+  Alcotest.check_raises "core 1024 rejected"
+    (Invalid_argument "Coreset: core id 1024 out of range") (fun () ->
+      Wake_table.record w ~rejector:0 ~waiter:1024);
   Alcotest.check_raises "no zero-core table"
     (Invalid_argument "Wake_table.create: cores must be positive") (fun () ->
       ignore (Wake_table.create ~cores:0))
@@ -285,6 +304,8 @@ let () =
             test_default_schedules_clean;
           Alcotest.test_case "explorer reaches a clean fixpoint" `Quick
             test_explorer_reaches_fixpoint_clean;
+          Alcotest.test_case "sharded trio explored" `Quick
+            test_sharded_trio_explored;
           Alcotest.test_case "fuzzer clean across seeds" `Quick
             test_fuzzer_clean_across_seeds;
           Alcotest.test_case "controlled runs are deterministic" `Quick

@@ -10,6 +10,7 @@ module Addr = Lk_coherence.Addr
 module Coreset = Lk_coherence.Coreset
 module L1 = Lk_coherence.L1_cache
 module Llc = Lk_coherence.Llc
+module Shard = Lk_coherence.Shard
 module Client = Lk_coherence.Client
 module Protocol = Lk_coherence.Protocol
 
@@ -54,14 +55,19 @@ let test_coreset_add_remove () =
     (Coreset.is_empty (Coreset.remove 7 s))
 
 let test_coreset_range_check () =
-  Alcotest.check_raises "core 62"
-    (Invalid_argument "Coreset: core id 62 out of range") (fun () ->
-      ignore (Coreset.add 62 Coreset.empty))
+  check_bool "core 1023 accepted" true
+    (Coreset.mem 1023 (Coreset.add 1023 Coreset.empty));
+  Alcotest.check_raises "core 1024"
+    (Invalid_argument "Coreset: core id 1024 out of range") (fun () ->
+      ignore (Coreset.add 1024 Coreset.empty));
+  Alcotest.check_raises "negative core"
+    (Invalid_argument "Coreset: core id -1 out of range") (fun () ->
+      ignore (Coreset.add (-1) Coreset.empty))
 
 let prop_coreset_model =
   QCheck.Test.make ~name:"coreset behaves like a set of small ints"
     ~count:300
-    QCheck.(list (int_bound 61))
+    QCheck.(list (int_bound 1023))
     (fun ops ->
       let s = Coreset.of_list ops in
       let model = List.sort_uniq compare ops in
@@ -221,9 +227,62 @@ let prop_l1_matches_lru_model =
       let count = Array.fold_left (fun a l -> a + List.length l) 0 model in
       !ok && L1.occupancy c = count)
 
+(* --- Shard ----------------------------------------------------------- *)
+
+let test_shard_default_is_historical () =
+  (* One shard per tile with the Mod hash is the historical
+     [line mod tiles] home map, bit for bit. *)
+  let plan = Shard.make ~count:8 ~tiles:8 ~hash:Shard.Mod in
+  for line = 0 to 999 do
+    check_int "of_line = line mod tiles" (line mod 8) (Shard.of_line plan line);
+    check_int "home_tile = identity" (Shard.of_line plan line)
+      (Shard.home_tile plan (Shard.of_line plan line))
+  done
+
+let test_shard_make_validates () =
+  Alcotest.check_raises "zero shards"
+    (Invalid_argument
+       "Shard.make: shard count must be in [1, tiles]; got 0 shards for 4 tiles")
+    (fun () -> ignore (Shard.make ~count:0 ~tiles:4 ~hash:Shard.Mod));
+  Alcotest.check_raises "more shards than tiles"
+    (Invalid_argument
+       "Shard.make: shard count must be in [1, tiles]; got 5 shards for 4 tiles")
+    (fun () -> ignore (Shard.make ~count:5 ~tiles:4 ~hash:Shard.Mod))
+
+let prop_shard_in_range =
+  QCheck.Test.make ~name:"shard of_line in range, home tiles distinct and ordered"
+    ~count:200
+    QCheck.(triple (int_range 1 16) (int_range 0 100_000) bool)
+    (fun (count, line, mixed) ->
+      let tiles = 16 in
+      let hash = if mixed then Shard.Mix else Shard.Mod in
+      let plan = Shard.make ~count ~tiles ~hash in
+      let s = Shard.of_line plan line in
+      let ok_shard = s >= 0 && s < count in
+      let homes = List.init count (Shard.home_tile plan) in
+      let ok_homes =
+        List.for_all (fun t -> t >= 0 && t < tiles) homes
+        && List.sort_uniq Int.compare homes = homes
+      in
+      ok_shard && ok_homes)
+
+let test_shard_mix_spreads_strides () =
+  (* A power-of-two stride hammers shard [0] under Mod; Mix must
+     spread it across every shard. *)
+  let plan = Shard.make ~count:8 ~tiles:8 ~hash:Shard.Mix in
+  let hit = Array.make 8 0 in
+  for i = 0 to 255 do
+    let s = Shard.of_line plan (i * 8) in
+    hit.(s) <- hit.(s) + 1
+  done;
+  Array.iteri
+    (fun s n -> check_bool (Printf.sprintf "shard %d used" s) true (n > 0))
+    hit
+
 (* --- LLC ------------------------------------------------------------- *)
 
-let small_llc () = Llc.create ~banks:4 ~bank_size_bytes:(2 * 64 * 2) ~ways:2
+let small_llc () = Llc.create ~plan:(Shard.make ~count:4 ~tiles:4 ~hash:Shard.Mod)
+    ~bank_size_bytes:(2 * 64 * 2) ~ways:2
 (* 4 banks, 2 sets x 2 ways each *)
 
 let test_llc_geometry () =
@@ -280,6 +339,8 @@ let small_cfg =
     mem_latency = 100;
       exclusive_state = true;
       dir_pointers = None;
+      dir_shards = 0;
+      dir_hash = Shard.Mod;
   }
 
 let mk_machine ?(cfg = small_cfg) () =
@@ -754,6 +815,15 @@ let () =
             test_l1_bad_geometry_rejected;
           QCheck_alcotest.to_alcotest prop_l1_never_exceeds_capacity;
           QCheck_alcotest.to_alcotest prop_l1_matches_lru_model;
+        ] );
+      ( "shard",
+        [
+          Alcotest.test_case "default plan is historical" `Quick
+            test_shard_default_is_historical;
+          Alcotest.test_case "make validates" `Quick test_shard_make_validates;
+          QCheck_alcotest.to_alcotest prop_shard_in_range;
+          Alcotest.test_case "mix spreads strides" `Quick
+            test_shard_mix_spreads_strides;
         ] );
       ( "llc",
         [

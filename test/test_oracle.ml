@@ -8,6 +8,7 @@ module Sim = Lk_engine.Sim
 module Topology = Lk_mesh.Topology
 module Network = Lk_mesh.Network
 module Protocol = Lk_coherence.Protocol
+module Shard = Lk_coherence.Shard
 module Store = Lk_htm.Store
 module Sysconf = Lk_lockiller.Sysconf
 module Runtime = Lk_lockiller.Runtime
@@ -152,6 +153,8 @@ let run_with_oracle sysconf program =
       mem_latency = 100;
       exclusive_state = true;
       dir_pointers = None;
+      dir_shards = 0;
+      dir_hash = Shard.Mod;
     }
   in
   let protocol = Protocol.create ~sim ~network:net cfg in

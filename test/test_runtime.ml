@@ -8,6 +8,7 @@ module Sim = Lk_engine.Sim
 module Topology = Lk_mesh.Topology
 module Network = Lk_mesh.Network
 module Protocol = Lk_coherence.Protocol
+module Shard = Lk_coherence.Shard
 module Types = Lk_coherence.Types
 module Store = Lk_htm.Store
 module Reason = Lk_htm.Reason
@@ -67,6 +68,8 @@ let run_program ?(cores = 4) ?(l1_sets = 16) ~sysconf program =
       mem_latency = 100;
       exclusive_state = true;
       dir_pointers = None;
+      dir_shards = 0;
+      dir_hash = Shard.Mod;
     }
   in
   let protocol = Protocol.create ~sim ~network:net cfg in
@@ -477,6 +480,8 @@ let test_llc_eviction_capacity_abort () =
       mem_latency = 100;
       exclusive_state = true;
       dir_pointers = None;
+      dir_shards = 0;
+      dir_hash = Shard.Mod;
     }
   in
   let protocol = Protocol.create ~sim ~network:net cfg in
@@ -692,6 +697,8 @@ let test_barrier_phases_synchronise_threads () =
       mem_latency = 100;
       exclusive_state = true;
       dir_pointers = None;
+      dir_shards = 0;
+      dir_hash = Shard.Mod;
     }
   in
   let protocol = Protocol.create ~sim ~network:net cfg in
@@ -765,6 +772,8 @@ let test_txtrace_records_lifecycle () =
       mem_latency = 100;
       exclusive_state = true;
       dir_pointers = None;
+      dir_shards = 0;
+      dir_hash = Shard.Mod;
     }
   in
   let protocol = Protocol.create ~sim ~network:net cfg in

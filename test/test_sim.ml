@@ -50,9 +50,19 @@ let test_machine_small_meshes () =
     [ (2, 1, 2); (4, 2, 2); (8, 2, 4); (16, 4, 4) ]
 
 let test_machine_rejects_odd_core_counts () =
-  Alcotest.check_raises "3 cores"
-    (Invalid_argument "Config.machine: unsupported core count 3") (fun () ->
-      ignore (Config.machine ~cores:3 ()))
+  (* Formerly rejected; the general factorisation gives primes a 1xN
+     chain. *)
+  let m = Config.machine ~cores:3 () in
+  check_int "3 cores rows" 1 m.Config.rows;
+  check_int "3 cores cols" 3 m.Config.cols;
+  Alcotest.check_raises "0 cores"
+    (Invalid_argument
+       "Config.machine: unsupported core count 0 (supported: 1-1024)")
+    (fun () -> ignore (Config.machine ~cores:0 ()));
+  Alcotest.check_raises "1025 cores"
+    (Invalid_argument
+       "Config.machine: unsupported core count 1025 (supported: 1-1024)")
+    (fun () -> ignore (Config.machine ~cores:1025 ()))
 
 let test_table1_rows () =
   let m = Config.machine () in
@@ -67,6 +77,37 @@ let test_build () =
   check_int "tiles" 4
     (Lk_mesh.Topology.tiles (Lk_mesh.Network.topology net));
   check_int "cores" 4 (Protocol.config proto).Protocol.cores
+
+let test_build_non_divisor_llc () =
+  (* 100 directory banks do not divide the 8MB LLC evenly; the bank
+     size must round down to whole sets instead of being rejected. *)
+  let m = Config.machine ~cores:100 () in
+  let _sim, _net, proto = Config.build m in
+  check_int "cores" 100 (Protocol.config proto).Protocol.cores
+
+let test_mesh_shape_general () =
+  (* Spot-check the nearest-square factorisation, including the shapes
+     the old hard-coded table produced (2..64 must not change: cached
+     results key on the mesh shape via the machine id). *)
+  List.iter
+    (fun (cores, rows, cols) ->
+      let r, c = Config.mesh_shape cores in
+      check_int (string_of_int cores ^ " rows") rows r;
+      check_int (string_of_int cores ^ " cols") cols c)
+    [
+      (1, 1, 1); (2, 1, 2); (4, 2, 2); (6, 2, 3); (7, 1, 7); (12, 3, 4);
+      (32, 4, 8); (36, 6, 6); (100, 10, 10); (256, 16, 16); (768, 24, 32);
+      (1024, 32, 32);
+    ];
+  for n = 1 to 128 do
+    let r, c = Config.mesh_shape n in
+    check_int "rows*cols = cores" n (r * c);
+    check_bool "rows <= cols" true (r <= c)
+  done;
+  Alcotest.check_raises "out of range"
+    (Invalid_argument
+       "Config.machine: unsupported core count 1025 (supported: 1-1024)")
+    (fun () -> ignore (Config.mesh_shape 1025))
 
 (* --- Metrics ------------------------------------------------------------ *)
 
@@ -138,6 +179,22 @@ let test_report_csv () =
   check_bool "filename" true
     (Report.csv_filename t = "fig_7_speedup_over_cgl_2_threads.csv")
 
+(* --- Cli ----------------------------------------------------------------- *)
+
+let test_cli_cores () =
+  (match Lk_sim.Cli.cores ~what:"--cores" "256" with
+  | Ok n -> check_int "parses" 256 n
+  | Error e -> Alcotest.fail e);
+  (match Lk_sim.Cli.cores ~what:"--cores" "1025" with
+  | Error e -> check_bool "error names the range" true (string_contains e "1-1024")
+  | Ok _ -> Alcotest.fail "1025 accepted");
+  (match Lk_sim.Cli.cores ~what:"--cores" "0" with
+  | Error e -> check_bool "error names the flag" true (string_contains e "--cores")
+  | Ok _ -> Alcotest.fail "0 accepted");
+  match Lk_sim.Cli.cores ~what:"--cores" "many" with
+  | Error e -> check_bool "non-integer rejected" true (string_contains e "integer")
+  | Ok _ -> Alcotest.fail "junk accepted"
+
 (* --- Runner -------------------------------------------------------------- *)
 
 let quick_machine = Config.machine ~cores:4 ()
@@ -150,6 +207,24 @@ let quick_options = { machine_options with scale = 0.25 }
 let quick_run ?(sysconf = Sysconf.lockiller) ?(threads = 4) workload_name =
   let workload = Option.get (Suite.find workload_name) in
   Runner.run ~options:quick_options ~sysconf ~workload ~threads ()
+
+let test_runner_pdes_domains_identical () =
+  (* The partitioned kernel merges its queues in global (time, seq)
+     order, so the whole result JSON — cycles, aborts, traffic, every
+     diagnostic counter — must be byte-identical for any domain
+     count. *)
+  let machine = Config.machine ~cores:8 () in
+  let run domains =
+    let options = { quick_options with machine; pdes_domains = domains } in
+    let workload = Option.get (Suite.find "intruder") in
+    let r =
+      Runner.run ~options ~sysconf:Sysconf.lockiller ~workload ~threads:4 ()
+    in
+    Json.to_string (Runner.json_of_result r)
+  in
+  let d1 = run 1 in
+  Alcotest.(check string) "2 domains byte-identical" d1 (run 2);
+  Alcotest.(check string) "4 domains byte-identical" d1 (run 4)
 
 let test_runner_basic_metrics () =
   let r = quick_run "intruder" in
@@ -859,6 +934,11 @@ let () =
             test_machine_rejects_odd_core_counts;
           Alcotest.test_case "table1" `Quick test_table1_rows;
           Alcotest.test_case "build" `Quick test_build;
+          Alcotest.test_case "mesh shape general" `Quick
+            test_mesh_shape_general;
+          Alcotest.test_case "non-divisor llc banks" `Quick
+            test_build_non_divisor_llc;
+          Alcotest.test_case "cli cores validator" `Quick test_cli_cores;
         ] );
       ( "metrics",
         [
@@ -875,6 +955,8 @@ let () =
       ( "runner",
         [
           Alcotest.test_case "basic metrics" `Quick test_runner_basic_metrics;
+          Alcotest.test_case "pdes domains byte-identical" `Quick
+            test_runner_pdes_domains_identical;
           Alcotest.test_case "breakdown categories" `Quick
             test_runner_breakdown_covers_all_categories;
           Alcotest.test_case "abort mix order" `Quick

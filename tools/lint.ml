@@ -25,7 +25,7 @@
    file-wide waiver with a [lint: allow <rule>] pragma comment (the
    pragma must state why). *)
 
-let scanned_dirs = [ "lib/engine"; "lib/coherence"; "lib/htm" ]
+let scanned_dirs = [ "lib/engine"; "lib/mesh"; "lib/coherence"; "lib/htm" ]
 
 type finding = { file : string; line : int; rule : string; message : string }
 
