@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 SHELL := /bin/bash
 
-.PHONY: all build test bench perfcheck doc lint check telemetry replay-smoke pdes-smoke ci clean
+.PHONY: all build test bench perfcheck doc lint check telemetry replay-smoke pdes-smoke hytm-smoke ci clean
 
 all: build
 
@@ -107,6 +107,25 @@ pdes-smoke:
 	rm -rf _build/pdes-smoke
 	@echo "pdes smoke: OK"
 
+# Hybrid-TM smoke: the HyTM instrumentation-cost sweep (docs/HYBRID.md)
+# on a tiny configuration, validated by the JSON checker, then rerun
+# with a different worker count — the two outputs must be
+# byte-identical: the TL2 software path and the global version clock
+# are as deterministic as the rest of the model, and --jobs is an
+# execution detail that may never leak into the result.
+hytm-smoke:
+	rm -rf _build/hytm-smoke && mkdir -p _build/hytm-smoke
+	dune exec bin/lockiller_sim.exe -- experiment hytm --cores 4 \
+	  --threads 2 --scale 0.1 --jobs 2 --no-cache --format json \
+	  > _build/hytm-smoke/a.json
+	dune exec test/json_check.exe < _build/hytm-smoke/a.json
+	dune exec bin/lockiller_sim.exe -- experiment hytm --cores 4 \
+	  --threads 2 --scale 0.1 --jobs 1 --no-cache --format json \
+	  > _build/hytm-smoke/b.json
+	cmp _build/hytm-smoke/a.json _build/hytm-smoke/b.json
+	rm -rf _build/hytm-smoke
+	@echo "hytm smoke: OK"
+
 # Perf regression gate: rerun the event-engine microbenchmarks and
 # compare against the committed baseline — a 2x band on the
 # deterministic allocation metrics (tight enough to catch a
@@ -140,6 +159,7 @@ ci:
 	$(MAKE) telemetry
 	$(MAKE) replay-smoke
 	$(MAKE) pdes-smoke
+	$(MAKE) hytm-smoke
 	$(MAKE) perfcheck
 
 clean:

@@ -274,6 +274,33 @@ let machine_micro ~cores =
     ignore (once ());
     once ()
 
+(* The TL2 software path under contention: the maximally-contended
+   counter microbenchmark on SW-TL2 runs every transaction through the
+   software fallback (no HTM attempts), so the sample prices the
+   fallback itself — version-clock traffic, read-set validation,
+   commit-time write locks (docs/HYBRID.md). *)
+let swpath_micro () =
+  match Lockiller.Stamp.Suite.find "micro-counter" with
+  | None -> assert false
+  | Some w ->
+    let options =
+      { Runner.default_options with oracle = false; scale = 0.25 }
+    in
+    let once () =
+      Perf.reset_totals ();
+      ignore
+        (Runner.run ~options ~sysconf:Sysconf.sw_tl2 ~workload:w ~threads:8 ());
+      let t = Perf.totals () in
+      {
+        Perf.wall_seconds = t.Perf.total_wall_seconds;
+        minor_words = t.Perf.total_minor_words;
+        events = t.Perf.total_events;
+        cycles = t.Perf.total_cycles;
+      }
+    in
+    ignore (once ());
+    once ()
+
 let bench_micro_file = "BENCH_micro.json"
 
 let run_perf_micro ~scale ~format =
@@ -296,6 +323,7 @@ let run_perf_micro ~scale ~format =
   let p4 = pdes_micro ~domains:4 ~ops in
   let m32 = machine_micro ~cores:32 in
   let m256 = machine_micro ~cores:256 in
+  let sp = swpath_micro () in
   let cpus = Domain.recommended_domain_count () in
   let speedup w h =
     let h = Perf.events_per_sec h in
@@ -337,6 +365,10 @@ let run_perf_micro ~scale ~format =
                 ("cores256", Perf.json_of_sample m256);
                 ("large_mesh_speedup", Json.Float (speedup m256 m32));
               ] );
+          ( "swpath",
+            Json.Obj
+              [ ("threads", Json.Int 8); ("sw_tl2", Perf.json_of_sample sp) ]
+          );
         ]
     in
     let oc = open_out bench_micro_file in
@@ -374,6 +406,9 @@ let run_perf_micro ~scale ~format =
           (Perf.events_per_sec s)
           (Perf.minor_words_per_event s))
       [ ("32", m32); ("256", m256) ];
+    Printf.printf "%-8s %-8s %14.0f %16.2f\n" "swpath" "sw_tl2"
+      (Perf.events_per_sec sp)
+      (Perf.minor_words_per_event sp);
     Printf.printf "\nqueue wheel speedup over heap: %.2fx\n" (speedup qw qh);
     Printf.printf "sim   wheel speedup over heap: %.2fx\n" (speedup sw sh);
     Printf.printf "pdes  4-domain aggregate over 1: %.2fx (%d cpus)\n" (speedup p4 p1)

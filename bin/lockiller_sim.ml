@@ -14,6 +14,7 @@ module Report = Lockiller.Sim.Report
 module Accounting = Lockiller.Cpu.Accounting
 module Reason = Lockiller.Htm.Reason
 module Json = Lockiller.Sim.Json
+module Schema = Lockiller.Sim.Schema
 module Cache = Lockiller.Sim.Cache
 module Pool = Lockiller.Sim.Pool
 module Tracing = Lockiller.Sim.Tracing
@@ -192,6 +193,7 @@ let print_result (r : Runner.result) =
   Printf.printf "htm commits   %d\n" r.Runner.htm_commits;
   Printf.printf "stl commits   %d\n" r.Runner.stl_commits;
   Printf.printf "lock commits  %d\n" r.Runner.lock_commits;
+  Printf.printf "sw commits    %d\n" r.Runner.sw_commits;
   Printf.printf "aborts        %d\n" r.Runner.aborts;
   if r.Runner.htm_commits > 0 then
     Printf.printf "attempts      %.2f per commit\n"
@@ -207,6 +209,8 @@ let print_result (r : Runner.result) =
     r.Runner.switches_granted r.Runner.switches_denied r.Runner.spilled_lines;
   Printf.printf "network       %d messages, %d flits\n" r.Runner.network_messages
     r.Runner.network_flits;
+  if r.Runner.clock_advances > 0 then
+    Printf.printf "version clock %d advances\n" r.Runner.clock_advances;
   let total = List.fold_left (fun acc (_, n) -> acc + n) 0 r.Runner.breakdown in
   Printf.printf "time breakdown:\n";
   List.iter
@@ -562,7 +566,8 @@ let experiment_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"ID"
           ~doc:"Experiment id (table1, table2, fig1, fig7...fig13, headline, \
-                ablation, txsize, noc, topology) or 'all'.")
+                ablation, txsize, noc, topology, placement, protocol, \
+                variance, hytm — see 'list') or 'all'.")
   in
   let threads_opt =
     Arg.(
@@ -1306,6 +1311,7 @@ let compare_table (a : Runner.result) (b : Runner.result) =
       int_row "htm_commits" a.Runner.htm_commits b.Runner.htm_commits;
       int_row "stl_commits" a.Runner.stl_commits b.Runner.stl_commits;
       int_row "lock_commits" a.Runner.lock_commits b.Runner.lock_commits;
+      int_row "sw_commits" a.Runner.sw_commits b.Runner.sw_commits;
       int_row "aborts" a.Runner.aborts b.Runner.aborts;
     ]
     @ abort_rows
@@ -1313,6 +1319,8 @@ let compare_table (a : Runner.result) (b : Runner.result) =
         int_row "rejects" a.Runner.rejects b.Runner.rejects;
         int_row "parks" a.Runner.parks b.Runner.parks;
         int_row "network_flits" a.Runner.network_flits b.Runner.network_flits;
+        int_row "clock_advances" a.Runner.clock_advances
+          b.Runner.clock_advances;
         int_row "tx_latency_p50" a.Runner.tx_latency_p50
           b.Runner.tx_latency_p50;
         int_row "tx_latency_p95" a.Runner.tx_latency_p95
@@ -1373,11 +1381,31 @@ let compare_cmd =
       & info [] ~docv:"B.json" ~doc:"Result to compare against the baseline.")
   in
   let action a b format =
+    (* Surface each input's schema version up front (on stderr, so the
+       table stays machine-readable): version skew between two saved
+       results is the most common reason a compare refuses to run, and
+       the named error below should say which file is stale. *)
     let load file =
-      match Runner.result_of_json (read_file file) with
-      | Ok r -> Ok r
-      | Error msg -> Error (file ^ ": " ^ msg)
+      match Json.of_string (read_file file) with
       | exception Sys_error msg -> Error msg
+      | Error msg -> Error (file ^ ": " ^ msg)
+      | Ok doc -> (
+        match Result.bind (Json.member "schema" doc) Json.to_int with
+        | Error _ ->
+          Printf.eprintf "# compare: %s carries no schema version\n%!" file;
+          Error
+            (file
+           ^ ": schema-mismatch: no \"schema\" member (pre-v4 result); \
+              re-run the simulation to regenerate it")
+        | Ok v -> (
+          Printf.eprintf "# compare: %s is schema v%d (this build reads v%s)\n%!"
+            file v Schema.version_string;
+          match Schema.check v with
+          | Error msg -> Error (file ^ ": schema-mismatch: " ^ msg)
+          | Ok () -> (
+            match Runner.result_of_json_value doc with
+            | Ok r -> Ok r
+            | Error msg -> Error (file ^ ": " ^ msg))))
     in
     match (load a, load b) with
     | Error msg, _ | _, Error msg -> `Error (false, msg)
@@ -1426,7 +1454,7 @@ let top_cmd =
   in
   let phase_char c =
     (* Mirrors Runtime.phase_label: non-tx, HTM, STL, lock, parked,
-       aborting. *)
+       aborting, software. *)
     match c with
     | 0 -> '.'
     | 1 -> 'H'
@@ -1434,6 +1462,7 @@ let top_cmd =
     | 3 -> 'L'
     | 4 -> 'p'
     | 5 -> 'a'
+    | 6 -> 'w'
     | _ -> '?'
   in
   let spark_ramp = " .:-=+*#" in
@@ -1508,7 +1537,7 @@ let top_cmd =
               Printf.printf "%-14s %s\n" name strip)
             cores;
           Printf.printf "%-14s %s\n" "phases"
-            ".=non-tx H=htm S=stl L=lock p=parked a=aborting";
+            ".=non-tx H=htm S=stl L=lock p=parked a=aborting w=sw";
           let grows = Array.of_list gauge_rows in
           List.iteri
             (fun g name ->
@@ -1578,6 +1607,8 @@ let list_cmd =
   let action () =
     Printf.printf "systems (Table II):\n";
     List.iter (Printf.printf "  %s\n") Lockiller.systems;
+    Printf.printf "\nhybrid-TM comparators (docs/HYBRID.md):\n";
+    List.iter (Printf.printf "  %s\n") Lockiller.hybrid_systems;
     Printf.printf "\nworkloads (STAMP):\n";
     List.iter (Printf.printf "  %s\n") Lockiller.workloads;
     Printf.printf "\nextra workloads (outside the paper's set):\n";

@@ -70,7 +70,9 @@ let fingerprint rt ~pending =
       | Txstate.Idle -> 0
       | Txstate.Htm -> 1
       | Txstate.Tl -> 2
-      | Txstate.Stl -> 3);
+      | Txstate.Stl -> 3
+      | Txstate.Sw -> 4);
+    add x.Txstate.rv;
     add x.Txstate.epoch;
     add x.Txstate.insts;
     add x.Txstate.progress;
@@ -82,8 +84,24 @@ let fingerprint rt ~pending =
     List.iter add (Runtime.wake_waiters rt ~rejector:c);
     let buf = ref [] in
     Store.iter_buffered store ~core:c (fun a v -> buf := (a, v) :: !buf);
-    add_pairs !buf
+    add_pairs !buf;
+    (* Software-path bookkeeping (read/write sets, commit-time lock
+       ownership) lives outside committed memory but drives future
+       validation outcomes — fold it in too. *)
+    let sw = Runtime.sw_path rt in
+    Lk_htm.Sw_path.iter_reads sw ~core:c (fun slot ver ->
+        add slot;
+        add ver);
+    Lk_htm.Sw_path.iter_writes sw ~core:c add
   done;
+  (let sw = Runtime.sw_path rt in
+   for s = 0 to Lk_htm.Sw_path.slots - 1 do
+     match Lk_htm.Sw_path.owner sw s with
+     | None -> ()
+     | Some c ->
+       add s;
+       add c
+   done);
   Llc.iter (Protocol.llc proto) (fun v ->
       add v.Llc.line;
       add (if v.Llc.dirty then 1 else 0);

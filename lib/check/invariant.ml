@@ -8,6 +8,7 @@ module Txstate = Lk_htm.Txstate
 module Store = Lk_htm.Store
 module Oracle = Lk_htm.Oracle
 module Policy = Lk_htm.Policy
+module Sw_path = Lk_htm.Sw_path
 module Ledger = Lk_engine.Ledger
 module Runtime = Lk_lockiller.Runtime
 module Sysconf = Lk_lockiller.Sysconf
@@ -37,10 +38,14 @@ let check_tx_sets rt =
      for c = 0 to cores - 1 do
        let mode = (Runtime.ctx rt c).Txstate.mode in
        let buffered = Store.buffered store ~core:c in
-       if buffered > 0 && mode <> Txstate.Htm then begin
+       (* Software transactions also defer their writes in the
+          speculative buffer, but without tx_write L1 bits — only the
+          HTM residency check below applies to them. *)
+       if buffered > 0 && mode <> Txstate.Htm && mode <> Txstate.Sw then begin
          found :=
            fail "tx-write-set"
-             "core %d holds %d speculative writes outside HTM mode" c buffered;
+             "core %d holds %d speculative writes outside HTM/SW mode" c
+             buffered;
          raise Exit
        end;
        if mode = Txstate.Htm then
@@ -71,7 +76,7 @@ let lock_tx_cores rt =
   for c = cores - 1 downto 0 do
     match (Runtime.ctx rt c).Txstate.mode with
     | Txstate.Tl | Txstate.Stl -> out := c :: !out
-    | Txstate.Idle | Txstate.Htm -> ()
+    | Txstate.Idle | Txstate.Htm | Txstate.Sw -> ()
   done;
   !out
 
@@ -205,6 +210,16 @@ let check_event rt ~kind ~core ~arg =
     if not (Runtime.is_parked rt core) then
       fail "wakeup" "core %d emitted park but is not parked" core
     else None
+  | Ledger.Sw_begin | Ledger.Sw_commit | Ledger.Sw_abort
+  | Ledger.Clock_advance ->
+    (* All four fire from inside a live software transaction (commit
+       and abort events are emitted before the mode transition back to
+       Idle; clock advances only happen on software reads/commits). *)
+    if mode () <> Txstate.Sw then
+      fail "event-mode" "core %d emitted %s while in %s mode" core
+        (Ledger.kind_label kind)
+        (mode_label (mode ()))
+    else None
   | Ledger.Tx_abort | Ledger.Nack | Ledger.Reject | Ledger.Abort_kill
   | Ledger.Wake | Ledger.Lock_release | Ledger.Switch_granted
   | Ledger.Switch_denied | Ledger.Spill | Ledger.Spec_discard ->
@@ -226,8 +241,17 @@ let check_end rt =
     if Store.buffered store ~core:c > 0 then
       push
         (fail "quiescence" "core %d finished with %d buffered writes" c
-           (Store.buffered store ~core:c))
+           (Store.buffered store ~core:c));
+    let held = Sw_path.locks_held (Runtime.sw_path rt) ~core:c in
+    if held > 0 then
+      push
+        (fail "quiescence" "core %d finished holding %d slot write locks" c
+           held)
   done;
+  if Runtime.sw_population rt > 0 then
+    push
+      (fail "quiescence" "%d software transactions still counted live"
+         (Runtime.sw_population rt));
   (match Runtime.parked_cores rt with
   | [] -> ()
   | cs -> push (fail "wakeup" "cores {%s} are still parked" (pp_cores cs)));

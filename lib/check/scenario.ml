@@ -13,8 +13,9 @@ type t = {
 }
 
 (* Byte addresses used by scenario bodies. The fallback/CGL lock lives
-   at byte 0, and xbegin subscribes to its line, so data must stay off
-   lines 0 and 1 (bytes 0..127). *)
+   at byte 0, the global version clock on line 2 and the software-mode
+   gate on line 3, so data must stay off the first four lines
+   (bytes 0..255). *)
 let a0 = 256
 
 let a1 = 320
@@ -181,6 +182,23 @@ let sharded_trio =
     shards = Some 2;
   }
 
+let hybrid =
+  {
+    name = "hybrid";
+    descr = "HyTM: a faulting transaction falls to the TL2 software \
+             path while the other core keeps attempting HTM on the \
+             same line";
+    sysconf = Sysconf.hytm_gv1;
+    program =
+      [|
+        [ tx ~pre:0 [ Program.Incr a0; Program.Fault ] ];
+        incr_thread ~pre:4 ~txs:2 a0;
+      |];
+    costs;
+    expected = [ (a0, 3) ];
+    shards = None;
+  }
+
 let all =
   [
     read_forward;
@@ -193,6 +211,7 @@ let all =
     htmlock;
     trio;
     sharded_trio;
+    hybrid;
   ]
 
 let find name =

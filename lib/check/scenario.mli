@@ -6,11 +6,13 @@
     enough for the bounded explorer to enumerate every event
     interleaving, yet together covering the interesting mechanisms:
     read-forward downgrades, conflict aborts, park/wake, the commit
-    window, the fallback lock, CGL and HTMLock.
+    window, the fallback lock, CGL, HTMLock and the hybrid-TM
+    software path.
 
     Bodies only touch byte addresses ≥ 256: the fallback/CGL lock
-    lives at byte 0 and xbegin subscribes to its line, so data
-    addresses must stay off the first two lines. *)
+    lives at byte 0 (and xbegin subscribes to its line), the global
+    version clock on line 2 and the software-mode gate on line 3, so
+    data addresses must stay off the first four lines. *)
 
 type t = {
   name : string;  (** Stable identifier ([find] key). *)
@@ -45,6 +47,13 @@ val sharded_trio : t
 (** The two-shard hierarchical-directory scenario: three tiles, two
     LLC banks, traffic homed at both shards plus one cross-shard
     transaction. *)
+
+val hybrid : t
+(** The hybrid-TM scenario ({!Lk_lockiller.Sysconf.hytm_gv1}): a
+    faulting transaction exhausts its HTM budget and commits on the
+    TL2-style software path while the second core races it with HTM
+    increments of the same line — exercising the software-mode gate,
+    the global version clock and the HW/SW conflict rules. *)
 
 val all : t list
 (** Every scenario, in a stable order ([make check] runs these). *)

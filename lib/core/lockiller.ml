@@ -14,6 +14,9 @@ let version = "1.0.0"
 let systems =
   List.map (fun s -> s.Lk_lockiller.Sysconf.name) Lk_lockiller.Sysconf.all
 
+let hybrid_systems =
+  List.map (fun s -> s.Lk_lockiller.Sysconf.name) Lk_lockiller.Sysconf.hybrid
+
 let workloads = Lk_stamp.Suite.names
 
 let lookup ~system ~workload =

@@ -54,6 +54,11 @@ module Check = Lk_check
 val systems : string list
 (** Names accepted by {!run} (Table II). *)
 
+val hybrid_systems : string list
+(** The hybrid-TM comparator family (also accepted by {!run}): the
+    pure-software TL2 baseline and the HyTM instrumentation variants —
+    see docs/HYBRID.md. *)
+
 val workloads : string list
 (** Workload names accepted by {!run} (STAMP without bayes). *)
 

@@ -6,9 +6,10 @@ type category =
   | Non_tran
   | Wait_lock
   | Rollback
+  | Sw
 
 let categories =
-  [ Htm; Aborted; Lock; Switch_lock; Non_tran; Wait_lock; Rollback ]
+  [ Htm; Aborted; Lock; Switch_lock; Non_tran; Wait_lock; Rollback; Sw ]
 
 let index = function
   | Htm -> 0
@@ -18,6 +19,7 @@ let index = function
   | Non_tran -> 4
   | Wait_lock -> 5
   | Rollback -> 6
+  | Sw -> 7
 
 let label = function
   | Htm -> "htm"
@@ -27,6 +29,7 @@ let label = function
   | Non_tran -> "non-tran"
   | Wait_lock -> "waitlock"
   | Rollback -> "rollback"
+  | Sw -> "sw"
 
 let ncats = List.length categories
 

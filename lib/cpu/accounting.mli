@@ -13,7 +13,10 @@
       ("non-tran and barrier").
     - [Wait_lock]: waiting to acquire a lock (spinning, or waiting for
       the fallback lock / LLC authorization to free up).
-    - [Rollback]: abort penalties and inter-retry backoff. *)
+    - [Rollback]: abort penalties and inter-retry backoff.
+    - [Sw]: critical sections that committed on the TL2-style software
+      fallback path of the hybrid-TM comparators (instrumented reads,
+      buffered writes, commit-time validation). *)
 
 type category =
   | Htm
@@ -23,6 +26,7 @@ type category =
   | Non_tran
   | Wait_lock
   | Rollback
+  | Sw
 
 val categories : category list
 (** Presentation order of the paper's figures. *)

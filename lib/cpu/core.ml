@@ -217,22 +217,28 @@ let fallback t (tx : Program.transaction) k =
       end)
 
 (* One critical section under the HTM systems: try speculatively up to
-   max_retries times, then fall back. *)
+   max_retries times, then fall back — to the lock ([Cgl_lock]) or to
+   the TL2-style software path ([Tl2]). *)
 let rec attempt t (tx : Program.transaction) k =
   let sysconf = Runtime.sysconf t.rt in
   let ctx = Runtime.ctx t.rt t.core in
+  let tl2 = sysconf.Sysconf.fallback = Policy.Tl2 in
   if ctx.Txstate.attempt >= sysconf.Sysconf.retry.Policy.max_retries then
-    fallback t tx k
+    if tl2 then software t tx k else fallback t tx k
   else begin
     let t0 = now t in
     Runtime.xbegin t.rt t.core ~k:(function
       | `Busy ->
-        (* The fallback lock was held (or the transaction died during
-           subscription): wasted attempt; wait for the lock, retry. *)
+        (* The fallback lock was held (or, under [Tl2], the software
+           gate / commit flag was raised, or the transaction died
+           during subscription): wasted attempt. Under the lock
+           fallback, wait for the lock before retrying; under [Tl2]
+           there is no lock to wait for — back off and retry. *)
         account t Accounting.Aborted (now t - t0);
         ctx.Txstate.attempt <- ctx.Txstate.attempt + 1;
         rollback_pause t ~attempt:ctx.Txstate.attempt (fun () ->
-            wait_lock_free t (fun () -> attempt t tx k))
+            if tl2 then attempt t tx k
+            else wait_lock_free t (fun () -> attempt t tx k))
       | `Started ->
         let epoch = ctx.Txstate.epoch in
         exec_ops t ~epoch:(Some epoch) tx.Program.ops (function
@@ -275,9 +281,36 @@ let rec attempt t (tx : Program.transaction) k =
                     account t Accounting.Htm (now t - t0);
                     k ()
                   end)
-            | Txstate.Tl | Txstate.Idle ->
+            | Txstate.Tl | Txstate.Idle | Txstate.Sw ->
               failwith "Core.attempt: unexpected mode at commit")))
   end
+
+(* The TL2-style software path of the hybrid-TM comparators: read
+   instrumented, writes buffered, commit-time lock + validate +
+   publish. Software transactions cannot be killed by hardware, but
+   their own reads and commits abort on locked slots, stale versions
+   and failed validation — each such abort backs off and retries the
+   software path (never the hardware one: a transaction that fell
+   through to software stays there, the classic HyTM discipline). *)
+and software t (tx : Program.transaction) k =
+  let ctx = Runtime.ctx t.rt t.core in
+  let t0 = now t in
+  let retry_sw () =
+    account t Accounting.Aborted (now t - t0);
+    ctx.Txstate.attempt <- ctx.Txstate.attempt + 1;
+    rollback_pause t ~attempt:ctx.Txstate.attempt (fun () ->
+        software t tx k)
+  in
+  Runtime.swbegin t.rt t.core ~k:(fun () ->
+      let epoch = ctx.Txstate.epoch in
+      exec_ops t ~epoch:(Some epoch) tx.Program.ops (function
+        | `Aborted -> retry_sw ()
+        | `Done ->
+          Runtime.sw_commit t.rt t.core ~k:(function
+            | `Aborted -> retry_sw ()
+            | `Committed ->
+              account t Accounting.Sw (now t - t0);
+              k ())))
 
 let critical t (tx : Program.transaction) k =
   let sysconf = Runtime.sysconf t.rt in

@@ -16,12 +16,17 @@ type kind =
   | Spill
   | Spec_publish
   | Spec_discard
+  | Sw_begin
+  | Sw_commit
+  | Sw_abort
+  | Clock_advance
 
 let kinds =
   [
     Tx_begin; Tx_commit; Tx_abort; Nack; Reject; Abort_kill; Park; Wake;
     Lock_acquire; Lock_release; Hl_begin; Hl_end; Switch_granted;
-    Switch_denied; Spill; Spec_publish; Spec_discard;
+    Switch_denied; Spill; Spec_publish; Spec_discard; Sw_begin; Sw_commit;
+    Sw_abort; Clock_advance;
   ]
 
 let kind_code = function
@@ -42,6 +47,10 @@ let kind_code = function
   | Spill -> 14
   | Spec_publish -> 15
   | Spec_discard -> 16
+  | Sw_begin -> 17
+  | Sw_commit -> 18
+  | Sw_abort -> 19
+  | Clock_advance -> 20
 
 let kind_table = Array.of_list kinds
 
@@ -66,6 +75,10 @@ let kind_label = function
   | Spill -> "spill"
   | Spec_publish -> "spec-publish"
   | Spec_discard -> "spec-discard"
+  | Sw_begin -> "swbegin"
+  | Sw_commit -> "swcommit"
+  | Sw_abort -> "swabort"
+  | Clock_advance -> "clock"
 
 (* Four machine words per record — time, core, code, arg — in one flat
    preallocated array, so [emit] writes four slots and touches nothing

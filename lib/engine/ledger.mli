@@ -44,7 +44,15 @@
     - [Switch_granted] / [Switch_denied]: 0.
     - [Spill]: the line spilled into the LLC overflow signatures.
     - [Spec_publish] / [Spec_discard]: buffered speculative writes
-      applied to (resp. dropped from) committed memory. *)
+      applied to (resp. dropped from) committed memory.
+    - [Sw_begin]: a TL2-style software transaction started; [arg] is
+      its read version (the global-clock sample).
+    - [Sw_commit]: it committed; [arg] is the version its write set was
+      stamped with (0 for a read-only commit, which stamps nothing).
+    - [Sw_abort]: it aborted; [arg] is the abort-reason code, like
+      [Tx_abort].
+    - [Clock_advance]: the global version clock moved; [arg] is the new
+      value. *)
 type kind =
   | Tx_begin
   | Tx_commit
@@ -63,6 +71,10 @@ type kind =
   | Spill
   | Spec_publish
   | Spec_discard
+  | Sw_begin
+  | Sw_commit
+  | Sw_abort
+  | Clock_advance
 
 val kinds : kind list
 (** Every kind, in code order. *)

@@ -3,7 +3,7 @@
 
 type op = R of int * int | W of int * int
 
-type kind = Htm_commit | Tl_commit | Stl_commit | Plain_section
+type kind = Htm_commit | Tl_commit | Stl_commit | Sw_commit | Plain_section
 
 type record = {
   core : Lk_coherence.Types.core_id;
@@ -36,6 +36,7 @@ let kind_label = function
   | Htm_commit -> "htm"
   | Tl_commit -> "tl"
   | Stl_commit -> "stl"
+  | Sw_commit -> "sw"
   | Plain_section -> "plain"
 
 let verify t =

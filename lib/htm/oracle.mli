@@ -20,8 +20,11 @@ type op =
   | R of int * int  (** address, value observed *)
   | W of int * int  (** address, value written *)
 
-(** How the critical section executed (for diagnostics). *)
-type kind = Htm_commit | Tl_commit | Stl_commit | Plain_section
+(** How the critical section executed (for diagnostics). [Sw_commit]
+    is a committed TL2-style software transaction of the hybrid-TM
+    comparators: its serialization point is the commit (locks held,
+    read set validated), so completion order remains valid. *)
+type kind = Htm_commit | Tl_commit | Stl_commit | Sw_commit | Plain_section
 
 type record = {
   core : Lk_coherence.Types.core_id;

@@ -61,3 +61,64 @@ val backoff_delay : retry -> attempt:int -> int
 val pp_reject_policy : Format.formatter -> reject_policy -> unit
 val pp_priority_policy : Format.formatter -> priority_policy -> unit
 val pp_lock_impl : Format.formatter -> lock_impl -> unit
+
+(** {1 Hybrid-TM comparator family}
+
+    The knobs below configure the hybrid-TM comparators (not part of
+    the paper's Table II): a TL2-style software transaction path that
+    replaces the CGL fallback, coordinated through a global version
+    clock, with a selectable instrumentation scheme on the hardware
+    path. See [docs/HYBRID.md] for how the combinations map onto the
+    HyTM literature's claims. *)
+
+(** How software-commit timestamps relate to the global version clock
+    (one contended cache line served by the sharded directory). *)
+type clock_scheme =
+  | Gv1
+      (** Eager (TL2's GV1): every software writer commit
+          fetch-and-adds the clock, so the clock line is written once
+          per software commit and any hardware transaction subscribed
+          to it is killed. *)
+  | Gv5
+      (** Lazy (TL2's GV5 family): writers stamp [clock + 1] without
+          advancing the clock; a reader that observes a stamp beyond
+          its read version advances the clock to the stamp (one extra
+          RMW on its abort path) and retries. Fewer clock writes,
+          slightly staler read versions. *)
+
+(** What a best-effort HTM transaction falls back to when its retry
+    budget is exhausted. *)
+type fallback_path =
+  | Cgl_lock
+      (** The paper's fallback: a coarse-grained spinlock (Listing 1),
+          possibly elided through HTMLock. *)
+  | Tl2
+      (** A TL2-style software transaction: per-location version
+          stamps, commit-time write locks and read-set validation —
+          software transactions run concurrently with each other and
+          (depending on {!instrumentation}) with hardware ones. *)
+
+(** What the {e hardware} path pays so that software transactions can
+    run concurrently with it ([fallback = Tl2] only). The extra
+    accesses are charged inside the transaction, so they enlarge its
+    window of vulnerability exactly as the HyTM papers describe. *)
+type instrumentation =
+  | Uninstrumented
+      (** The hardware path is left untouched; soundness then requires
+          mutual exclusion, so hardware transactions subscribe to a
+          software-mode gate and cannot start (or survive) while any
+          software transaction runs. *)
+  | Read_check
+      (** One extra transactional load of the global clock per
+          transactional read: under {!Gv1} any software writer commit
+          kills every running hardware transaction (coarse but
+          cheap). Requires {!Gv1}. *)
+  | Access_check
+      (** One extra transactional load of the location's version-stamp
+          line per transactional read {e and} write: software commits
+          kill exactly the hardware transactions they overlap
+          (precise, twice the coherence traffic). *)
+
+val pp_clock_scheme : Format.formatter -> clock_scheme -> unit
+val pp_fallback_path : Format.formatter -> fallback_path -> unit
+val pp_instrumentation : Format.formatter -> instrumentation -> unit

@@ -5,9 +5,18 @@ type t =
   | Conflict_non_tx
   | Capacity
   | Fault
+  | Validation
 
 let all =
-  [ Conflict_htm; Conflict_lock; Conflict_mutex; Conflict_non_tx; Capacity; Fault ]
+  [
+    Conflict_htm;
+    Conflict_lock;
+    Conflict_mutex;
+    Conflict_non_tx;
+    Capacity;
+    Fault;
+    Validation;
+  ]
 
 let index = function
   | Conflict_htm -> 0
@@ -16,8 +25,9 @@ let index = function
   | Conflict_non_tx -> 3
   | Capacity -> 4
   | Fault -> 5
+  | Validation -> 6
 
-let count = 6
+let count = 7
 
 let label = function
   | Conflict_htm -> "mc"
@@ -26,6 +36,7 @@ let label = function
   | Conflict_non_tx -> "non_tran"
   | Capacity -> "of"
   | Fault -> "fault"
+  | Validation -> "valid"
 
 let classify_conflict ~aggressor_mode ~line ~lock_line =
   match (aggressor_mode : Lk_coherence.Types.mode) with

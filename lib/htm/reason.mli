@@ -13,7 +13,14 @@
       cache (or an inclusivity back-invalidation evicted a
       transactional line).
     - [Fault] ("fault"): exception inside the transaction; best-effort
-      HTM aborts unconditionally. *)
+      HTM aborts unconditionally.
+
+    One extra category beyond Fig 10 exists for the hybrid-TM
+    comparators:
+
+    - [Validation] ("valid"): a TL2-style software transaction failed
+      commit-time read-set validation (or lost a commit-lock /
+      stamp-freshness race). Never raised by the paper's systems. *)
 
 type t =
   | Conflict_htm
@@ -22,10 +29,11 @@ type t =
   | Conflict_non_tx
   | Capacity
   | Fault
+  | Validation
 
 val all : t list
 (** In the paper's presentation order: mc, lock, mutex, non_tran, of,
-    fault. *)
+    fault — followed by the hybrid-only valid. *)
 
 val label : t -> string
 (** The paper's short label for the category. *)

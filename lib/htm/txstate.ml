@@ -1,4 +1,4 @@
-type mode = Idle | Htm | Tl | Stl
+type mode = Idle | Htm | Tl | Stl | Sw
 
 type t = {
   core : Lk_coherence.Types.core_id;
@@ -11,6 +11,7 @@ type t = {
   mutable pending_abort : Reason.t option;
   mutable tx_seq : int;
   mutable static_priority : int;
+  mutable rv : int;
 }
 
 let create core =
@@ -25,6 +26,7 @@ let create core =
     pending_abort = None;
     tx_seq = 0;
     static_priority = 0;
+    rv = 0;
   }
 
 let coherence_mode t =
@@ -32,6 +34,7 @@ let coherence_mode t =
   | Idle -> Lk_coherence.Types.Non_tx
   | Htm -> Lk_coherence.Types.Htm_tx
   | Tl | Stl -> Lk_coherence.Types.Lock_tx
+  | Sw -> Lk_coherence.Types.Non_tx
 
 let in_critical t = t.mode <> Idle
 
@@ -61,4 +64,9 @@ let finish t =
 
 let pp_mode ppf m =
   Format.pp_print_string ppf
-    (match m with Idle -> "idle" | Htm -> "htm" | Tl -> "tl" | Stl -> "stl")
+    (match m with
+    | Idle -> "idle"
+    | Htm -> "htm"
+    | Tl -> "tl"
+    | Stl -> "stl"
+    | Sw -> "sw")

@@ -11,6 +11,12 @@ type mode =
   | Htm  (** Speculative HTM transaction. *)
   | Tl  (** Lock transaction that entered HTMLock mode via hlbegin. *)
   | Stl  (** HTM transaction that proactively switched to HTMLock. *)
+  | Sw
+      (** TL2-style software transaction on the hybrid fallback path.
+          At the coherence layer it is an ordinary non-transactional
+          party (its reads and writes cannot be conflict-aborted); the
+          transactional semantics come from version validation at
+          commit time. *)
 
 type t = {
   core : Lk_coherence.Types.core_id;
@@ -40,6 +46,10 @@ type t = {
       (** Fixed priority of the current transaction under the
           [Static_based] policy; drawn at the first attempt and kept
           across retries. *)
+  mutable rv : int;
+      (** Read version of the current software ([Sw]) transaction: the
+          {!Global_clock} value sampled at swbegin. Reads observing a
+          stamp beyond it abort (after catching the clock up). *)
 }
 
 val create : Lk_coherence.Types.core_id -> t

@@ -13,6 +13,8 @@ module Policy = Lk_htm.Policy
 module Reason = Lk_htm.Reason
 module Txstate = Lk_htm.Txstate
 module Oracle = Lk_htm.Oracle
+module Sw_path = Lk_htm.Sw_path
+module Global_clock = Lk_htm.Global_clock
 
 type access_result = Ok of int | Tx_aborted
 
@@ -38,6 +40,7 @@ type core_stats = {
   mutable commits : int;
   mutable stl_commits : int;
   mutable lock_commits : int;
+  mutable sw_commits : int;
   mutable aborts : int;
   abort_reasons : int array;
   mutable rejects_received : int;
@@ -82,6 +85,18 @@ type t = {
      non-transactional) section that should be logged. *)
   op_logs : Oracle.op list array;
   plain_section : bool array;
+  (* TL2-style software fallback path (hybrid-TM comparators): per-core
+     read/write sets, the striped lock table, and the live population
+     count sampled by the telemetry gauge. *)
+  sw : Sw_path.t;
+  mutable sw_now : int;
+  mutable sw_peak : int;
+  (* Mirror of the global version clock's committed word: the store
+     copy is the authoritative, coherence-visible one, but the
+     telemetry sampler reads the value every sample and its path must
+     not allocate (a store lookup does). All advances go through
+     [advance_clock], which keeps the two in sync. *)
+  mutable clock_now : int;
   (* Deliberately broken variant for the checker-of-the-checker
      mutation tests; [None] in every real run. *)
   inject : Types.injected_fault option;
@@ -98,6 +113,9 @@ type t = {
   s_spilled_lines : Stats.counter;
   s_lock_busy : Stats.counter;
   s_lock_dwell : Stats.counter;
+  s_sw_commits : Stats.counter;
+  s_sw_aborts : Stats.counter;
+  s_clock_adv : Stats.counter;
   (* Always-on log-linear histograms (array increments on commit-rate
      paths; no allocation, no measurable cost). *)
   d_tx_latency : Stats.hdr;
@@ -142,7 +160,7 @@ let lock_holders t =
    below is allocation-free: the sampler runs them thousands of times
    per simulation and must not disturb the GC. *)
 
-let num_phases = 6
+let num_phases = 7
 
 let phase_label = function
   | 0 -> "non-tx"
@@ -151,6 +169,7 @@ let phase_label = function
   | 3 -> "lock"
   | 4 -> "parked"
   | 5 -> "aborting"
+  | 6 -> "sw"
   | _ -> invalid_arg "Runtime.phase_label"
 
 let phase_code t core =
@@ -164,6 +183,7 @@ let phase_code t core =
       | Txstate.Tl | Txstate.Stl -> 2
       | Txstate.Htm -> (
         match c.Txstate.pending_abort with Some _ -> 5 | None -> 1)
+      | Txstate.Sw -> 6
       | Txstate.Idle -> 0
     end
 
@@ -183,9 +203,14 @@ let commit_rate t =
   Array.iter
     (fun cs ->
       starts := !starts + cs.starts;
-      commits := !commits + cs.commits + cs.stl_commits)
+      commits := !commits + cs.commits + cs.stl_commits + cs.sw_commits)
     t.per_core;
   if !starts = 0 then 1.0 else float_of_int !commits /. float_of_int !starts
+
+let clock_value t = t.clock_now
+let sw_population t = t.sw_now
+let sw_peak t = t.sw_peak
+let sw_path t = t.sw
 
 let lock_held t =
   match t.sysconf.Sysconf.lock with
@@ -274,7 +299,10 @@ let party_of t core =
   let c = t.ctxs.(core) in
   match c.Txstate.mode with
   | Txstate.Tl | Txstate.Stl -> { Types.mode = Types.Lock_tx; priority = max_int }
-  | Txstate.Idle -> Types.non_tx_party
+  (* Software transactions are plain parties: their optimistic reads
+     and commit-time publishes beat hardware holders (requester-win),
+     and nothing can conflict-abort them. *)
+  | Txstate.Idle | Txstate.Sw -> Types.non_tx_party
   | Txstate.Htm ->
     let priority =
       match t.sysconf.Sysconf.priority with
@@ -356,6 +384,8 @@ let abort_core t core reason =
   (match c.Txstate.mode with
   | Txstate.Tl | Txstate.Stl ->
     invalid_arg "Runtime.abort_core: lock transactions are irrevocable"
+  | Txstate.Sw ->
+    invalid_arg "Runtime.abort_core: software transactions self-abort"
   | Txstate.Htm | Txstate.Idle -> ());
   let cs = t.per_core.(core) in
   cs.aborts <- cs.aborts + 1;
@@ -389,6 +419,7 @@ let reject_reason t ~by =
     match t.ctxs.(r).Txstate.mode with
     | Txstate.Tl | Txstate.Stl -> Reason.Conflict_lock
     | Txstate.Htm -> Reason.Conflict_htm
+    | Txstate.Sw -> Reason.Conflict_non_tx
     | Txstate.Idle -> Reason.Conflict_htm)
 
 let rejector_alive t ~by =
@@ -423,7 +454,7 @@ let issue t core line what ~epoch k =
         emit t core Ledger.Reject
           ~arg:(match by with Some r -> r | None -> -1);
         match c.Txstate.mode with
-        | Txstate.Idle ->
+        | Txstate.Idle | Txstate.Sw ->
           (* Plain accesses cannot abort: bounded retry. *)
           let delay =
             Policy.backoff_delay t.sysconf.Sysconf.retry ~attempt:!attempt
@@ -499,8 +530,9 @@ let on_tx_eviction t ~core ~(view : L1.view) =
   | Txstate.Htm ->
     abort_core t core Reason.Capacity;
     Client.Abort_tx 0
-  | Txstate.Idle ->
-    (* Defensive: stray tx bits without a live transaction. *)
+  | Txstate.Idle | Txstate.Sw ->
+    (* Defensive: stray tx bits without a live transaction (software
+       transactions never set them). *)
     ignore (Protocol.abort_flush t.proto core);
     Client.Abort_tx 0
 
@@ -588,6 +620,10 @@ let create ?(costs = default_costs) ?inject_bug ~protocol:proto ~store ~sysconf
       last_abort = Array.make cores (-1);
       op_logs = Array.make cores [];
       plain_section = Array.make cores false;
+      sw = Sw_path.create ~cores;
+      sw_now = 0;
+      sw_peak = 0;
+      clock_now = 0;
       inject = inject_bug;
       per_core =
         Array.init cores (fun _ ->
@@ -596,6 +632,7 @@ let create ?(costs = default_costs) ?inject_bug ~protocol:proto ~store ~sysconf
               commits = 0;
               stl_commits = 0;
               lock_commits = 0;
+              sw_commits = 0;
               aborts = 0;
               abort_reasons = Array.make Reason.count 0;
               rejects_received = 0;
@@ -614,6 +651,9 @@ let create ?(costs = default_costs) ?inject_bug ~protocol:proto ~store ~sysconf
       s_spilled_lines = Stats.counter stats "spilled_lines";
       s_lock_busy = Stats.counter stats "lock_busy_aborts";
       s_lock_dwell = Stats.counter stats "lock_dwell_cycles";
+      s_sw_commits = Stats.counter stats "sw_commits";
+      s_sw_aborts = Stats.counter stats "sw_aborts";
+      s_clock_adv = Stats.counter stats "clock_advances";
       d_tx_latency = Stats.hdr stats "tx_latency";
       d_retry_gap = Stats.hdr stats "retry_gap";
       d_lock_dwell = Stats.hdr stats "lock_dwell";
@@ -667,6 +707,37 @@ let xbegin t core ~k =
   Sim.schedule_tile t.sim ~tile:core ~delay:t.costs.begin_cost (fun () ->
       if c.Txstate.epoch <> epoch then k `Busy
       else if t.sysconf.Sysconf.htmlock then k `Started
+      else if t.sysconf.Sysconf.fallback = Policy.Tl2 then begin
+        match t.sysconf.Sysconf.instrumentation with
+        | Policy.Uninstrumented ->
+          (* Mutual exclusion with the software path: subscribe to the
+             software-mode gate (its population count plays the role
+             the fallback lock plays in Listing 1). *)
+          issue t core Sw_path.gate_line Types.Read ~epoch (function
+            | `Aborted -> k `Busy
+            | `Granted ->
+              c.Txstate.insts <- c.Txstate.insts + 1;
+              if Store.committed t.store Sw_path.gate_addr <> 0 then begin
+                Stats.incr t.s_lock_busy;
+                abort_core t core Reason.Conflict_mutex;
+                k `Busy
+              end
+              else k `Started)
+        | Policy.Read_check ->
+          (* Sample (and subscribe to) the global clock's line; abort
+             if a software writer commit is in flight. *)
+          issue t core Global_clock.line Types.Read ~epoch (function
+            | `Aborted -> k `Busy
+            | `Granted ->
+              c.Txstate.insts <- c.Txstate.insts + 1;
+              if Global_clock.commit_locked t.store then begin
+                Stats.incr t.s_lock_busy;
+                abort_core t core Reason.Conflict_mutex;
+                k `Busy
+              end
+              else k `Started)
+        | Policy.Access_check -> k `Started
+      end
       else
         (* Best-effort idiom: subscribe to the fallback lock by reading
            it transactionally (Listing 1, line 8). *)
@@ -708,8 +779,37 @@ let xend t core ~k =
       in
       if not guard_ok then k ()
       else begin
+        (* Instrumented hybrid schemes: a hardware commit must be
+           visible to software read-set validation, so stamp the
+           version slot of every written line with [clock + 1] —
+           without advancing the clock (the GV5 lazy idiom; software
+           readers catch the clock up). The stamps are poked, not
+           issued: hardware-assisted stamping rides the commit's own
+           write-backs. The lock bit is preserved and versions only
+           ever grow. *)
+        let stamp_written =
+          t.sysconf.Sysconf.fallback = Policy.Tl2
+          && t.sysconf.Sysconf.instrumentation <> Policy.Uninstrumented
+        in
+        let written_slots = ref [] in
+        if stamp_written then
+          Store.iter_buffered t.store ~core (fun addr _ ->
+              let slot = Sw_path.slot_of_line (Addr.line_of_byte addr) in
+              if not (List.mem slot !written_slots) then
+                written_slots := slot :: !written_slots);
         ignore (Protocol.commit_flush t.proto core);
         ignore (Store.commit t.store ~core);
+        if stamp_written && !written_slots <> [] then begin
+          let wt = Global_clock.write_stamp t.store in
+          List.iter
+            (fun slot ->
+              let a = Sw_path.meta_addr_of_slot slot in
+              let old = Store.committed t.store a in
+              let nv = Int.max (Sw_path.version_of old) wt in
+              let word = Sw_path.stamp_word nv lor (old land 1) in
+              Store.poke t.store a word)
+            !written_slots
+        end;
         record_section t core Oracle.Htm_commit;
         trace t core Txtrace.Commit;
         emit t core Ledger.Tx_commit ~arg:(c.Txstate.attempt + 1);
@@ -765,7 +865,7 @@ let hlend t core ~k =
   let c = t.ctxs.(core) in
   (match c.Txstate.mode with
   | Txstate.Tl | Txstate.Stl -> ()
-  | Txstate.Htm | Txstate.Idle ->
+  | Txstate.Htm | Txstate.Idle | Txstate.Sw ->
     invalid_arg "Runtime.hlend: not in HTMLock mode");
   let was_stl = c.Txstate.mode = Txstate.Stl in
   Sim.schedule_tile t.sim ~tile:core ~delay:t.costs.commit_cost (fun () ->
@@ -805,41 +905,363 @@ let progress_tick t core =
   if c.Txstate.mode = Txstate.Htm then
     c.Txstate.progress <- c.Txstate.progress + 1
 
-let read t core ~addr ~k =
+(* --- TL2-style software fallback path --------------------------------- *)
+
+let sw_gated t =
+  t.sysconf.Sysconf.instrumentation = Policy.Uninstrumented
+
+(* The single funnel for version-clock advances: the store word stays
+   authoritative, [clock_now] mirrors it for the allocation-free
+   telemetry gauge, and every effective advance is counted and
+   ledgered. *)
+let advance_clock t core ~to_ =
+  if Global_clock.advance t.store ~to_ then begin
+    t.clock_now <- to_;
+    Stats.incr t.s_clock_adv;
+    emit t core Ledger.Clock_advance ~arg:to_
+  end
+
+(* Leave software mode at the gate (Uninstrumented only): RMW the
+   population count down. Runs after [Txstate] already left Sw, so the
+   access is an ordinary plain access. *)
+let sw_gate_leave t core ~k =
+  if sw_gated t then
+    let c = t.ctxs.(core) in
+    issue t core Sw_path.gate_line Types.Rmw ~epoch:c.Txstate.epoch (fun _ ->
+        let g = Store.committed t.store Sw_path.gate_addr in
+        Store.write t.store ~core ~speculative:false Sw_path.gate_addr (g - 1);
+        k ())
+  else k ()
+
+(* Abort the running software transaction: restore the stamp word of
+   every commit-time lock we hold, drop the read/write sets and the
+   speculative buffer, then leave the gate. *)
+let sw_abort t core reason ~k =
+  let c = t.ctxs.(core) in
+  if c.Txstate.mode <> Txstate.Sw then
+    invalid_arg "Runtime.sw_abort: not in a software transaction";
+  Sw_path.iter_writes t.sw ~core (fun slot ->
+      match Sw_path.owner t.sw slot with
+      | Some o when o = core ->
+        let a = Sw_path.meta_addr_of_slot slot in
+        let old = Store.committed t.store a in
+        Store.poke t.store a (Sw_path.stamp_word (Sw_path.version_of old));
+        Sw_path.unlock t.sw ~core slot
+      | Some _ | None -> ());
+  Sw_path.reset t.sw core;
+  let cs = t.per_core.(core) in
+  cs.aborts <- cs.aborts + 1;
+  cs.abort_reasons.(Reason.index reason) <-
+    cs.abort_reasons.(Reason.index reason) + 1;
+  t.last_abort.(core) <- Sim.now t.sim;
+  Stats.incr t.s_aborts;
+  Stats.incr t.s_sw_aborts;
+  trace t core (Txtrace.Abort reason);
+  emit t core Ledger.Sw_abort ~arg:(Reason.index reason);
+  ignore (Store.discard t.store ~core);
+  clear_log t core;
+  t.sw_now <- t.sw_now - 1;
+  Txstate.abort c reason;
+  sw_gate_leave t core ~k
+
+let swbegin t core ~k =
+  let c = t.ctxs.(core) in
+  if c.Txstate.mode <> Txstate.Idle then
+    invalid_arg "Runtime.swbegin: already in a transaction";
+  c.Txstate.mode <- Txstate.Sw;
+  c.Txstate.pending_abort <- None;
+  Txstate.reset_attempt c;
+  Sw_path.reset t.sw core;
+  clear_log t core;
+  if t.section_start.(core) < 0 then t.section_start.(core) <- Sim.now t.sim
+  else if t.last_abort.(core) >= 0 then begin
+    Stats.record t.d_retry_gap (Sim.now t.sim - t.last_abort.(core));
+    t.last_abort.(core) <- -1
+  end;
+  let cs = t.per_core.(core) in
+  cs.starts <- cs.starts + 1;
+  t.sw_now <- t.sw_now + 1;
+  t.sw_peak <- Int.max t.sw_peak t.sw_now;
+  let epoch = c.Txstate.epoch in
+  let sample_clock () =
+    issue t core Global_clock.line Types.Read ~epoch (fun _ ->
+        c.Txstate.rv <- Global_clock.read t.store;
+        emit t core Ledger.Sw_begin ~arg:c.Txstate.rv;
+        k ())
+  in
+  Sim.schedule_tile t.sim ~tile:core ~delay:t.costs.begin_cost (fun () ->
+      if sw_gated t then
+        (* Enter software mode at the gate: the RMW kills every
+           hardware transaction subscribed to the gate line. *)
+        issue t core Sw_path.gate_line Types.Rmw ~epoch (fun _ ->
+            let g = Store.committed t.store Sw_path.gate_addr in
+            Store.write t.store ~core ~speculative:false Sw_path.gate_addr
+              (g + 1);
+            sample_clock ())
+      else sample_clock ())
+
+let sw_read t core ~addr ~k =
   let c = t.ctxs.(core) in
   let epoch = c.Txstate.epoch in
-  issue t core (Addr.line_of_byte addr) Types.Read ~epoch (function
+  let line = Addr.line_of_byte addr in
+  let slot = Sw_path.slot_of_line line in
+  (* TL2 read: load the slot's stamp first; a locked or too-new stamp
+     aborts the transaction (after catching the clock up, so the retry
+     starts with a fresh enough read version). *)
+  issue t core (Sw_path.meta_line line) Types.Read ~epoch (function
     | `Aborted -> k Tx_aborted
     | `Granted ->
-      progress_tick t core;
-      let v = Store.read t.store ~core ~speculative:(speculative t core) addr in
-      log_op t core (Oracle.R (addr, v));
+      let word = Store.committed t.store (Sw_path.meta_addr_of_slot slot) in
+      let version = Sw_path.version_of word in
+      let locked_by_other =
+        Sw_path.locked word
+        &&
+        match Sw_path.owner t.sw slot with
+        | Some o -> o <> core
+        | None -> true
+      in
+      let abort () = sw_abort t core Reason.Validation ~k:(fun () -> k Tx_aborted) in
+      if version > c.Txstate.rv then
+        (* Clock catch-up — needed under GV5 by design, and under GV1
+           whenever an instrumented hardware commit stamped
+           [clock + 1] without advancing the clock. *)
+        issue t core Global_clock.line Types.Rmw ~epoch (fun _ ->
+            advance_clock t core ~to_:version;
+            abort ())
+      else if locked_by_other then abort ()
+      else
+        issue t core line Types.Read ~epoch (function
+          | `Aborted -> k Tx_aborted
+          | `Granted ->
+            progress_tick t core;
+            let v = Store.read t.store ~core ~speculative:true addr in
+            Sw_path.note_read t.sw ~core ~slot ~version;
+            log_op t core (Oracle.R (addr, v));
+            k (Ok v)))
+
+let sw_write t core ~addr ~value ~k =
+  (* Deferred write: buffer the value and remember the slot; the
+     coherence traffic (lock, publish, stamp) happens at commit. *)
+  progress_tick t core;
+  Store.write t.store ~core ~speculative:true addr value;
+  Sw_path.note_write t.sw ~core ~slot:(Sw_path.slot_of_line (Addr.line_of_byte addr));
+  log_op t core (Oracle.W (addr, value));
+  Sim.schedule_tile t.sim ~tile:core ~delay:1 (fun () -> k (Ok 0))
+
+let sw_fetch_add t core ~addr ~delta ~k =
+  sw_read t core ~addr ~k:(function
+    | Tx_aborted -> k Tx_aborted
+    | Ok v ->
+      Store.write t.store ~core ~speculative:true addr (v + delta);
+      Sw_path.note_write t.sw ~core
+        ~slot:(Sw_path.slot_of_line (Addr.line_of_byte addr));
+      log_op t core (Oracle.W (addr, v + delta));
       k (Ok v))
+
+let sw_commit t core ~k =
+  let c = t.ctxs.(core) in
+  if c.Txstate.mode <> Txstate.Sw then
+    invalid_arg "Runtime.sw_commit: not in a software transaction";
+  let epoch = c.Txstate.epoch in
+  let nwrites = Sw_path.writes t.sw ~core in
+  Sw_path.sort_writes t.sw ~core;
+  let wslots = ref [] in
+  Sw_path.iter_writes t.sw ~core (fun s -> wslots := s :: !wslots);
+  let wslots = List.rev !wslots in
+  let read_check = t.sysconf.Sysconf.instrumentation = Policy.Read_check in
+  let fail () =
+    if read_check && nwrites > 0 then Global_clock.set_commit_flag t.store false;
+    sw_abort t core Reason.Validation ~k:(fun () -> k `Aborted)
+  in
+  (* Phase 1 — commit-time write locks, in ascending slot order (the
+     RMW on each stamp line also kills, under Access_check, every
+     hardware transaction that touched the slot). *)
+  let rec lock_phase remaining k2 =
+    match remaining with
+    | [] -> k2 ()
+    | slot :: rest ->
+      issue t core (Sw_path.meta_line_of_slot slot) Types.Rmw ~epoch
+        (function
+        | `Aborted -> fail ()
+        | `Granted ->
+          if Sw_path.try_lock t.sw ~core slot then begin
+            let a = Sw_path.meta_addr_of_slot slot in
+            let old = Store.committed t.store a in
+            Store.write t.store ~core ~speculative:false a
+              (Sw_path.lock_word old);
+            lock_phase rest k2
+          end
+          else fail ())
+  in
+  (* Phase 2 — the write stamp. GV1 RMWs the clock (killing, under
+     Read_check, every hardware transaction subscribed to it — and
+     raising the commit-in-progress flag until publish); GV5 stamps
+     [clock + 1] without any clock traffic. Read-only commits skip the
+     clock entirely. *)
+  let clock_phase k2 =
+    if nwrites = 0 then k2 ~wt:0
+    else
+      match t.sysconf.Sysconf.clock with
+      | Policy.Gv5 -> k2 ~wt:(Global_clock.write_stamp t.store)
+      | Policy.Gv1 ->
+        issue t core Global_clock.line Types.Rmw ~epoch (fun _ ->
+            let wt = Global_clock.write_stamp t.store in
+            if read_check then Global_clock.set_commit_flag t.store true
+            else advance_clock t core ~to_:wt;
+            k2 ~wt)
+  in
+  (* Phase 3 — validate, publish, stamp, unlock and record in one
+     simulated instant: the record's end time is the serialization
+     point, and every slot we wrote stays locked (aborting any reader)
+     until that instant, so completion order stays a valid
+     serialization order. The publish write-backs are charged (and
+     kill hardware transactions still holding stale copies) after. *)
+  let finish ~wt =
+    let valid = ref true in
+    Sw_path.iter_reads t.sw ~core (fun slot version ->
+        let word = Store.committed t.store (Sw_path.meta_addr_of_slot slot) in
+        let ok =
+          Sw_path.version_of word = version
+          && ((not (Sw_path.locked word))
+             || Sw_path.owner t.sw slot = Some core)
+        in
+        if not ok then valid := false);
+    if not !valid then fail ()
+    else begin
+      let published = ref [] in
+      Store.iter_buffered t.store ~core (fun a _ ->
+          let line = Addr.line_of_byte a in
+          if not (List.mem line !published) then published := line :: !published);
+      ignore (Store.commit t.store ~core);
+      List.iter
+        (fun slot ->
+          let a = Sw_path.meta_addr_of_slot slot in
+          let old = Store.committed t.store a in
+          let nv = Int.max (Sw_path.version_of old) wt in
+          Store.poke t.store a (Sw_path.stamp_word nv);
+          Sw_path.unlock t.sw ~core slot)
+        wslots;
+      if read_check && nwrites > 0 then begin
+        advance_clock t core ~to_:wt;
+        Global_clock.set_commit_flag t.store false
+      end;
+      record_section t core Oracle.Sw_commit;
+      emit t core Ledger.Sw_commit ~arg:wt;
+      let cs = t.per_core.(core) in
+      cs.sw_commits <- cs.sw_commits + 1;
+      Stats.incr t.s_sw_commits;
+      close_section t core;
+      Sw_path.reset t.sw core;
+      t.sw_now <- t.sw_now - 1;
+      Txstate.finish c;
+      let rec drain = function
+        | [] -> sw_gate_leave t core ~k:(fun () -> k `Committed)
+        | line :: rest ->
+          issue t core line Types.Write ~epoch:c.Txstate.epoch (fun _ ->
+              drain rest)
+      in
+      drain (List.rev !published)
+    end
+  in
+  Sim.schedule_tile t.sim ~tile:core ~delay:t.costs.commit_cost (fun () ->
+      lock_phase wslots (fun () -> clock_phase (fun ~wt -> finish ~wt)))
+
+(* Instrumented hardware pre-access (the HyTM cost): one extra
+   transactional load per access that both charges the instrumentation
+   cycles and creates the coherence subscription the software path's
+   commit-time kills rely on. *)
+let hw_pre_access t core ~line ~is_read ~epoch k =
+  let c = t.ctxs.(core) in
+  if c.Txstate.mode <> Txstate.Htm || t.sysconf.Sysconf.fallback <> Policy.Tl2
+  then k `Granted
+  else
+    match t.sysconf.Sysconf.instrumentation with
+    | Policy.Uninstrumented -> k `Granted
+    | Policy.Read_check ->
+      if not is_read then k `Granted
+      else
+        issue t core Global_clock.line Types.Read ~epoch (function
+          | `Aborted -> k `Aborted
+          | `Granted ->
+            c.Txstate.insts <- c.Txstate.insts + 1;
+            if Global_clock.commit_locked t.store then begin
+              Stats.incr t.s_lock_busy;
+              abort_core t core Reason.Conflict_mutex;
+              k `Aborted
+            end
+            else k `Granted)
+    | Policy.Access_check ->
+      issue t core (Sw_path.meta_line line) Types.Read ~epoch (function
+        | `Aborted -> k `Aborted
+        | `Granted ->
+          c.Txstate.insts <- c.Txstate.insts + 1;
+          let word =
+            Store.committed t.store
+              (Sw_path.meta_addr_of_slot (Sw_path.slot_of_line line))
+          in
+          if Sw_path.locked word then begin
+            Stats.incr t.s_lock_busy;
+            abort_core t core Reason.Conflict_mutex;
+            k `Aborted
+          end
+          else k `Granted)
+
+let read t core ~addr ~k =
+  let c = t.ctxs.(core) in
+  if c.Txstate.mode = Txstate.Sw then sw_read t core ~addr ~k
+  else
+    let epoch = c.Txstate.epoch in
+    let line = Addr.line_of_byte addr in
+    hw_pre_access t core ~line ~is_read:true ~epoch (function
+      | `Aborted -> k Tx_aborted
+      | `Granted ->
+        issue t core line Types.Read ~epoch (function
+          | `Aborted -> k Tx_aborted
+          | `Granted ->
+            progress_tick t core;
+            let v =
+              Store.read t.store ~core ~speculative:(speculative t core) addr
+            in
+            log_op t core (Oracle.R (addr, v));
+            k (Ok v)))
 
 let write t core ~addr ~value ~k =
   let c = t.ctxs.(core) in
-  let epoch = c.Txstate.epoch in
-  issue t core (Addr.line_of_byte addr) Types.Write ~epoch (function
-    | `Aborted -> k Tx_aborted
-    | `Granted ->
-      progress_tick t core;
-      Store.write t.store ~core ~speculative:(speculative t core) addr value;
-      log_op t core (Oracle.W (addr, value));
-      k (Ok 0))
+  if c.Txstate.mode = Txstate.Sw then sw_write t core ~addr ~value ~k
+  else
+    let epoch = c.Txstate.epoch in
+    let line = Addr.line_of_byte addr in
+    hw_pre_access t core ~line ~is_read:false ~epoch (function
+      | `Aborted -> k Tx_aborted
+      | `Granted ->
+        issue t core line Types.Write ~epoch (function
+          | `Aborted -> k Tx_aborted
+          | `Granted ->
+            progress_tick t core;
+            Store.write t.store ~core ~speculative:(speculative t core) addr
+              value;
+            log_op t core (Oracle.W (addr, value));
+            k (Ok 0)))
 
 let fetch_add t core ~addr ~delta ~k =
   let c = t.ctxs.(core) in
-  let epoch = c.Txstate.epoch in
-  issue t core (Addr.line_of_byte addr) Types.Rmw ~epoch (function
-    | `Aborted -> k Tx_aborted
-    | `Granted ->
-      progress_tick t core;
-      let speculative = speculative t core in
-      let v = Store.read t.store ~core ~speculative addr in
-      Store.write t.store ~core ~speculative addr (v + delta);
-      log_op t core (Oracle.R (addr, v));
-      log_op t core (Oracle.W (addr, v + delta));
-      k (Ok v))
+  if c.Txstate.mode = Txstate.Sw then sw_fetch_add t core ~addr ~delta ~k
+  else
+    let epoch = c.Txstate.epoch in
+    let line = Addr.line_of_byte addr in
+    hw_pre_access t core ~line ~is_read:true ~epoch (function
+      | `Aborted -> k Tx_aborted
+      | `Granted ->
+        issue t core line Types.Rmw ~epoch (function
+          | `Aborted -> k Tx_aborted
+          | `Granted ->
+            progress_tick t core;
+            let speculative = speculative t core in
+            let v = Store.read t.store ~core ~speculative addr in
+            Store.write t.store ~core ~speculative addr (v + delta);
+            log_op t core (Oracle.R (addr, v));
+            log_op t core (Oracle.W (addr, v + delta));
+            k (Ok v)))
 
 let add_insts t core n =
   let c = t.ctxs.(core) in
@@ -854,7 +1276,7 @@ let fault t core ~k =
        pollutes the L1: the retry / fallback path restarts cold. *)
     ignore (Protocol.flush_core t.proto core);
     k `Died
-  | Txstate.Tl | Txstate.Stl | Txstate.Idle ->
+  | Txstate.Tl | Txstate.Stl | Txstate.Idle | Txstate.Sw ->
     k (`Survived t.costs.fault_cost)
 
 (* --- Spinlock --------------------------------------------------------- *)

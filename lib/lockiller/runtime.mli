@@ -91,6 +91,34 @@ val ttest : t -> Lk_coherence.Types.core_id -> Lk_htm.Txstate.mode
 (** The paper's extended ttest: distinguishes HTM / TL / STL (Listing
     2 dispatches the release path on it). *)
 
+(* -- TL2-style software fallback (hybrid-TM comparators) -------------- *)
+
+val swbegin : t -> Lk_coherence.Types.core_id -> k:(unit -> unit) -> unit
+(** Start a TL2-style software transaction ([Sysconf.fallback = Tl2]
+    systems): under the [Uninstrumented] scheme, RMW the software-mode
+    gate up (killing every hardware transaction subscribed to it), then
+    sample the global clock as the read version. Never fails — the
+    software path is the guaranteed-progress endpoint. Subsequent
+    {!read} / {!write} / {!fetch_add} calls take the software path
+    (optimistic stamped reads, buffered writes) until {!sw_commit};
+    a read observing a locked or too-new stamp aborts the transaction
+    ([Tx_aborted], reason [Validation]) and the core must retry from
+    [swbegin]. *)
+
+val sw_commit :
+  t ->
+  Lk_coherence.Types.core_id ->
+  k:([ `Committed | `Aborted ] -> unit) ->
+  unit
+(** TL2 commit: lock the write set's stamp slots in ascending order,
+    take the write stamp from the global clock (GV1 advances it with an
+    RMW; GV5 uses [clock + 1] without traffic), validate the read set
+    by exact version match, then publish, stamp and unlock. Validation,
+    publish and the oracle record happen in one simulated instant — the
+    serialization point — with the publish write-backs charged after.
+    [`Aborted] (reason [Validation]) on a lost lock race or a failed
+    validation; the core retries from {!swbegin}. *)
+
 (* -- Memory operations ------------------------------------------------ *)
 
 val read :
@@ -189,6 +217,8 @@ type core_stats = {
   mutable commits : int;  (** HTM commits (STL commits excluded). *)
   mutable stl_commits : int;
   mutable lock_commits : int;  (** Critical sections finished via lock/TL. *)
+  mutable sw_commits : int;
+      (** Critical sections committed on the TL2 software path. *)
   mutable aborts : int;
   abort_reasons : int array;  (** Indexed by {!Lk_htm.Reason.index}. *)
   mutable rejects_received : int;
@@ -202,8 +232,9 @@ val core_stats : t -> Lk_coherence.Types.core_id -> core_stats
 val stats : t -> Lk_engine.Stats.group
 
 val commit_rate : t -> float
-(** Committed HTM transactions / started HTM attempts, over all cores
-    (the paper's transaction commit rate). 1.0 when nothing started. *)
+(** Committed transactions (HTM, STL and software) / started attempts,
+    over all cores (the paper's transaction commit rate). 1.0 when
+    nothing started. *)
 
 val watchdog_rescues : t -> int
 val parked_cores : t -> Lk_coherence.Types.core_id list
@@ -251,8 +282,9 @@ val num_phases : int
 val phase_code : t -> Lk_coherence.Types.core_id -> int
 (** The core's current execution phase as a stable integer code:
     0 non-tx, 1 HTM, 2 STL/TL (lock transaction), 3 holding the
-    fallback lock, 4 parked, 5 aborting (asynchronous abort pending).
-    Parked wins over lock-held wins over the transactional modes. *)
+    fallback lock, 4 parked, 5 aborting (asynchronous abort pending),
+    6 software transaction (TL2 fallback path). Parked wins over
+    lock-held wins over the transactional modes. *)
 
 val phase_label : int -> string
 (** Human-readable name of a {!phase_code}.
@@ -285,3 +317,18 @@ val lock_dwell_hdr : t -> Lk_engine.Stats.hdr
 (** Always-on fallback-lock dwell histogram: cycles each acquisition
     held the lock (the histogram behind the [lock_dwell_cycles]
     counter). *)
+
+val clock_value : t -> int
+(** Current global version clock (committed word at
+    {!Lk_htm.Global_clock.addr}) — the telemetry gauge behind the
+    hybrid comparators' clock track. 0 for non-hybrid systems. *)
+
+val sw_population : t -> int
+(** Cores currently inside a TL2 software transaction. *)
+
+val sw_peak : t -> int
+(** High-water mark of {!sw_population} over the run. *)
+
+val sw_path : t -> Lk_htm.Sw_path.t
+(** The software path's bookkeeping (read/write sets, lock table) —
+    checker and fingerprint introspection. *)

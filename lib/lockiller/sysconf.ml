@@ -12,6 +12,9 @@ type t = {
   switching : bool;
   retry : Policy.retry;
   lock : Policy.lock_impl;
+  fallback : Policy.fallback_path;
+  clock : Policy.clock_scheme;
+  instrumentation : Policy.instrumentation;
 }
 
 let base =
@@ -25,6 +28,9 @@ let base =
     switching = false;
     retry = Policy.default_retry;
     lock = Policy.Ttas;
+    fallback = Policy.Cgl_lock;
+    clock = Policy.Gv1;
+    instrumentation = Policy.Uninstrumented;
   }
 
 let cgl = { base with name = "CGL"; kind = Cgl }
@@ -106,11 +112,42 @@ let lockiller_rws =
 
 let extras = [ cgl_ticket; lockiller_rws ]
 
+(* Hybrid-TM comparator family (see docs/HYBRID.md). All are built on
+   [base] — requester-win, no recovery — so non-transactional accesses
+   from software transactions always beat hardware holders, which is
+   what makes the software path's publishes and gate writes effective
+   kill mechanisms. *)
+
+let hybrid_base = { base with fallback = Policy.Tl2 }
+
+let sw_tl2 =
+  {
+    hybrid_base with
+    name = "SW-TL2";
+    retry = { Policy.default_retry with Policy.max_retries = 0 };
+  }
+
+let hytm_gv1 = { hybrid_base with name = "HyTM-GV1" }
+let hytm_gv5 = { hybrid_base with name = "HyTM-GV5"; clock = Policy.Gv5 }
+
+let hytm_rc =
+  { hybrid_base with name = "HyTM-RC"; instrumentation = Policy.Read_check }
+
+let hytm_md =
+  {
+    hybrid_base with
+    name = "HyTM-MD";
+    clock = Policy.Gv5;
+    instrumentation = Policy.Access_check;
+  }
+
+let hybrid = [ sw_tl2; hytm_gv1; hytm_gv5; hytm_rc; hytm_md ]
+
 let find name =
   let needle = String.lowercase_ascii name in
   List.find_opt
     (fun s -> String.lowercase_ascii s.name = needle)
-    (all @ extras)
+    (all @ extras @ hybrid)
 
 let validate t =
   if t.kind = Cgl then Ok ()
@@ -121,12 +158,27 @@ let validate t =
   else if t.switching && not t.htmlock then
     Error "switchingMode requires the HTMLock mechanism"
   else if t.retry.Policy.max_retries < 0 then Error "negative retry budget"
+  else if t.fallback = Policy.Tl2 && (t.htmlock || t.switching) then
+    Error "the TL2 fallback replaces the lock path: HTMLock/switchingMode \
+           do not compose with it"
+  else if t.instrumentation <> Policy.Uninstrumented && t.fallback <> Policy.Tl2
+  then Error "HyTM instrumentation is only meaningful with the TL2 fallback"
+  else if t.instrumentation = Policy.Read_check && t.clock <> Policy.Gv1 then
+    Error "Read_check subscribes to clock writes, so it requires the eager \
+           GV1 clock"
   else Ok ()
 
 let pp ppf t =
   match t.kind with
   | Cgl -> Format.fprintf ppf "%s (coarse-grained locking)" t.name
-  | Htm ->
-    Format.fprintf ppf "%s (recovery=%b policy=%a priority=%a htmlock=%b switching=%b)"
-      t.name t.recovery Policy.pp_reject_policy t.reject_policy
-      Policy.pp_priority_policy t.priority t.htmlock t.switching
+  | Htm -> (
+    match t.fallback with
+    | Policy.Cgl_lock ->
+      Format.fprintf ppf
+        "%s (recovery=%b policy=%a priority=%a htmlock=%b switching=%b)"
+        t.name t.recovery Policy.pp_reject_policy t.reject_policy
+        Policy.pp_priority_policy t.priority t.htmlock t.switching
+    | Policy.Tl2 ->
+      Format.fprintf ppf "%s (fallback=tl2 clock=%a instr=%a retries=%d)"
+        t.name Policy.pp_clock_scheme t.clock Policy.pp_instrumentation
+        t.instrumentation t.retry.Policy.max_retries)

@@ -21,6 +21,17 @@ type t = {
   lock : Lk_htm.Policy.lock_impl;
       (** Spinlock used by the CGL baseline (the fallback path always
           follows Listing 1's test-and-set idiom). *)
+  fallback : Lk_htm.Policy.fallback_path;
+      (** What exhausted HTM attempts fall back to: the paper's
+          coarse-grained lock ([Cgl_lock], the default everywhere in
+          Table II) or a TL2-style software transaction ([Tl2], the
+          hybrid-TM comparators). *)
+  clock : Lk_htm.Policy.clock_scheme;
+      (** Global-version-clock discipline of the software path
+          (ignored under [Cgl_lock]). *)
+  instrumentation : Lk_htm.Policy.instrumentation;
+      (** What the hardware path pays for software concurrency
+          (ignored under [Cgl_lock]). *)
 }
 
 val cgl : t
@@ -66,12 +77,47 @@ val lockiller_rws : t
 val extras : t list
 (** The ablation-only systems above. *)
 
+(** {1 Hybrid-TM comparator family}
+
+    Not part of Table II (they never appear in the [table2]
+    experiment); see [docs/HYBRID.md] for the design and the HyTM
+    literature they reproduce. *)
+
+val sw_tl2 : t
+(** Pure software TL2: a zero-retry HTM system, so every critical
+    section takes the software path. The software-only endpoint the
+    instrumented hardware paths are compared against. *)
+
+val hytm_gv1 : t
+(** Uninstrumented hardware + TL2 software fallback with the eager GV1
+    clock; mutual exclusion through the software-mode gate. *)
+
+val hytm_gv5 : t
+(** As {!hytm_gv1} with the lazy GV5 clock: fewer clock-line writes,
+    same outcomes. *)
+
+val hytm_rc : t
+(** Read-check instrumentation (one clock load per transactional read)
+    over GV1: hardware and software run concurrently; any software
+    writer commit kills all running hardware transactions. *)
+
+val hytm_md : t
+(** Access-check (metadata) instrumentation over GV5: per-access
+    version-stamp loads, so software commits kill exactly the hardware
+    transactions they overlap. *)
+
+val hybrid : t list
+(** The five comparators above, software-only first. *)
+
 val find : string -> t option
-(** Case-insensitive lookup by name, over Table II and the extras. *)
+(** Case-insensitive lookup by name, over Table II, the extras and the
+    hybrid comparators. *)
 
 val validate : t -> (unit, string) result
 (** Sanity rules: HTMLock requires recovery (lock transactions are
     protected by rejects); switchingMode requires HTMLock; CGL ignores
-    every HTM knob. *)
+    every HTM knob; the TL2 fallback excludes HTMLock/switchingMode;
+    instrumentation schemes require the TL2 fallback; [Read_check]
+    requires [Gv1]. *)
 
 val pp : Format.formatter -> t -> unit

@@ -1245,6 +1245,128 @@ let latency =
         ]);
   }
 
+(* --- HyTM instrumentation-cost sweep ------------------------------------ *)
+
+(* Counter-style profiles holding the footprint fixed while a rising
+   fraction of accesses aims at a shrinking hot set — the contention
+   axis of the instrumentation sweep. *)
+let hytm_profile ~name ~hot_lines ~hot_fraction =
+  {
+    Workload.name;
+    txs_per_thread = 48;
+    reads_per_tx = (3, 6);
+    writes_per_tx = (1, 3);
+    hot_lines;
+    hot_fraction;
+    zipf_skew = 0.0;
+    shared_lines = 256;
+    private_lines = 64;
+    compute_per_op = 2;
+    pre_compute = (10, 20);
+    post_compute = (5, 10);
+    fault_prob = 0.0;
+    barrier_every = None;
+  }
+
+let hytm_levels =
+  [
+    ("low", hytm_profile ~name:"hytm-low" ~hot_lines:64 ~hot_fraction:0.05);
+    ("medium", hytm_profile ~name:"hytm-med" ~hot_lines:8 ~hot_fraction:0.4);
+    ("high", hytm_profile ~name:"hytm-high" ~hot_lines:2 ~hot_fraction:0.9);
+  ]
+
+let hytm_hw_systems =
+  [ Sysconf.hytm_gv1; Sysconf.hytm_gv5; Sysconf.hytm_rc; Sysconf.hytm_md ]
+
+let hytm =
+  {
+    id = "hytm";
+    artefact = "HyTM instrumentation-cost sweep (extension)";
+    describe =
+      "Hybrid-TM comparators (TL2 software fallback, GV1/GV5 clocks, three \
+       hardware instrumentation schemes) against pure software across three \
+       contention levels — reproduces the claim that instrumentation erodes \
+       the hardware advantage as contention rises";
+    plan =
+      (fun ctx ->
+        let threads = List.fold_left max 2 ctx.threads in
+        grid ctx
+          ~systems:(Sysconf.sw_tl2 :: hytm_hw_systems)
+          ~workloads:(List.map snd hytm_levels)
+          ~threads:[ threads ] ());
+    render =
+      (fun ctx ->
+        let threads = List.fold_left max 2 ctx.threads in
+        let speed_rows =
+          List.map
+            (fun (level, workload) ->
+              let sw =
+                result ctx ~sysconf:Sysconf.sw_tl2 ~workload ~threads ()
+              in
+              level
+              :: List.map
+                   (fun sysconf ->
+                     let r = result ctx ~sysconf ~workload ~threads () in
+                     Report.f2
+                       (Metrics.speedup ~baseline_cycles:sw.Runner.cycles
+                          ~cycles:r.Runner.cycles))
+                   hytm_hw_systems)
+            hytm_levels
+        in
+        let detail_rows =
+          List.concat_map
+            (fun (level, workload) ->
+              List.map
+                (fun sysconf ->
+                  let r = result ctx ~sysconf ~workload ~threads () in
+                  [
+                    level;
+                    r.Runner.system;
+                    string_of_int r.Runner.cycles;
+                    string_of_int r.Runner.htm_commits;
+                    string_of_int r.Runner.sw_commits;
+                    string_of_int
+                      (List.assoc Reason.Validation r.Runner.abort_mix);
+                    string_of_int r.Runner.clock_advances;
+                    Report.pct r.Runner.commit_rate;
+                  ])
+                (Sysconf.sw_tl2 :: hytm_hw_systems))
+            hytm_levels
+        in
+        [
+          Report.table
+            ~title:
+              (Printf.sprintf
+                 "HyTM sweep: speedup over SW-TL2, %d threads" threads)
+            ~headers:
+              ("contention"
+              :: List.map (fun s -> s.Sysconf.name) hytm_hw_systems)
+            ~notes:
+              [
+                "> 1.00 means the hybrid beats pure software; the \
+                 instrumented schemes' advantage shrinks (or inverts) as \
+                 contention rises — the HyTM erosion claim.";
+              ]
+            speed_rows;
+          Report.table
+            ~title:
+              (Printf.sprintf
+                 "HyTM sweep: path and clock detail, %d threads" threads)
+            ~headers:
+              [
+                "contention";
+                "system";
+                "cycles";
+                "htm commits";
+                "sw commits";
+                "valid aborts";
+                "clock advances";
+                "commit rate";
+              ]
+            detail_rows;
+        ]);
+  }
+
 let all =
   [
     table1;
@@ -1266,6 +1388,7 @@ let all =
     protocol_knobs;
     variance;
     latency;
+    hytm;
   ]
 
 let find id =

@@ -142,6 +142,13 @@ val variance : experiment
 (** Seed-robustness of the headline comparison (mean / stddev / min /
     max over several workload-generation seeds). *)
 
+val hytm : experiment
+(** Hybrid-TM instrumentation-cost sweep: the TL2-style software
+    fallback and the three hardware instrumentation schemes
+    ({!Lk_htm.Policy.instrumentation}) against pure software across
+    three contention levels — speedup over SW-TL2 plus per-path
+    commit/abort and version-clock detail. See docs/HYBRID.md. *)
+
 val all : experiment list
 (** Paper order; [find] looks one up by id. *)
 

@@ -39,6 +39,7 @@ type result = {
   htm_commits : int;
   stl_commits : int;
   lock_commits : int;
+  sw_commits : int;
   aborts : int;
   abort_mix : (Reason.t * int) list;
   breakdown : (Accounting.category * int) list;
@@ -49,6 +50,7 @@ type result = {
   switches_denied : int;
   spilled_lines : int;
   lock_dwell_cycles : int;
+  clock_advances : int;
   watchdog_rescues : int;
   network_messages : int;
   network_flits : int;
@@ -319,6 +321,7 @@ let execute ?queue_backend ?(pdes_domains = 1) ?(check = false) ?telemetry
   let htm_commits = ref 0
   and stl_commits = ref 0
   and lock_commits = ref 0
+  and sw_commits = ref 0
   and aborts = ref 0
   and rejects = ref 0
   and parks = ref 0
@@ -329,6 +332,7 @@ let execute ?queue_backend ?(pdes_domains = 1) ?(check = false) ?telemetry
     htm_commits := !htm_commits + cs.Runtime.commits;
     stl_commits := !stl_commits + cs.Runtime.stl_commits;
     lock_commits := !lock_commits + cs.Runtime.lock_commits;
+    sw_commits := !sw_commits + cs.Runtime.sw_commits;
     aborts := !aborts + cs.Runtime.aborts;
     rejects := !rejects + cs.Runtime.rejects_received;
     parks := !parks + cs.Runtime.parks;
@@ -353,6 +357,7 @@ let execute ?queue_backend ?(pdes_domains = 1) ?(check = false) ?telemetry
     htm_commits = !htm_commits;
     stl_commits = !stl_commits;
     lock_commits = !lock_commits;
+    sw_commits = !sw_commits;
     aborts = !aborts;
     abort_mix = List.map (fun r -> (r, mix.(Reason.index r))) Reason.all;
     breakdown = Accounting.total acct;
@@ -363,6 +368,7 @@ let execute ?queue_backend ?(pdes_domains = 1) ?(check = false) ?telemetry
     switches_denied = counter_value stats "switches_denied";
     spilled_lines = counter_value stats "spilled_lines";
     lock_dwell_cycles = counter_value stats "lock_dwell_cycles";
+    clock_advances = counter_value stats "clock_advances";
     watchdog_rescues = Runtime.watchdog_rescues runtime;
     network_messages = Network.messages_sent net;
     network_flits = Network.flits_sent net;
@@ -469,10 +475,13 @@ let run_program ?(options = default_options) ?(name = "custom") ~sysconf
   | Error msg -> invalid_arg ("Runner.run_program: " ^ msg));
   List.iter
     (fun addr ->
-      if addr < 128 then
+      (* Lines 0-1 hold the fallback lock, line 2 the global version
+         clock, line 3 the software-mode gate. *)
+      if addr < 256 then
         invalid_arg
           (Printf.sprintf
-             "Runner.run_program: address %#x collides with the lock lines"
+             "Runner.run_program: address %#x collides with the reserved \
+              lock/clock/gate lines"
              addr))
     (Lk_cpu.Program.touched_addresses program);
   let _, result =
@@ -545,9 +554,9 @@ let abort_fraction r reason =
 let pp ppf r =
   Format.fprintf ppf
     "@[<v>%s / %s / %d threads: %d cycles, commit rate %.2f, %d commits \
-     (%d stl, %d lock), %d aborts@]"
+     (%d stl, %d lock, %d sw), %d aborts@]"
     r.system r.workload r.threads r.cycles r.commit_rate r.htm_commits
-    r.stl_commits r.lock_commits r.aborts
+    r.stl_commits r.lock_commits r.sw_commits r.aborts
 
 (* --- JSON codec --------------------------------------------------------- *)
 
@@ -587,6 +596,7 @@ let json_of_result r =
       ("htm_commits", Json.Int r.htm_commits);
       ("stl_commits", Json.Int r.stl_commits);
       ("lock_commits", Json.Int r.lock_commits);
+      ("sw_commits", Json.Int r.sw_commits);
       ("aborts", Json.Int r.aborts);
       ( "abort_mix",
         Json.Obj
@@ -605,6 +615,7 @@ let json_of_result r =
       ("switches_denied", Json.Int r.switches_denied);
       ("spilled_lines", Json.Int r.spilled_lines);
       ("lock_dwell_cycles", Json.Int r.lock_dwell_cycles);
+      ("clock_advances", Json.Int r.clock_advances);
       ("watchdog_rescues", Json.Int r.watchdog_rescues);
       ("network_messages", Json.Int r.network_messages);
       ("network_flits", Json.Int r.network_flits);
@@ -712,6 +723,7 @@ let result_of_json_value v =
   let* htm_commits = int "htm_commits" in
   let* stl_commits = int "stl_commits" in
   let* lock_commits = int "lock_commits" in
+  let* sw_commits = int "sw_commits" in
   let* aborts = int "aborts" in
   let* abort_mix = labelled "abort_mix" Reason.all Reason.label Fun.id in
   let* breakdown =
@@ -724,6 +736,7 @@ let result_of_json_value v =
   let* switches_denied = int "switches_denied" in
   let* spilled_lines = int "spilled_lines" in
   let* lock_dwell_cycles = int "lock_dwell_cycles" in
+  let* clock_advances = int "clock_advances" in
   let* watchdog_rescues = int "watchdog_rescues" in
   let* network_messages = int "network_messages" in
   let* network_flits = int "network_flits" in
@@ -749,6 +762,7 @@ let result_of_json_value v =
       htm_commits;
       stl_commits;
       lock_commits;
+      sw_commits;
       aborts;
       abort_mix;
       breakdown;
@@ -759,6 +773,7 @@ let result_of_json_value v =
       switches_denied;
       spilled_lines;
       lock_dwell_cycles;
+      clock_advances;
       watchdog_rescues;
       network_messages;
       network_flits;

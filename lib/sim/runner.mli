@@ -46,10 +46,14 @@ type result = {
   threads : int;
   cache : Config.cache_profile;
   cycles : int;  (** Completion time (the slowest thread's finish). *)
-  commit_rate : float;  (** HTM commits / HTM attempts. *)
+  commit_rate : float;
+      (** Committed critical sections (HTM + software) / attempts. *)
   htm_commits : int;
   stl_commits : int;
   lock_commits : int;
+  sw_commits : int;
+      (** Commits on the TL2-style software fallback path of the
+          hybrid-TM comparators (0 under the CGL fallback). *)
   aborts : int;
   abort_mix : (Lk_htm.Reason.t * int) list;
       (** Counts per reason, paper order. *)
@@ -65,6 +69,9 @@ type result = {
       (** Cycles the fallback spinlock was held, summed over all
           acquisitions (acquire-to-release, per the event ledger's
           clock). High dwell with low [lock_commits] flags convoying. *)
+  clock_advances : int;
+      (** Global version-clock advances (GV1 writer commits plus GV5
+          reader catch-ups); 0 outside the hybrid-TM comparators. *)
   watchdog_rescues : int;
   network_messages : int;
   network_flits : int;
@@ -185,7 +192,7 @@ val run_program :
     fit the machine. The serializability oracle and protocol invariants
     still verify the run; there is no conservation check (the runner
     does not know the program's intent). The program must use addresses
-    clear of the lock lines (bytes 0-127). *)
+    clear of the reserved lock/clock/gate lines (bytes 0-255). *)
 
 val replay :
   ?options:options ->

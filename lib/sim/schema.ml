@@ -1,4 +1,4 @@
-let version = 4
+let version = 5
 let version_string = string_of_int version
 
 let history =
@@ -7,6 +7,8 @@ let history =
     (2, "tx-latency HDR percentiles added to results");
     (3, "abort-reason breakdown and telemetry counters added");
     (4, "embedded schema member and open-loop replay statistics added");
+    (5, "hybrid-TM software-path counters (sw_commits, clock advances, \
+         validation aborts, sw breakdown category) added");
   ]
 
 let check v =

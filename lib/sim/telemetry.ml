@@ -36,6 +36,8 @@ let gauge_channels =
     "llc_lines";  (* resident LLC lines *)
     "flits";  (* cumulative network flits sent *)
     "messages";  (* cumulative network messages sent *)
+    "clock";  (* global version-clock value (hybrid-TM comparators) *)
+    "sw_mode";  (* cores running a software (TL2) transaction *)
   ]
 
 let g_lock_holders = 0
@@ -49,6 +51,8 @@ let g_l1_tx_lines = 7
 let g_llc_lines = 8
 let g_flits = 9
 let g_messages = 10
+let g_clock = 11
+let g_sw_mode = 12
 
 type t = {
   rt : Runtime.t;
@@ -105,6 +109,8 @@ let sample_now t =
   Timeseries.set t.gauges g_llc_lines (Llc.occupancy t.llc);
   Timeseries.set t.gauges g_flits (Network.flits_sent t.net);
   Timeseries.set t.gauges g_messages (Network.messages_sent t.net);
+  Timeseries.set t.gauges g_clock (Runtime.clock_value t.rt);
+  Timeseries.set t.gauges g_sw_mode (Runtime.sw_population t.rt);
   Timeseries.commit t.gauges ~time;
   (* Per-link cumulative flit counters. *)
   let nlinks = Network.num_links t.net in
@@ -217,6 +223,13 @@ let perfetto_counters t =
              [
                ("lock_holders", Json.Int row.(g_lock_holders));
                ("parked", Json.Int row.(g_parked));
+             ]);
+      push
+        (counter ~name:"hybrid sw" ~ts:time
+           ~args:
+             [
+               ("clock", Json.Int row.(g_clock));
+               ("sw_mode", Json.Int row.(g_sw_mode));
              ]));
   (* Link counters are cumulative; the track shows per-sample deltas
      (flits moved since the previous sample) summed over all links. *)

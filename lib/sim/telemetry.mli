@@ -6,11 +6,13 @@
 
     - {!phases}: one channel per core holding its
       {!Lk_lockiller.Runtime.phase_code} (non-tx / HTM / STL /
-      lock-held / parked / aborting);
+      lock-held / parked / aborting / software);
     - {!gauges}: machine-wide state — fallback-lock holders, arbiter
       hold state, overflow-signature populations, parked cores,
       wake-table occupancy, event-queue depth, transactional L1 lines,
-      resident LLC lines, cumulative network flits and messages;
+      resident LLC lines, cumulative network flits and messages, the
+      global version-clock value and the count of cores in a software
+      (TL2) transaction;
     - {!links}: one channel per mesh link with its cumulative flit
       counter.
 
@@ -62,9 +64,11 @@ val perfetto_counters : t -> Json.t list
 (** The retained samples as Chrome trace-event counter tracks (ph
     ["C"]): one [phase core N] track per core, [signature fill]
     (rd/wr series), [queue depth], [cores waiting]
-    (lock-holders/parked series) and [link utilization] (per-sample
-    flit deltas summed over all links). {!Tracing.write_perfetto}
-    appends these to the slice/instant events. *)
+    (lock-holders/parked series), [hybrid sw] (clock value and
+    software-transaction population) and [link utilization]
+    (per-sample flit deltas summed over all links).
+    {!Tracing.write_perfetto} appends these to the slice/instant
+    events. *)
 
 val to_json_value : t -> Json.t
 val to_json : t -> string

@@ -9,6 +9,9 @@ type breakdown = {
   rejects : int;
   parks : int;
   wakes : int;
+  sw_commits : int;
+  sw_aborts : int;
+  clock_advances : int;
   dropped : int;
 }
 
@@ -23,11 +26,18 @@ let abort_breakdown l =
   and kills = ref 0
   and rejects = ref 0
   and parks = ref 0
-  and wakes = ref 0 in
+  and wakes = ref 0
+  and sw_commits = ref 0
+  and sw_aborts = ref 0
+  and clock_advances = ref 0 in
   Ledger.iter l (fun ~time:_ ~core:_ ~kind ~arg ->
       match kind with
-      | Ledger.Tx_abort -> (
+      | Ledger.Tx_abort | Ledger.Sw_abort -> (
+        (* Software aborts carry a reason index too (typically
+           Validation or a lock conflict), so they fold into the same
+           per-cause table as hardware aborts. *)
         incr aborts;
+        if kind = Ledger.Sw_abort then incr sw_aborts;
         match reason_of_index arg with
         | Some r -> by.(Reason.index r) <- by.(Reason.index r) + 1
         | None -> ())
@@ -36,6 +46,8 @@ let abort_breakdown l =
       | Ledger.Reject -> incr rejects
       | Ledger.Park -> incr parks
       | Ledger.Wake -> incr wakes
+      | Ledger.Sw_commit -> incr sw_commits
+      | Ledger.Clock_advance -> incr clock_advances
       | _ -> ());
   {
     aborts = !aborts;
@@ -45,6 +57,9 @@ let abort_breakdown l =
     rejects = !rejects;
     parks = !parks;
     wakes = !wakes;
+    sw_commits = !sw_commits;
+    sw_aborts = !sw_aborts;
+    clock_advances = !clock_advances;
     dropped = Ledger.dropped l;
   }
 
@@ -65,6 +80,13 @@ let breakdown_table ?(title = "Abort breakdown") b =
         "conflict traffic: %d nacks, %d kills, %d rejects, %d parks, %d wakes"
         b.nacks b.kills b.rejects b.parks b.wakes;
     ]
+    @ (if b.sw_commits = 0 && b.sw_aborts = 0 && b.clock_advances = 0 then []
+       else
+         [
+           Printf.sprintf
+             "software path: %d commits, %d aborts, %d clock advances"
+             b.sw_commits b.sw_aborts b.clock_advances;
+         ])
     @
     if b.dropped = 0 then []
     else
@@ -89,6 +111,9 @@ let json_of_breakdown b =
       ("rejects", Json.Int b.rejects);
       ("parks", Json.Int b.parks);
       ("wakes", Json.Int b.wakes);
+      ("sw_commits", Json.Int b.sw_commits);
+      ("sw_aborts", Json.Int b.sw_aborts);
+      ("clock_advances", Json.Int b.clock_advances);
       ("dropped", Json.Int b.dropped);
     ]
 
@@ -139,6 +164,7 @@ let perfetto_json ?telemetry l =
   let tx_open = Array.make (max cores 1) None in
   let hl_open = Array.make (max cores 1) None in
   let lock_open = Array.make (max cores 1) None in
+  let sw_open = Array.make (max cores 1) None in
   let events = ref [] in
   let push e = events := e :: !events in
   List.iter
@@ -207,7 +233,37 @@ let perfetto_json ?telemetry l =
       | Ledger.Spec_publish | Ledger.Spec_discard ->
         push
           (instant ~name:(Ledger.kind_label kind) ~ts:time ~tid:core
-             ~args:[ ("writes", Json.Int arg) ]))
+             ~args:[ ("writes", Json.Int arg) ])
+      | Ledger.Sw_begin -> sw_open.(core) <- Some (time, arg)
+      | Ledger.Sw_commit -> (
+        match sw_open.(core) with
+        | Some (t0, rv) ->
+          sw_open.(core) <- None;
+          push
+            (slice ~name:"sw" ~ts:t0 ~dur:(time - t0) ~tid:core
+               ~args:[ ("rv", Json.Int rv); ("wt", Json.Int arg) ])
+        | None -> push (instant ~name:"sw-commit" ~ts:time ~tid:core ~args:[]))
+      | Ledger.Sw_abort -> (
+        let label =
+          match reason_of_index arg with
+          | Some r -> Reason.label r
+          | None -> "?"
+        in
+        let args = [ ("reason", Json.String label) ] in
+        match sw_open.(core) with
+        | Some (t0, rv) ->
+          sw_open.(core) <- None;
+          push
+            (slice
+               ~name:("sw-abort:" ^ label)
+               ~ts:t0 ~dur:(time - t0) ~tid:core
+               ~args:(("rv", Json.Int rv) :: args))
+        | None ->
+          push (instant ~name:("sw-abort:" ^ label) ~ts:time ~tid:core ~args))
+      | Ledger.Clock_advance ->
+        push
+          (instant ~name:"clock" ~ts:time ~tid:core
+             ~args:[ ("value", Json.Int arg) ]))
     entries;
   (* Anything still open when the ledger ends (e.g. a thread parked at
      simulation exit) is closed at the last recorded timestamp. *)
@@ -235,6 +291,14 @@ let perfetto_json ?telemetry l =
              ~args:[])
       | None -> ())
     lock_open;
+  Array.iteri
+    (fun core -> function
+      | Some (t0, rv) ->
+        push
+          (slice ~name:"sw (open)" ~ts:t0 ~dur:(last_time - t0) ~tid:core
+             ~args:[ ("rv", Json.Int rv) ])
+      | None -> ())
+    sw_open;
   let meta =
     metadata ~name:"process_name" ~tid:0 "lockiller_sim"
     :: List.init cores (fun c ->

@@ -16,17 +16,22 @@
     ring overflowed and every count is a lower bound — rerun with a
     larger [capacity] for exact numbers. *)
 type breakdown = {
-  aborts : int;  (** Total [Tx_abort] records. *)
+  aborts : int;  (** Total [Tx_abort] plus [Sw_abort] records. *)
   by_reason : (Lk_htm.Reason.t * int) list;
       (** Aborts per cause, paper order — same shape as
           [Runner.result.abort_mix], and equal to it whenever the
-          ledger did not drop records. *)
+          ledger did not drop records. Software aborts fold in here
+          too (their [Validation] / conflict reason indices share the
+          table). *)
   nacks : int;  (** Coherence-level reject replies observed. *)
   kills : int;  (** Holders aborted on behalf of a requester. *)
   rejects : int;  (** Runtime-level rejects (transactions parked or
                       backed off after a NACK resolution). *)
   parks : int;
   wakes : int;
+  sw_commits : int;  (** [Sw_commit] records (hybrid-TM software path). *)
+  sw_aborts : int;  (** [Sw_abort] records (also counted in [aborts]). *)
+  clock_advances : int;  (** Global version-clock advances observed. *)
   dropped : int;  (** Records lost to ring overflow. *)
 }
 
@@ -55,7 +60,11 @@ val json_of_breakdown : breakdown -> Json.t
     - [Tx_begin]..[Tx_abort] becomes an ["abort:<reason>"] slice
       tagged with the {!Lk_htm.Reason.label};
     - [Hl_begin]..[Hl_end] becomes ["TL"] or ["STL"];
-    - [Lock_acquire]..[Lock_release] becomes ["lock"].
+    - [Lock_acquire]..[Lock_release] becomes ["lock"];
+    - [Sw_begin]..[Sw_commit] becomes an ["sw"] slice (args: the read
+      version [rv] and write stamp [wt]), [Sw_begin]..[Sw_abort] an
+      ["sw-abort:<reason>"] slice; [Clock_advance] is an instant
+      carrying the new clock value.
 
     Everything else (NACKs, kills, rejects, parks/wakes, switch
     decisions, spills, speculative publishes/discards) is emitted as an

@@ -15,6 +15,13 @@ Listing systems, workloads and experiments:
     LockillerTM-RWIL
     LockillerTM
   
+  hybrid-TM comparators (docs/HYBRID.md):
+    SW-TL2
+    HyTM-GV1
+    HyTM-GV5
+    HyTM-RC
+    HyTM-MD
+  
   workloads (STAMP):
     genome
     intruder
@@ -52,6 +59,7 @@ Listing systems, workloads and experiments:
     protocol   Coherence-protocol ablation (extension)
     variance   Statistical robustness (extension)
     latency    Tx-latency percentiles (extension)
+    hytm       HyTM instrumentation-cost sweep (extension)
 
 
 
@@ -95,7 +103,7 @@ Unknown names are reported, not crashed on:
   $ lockiller_sim run -s NoSuchSystem -w genome -t 2 --cores 4 2>&1 | head -1
   lockiller_sim: unknown system NoSuchSystem
   $ lockiller_sim experiment fig99 2>&1 | head -1
-  lockiller_sim: unknown experiment "fig99"; try: table1, table2, fig1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, headline, ablation, txsize, noc, topology, placement, protocol, variance, latency
+  lockiller_sim: unknown experiment "fig99"; try: table1, table2, fig1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, headline, ablation, txsize, noc, topology, placement, protocol, variance, latency, hytm
 
 The machine-readable results API: --format json emits one object with
 every result field, --format csv one header and one value row:
@@ -110,7 +118,7 @@ Observability: --abort-breakdown aggregates the event ledger into the
 abort-cause table (totals match the abort statistics exactly), and
 --trace-events writes a Chrome/Perfetto trace of the run:
 
-  $ lockiller_sim run -s LockillerTM -w intruder -t 4 --cores 4 --scale 0.1 --abort-breakdown --trace-events trace.json | sed -n '9p;/^#/,$p'
+  $ lockiller_sim run -s LockillerTM -w intruder -t 4 --cores 4 --scale 0.1 --abort-breakdown --trace-events trace.json | sed -n '10p;/^#/,$p'
   aborts        17
   # trace-events: wrote trace.json (307 events, 0 dropped)
   == Abort breakdown ==
@@ -122,6 +130,7 @@ abort-cause table (totals match the abort statistics exactly), and
   non_tran  0       0.0%  
   of        0       0.0%  
   fault     0       0.0%  
+  valid     0       0.0%  
   total     17      100.0%
   conflict traffic: 50 nacks, 17 kills, 50 rejects, 43 parks, 36 wakes
   
@@ -163,12 +172,14 @@ trace checker validates:
   # trace-events: wrote trace2.json (307 events, 0 dropped)
 
   $ ./json_check.exe --trace < trace2.json
-  valid trace (691 events)
+  valid trace (743 events)
 
 Two saved results diff into a metric-by-metric comparison (the
 fixtures are committed outputs of 'run --format json'):
 
   $ lockiller_sim compare compare_a.json compare_b.json | sed -n '1,7p'
+  # compare: compare_a.json is schema v5 (this build reads v5)
+  # compare: compare_b.json is schema v5 (this build reads v5)
   == compare: A=Baseline/intruder t4 vs B=LockillerTM/intruder t4 ==
   metric          A       B       delta    B/A  
   --------------  ------  ------  -------  -----
@@ -178,8 +189,40 @@ fixtures are committed outputs of 'run --format json'):
   stl_commits     0       0       +0       -    
 
   $ lockiller_sim compare compare_a.json compare_b.json | grep -E 'speedup|tx_latency_p50'
+  # compare: compare_a.json is schema v5 (this build reads v5)
+  # compare: compare_b.json is schema v5 (this build reads v5)
   tx_latency_p50  1215    1375    +160     1.132
   speedup (A cycles / B cycles): 1.512
+
+A result written by an older build is refused with a named error that
+states which schema version each input carries and what changed since:
+
+  $ sed 's/"schema":5/"schema":4/' compare_a.json > stale.json
+  $ lockiller_sim compare stale.json compare_b.json
+  # compare: stale.json is schema v4 (this build reads v5)
+  # compare: compare_b.json is schema v5 (this build reads v5)
+  lockiller_sim: stale.json: schema-mismatch: result schema v4 predates this build (v5); re-run the simulation to regenerate it (changed since: v5: hybrid-TM software-path counters (sw_commits, clock advances, validation aborts, sw breakdown category) added)
+  [124]
+
+The hybrid-TM comparator family (docs/HYBRID.md) runs through the same
+front end. SW-TL2 executes every transaction on the TL2 software path,
+so the commits are software commits and the global version clock
+advances; the report grows the two hybrid lines:
+
+  $ lockiller_sim run -s SW-TL2 -w intruder -t 4 --cores 4 --scale 0.1 | sed -n '1,10p'
+  system        SW-TL2
+  workload      intruder
+  threads       4
+  cycles        21000
+  commit rate   32.3%
+  htm commits   0
+  stl commits   0
+  lock commits  0
+  sw commits    20
+  aborts        42
+
+  $ lockiller_sim experiment hytm --cores 4 --threads 2 --scale 0.1 --jobs 2 --no-cache --format json | ./json_check.exe
+  valid json
 
 The same flags work on the trace subcommand, and the breakdown is also
 available as machine-readable JSON:
@@ -215,8 +258,8 @@ trace file side by side:
 
   $ lockiller_sim replay t.lkt -s Baseline -s LockillerTM --threads 4 --cores 4 --format csv | cut -d, -f1-6
   schema,system,workload,threads,cache,cycles
-  4,Baseline,t,4,typical,68864
-  4,LockillerTM,t,4,typical,65382
+  5,Baseline,t,4,typical,68864
+  5,LockillerTM,t,4,typical,65382
 
 Replay is deterministic for any worker count — --jobs 4 must produce
 byte-identical output to the sequential run:
@@ -247,7 +290,7 @@ clear empties the directory:
   valid json
 
   $ lockiller_sim cache stats --cache-dir ./cache | grep -v -e directory -e entries
-  schema        v4
+  schema        v5
   lifetime      0 hits, 18 misses, 18 stores
 
   $ lockiller_sim cache clear --cache-dir ./cache | cut -d' ' -f1-3
@@ -261,6 +304,9 @@ a quick pass:
   scenarios:
     read-forward   an exclusive owner is read by a second core (owner must downgrade to S)
     incr-incr      two cores increment the same line under best-effort HTM
+
+  $ lockiller_sim check --list | grep hybrid
+    hybrid         HyTM: a faulting transaction falls to the TL2 software path while the other core keeps attempting HTM on the same line
 
   $ lockiller_sim check --scenario read-forward --fuzz-runs 20 --no-mutations
   read-forward   explore  exhausted: 4 schedules, 3 distinct decision states, deepest run made 6 choices

@@ -48,7 +48,7 @@ let test_accounting_category_order () =
   Alcotest.(check (list string))
     "paper order"
     [ "htm"; "aborted"; "lock"; "switchLock"; "non-tran"; "waitlock";
-      "rollback" ]
+      "rollback"; "sw" ]
     (List.map Accounting.label Accounting.categories)
 
 let test_accounting_pp_smoke () =

@@ -238,7 +238,7 @@ let test_runner_basic_metrics () =
 
 let test_runner_breakdown_covers_all_categories () =
   let r = quick_run "genome" in
-  check_int "7 categories" 7 (List.length r.Runner.breakdown);
+  check_int "8 categories" 8 (List.length r.Runner.breakdown);
   List.iter
     (fun (_, n) -> check_bool "non-negative" true (n >= 0))
     r.Runner.breakdown
@@ -246,7 +246,7 @@ let test_runner_breakdown_covers_all_categories () =
 let test_runner_abort_mix_paper_order () =
   let r = quick_run "yada" in
   Alcotest.(check (list string))
-    "order" [ "mc"; "lock"; "mutex"; "non_tran"; "of"; "fault" ]
+    "order" [ "mc"; "lock"; "mutex"; "non_tran"; "of"; "fault"; "valid" ]
     (List.map (fun (reason, _) -> Reason.label reason) r.Runner.abort_mix)
 
 let test_runner_deterministic () =
@@ -459,11 +459,11 @@ let test_result_json_fields () =
         check_bool (field ^ " present") true (List.mem_assoc field members))
       [
         "system"; "workload"; "threads"; "cache"; "cycles"; "commit_rate";
-        "htm_commits"; "stl_commits"; "lock_commits"; "aborts"; "abort_mix";
-        "breakdown"; "rejects"; "parks"; "wakeups"; "switches_granted";
-        "switches_denied"; "spilled_lines"; "watchdog_rescues";
-        "network_messages"; "network_flits"; "oracle_sections";
-        "avg_attempts_per_commit";
+        "htm_commits"; "stl_commits"; "lock_commits"; "sw_commits"; "aborts";
+        "abort_mix"; "breakdown"; "rejects"; "parks"; "wakeups";
+        "switches_granted"; "switches_denied"; "spilled_lines";
+        "clock_advances"; "watchdog_rescues"; "network_messages";
+        "network_flits"; "oracle_sections"; "avg_attempts_per_commit";
       ]
   | Ok _ -> Alcotest.fail "expected a JSON object"
 
@@ -741,8 +741,8 @@ let test_telemetry_perfetto_counters () =
   let retained = Timeseries.length (Telemetry.phases t) in
   let cores = Timeseries.width (Telemetry.phases t) in
   (* Per sample: one counter per core plus signature fill, queue depth,
-     cores waiting and link utilization. *)
-  check_int "event count" (retained * (cores + 4)) (List.length events);
+     cores waiting, hybrid sw and link utilization. *)
+  check_int "event count" (retained * (cores + 5)) (List.length events);
   List.iter
     (fun e ->
       let member name =
@@ -770,6 +770,73 @@ let test_telemetry_latency_percentiles_in_result () =
   check_bool "ordered" true
     (r.Runner.tx_latency_p50 <= r.Runner.tx_latency_p95
     && r.Runner.tx_latency_p95 <= r.Runner.tx_latency_p99)
+
+(* --- Hybrid-TM comparators ---------------------------------------------- *)
+
+let hybrid_run ?(sysconf = Sysconf.sw_tl2)
+    ?(queue_backend = Lk_engine.Event_queue.Wheel) ?(pdes_domains = 1)
+    workload_name =
+  let workload = Option.get (Suite.find workload_name) in
+  Runner.run
+    ~options:{ quick_options with queue_backend; pdes_domains }
+    ~sysconf ~workload ~threads:4 ()
+
+let test_hybrid_sw_tl2_all_software () =
+  (* With max_retries = 0 every section goes straight to the TL2
+     software path: no hardware or lock commits, only [sw_commits],
+     and the time spent committing lands in the [Sw] category. The run
+     itself is the strongest assertion — conservation and the
+     serializability oracle verify the committed values. *)
+  let r = hybrid_run "intruder" in
+  check_int "no htm commits" 0 r.Runner.htm_commits;
+  check_int "no lock commits" 0 r.Runner.lock_commits;
+  check_bool "sw commits" true (r.Runner.sw_commits > 0);
+  check_bool "oracle ran" true (r.Runner.oracle_sections > 0);
+  check_bool "sw cycles accounted" true
+    (List.assoc Accounting.Sw r.Runner.breakdown > 0);
+  check_bool "clock advanced" true (r.Runner.clock_advances > 0)
+
+let test_hybrid_gv1_gv5_equivalent_outcome () =
+  (* The eager (GV1) and lazy (GV5) clock disciplines serialize
+     differently but must agree on the outcome: both oracle-clean
+     (Runner.run raises otherwise), both commit every section. *)
+  let gv1 = hybrid_run ~sysconf:Sysconf.hytm_gv1 "intruder" in
+  let gv5 = hybrid_run ~sysconf:Sysconf.hytm_gv5 "intruder" in
+  check_int "same sections committed"
+    (gv1.Runner.htm_commits + gv1.Runner.sw_commits)
+    (gv5.Runner.htm_commits + gv5.Runner.sw_commits);
+  check_bool "gv1 oracle ran" true (gv1.Runner.oracle_sections > 0);
+  check_bool "gv5 oracle ran" true (gv5.Runner.oracle_sections > 0);
+  check_bool "both exercise the software path" true
+    (gv1.Runner.sw_commits > 0 && gv5.Runner.sw_commits > 0)
+
+let test_hybrid_validation_abort_in_ledger () =
+  (* Validation failures must show up consistently in three places:
+     the result's abort mix, the ledger-derived breakdown, and the
+     software-path counters. *)
+  let r, l = run_with_ledger ~sysconf:Sysconf.sw_tl2 () in
+  check_int "nothing dropped" 0 (Ledger.dropped l);
+  let b = Tracing.abort_breakdown l in
+  let valid_result = List.assoc Reason.Validation r.Runner.abort_mix in
+  let valid_ledger = List.assoc Reason.Validation b.Tracing.by_reason in
+  check_bool "validation aborts occurred" true (valid_result > 0);
+  check_int "ledger matches result" valid_result valid_ledger;
+  check_bool "all sw aborts have a reason" true
+    (b.Tracing.sw_aborts >= valid_ledger);
+  check_int "sw commits" r.Runner.sw_commits b.Tracing.sw_commits;
+  check_int "clock advances" r.Runner.clock_advances b.Tracing.clock_advances
+
+let test_hybrid_nohw_determinism () =
+  (* The software path must stay byte-identical across event-queue
+     backends and PDES partitionings, like every other mechanism. *)
+  let dump ?queue_backend ?pdes_domains () =
+    Json.to_string
+      (Runner.json_of_result (hybrid_run ?queue_backend ?pdes_domains "intruder"))
+  in
+  let base = dump () in
+  check Alcotest.string "heap backend byte-identical" base
+    (dump ~queue_backend:Lk_engine.Event_queue.Heap ());
+  check Alcotest.string "pdes:4 byte-identical" base (dump ~pdes_domains:4 ())
 
 (* --- Pool ------------------------------------------------------------------ *)
 
@@ -1009,6 +1076,17 @@ let () =
             test_ledger_jobs_differential;
           Alcotest.test_case "perfetto well-formed" `Quick
             test_perfetto_export_wellformed;
+        ] );
+      ( "hybrid",
+        [
+          Alcotest.test_case "sw-tl2 pure software" `Quick
+            test_hybrid_sw_tl2_all_software;
+          Alcotest.test_case "gv1/gv5 same outcome" `Quick
+            test_hybrid_gv1_gv5_equivalent_outcome;
+          Alcotest.test_case "validation aborts in ledger" `Quick
+            test_hybrid_validation_abort_in_ledger;
+          Alcotest.test_case "nohw determinism" `Quick
+            test_hybrid_nohw_determinism;
         ] );
       ( "telemetry",
         [
