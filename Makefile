@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 SHELL := /bin/bash
 
-.PHONY: all build test bench perfcheck doc lint check telemetry replay-smoke pdes-smoke hytm-smoke ci clean
+.PHONY: all build test bench perfcheck doc lint check telemetry replay-smoke pdes-smoke race-smoke hytm-smoke ci clean
 
 all: build
 
@@ -107,6 +107,31 @@ pdes-smoke:
 	rm -rf _build/pdes-smoke
 	@echo "pdes smoke: OK"
 
+# Race-detector smoke: a 256-core run with the partition-ownership
+# detector armed must finish with zero violations (--race-check fails
+# the run otherwise) and stay byte-identical across domain counts —
+# the detector is purely observational. The diagnostic "pdes" member
+# legitimately differs between the two runs (different domain counts),
+# so it is stripped before the comparison; everything else must match
+# to the byte.
+race-smoke:
+	rm -rf _build/race-smoke && mkdir -p _build/race-smoke
+	dune exec bin/lockiller_sim.exe -- run -s LockillerTM -w vacation \
+	  -t 16 --cores 256 --scale 0.1 --pdes-domains 1 --race-check \
+	  --format json > _build/race-smoke/d1.json
+	dune exec bin/lockiller_sim.exe -- run -s LockillerTM -w vacation \
+	  -t 16 --cores 256 --scale 0.1 --pdes-domains 4 --race-check \
+	  --format json > _build/race-smoke/d4.json
+	dune exec test/json_check.exe -- --result < _build/race-smoke/d1.json
+	dune exec test/json_check.exe -- --result < _build/race-smoke/d4.json
+	dune exec test/json_check.exe -- --strip pdes \
+	  < _build/race-smoke/d1.json > _build/race-smoke/d1.stripped.json
+	dune exec test/json_check.exe -- --strip pdes \
+	  < _build/race-smoke/d4.json > _build/race-smoke/d4.stripped.json
+	cmp _build/race-smoke/d1.stripped.json _build/race-smoke/d4.stripped.json
+	rm -rf _build/race-smoke
+	@echo "race smoke: OK"
+
 # Hybrid-TM smoke: the HyTM instrumentation-cost sweep (docs/HYBRID.md)
 # on a tiny configuration, validated by the JSON checker, then rerun
 # with a different worker count — the two outputs must be
@@ -159,6 +184,7 @@ ci:
 	$(MAKE) telemetry
 	$(MAKE) replay-smoke
 	$(MAKE) pdes-smoke
+	$(MAKE) race-smoke
 	$(MAKE) hytm-smoke
 	$(MAKE) perfcheck
 

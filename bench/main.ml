@@ -274,6 +274,45 @@ let machine_micro ~cores =
     ignore (once ());
     once ()
 
+(* The partition-ownership race detector priced on the big mesh: the
+   same closed-loop 256-core run as [machine_micro], split over 4
+   event-queue partitions, detector off and on. A witness hook is one
+   flag test when the detector is off and an ownership compare when
+   on, so the two samples must stay inside the perfcheck band — the
+   "detector_on_speedup" ratio is the gate on the detector's overhead
+   (docs/CHECKING.md). The on-sample also re-asserts zero violations:
+   --race-check fails the run on any finding. *)
+let race_micro ~race_check =
+  match Lockiller.Stamp.Suite.find "ssca2" with
+  | None -> assert false
+  | Some w ->
+    let machine = Lockiller.Sim.Config.machine ~cores:256 () in
+    let options =
+      {
+        Runner.default_options with
+        machine;
+        oracle = false;
+        scale = 0.25;
+        pdes_domains = 4;
+        race_check;
+      }
+    in
+    let once () =
+      Perf.reset_totals ();
+      ignore
+        (Runner.run ~options ~sysconf:Sysconf.lockiller ~workload:w
+           ~threads:16 ());
+      let t = Perf.totals () in
+      {
+        Perf.wall_seconds = t.Perf.total_wall_seconds;
+        minor_words = t.Perf.total_minor_words;
+        events = t.Perf.total_events;
+        cycles = t.Perf.total_cycles;
+      }
+    in
+    ignore (once ());
+    once ()
+
 (* The TL2 software path under contention: the maximally-contended
    counter microbenchmark on SW-TL2 runs every transaction through the
    software fallback (no HTM attempts), so the sample prices the
@@ -323,6 +362,8 @@ let run_perf_micro ~scale ~format =
   let p4 = pdes_micro ~domains:4 ~ops in
   let m32 = machine_micro ~cores:32 in
   let m256 = machine_micro ~cores:256 in
+  let roff = race_micro ~race_check:false in
+  let ron = race_micro ~race_check:true in
   let sp = swpath_micro () in
   let cpus = Domain.recommended_domain_count () in
   let speedup w h =
@@ -365,6 +406,14 @@ let run_perf_micro ~scale ~format =
                 ("cores256", Perf.json_of_sample m256);
                 ("large_mesh_speedup", Json.Float (speedup m256 m32));
               ] );
+          ( "race",
+            Json.Obj
+              [
+                ("threads", Json.Int 16);
+                ("off", Perf.json_of_sample roff);
+                ("on", Perf.json_of_sample ron);
+                ("detector_on_speedup", Json.Float (speedup ron roff));
+              ] );
           ( "swpath",
             Json.Obj
               [ ("threads", Json.Int 8); ("sw_tl2", Perf.json_of_sample sp) ]
@@ -406,6 +455,12 @@ let run_perf_micro ~scale ~format =
           (Perf.events_per_sec s)
           (Perf.minor_words_per_event s))
       [ ("32", m32); ("256", m256) ];
+    List.iter
+      (fun (label, s) ->
+        Printf.printf "%-8s %-8s %14.0f %16.2f\n" "race" label
+          (Perf.events_per_sec s)
+          (Perf.minor_words_per_event s))
+      [ ("off", roff); ("on", ron) ];
     Printf.printf "%-8s %-8s %14.0f %16.2f\n" "swpath" "sw_tl2"
       (Perf.events_per_sec sp)
       (Perf.minor_words_per_event sp);
@@ -413,8 +468,9 @@ let run_perf_micro ~scale ~format =
     Printf.printf "sim   wheel speedup over heap: %.2fx\n" (speedup sw sh);
     Printf.printf "pdes  4-domain aggregate over 1: %.2fx (%d cpus)\n" (speedup p4 p1)
       cpus;
-    Printf.printf "mesh  256-core over 32-core:     %.2fx\n\n%!"
-      (speedup m256 m32)
+    Printf.printf "mesh  256-core over 32-core:     %.2fx\n" (speedup m256 m32);
+    Printf.printf "race  detector on over off:      %.2fx\n\n%!"
+      (speedup ron roff)
 
 (* --- Traced reference run ----------------------------------------------- *)
 

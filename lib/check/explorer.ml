@@ -1,3 +1,7 @@
+(* lint: allow hashtbl — the visited-state set is keyed by state
+   fingerprints from the model checker's own hash; exploration is an
+   offline checker, not the simulator's inner loop. *)
+
 type verdict =
   | Exhausted of { schedules : int; states : int; max_decisions : int }
   | Violation of {

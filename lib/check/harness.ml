@@ -124,7 +124,22 @@ let run ?(check_states = true) ?(cycle_limit = default_cycle_limit)
     ?inject_bug ~choose (scenario : Scenario.t) =
   let threads = Array.length scenario.Scenario.program in
   let topo = Topology.create ~rows:1 ~cols:threads in
-  let sim = Sim.create () in
+  (* Partitioned scenarios run on the sequenced multi-queue kernel with
+     the block tile map and the ownership race detector armed — the
+     same configuration `--pdes-domains` uses, scaled down to a model
+     the explorer can enumerate. *)
+  let domains =
+    match scenario.Scenario.domains with
+    | None -> 1
+    | Some d when d < 1 -> 1
+    | Some d -> Int.min d threads
+  in
+  let sim = Sim.create ~domains () in
+  if domains > 1 then begin
+    let part = Lk_engine.Partition.create ~items:threads ~domains in
+    Sim.set_tile_map sim (Lk_engine.Partition.of_item part);
+    Sim.set_race_check sim true
+  end;
   let net = Network.create topo in
   let cfg =
     {
@@ -162,13 +177,32 @@ let run ?(check_states = true) ?(cycle_limit = default_cycle_limit)
          fps := fp :: !fps;
          incr ndec;
          c));
-  if check_states then
+  let race_violation () =
+    if Sim.race_count sim = 0 then None
+    else
+      match Sim.race_violations sim with
+      | [] -> None
+      | v :: _ ->
+        Some
+          {
+            Invariant.invariant = "race";
+            detail = Format.asprintf "%a" Sim.pp_race_violation v;
+          }
+  in
+  if check_states || domains > 1 then
     Sim.set_observer sim
       (Some
          (fun () ->
-           match Invariant.check_state rt with
-           | None -> ()
-           | Some v -> raise (Violation_found v)));
+           (* Race findings first: the offending event just ran, so the
+              decision trace in hand is the shortest prefix that
+              provokes it — exactly what the explorer wants to shrink. *)
+           (match race_violation () with
+           | Some v -> raise (Violation_found v)
+           | None -> ());
+           if check_states then
+             match Invariant.check_state rt with
+             | None -> ()
+             | Some v -> raise (Violation_found v)));
   Ledger.set_sink ledger
     (Some
        (fun ~time:_ ~core ~kind ~arg ->
@@ -196,7 +230,8 @@ let run ?(check_states = true) ?(cycle_limit = default_cycle_limit)
             {
               Invariant.invariant = "conservation";
               detail =
-                Printf.sprintf
+                (* end-of-run diagnostic, not simulation-hot *)
+                Printf.sprintf (* lint-ok *)
                   "address %#x committed %d but a correct run commits %d" addr
                   got want;
             })
@@ -204,6 +239,10 @@ let run ?(check_states = true) ?(cycle_limit = default_cycle_limit)
   in
   let status =
     match Sim.run ~limit:cycle_limit sim with
+    | () when race_violation () <> None -> (
+      match race_violation () with
+      | Some v -> Violated v
+      | None -> assert false)
     | () ->
       if !finished < threads then
         Livelocked

@@ -1,0 +1,146 @@
+module Types = Lk_coherence.Types
+module Pdes = Lk_engine.Pdes
+
+type report = {
+  fault : Types.injected_fault;
+  scenario : string;
+  violation : Invariant.violation;
+  schedule : Schedule.t;
+  schedules : int;
+}
+
+let mutations =
+  [
+    (Types.Cross_partition_write, Scenario.partitioned);
+    (Types.Short_hop_schedule, Scenario.partitioned_wake);
+  ]
+
+(* --- sequenced kernel (explorer-driven) ------------------------------- *)
+
+let clean ?max_schedules (scenario : Scenario.t) =
+  match Explorer.explore ?max_schedules scenario with
+  | Explorer.Exhausted _ | Explorer.Bounded _ -> Ok ()
+  | Explorer.Violation { violation; _ } ->
+    Error
+      ("clean run of " ^ scenario.Scenario.name ^ " reported "
+      ^ Invariant.violation_to_string violation)
+
+let sequenced ?max_schedules ~inject (scenario : Scenario.t) =
+  match Explorer.explore ?max_schedules ~inject_bug:inject scenario with
+  | Explorer.Exhausted _ | Explorer.Bounded _ ->
+    Error
+      (Types.fault_label inject ^ " in " ^ scenario.Scenario.name
+     ^ ": the detector caught nothing")
+  | Explorer.Violation { schedule; violation; schedules } ->
+    if violation.Invariant.invariant <> "race" then
+      Error
+        (Types.fault_label inject ^ " in " ^ scenario.Scenario.name
+       ^ ": expected a race violation but got "
+        ^ Invariant.violation_to_string violation)
+    else begin
+      (* The explorer's schedule must stand on its own: replay it and
+         require the same invariant to fire again. *)
+      let r = Harness.replay ~inject_bug:inject ~schedule scenario in
+      match r.Harness.status with
+      | Harness.Violated v when v.Invariant.invariant = "race" ->
+        Ok
+          {
+            fault = inject;
+            scenario = scenario.Scenario.name;
+            violation;
+            schedule;
+            schedules;
+          }
+      | Harness.Violated v ->
+        Error
+          ("replay of the shrunk schedule reported "
+          ^ Invariant.violation_to_string v ^ " instead of the race")
+      | Harness.Completed | Harness.Livelocked _ ->
+        Error "the shrunk schedule did not replay to a race violation"
+    end
+
+(* --- true-parallel kernel --------------------------------------------- *)
+
+(* A partition-confined model small enough to reason about by hand: two
+   partitions, each owning one counter region, each running a short
+   chain of self-increments, and exchanging one boundary-legal
+   (delay = lookahead) message per chain — which doubles as the
+   boundary test that [Pdes.post] accepts exactly-lookahead sends. *)
+let lookahead = 4
+
+let build () =
+  let p = Pdes.create ~tiles:2 ~domains:2 ~lookahead () in
+  Pdes.set_race_check p true;
+  let regions =
+    [|
+      Pdes.register_region p ~name:"counter[0]" ~owner:0;
+      Pdes.register_region p ~name:"counter[1]" ~owner:1;
+    |]
+  in
+  let counters = [| 0; 0 |] in
+  (p, regions, counters)
+
+let parallel_clean () =
+  let p, regions, counters = build () in
+  let rec tick n port =
+    let me = Pdes.id port in
+    Pdes.witness p port regions.(me);
+    counters.(me) <- counters.(me) + 1;
+    if n > 1 then Pdes.schedule port ~delay:1 (tick (n - 1))
+    else
+      (* Hand the other partition one last increment of ITS OWN
+         counter, across the boundary at exactly the lookahead. *)
+      Pdes.post port ~dst:(1 - me) ~delay:lookahead (fun port' ->
+          let me' = Pdes.id port' in
+          Pdes.witness p port' regions.(me');
+          counters.(me') <- counters.(me') + 1)
+  in
+  Pdes.schedule (Pdes.port p 0) ~delay:1 (tick 8);
+  Pdes.schedule (Pdes.port p 1) ~delay:1 (tick 8);
+  Pdes.run p;
+  if counters.(0) <> 9 || counters.(1) <> 9 then
+    Error "the partition-confined model lost increments"
+  else
+    match Pdes.violation_count p with
+    | 0 -> Ok ()
+    | n -> Error (string_of_int n ^ " violations on a clean parallel run")
+
+let parallel ~inject =
+  match inject with
+  | Types.Cross_partition_write ->
+    (* Partition 0 reaches across and bumps partition 1's counter from
+       its own event — the exact shape of the planted protocol bug,
+       reproduced on real domains. Partition 1 stays quiet so the only
+       unsynchronised access is the one under test. *)
+    let p, regions, counters = build () in
+    Pdes.schedule (Pdes.port p 0) ~delay:1 (fun port ->
+        Pdes.witness p port regions.(1);
+        counters.(1) <- counters.(1) + 1);
+    Pdes.run p;
+    (match Pdes.violations p with
+    | [ v ] when v.Pdes.owner = 1 && v.Pdes.offender = 0 -> Ok ()
+    | vs ->
+      Error
+        ("expected exactly one foreign-write violation, got "
+        ^ string_of_int (List.length vs)))
+  | Types.Short_hop_schedule ->
+    (* The parallel kernel needs no detector for this half of the
+       contract: [post] rejects the sub-lookahead hop outright (and
+       accepts the boundary case, checked by [parallel_clean]). *)
+    let p, _regions, _counters = build () in
+    let accepted =
+      match
+        Pdes.post (Pdes.port p 0) ~dst:1 ~delay:(lookahead - 1) (fun _ -> ())
+      with
+      | () -> true
+      | exception Invalid_argument _ -> false
+    in
+    if accepted then Error "Pdes.post accepted a sub-lookahead hop"
+    else Ok ()
+  | Types.Swmr_violation | Types.Lost_wakeup | Types.Dirty_commit ->
+    Error "not a race-class fault"
+
+let pp_report ppf r =
+  Format.fprintf ppf "%s in %s: %s caught after %d schedule(s), %a"
+    (Types.fault_label r.fault) r.scenario r.violation.Invariant.invariant
+    r.schedules Schedule.pp r.schedule

@@ -1,0 +1,55 @@
+(** Self-validation of the partition-ownership race detector.
+
+    The detector lives in the engine ({!Lk_engine.Sim} for the
+    sequenced multi-queue kernel, {!Lk_engine.Pdes} for the
+    true-parallel one); this module is its checker-of-the-checker. It
+    pairs each race-class injected fault with the partitioned scenario
+    that exposes it, drives the {!Explorer} to a shrunk replayable
+    counterexample on the sequenced kernel, and reproduces the same
+    two faults on a small partition-confined model running on real
+    OCaml domains. [make check] runs all of it. *)
+
+type report = {
+  fault : Lk_coherence.Types.injected_fault;
+  scenario : string;  (** scenario name the fault was planted in *)
+  violation : Invariant.violation;  (** what the detector reported *)
+  schedule : Schedule.t;  (** shrunk, replay-verified counterexample *)
+  schedules : int;  (** explorer runs until the first failure *)
+}
+
+val mutations : (Lk_coherence.Types.injected_fault * Scenario.t) list
+(** The race-class mutation table: [Cross_partition_write] planted in
+    {!Scenario.partitioned} and [Short_hop_schedule] planted in
+    {!Scenario.partitioned_wake}. *)
+
+val clean : ?max_schedules:int -> Scenario.t -> (unit, string) result
+(** Explore the unmutated scenario with the detector armed and require
+    zero race findings on every schedule — the detector's
+    false-positive gate. [Error] carries the offending verdict. *)
+
+val sequenced :
+  ?max_schedules:int ->
+  inject:Lk_coherence.Types.injected_fault ->
+  Scenario.t ->
+  (report, string) result
+(** Plant the fault, explore until the detector reports a ["race"]
+    violation, shrink the schedule and verify it replays to the same
+    invariant. [Error] when the detector misses the fault or the
+    counterexample does not replay. *)
+
+val parallel_clean : unit -> (unit, string) result
+(** Run a two-partition partition-confined model on the true-parallel
+    {!Lk_engine.Pdes} kernel with the detector on: each partition
+    mutates only its own region and posts boundary-legal
+    (delay = lookahead) messages. Requires zero violations. *)
+
+val parallel :
+  inject:Lk_coherence.Types.injected_fault -> (unit, string) result
+(** Reproduce the fault on the true-parallel kernel:
+    [Cross_partition_write] becomes an event that mutates (and
+    witnesses) the other partition's region — the detector must record
+    it from a real concurrent domain; [Short_hop_schedule] becomes a
+    cross-partition {!Lk_engine.Pdes.post} one cycle below the
+    lookahead — the kernel must reject it outright. *)
+
+val pp_report : Format.formatter -> report -> unit

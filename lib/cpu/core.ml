@@ -351,6 +351,9 @@ let rec run t = function
     t.finish_time <- now t;
     t.on_done ()
   | tx :: rest ->
+    (* The thread loop mutates this core's progress state; declare it
+       to the partition-ownership race detector. *)
+    Runtime.witness_core t.rt t.core;
     t.remaining <- tx :: rest;
     compute t tx.Program.pre_compute Accounting.Non_tran (fun () ->
         critical t tx (fun () ->
@@ -378,6 +381,7 @@ let rec pump t s =
     end
   end
   else begin
+    Runtime.witness_core t.rt t.core;
     s.busy <- true;
     let p = Queue.pop s.q in
     let started = now t in

@@ -339,6 +339,46 @@ let runnable q =
       done;
       !n
 
+(* Sequence number of the k-th member (0-based, insertion order) of the
+   runnable set — the cross-queue rank key the partitioned kernel needs
+   to drive a chooser over several queues at once: each queue's runnable
+   set is internally seq-ordered, so merging the per-queue heads by this
+   value enumerates the global runnable set in insertion order. Same
+   checker-only O(k*n) cost profile as [pop_payload_nth]. *)
+let runnable_seq q k =
+  if q.count = 0 then invalid_arg "Event_queue.runnable_seq: empty queue";
+  if k < 0 then invalid_arg "Event_queue.runnable_seq: negative index";
+  match q.kind with
+  | Heap ->
+    let tmin = q.harr.(0).time in
+    let last = ref (-1) in
+    for _ = 0 to k do
+      let best = ref (-1) in
+      for i = 0 to q.hsize - 1 do
+        let e = q.harr.(i) in
+        if
+          e.time = tmin && e.seq > !last
+          && (!best = -1 || e.seq < q.harr.(!best).seq)
+        then best := i
+      done;
+      if !best = -1 then
+        invalid_arg "Event_queue.runnable_seq: index out of range";
+      last := q.harr.(!best).seq
+    done;
+    !last
+  | Wheel ->
+    if q.near_count = 0 then rebase q;
+    advance q;
+    let e = ref q.slots_head.(q.cur land wheel_mask) in
+    if !e == q.nil then invalid_arg "Event_queue.runnable_seq: index out of range";
+    (try
+       for _ = 1 to k do
+         if (!e).next == !e then raise Exit;
+         e := (!e).next
+       done
+     with Exit -> invalid_arg "Event_queue.runnable_seq: index out of range");
+    (!e).seq
+
 (* Remove the entry at arbitrary heap index [i]: swap with the last
    slot, then restore the heap property in whichever direction the
    replacement violates it. *)

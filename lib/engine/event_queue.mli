@@ -91,4 +91,12 @@ val pop_payload_nth : 'a t -> int -> 'a
     [Invalid_argument] when [k] is out of range or the queue is
     empty. *)
 
+val runnable_seq : 'a t -> int -> int
+(** [runnable_seq q k] is the sequence number of the [k]-th (0-based,
+    insertion order) event of the runnable set, without removing it.
+    With a shared [seq] counter this ranks runnable events {e across}
+    partition queues, which is how the partitioned kernel presents one
+    merged runnable set to a chooser. Raises [Invalid_argument] when
+    [k] is out of range or the queue is empty. *)
+
 val clear : 'a t -> unit

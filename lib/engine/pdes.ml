@@ -37,6 +37,13 @@
    acquire/release pairs give the happens-before — so the program is
    data-race-free. *)
 
+type violation = {
+  time : int;
+  region : string;
+  owner : int;
+  offender : int;
+}
+
 type port = {
   id : int;
   queue : (port -> unit) Event_queue.t;
@@ -47,6 +54,9 @@ type port = {
      reverse send order; the owner of [dst] reverses on drain. *)
   outbox : (int * (port -> unit)) list array;
   lookahead : int;
+  (* Race-detector findings, recorded by the partition that witnessed
+     them — per-port so concurrent witnesses never share a cell. *)
+  mutable violations : violation list;
 }
 
 (* Blocking (mutex + condvar) rather than spinning: when the host has
@@ -97,11 +107,22 @@ type t = {
   barrier : barrier;
   mutable windows : int;
   mutable ran : bool;
+  (* Ownership registry and detector switch. Both are written only
+     before [run] (registration/configuration time) and read-only
+     inside workers; [Domain.spawn] provides the happens-before. *)
+  mutable region_owners : int array;
+  mutable region_names : string array;
+  mutable regions : int;
+  mutable race : bool;
 }
 
-let create ?backend ~domains ~lookahead () =
+let create ?backend ?tiles ~domains ~lookahead () =
   if domains < 1 then invalid_arg "Pdes.create: domains must be positive";
   if lookahead < 1 then invalid_arg "Pdes.create: lookahead must be positive";
+  (match tiles with
+  | Some n when n < domains ->
+    invalid_arg "Pdes.create: more domains than tiles"
+  | Some _ | None -> ());
   let ports =
     Array.init domains (fun id ->
         {
@@ -112,6 +133,7 @@ let create ?backend ~domains ~lookahead () =
           sent = 0;
           outbox = Array.make domains [];
           lookahead;
+          violations = [];
         })
   in
   {
@@ -122,6 +144,10 @@ let create ?backend ~domains ~lookahead () =
     barrier = barrier_make domains;
     windows = 0;
     ran = false;
+    region_owners = [||];
+    region_names = [||];
+    regions = 0;
+    race = false;
   }
 
 let domains t = t.domains
@@ -133,6 +159,56 @@ let events p = p.events
 let total_events t = Array.fold_left (fun acc p -> acc + p.events) 0 t.ports
 let messages t = Array.fold_left (fun acc p -> acc + p.sent) 0 t.ports
 let windows t = t.windows
+
+(* --- partition-ownership race detection ------------------------------- *)
+
+type region = int
+
+let register_region t ~name ~owner =
+  if t.ran then invalid_arg "Pdes.register_region: already run";
+  if owner < 0 || owner >= t.domains then
+    invalid_arg "Pdes.register_region: owner out of range";
+  let id = t.regions in
+  let cap = Array.length t.region_owners in
+  if id = cap then begin
+    let ncap = if cap = 0 then 16 else 2 * cap in
+    let owners = Array.make ncap 0 in
+    let names = Array.make ncap "" in
+    Array.blit t.region_owners 0 owners 0 cap;
+    Array.blit t.region_names 0 names 0 cap;
+    t.region_owners <- owners;
+    t.region_names <- names
+  end;
+  t.region_owners.(id) <- owner;
+  t.region_names.(id) <- name;
+  t.regions <- id + 1;
+  id
+
+let set_race_check t on =
+  if t.ran then invalid_arg "Pdes.set_race_check: already run";
+  t.race <- on
+
+(* The witness runs concurrently on every domain: it reads only the
+   pre-run registry and writes only the witnessing port's own list, so
+   it is data-race-free without any locking. *)
+let witness t (p : port) r =
+  if t.race then begin
+    let owner = t.region_owners.(r) in
+    if owner <> p.id then
+      p.violations <-
+        { time = p.clock; region = t.region_names.(r); owner; offender = p.id }
+        :: p.violations
+  end
+
+let violations t =
+  let out = ref [] in
+  for i = t.domains - 1 downto 0 do
+    out := List.rev_append t.ports.(i).violations !out
+  done;
+  !out
+
+let violation_count t =
+  Array.fold_left (fun acc p -> acc + List.length p.violations) 0 t.ports
 
 let schedule (p : port) ~delay f =
   if delay < 0 then invalid_arg "Pdes.schedule: negative delay";

@@ -27,8 +27,17 @@ type port
     other partition. *)
 
 val create :
-  ?backend:Event_queue.backend -> domains:int -> lookahead:int -> unit -> t
-(** Both [domains] and [lookahead] must be positive. *)
+  ?backend:Event_queue.backend ->
+  ?tiles:int ->
+  domains:int ->
+  lookahead:int ->
+  unit ->
+  t
+(** Both [domains] and [lookahead] must be positive. [tiles], when
+    given, is the number of model items being partitioned; [domains]
+    may not exceed it (an empty partition can never fire an event, so
+    asking for one is a configuration error — the same check the CLI
+    applies to [--pdes-domains] against the machine's core count). *)
 
 val domains : t -> int
 
@@ -64,3 +73,45 @@ val messages : t -> int
 
 val windows : t -> int
 (** Lookahead windows executed (after {!run}). *)
+
+(** {1 Partition-ownership race detection}
+
+    The true-parallel twin of {!Sim}'s detector: models register the
+    partition owning each mutable state region before {!run}, and event
+    bodies call {!witness} at mutation points. A mutation witnessed on
+    a partition that does not own the region is recorded — on real
+    OCaml domains, i.e. the access really did race. Witnesses write
+    only the witnessing partition's own list, so the detector itself is
+    data-race-free. The short-hop half of the contract needs no
+    detector here: {!post} already {e rejects} sub-lookahead
+    cross-partition sends outright. *)
+
+type region
+(** Handle of a registered state region. *)
+
+type violation = {
+  time : int;  (** partition-local clock at the offending event *)
+  region : string;
+  owner : int;  (** partition that owns the region *)
+  offender : int;  (** partition that mutated it *)
+}
+
+val register_region : t -> name:string -> owner:int -> region
+(** Register a region owned by partition [owner]. Must be called
+    before {!run}; raises [Invalid_argument] afterwards or when
+    [owner] is out of range. *)
+
+val set_race_check : t -> bool -> unit
+(** Switch the detector on (default off). Must be called before
+    {!run}. *)
+
+val witness : t -> port -> region -> unit
+(** [witness t p r] declares that the event currently executing on [p]
+    mutates region [r]. Records a {!violation} when the detector is on
+    and [p] does not own [r]. *)
+
+val violations : t -> violation list
+(** All recorded violations, grouped by partition in partition order,
+    oldest first within a partition (call after {!run}). *)
+
+val violation_count : t -> int

@@ -24,6 +24,15 @@ val set_ledger : t -> Lk_engine.Ledger.t -> unit
     [Lk_lockiller.Runtime.enable_ledger], which attaches one ledger to
     all three emitting layers at once. *)
 
+val set_witness : t -> (Lk_coherence.Types.core_id -> unit) -> unit
+(** Install a race-detector witness, called with [core] on every
+    speculative {!write} (the per-core buffer is core-local state, so a
+    write from the wrong partition is an ownership violation). The
+    runtime points this at [Lk_engine.Sim.witness] on its per-core
+    regions; defaults to a no-op. Committed memory is deliberately not
+    hooked: commits and pokes publish from whatever event performs
+    them, which the ownership contract exempts. *)
+
 val committed : t -> addr -> int
 (** Committed value of an address (0 if never written). *)
 

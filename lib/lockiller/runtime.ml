@@ -100,6 +100,13 @@ type t = {
   (* Deliberately broken variant for the checker-of-the-checker
      mutation tests; [None] in every real run. *)
   inject : Types.injected_fault option;
+  (* Race-detector handles: one region per core covering its runtime
+     state (context, park slot, pending-wake flag, software sets, logs,
+     histograms' per-core cells). Witnessed at the entry points that
+     are contractually core-local; deliberately NOT witnessed on the
+     cross-partition mutation paths (abort of a remote victim, commit
+     publish) that the ownership contract exempts. *)
+  core_regions : Sim.region array;
   per_core : core_stats array;
   stats : Stats.group;
   s_commits : Stats.counter;
@@ -125,6 +132,10 @@ type t = {
 
 let sysconf t = t.sysconf
 let costs t = t.costs
+
+(* Declare a mutation of [core]'s runtime region to the partition-
+   ownership race detector. Free when the detector is off. *)
+let witness_core t core = Sim.witness t.sim t.core_regions.(core)
 let store t = t.store
 let protocol t = t.proto
 let ctx t core = t.ctxs.(core)
@@ -328,6 +339,9 @@ let requester_beats_holder ~requester:(rc, (rp : Types.party))
 (* --- Wake-up machinery ----------------------------------------------- *)
 
 let wake t core =
+  (* Wake-ups are scheduled on the waiter's tile, so this always runs
+     in [core]'s partition. *)
+  witness_core t core;
   match t.parked.(core) with
   | Some resume ->
     t.parked.(core) <- None;
@@ -357,10 +371,23 @@ let send_wakeups t core =
         Net.send ~now:(Sim.now t.sim) t.net ~src:core ~dst:w
           ~class_:Msg.Control
       in
+      (* The injected short-hop mutation sends the wake-up with zero
+         delay instead of the NoC latency: when the waiter sits in
+         another partition the hop undercuts the lookahead window — the
+         contract violation [Sim.schedule_tile]'s short-hop check (and
+         [Pdes.post]'s hard floor) exists to expose. *)
+      let lat =
+        match t.inject with
+        | Some Types.Short_hop_schedule -> 0
+        | Some _ | None -> lat
+      in
       Sim.schedule_tile t.sim ~tile:w ~delay:lat (fun () -> wake t w))
     waiters
 
 let park t core ~rejector_alive resume =
+  (* Runs from the access continuation, which [Protocol.finish]
+     delivers on the requester's tile. *)
+  witness_core t core;
   if t.pending_wake.(core) then begin
     t.pending_wake.(core) <- false;
     Sim.schedule_tile t.sim ~tile:core ~delay:1 resume
@@ -403,11 +430,18 @@ let abort_core t core reason =
      never come. *)
   send_wakeups t core;
   (* If the victim itself was parked, release it so it can observe the
-     abort and restart. *)
+     abort and restart. The abort executes in the aggressor's (home
+     directory's) event, so when the victim lives in another partition
+     this release is a genuine sub-lookahead cross-partition hop — a
+     deliberate, annotated exception to the conservative contract (the
+     sequenced kernel merges globally so no causality is lost; the
+     true-parallel [Pdes] kernel cannot host this model for exactly
+     this reason). [~urgent] keeps it out of the race report while
+     still counting it in [short_hops]. *)
   match t.parked.(core) with
   | Some resume ->
     t.parked.(core) <- None;
-    Sim.schedule_tile t.sim ~tile:core ~delay:0 resume
+    Sim.schedule_tile t.sim ~urgent:true ~tile:core ~delay:0 resume
   | None -> ()
 
 (* --- Issue with reject policies -------------------------------------- *)
@@ -594,10 +628,16 @@ let create ?(costs = default_costs) ?inject_bug ~protocol:proto ~store ~sysconf
   | Error msg -> invalid_arg ("Runtime.create: " ^ msg));
   let cores = (Protocol.config proto).Protocol.cores in
   let stats = Stats.group "runtime" in
+  let sim = Protocol.sim proto in
+  let core_regions =
+    Array.init cores (fun c ->
+        Sim.register_region sim ~name:("runtime[" ^ string_of_int c ^ "]")
+          ~tile:c)
+  in
   let t =
     {
       proto;
-      sim = Protocol.sim proto;
+      sim;
       net = Protocol.network proto;
       store;
       sysconf;
@@ -625,6 +665,7 @@ let create ?(costs = default_costs) ?inject_bug ~protocol:proto ~store ~sysconf
       sw_peak = 0;
       clock_now = 0;
       inject = inject_bug;
+      core_regions;
       per_core =
         Array.init cores (fun _ ->
             {
@@ -660,6 +701,10 @@ let create ?(costs = default_costs) ?inject_bug ~protocol:proto ~store ~sysconf
     }
   in
   Protocol.set_client proto (client t);
+  (* Point the value-layer hooks at the per-core regions so speculative
+     buffer writes and software-set updates are witnessed too. *)
+  Store.set_witness store (fun core -> witness_core t core);
+  Sw_path.set_witness t.sw (fun core -> witness_core t core);
   (* The coherence-level mutation lives in the protocol; the others are
      handled here and ignored there. *)
   Protocol.set_inject_bug proto inject_bug;
@@ -681,6 +726,7 @@ let create ?(costs = default_costs) ?inject_bug ~protocol:proto ~store ~sysconf
 (* --- Programming interface ------------------------------------------- *)
 
 let xbegin t core ~k =
+  witness_core t core;
   let c = t.ctxs.(core) in
   if c.Txstate.mode <> Txstate.Idle then
     invalid_arg "Runtime.xbegin: already in a transaction";
@@ -769,6 +815,7 @@ let xend t core ~k =
     invalid_arg "Runtime.xend: not in an HTM transaction";
   let epoch = c.Txstate.epoch in
   Sim.schedule_tile t.sim ~tile:core ~delay:t.costs.commit_cost (fun () ->
+      witness_core t core;
       (* A conflict may still kill us during the commit window. The
          injected dirty-commit mutation skips exactly this guard, so a
          killed transaction publishes its commit anyway. *)
@@ -831,6 +878,7 @@ let hlbegin t core ~k =
   let rec acquire_authorization () =
     let rtt = arbitration_rtt t core in
     Sim.schedule_tile t.sim ~tile:core ~delay:rtt (fun () ->
+        witness_core t core;
         if Arbiter.try_acquire t.arb core then begin
           c.Txstate.mode <- Txstate.Tl;
           c.Txstate.pending_abort <- None;
@@ -850,6 +898,7 @@ let hlbegin t core ~k =
   if t.sysconf.Sysconf.switching then acquire_authorization ()
   else
     Sim.schedule_tile t.sim ~tile:core ~delay:t.costs.begin_cost (fun () ->
+        witness_core t core;
         ignore (Arbiter.try_acquire t.arb core);
         c.Txstate.mode <- Txstate.Tl;
         c.Txstate.pending_abort <- None;
@@ -869,6 +918,7 @@ let hlend t core ~k =
     invalid_arg "Runtime.hlend: not in HTMLock mode");
   let was_stl = c.Txstate.mode = Txstate.Stl in
   Sim.schedule_tile t.sim ~tile:core ~delay:t.costs.commit_cost (fun () ->
+      witness_core t core;
       ignore (Protocol.commit_flush t.proto core);
       ignore (Store.commit t.store ~core);
       (match t.sig_owner with
@@ -965,6 +1015,7 @@ let sw_abort t core reason ~k =
   sw_gate_leave t core ~k
 
 let swbegin t core ~k =
+  witness_core t core;
   let c = t.ctxs.(core) in
   if c.Txstate.mode <> Txstate.Idle then
     invalid_arg "Runtime.swbegin: already in a transaction";
@@ -1001,6 +1052,7 @@ let swbegin t core ~k =
       else sample_clock ())
 
 let sw_read t core ~addr ~k =
+  witness_core t core;
   let c = t.ctxs.(core) in
   let epoch = c.Txstate.epoch in
   let line = Addr.line_of_byte addr in
@@ -1042,6 +1094,7 @@ let sw_read t core ~addr ~k =
 let sw_write t core ~addr ~value ~k =
   (* Deferred write: buffer the value and remember the slot; the
      coherence traffic (lock, publish, stamp) happens at commit. *)
+  witness_core t core;
   progress_tick t core;
   Store.write t.store ~core ~speculative:true addr value;
   Sw_path.note_write t.sw ~core ~slot:(Sw_path.slot_of_line (Addr.line_of_byte addr));
@@ -1059,6 +1112,7 @@ let sw_fetch_add t core ~addr ~delta ~k =
       k (Ok v))
 
 let sw_commit t core ~k =
+  witness_core t core;
   let c = t.ctxs.(core) in
   if c.Txstate.mode <> Txstate.Sw then
     invalid_arg "Runtime.sw_commit: not in a software transaction";
@@ -1207,6 +1261,7 @@ let hw_pre_access t core ~line ~is_read ~epoch k =
           else k `Granted)
 
 let read t core ~addr ~k =
+  witness_core t core;
   let c = t.ctxs.(core) in
   if c.Txstate.mode = Txstate.Sw then sw_read t core ~addr ~k
   else
@@ -1226,6 +1281,7 @@ let read t core ~addr ~k =
             k (Ok v)))
 
 let write t core ~addr ~value ~k =
+  witness_core t core;
   let c = t.ctxs.(core) in
   if c.Txstate.mode = Txstate.Sw then sw_write t core ~addr ~value ~k
   else
@@ -1244,6 +1300,7 @@ let write t core ~addr ~value ~k =
             k (Ok 0)))
 
 let fetch_add t core ~addr ~delta ~k =
+  witness_core t core;
   let c = t.ctxs.(core) in
   if c.Txstate.mode = Txstate.Sw then sw_fetch_add t core ~addr ~delta ~k
   else

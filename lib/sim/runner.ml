@@ -99,7 +99,8 @@ type exec_mode =
 
 (* Shared execution engine for generated workloads, hand-written
    programs and trace replay. *)
-let execute ?queue_backend ?(pdes_domains = 1) ?(check = false) ?telemetry
+let execute ?queue_backend ?(pdes_domains = 1) ?(check = false)
+    ?(race_check = false) ?telemetry
     ~machine ~oracle ~on_runtime ~placement ~cycle_limit ~sysconf ~mode
     ~(workload_name : string) ~cache () =
   let threads =
@@ -113,6 +114,10 @@ let execute ?queue_backend ?(pdes_domains = 1) ?(check = false) ?telemetry
   let sim, net, protocol =
     Config.build ?backend:queue_backend ~pdes_domains machine
   in
+  (* The ownership race detector: purely observational (witnesses never
+     change scheduling), so the result stays byte-identical with it on
+     or off — which is why the flag is excluded from the cache key. *)
+  if race_check then Sim.set_race_check sim true;
   let store = Store.create ~cores:machine.Config.cores in
   let runtime =
     Runtime.create ~protocol ~store ~sysconf
@@ -280,9 +285,12 @@ let execute ?queue_backend ?(pdes_domains = 1) ?(check = false) ?telemetry
     let s = Sim.pdes_stats sim in
     Printf.eprintf
       "pdes: domains=%d lookahead=%d windows=%d cross_events=%d \
-       short_hops=%d\n%!"
+       short_hops=%d%s\n%!"
       s.Sim.domains s.Sim.lookahead s.Sim.windows s.Sim.cross_events
       s.Sim.short_hops
+      (if race_check then
+         Printf.sprintf " race_violations=%d" s.Sim.race_violations
+       else "")
   end;
   post_run ();
   if !finished <> threads then
@@ -315,6 +323,19 @@ let execute ?queue_backend ?(pdes_domains = 1) ?(check = false) ?telemetry
            (match List.length vs with
            | 1 -> ""
            | n -> Printf.sprintf " (+%d more)" (n - 1)))));
+  if race_check && Sim.race_count sim > 0 then begin
+    let n = Sim.race_count sim in
+    let first =
+      match Sim.race_violations sim with
+      | v :: _ -> Format.asprintf "%a" Sim.pp_race_violation v
+      | [] -> "(no detail)"
+    in
+    failwith
+      (Printf.sprintf
+         "Runner.run: %s/%s: partition-ownership race detector: %d \
+          violation(s); first: %s"
+         sysconf.Sysconf.name workload_name n first)
+  end;
   let cycles =
     Array.fold_left (fun acc cpu -> max acc (Core.finish_time cpu)) 0 cpus
   in
@@ -396,6 +417,7 @@ type options = {
   queue_backend : Lk_engine.Event_queue.backend;
   pdes_domains : int;
   check : bool;
+  race_check : bool;
   telemetry : telemetry_request option;
 }
 
@@ -411,6 +433,7 @@ let default_options =
     queue_backend = Lk_engine.Event_queue.Wheel;
     pdes_domains = 1;
     check = false;
+    race_check = false;
     telemetry = None;
   }
 
@@ -426,13 +449,15 @@ let run ?(options = default_options) ~sysconf ~workload ~threads () =
     queue_backend;
     pdes_domains;
     check;
+    race_check;
     telemetry;
   } =
     options
   in
   let program = Workload.generate workload ~threads ~seed ~scale in
   let store, result =
-    execute ~queue_backend ~pdes_domains ~check ?telemetry ~machine ~oracle
+    execute ~queue_backend ~pdes_domains ~check ~race_check ?telemetry
+      ~machine ~oracle
       ~on_runtime
       ~placement ~cycle_limit ~sysconf
       ~mode:
@@ -464,6 +489,7 @@ let run_program ?(options = default_options) ?(name = "custom") ~sysconf
     queue_backend;
     pdes_domains;
     check;
+    race_check;
     telemetry;
     seed = _;
     scale = _;
@@ -485,7 +511,8 @@ let run_program ?(options = default_options) ?(name = "custom") ~sysconf
              addr))
     (Lk_cpu.Program.touched_addresses program);
   let _, result =
-    execute ~queue_backend ~pdes_domains ~check ?telemetry ~machine ~oracle
+    execute ~queue_backend ~pdes_domains ~check ~race_check ?telemetry
+      ~machine ~oracle
       ~on_runtime ~placement ~cycle_limit ~sysconf
       ~mode:(Closed { program; barrier_every = None })
       ~workload_name:name ~cache:machine.Config.cache ()
@@ -503,6 +530,7 @@ let replay ?(options = default_options) ~sysconf ~open_loop ~threads () =
     queue_backend;
     pdes_domains;
     check;
+    race_check;
     telemetry;
     scale = _;
   } =
@@ -513,7 +541,8 @@ let replay ?(options = default_options) ~sysconf ~open_loop ~threads () =
   | Error msg -> invalid_arg ("Runner.replay: body profile: " ^ msg));
   let expected = Hashtbl.create 64 in
   let store, result =
-    execute ~queue_backend ~pdes_domains ~check ?telemetry ~machine ~oracle
+    execute ~queue_backend ~pdes_domains ~check ~race_check ?telemetry
+      ~machine ~oracle
       ~on_runtime ~placement ~cycle_limit ~sysconf
       ~mode:(Open { ol = open_loop; threads; seed; expected })
       ~workload_name:open_loop.Workload_source.trace_name

@@ -145,6 +145,18 @@ type options = {
           therefore the checks; use the cache-bypassing paths to force
           a checked execution). Default false: no sink is installed and
           the only cost is the ledger's per-emission [None] branch. *)
+  race_check : bool;
+      (** Arm the partition-ownership race detector
+          ({!Lk_engine.Sim.set_race_check}): every registered mutable
+          region's witness hook checks that the mutating event runs in
+          the region's owning partition, and per-partition vector
+          clocks flag sub-lookahead cross-partition hops. Purely
+          observational — witnesses never change scheduling, so results
+          stay byte-identical with the detector on or off and, like
+          [check], the field is excluded from cache keys. Any recorded
+          violation fails the run post-hoc with the first finding's
+          diagnostic. Default false: the witness hooks short-circuit on
+          a single flag test. *)
   telemetry : telemetry_request option;
       (** Attach the periodic {!Telemetry} sampler and hand the result
           to [consume] after the run. The sampler is read-only and

@@ -1,3 +1,9 @@
+(* lint: allow printf — error messages for profile validation are
+   built with [Printf.sprintf] on the cold setup path; generation
+   itself reports nothing.
+   lint: allow hashtbl — a single [Hashtbl.hash] seeds the stream RNG
+   at setup; no table is ever built. *)
+
 open Lk_engine
 
 type affinity = Any | Uniform | Sticky

@@ -1,3 +1,7 @@
+(* lint: allow printf — the [Printf.sprintf] uses are validation and
+   text-encoding error messages on cold paths; the binary codec in
+   [Stream] is the hot path and stays formatter-free. *)
+
 type t = { arrival : int; core : int; reads : int; writes : int; phase : int }
 
 let max_phase = 15

@@ -1,3 +1,7 @@
+(* lint: allow printf — decode errors and the text codec build their
+   messages with [Printf.sprintf]; the per-record binary path does
+   not allocate strings. *)
+
 type format = Text | Binary
 
 let format_of_string = function
