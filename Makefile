@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 SHELL := /bin/bash
 
-.PHONY: all build test bench perfcheck doc lint check telemetry replay-smoke pdes-smoke race-smoke hytm-smoke ci clean
+.PHONY: all build test bench perfcheck doc lint check telemetry replay-smoke pdes-smoke race-smoke hytm-smoke profile-smoke ci clean
 
 all: build
 
@@ -151,6 +151,32 @@ hytm-smoke:
 	rm -rf _build/hytm-smoke
 	@echo "hytm smoke: OK"
 
+# Causal-profiler smoke: the profile subcommand end to end — text
+# report, JSON validated by the checker, then the same profiled run
+# re-executed on the heap event queue and with the simulation split
+# over four PDES domains: all three JSON documents must be
+# byte-identical, because the profiler folds the deterministic ledger
+# stream and never observes engine-internal execution details.
+profile-smoke:
+	rm -rf _build/profile-smoke && mkdir -p _build/profile-smoke
+	dune exec bin/lockiller_sim.exe -- profile -s LockillerTM -w intruder \
+	  -t 8 --cores 8 --scale 0.2 > _build/profile-smoke/p.txt
+	grep -q "wasted" _build/profile-smoke/p.txt
+	dune exec bin/lockiller_sim.exe -- profile -s LockillerTM -w intruder \
+	  -t 8 --cores 8 --scale 0.2 --format json \
+	  > _build/profile-smoke/wheel.json
+	dune exec test/json_check.exe < _build/profile-smoke/wheel.json
+	dune exec bin/lockiller_sim.exe -- profile -s LockillerTM -w intruder \
+	  -t 8 --cores 8 --scale 0.2 --format json --queue-backend heap \
+	  > _build/profile-smoke/heap.json
+	cmp _build/profile-smoke/wheel.json _build/profile-smoke/heap.json
+	dune exec bin/lockiller_sim.exe -- profile -s LockillerTM -w intruder \
+	  -t 8 --cores 8 --scale 0.2 --format json --pdes-domains 4 \
+	  2> /dev/null > _build/profile-smoke/d4.json
+	cmp _build/profile-smoke/wheel.json _build/profile-smoke/d4.json
+	rm -rf _build/profile-smoke
+	@echo "profile smoke: OK"
+
 # Perf regression gate: rerun the event-engine microbenchmarks and
 # compare against the committed baseline — a 2x band on the
 # deterministic allocation metrics (tight enough to catch a
@@ -186,6 +212,7 @@ ci:
 	$(MAKE) pdes-smoke
 	$(MAKE) race-smoke
 	$(MAKE) hytm-smoke
+	$(MAKE) profile-smoke
 	$(MAKE) perfcheck
 
 clean:

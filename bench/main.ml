@@ -313,6 +313,49 @@ let race_micro ~race_check =
     ignore (once ());
     once ()
 
+(* The causal profiler priced on a contended closed-loop run, off and
+   on. "On" attaches the event ledger with the streaming Profile tap
+   (the `profile` subcommand's configuration); the emit path is int
+   packing into preallocated arrays plus an allocation-free tap call,
+   so both samples must stay inside the perfcheck band — the
+   "profiler_on_speedup" ratio is the gate on observation overhead
+   (docs/OBSERVABILITY.md). *)
+let profile_micro ~profiled =
+  let module Runtime = Lockiller.Mechanisms.Runtime in
+  let module Profile = Lockiller.Sim.Profile in
+  match Lockiller.Stamp.Suite.find "intruder" with
+  | None -> assert false
+  | Some w ->
+    let options =
+      {
+        Runner.default_options with
+        oracle = false;
+        scale = 0.25;
+        on_runtime =
+          (fun rt ->
+            if profiled then begin
+              let l = Runtime.enable_ledger rt in
+              let p = Profile.create ~cores:32 in
+              Profile.attach p l
+            end);
+      }
+    in
+    let once () =
+      Perf.reset_totals ();
+      ignore
+        (Runner.run ~options ~sysconf:Sysconf.lockiller ~workload:w
+           ~threads:16 ());
+      let t = Perf.totals () in
+      {
+        Perf.wall_seconds = t.Perf.total_wall_seconds;
+        minor_words = t.Perf.total_minor_words;
+        events = t.Perf.total_events;
+        cycles = t.Perf.total_cycles;
+      }
+    in
+    ignore (once ());
+    once ()
+
 (* The TL2 software path under contention: the maximally-contended
    counter microbenchmark on SW-TL2 runs every transaction through the
    software fallback (no HTM attempts), so the sample prices the
@@ -364,6 +407,8 @@ let run_perf_micro ~scale ~format =
   let m256 = machine_micro ~cores:256 in
   let roff = race_micro ~race_check:false in
   let ron = race_micro ~race_check:true in
+  let poff = profile_micro ~profiled:false in
+  let pon = profile_micro ~profiled:true in
   let sp = swpath_micro () in
   let cpus = Domain.recommended_domain_count () in
   let speedup w h =
@@ -414,6 +459,14 @@ let run_perf_micro ~scale ~format =
                 ("on", Perf.json_of_sample ron);
                 ("detector_on_speedup", Json.Float (speedup ron roff));
               ] );
+          ( "profile",
+            Json.Obj
+              [
+                ("threads", Json.Int 16);
+                ("off", Perf.json_of_sample poff);
+                ("on", Perf.json_of_sample pon);
+                ("profiler_on_speedup", Json.Float (speedup pon poff));
+              ] );
           ( "swpath",
             Json.Obj
               [ ("threads", Json.Int 8); ("sw_tl2", Perf.json_of_sample sp) ]
@@ -461,6 +514,12 @@ let run_perf_micro ~scale ~format =
           (Perf.events_per_sec s)
           (Perf.minor_words_per_event s))
       [ ("off", roff); ("on", ron) ];
+    List.iter
+      (fun (label, s) ->
+        Printf.printf "%-8s %-8s %14.0f %16.2f\n" "profile" label
+          (Perf.events_per_sec s)
+          (Perf.minor_words_per_event s))
+      [ ("off", poff); ("on", pon) ];
     Printf.printf "%-8s %-8s %14.0f %16.2f\n" "swpath" "sw_tl2"
       (Perf.events_per_sec sp)
       (Perf.minor_words_per_event sp);

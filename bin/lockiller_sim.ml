@@ -217,6 +217,11 @@ let print_result (r : Runner.result) =
     (fun (reason, n) ->
       if n > 0 then Printf.printf "  %-9s   %d\n" (Reason.label reason) n)
     r.Runner.abort_mix;
+  Printf.printf "wasted        %d cycles\n" r.Runner.wasted_cycles;
+  List.iter
+    (fun (reason, n) ->
+      if n > 0 then Printf.printf "  %-9s   %d\n" (Reason.label reason) n)
+    r.Runner.wasted_by_reason;
   Printf.printf "rejects       %d\n" r.Runner.rejects;
   Printf.printf "parks         %d (wakeups %d)\n" r.Runner.parks
     r.Runner.wakeups;
@@ -444,6 +449,123 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate one system/workload/thread combination")
+    term
+
+(* --- profile ------------------------------------------------------------ *)
+
+(* Causal abort profiler: run one configuration with the event ledger
+   on and a streaming Profile tap attached, then render the
+   who-killed-whom graph, wasted-work accounting, convoy and
+   critical-path summary. The tap sees every record as it is emitted,
+   so the ring capacity is irrelevant to the totals — a small ring
+   keeps memory flat. Output is byte-identical across event-queue
+   backends and --pdes-domains values (the ledger is), which the
+   --queue-backend knob exists to demonstrate. *)
+let profile_cmd =
+  let module Runtime = Lockiller.Mechanisms.Runtime in
+  let module Profile = Lockiller.Sim.Profile in
+  let system =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "system"; "s" ] ~doc:"System to simulate (see 'list').")
+  in
+  let workload =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "workload"; "w" ] ~doc:"Workload to run (see 'list').")
+  in
+  let threads =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "threads"; "t" ] ~doc:"Thread count (2..cores).")
+  in
+  let backend_t =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("wheel", Lockiller.Engine.Event_queue.Wheel);
+               ("heap", Lockiller.Engine.Event_queue.Heap);
+             ])
+          Lockiller.Engine.Event_queue.Wheel
+      & info [ "queue-backend" ] ~docv:"KIND"
+          ~doc:"Event-queue backend, wheel (default) or heap. The \
+                profile is byte-identical for either; the knob exists \
+                for differential testing (make profile-smoke).")
+  in
+  let action system workload threads format seed scale cache cores
+      pdes_domains queue_backend =
+    let profiler = ref None in
+    match
+      ( Cli.pdes_domains ~cores pdes_domains,
+        Sysconf.find system,
+        Suite.find workload )
+    with
+    | Error msg, _, _ -> `Error (false, msg)
+    | Ok _, None, _ -> `Error (false, "unknown system " ^ system)
+    | Ok _, _, None -> `Error (false, "unknown workload " ^ workload)
+    | Ok pdes_domains, Some sysconf, Some wl -> (
+      match
+        Runner.run
+          ~options:
+            {
+              Runner.default_options with
+              seed;
+              scale;
+              pdes_domains;
+              queue_backend;
+              machine = Config.machine ~cache ~cores ();
+              on_runtime =
+                (fun rt ->
+                  (* Streaming tap: totals are exact however small the
+                     ring, so keep it minimal. *)
+                  let l = Runtime.enable_ledger ~capacity:1024 rt in
+                  let p = Profile.create ~cores in
+                  Profile.attach p l;
+                  profiler := Some p);
+            }
+          ~sysconf ~workload:wl ~threads ()
+      with
+      | exception (Failure msg | Invalid_argument msg) -> `Error (false, msg)
+      | r -> (
+        match !profiler with
+        | None -> `Error (false, "profiler was never attached")
+        | Some p ->
+          (* Cross-check the stream against the run's own counters:
+             every abort must have produced exactly one edge. *)
+          if Profile.total_aborts p <> r.Runner.aborts then
+            `Error
+              ( false,
+                Printf.sprintf
+                  "profile/result mismatch: %d abort edges vs %d aborts"
+                  (Profile.total_aborts p) r.Runner.aborts )
+          else begin
+            (match format with
+            | `Text ->
+              Printf.printf "# profile: %s/%s threads=%d seed=%d\n"
+                r.Runner.system r.Runner.workload threads seed;
+              print_string (Profile.to_text p)
+            | `Csv -> print_string (Profile.to_csv p)
+            | `Json -> print_endline (Profile.to_json p));
+            `Ok ()
+          end))
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ system $ workload $ threads $ format_t $ seed_t
+       $ scale_t $ cache_t $ cores_t $ pdes_domains_t $ backend_t))
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Run one system/workload/thread combination with the causal \
+             abort profiler attached and print the who-killed-whom \
+             graph, wasted-work accounting, fallback-lock convoy and \
+             commit critical-path summary (text, csv or json)")
     term
 
 (* --- check --------------------------------------------------------------- *)
@@ -1473,11 +1595,40 @@ let compare_cmd =
        table stays machine-readable): version skew between two saved
        results is the most common reason a compare refuses to run, and
        the named error below should say which file is stale. *)
+    (* Saved documents can carry diagnostic riders whose rings
+       overflowed (telemetry exports embedded by tooling, the
+       --race-check "pdes" block, profile dumps): any "dropped" member
+       with a positive count means the file's totals are lower bounds,
+       which must not pass silently into a delta table. *)
+    let warn_dropped file doc =
+      let rec scan path = function
+        | Json.Obj fields ->
+          List.iter
+            (fun (k, v) ->
+              let p = if path = "" then k else path ^ "." ^ k in
+              (match (k, v) with
+              | "dropped", Json.Int n when n > 0 ->
+                Printf.eprintf
+                  "# compare: WARNING: %s dropped %d records at %s — \
+                   its counts are lower bounds\n%!"
+                  file n p
+              | _ -> ());
+              scan p v)
+            fields
+        | Json.List l ->
+          List.iteri
+            (fun i v -> scan (Printf.sprintf "%s[%d]" path i) v)
+            l
+        | _ -> ()
+      in
+      scan "" doc
+    in
     let load file =
       match Json.of_string (read_file file) with
       | exception Sys_error msg -> Error msg
       | Error msg -> Error (file ^ ": " ^ msg)
       | Ok doc -> (
+        warn_dropped file doc;
         match Result.bind (Json.member "schema" doc) Json.to_int with
         | Error _ ->
           Printf.eprintf "# compare: %s carries no schema version\n%!" file;
@@ -1568,24 +1719,43 @@ let top_cmd =
         (fun row -> List.map (fun c -> ok (Json.to_int c)) (ok (Json.to_list row)))
         (ok (Json.to_list (ok (Json.member "rows" r))))
     in
-    (channels, rows)
+    let dropped =
+      (* Older exports (pre-v6 tooling) may lack the member; treat as
+         exact rather than refusing to render. *)
+      match Result.bind (Json.member "dropped" r) Json.to_int with
+      | Ok d -> d
+      | Error _ -> 0
+    in
+    (channels, rows, dropped)
   in
   let action file once width =
     match
       let doc = ok (Json.of_string (read_file file)) in
       let interval = ok (Result.bind (Json.member "interval" doc) Json.to_int) in
       let samples = ok (Result.bind (Json.member "samples" doc) Json.to_int) in
-      let cores, phase_rows = ring doc "phases" in
-      let gauge_names, gauge_rows = ring doc "gauges" in
-      (interval, samples, cores, phase_rows, gauge_names, gauge_rows)
+      let cores, phase_rows, phase_dropped = ring doc "phases" in
+      let gauge_names, gauge_rows, gauge_dropped = ring doc "gauges" in
+      ( interval,
+        samples,
+        cores,
+        phase_rows,
+        gauge_names,
+        gauge_rows,
+        phase_dropped + gauge_dropped )
     with
     | exception Bad msg -> `Error (false, file ^ ": " ^ msg)
     | exception Sys_error msg -> `Error (false, msg)
-    | interval, samples, cores, phase_rows, gauge_names, gauge_rows ->
+    | interval, samples, cores, phase_rows, gauge_names, gauge_rows, dropped ->
       if phase_rows = [] then `Error (false, file ^ ": no samples")
       else begin
         Printf.printf "# %s: interval %d cycles, %d samples\n" file interval
           samples;
+        if dropped > 0 then
+          Printf.printf
+            "# WARNING: ring overflow dropped %d older samples — the \
+             timeline starts at the oldest retained sample, not at t=0; \
+             re-record with a larger --sample-interval for full coverage\n"
+            dropped;
         if once then begin
           (* One frame: the newest sample of each ring. *)
           let last l = List.nth l (List.length l - 1) in
@@ -1726,8 +1896,8 @@ let main =
   let doc = "LockillerTM best-effort HTM simulator" in
   Cmd.group
     (Cmd.info "lockiller_sim" ~version:Lockiller.version ~doc)
-    [ run_cmd; check_cmd; experiment_cmd; sweep_cmd; trace_cmd; custom_cmd;
-      gen_trace_cmd; replay_cmd; compare_cmd; top_cmd; cache_cmd; list_cmd;
-      params_cmd ]
+    [ run_cmd; profile_cmd; check_cmd; experiment_cmd; sweep_cmd; trace_cmd;
+      custom_cmd; gen_trace_cmd; replay_cmd; compare_cmd; top_cmd; cache_cmd;
+      list_cmd; params_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -69,6 +69,12 @@ type t = {
     requester:Types.core_id -> by:Types.core_id option -> line:Types.line -> unit;
       (* A reject reply is on its way to [requester]; used to populate
          wake-up tables. *)
+  tx_age : Types.core_id -> int;
+      (* Cycles since the core's current transactional attempt began
+         (xbegin / swbegin / HTMLock entry), 0 when it is not in one.
+         Feeds the ledger's causal-attribution packing
+         ({!Lk_engine.Ledger.pack_attr}) so every conflict record
+         carries the victim's wasted-work age. Must not allocate. *)
 }
 
 (* A client that never detects transactions: plain MESI. Useful for the
@@ -84,4 +90,5 @@ let plain =
       (fun ~requester:_ ~requester_mode:_ ~line:_ ~write:_
            ~would_be_exclusive:_ -> None);
     on_reject = (fun ~requester:_ ~by:_ ~line:_ -> ());
+    tx_age = (fun _ -> 0);
   }

@@ -157,20 +157,28 @@ let set_ledger t ledger = t.ledger <- Some ledger
 let set_inject_bug t fault = t.inject <- fault
 
 (* Ledger feeds from the coherence layer: a [Nack] when the home sends
-   a reject reply ([arg] = the holder that won, -1 for the LLC overflow
-   signatures), an [Abort_kill] when a conflicting holder is aborted on
-   behalf of a requester ([core] = victim, [arg] = aggressor). *)
+   a reject reply, an [Abort_kill] when a conflicting holder is aborted
+   on behalf of a requester ([core] = victim). Both args are
+   [Ledger.pack_attr] of the responsible core (-1 for the LLC overflow
+   signatures) and the record core's stall-excluded attempt age, read from the
+   client so every conflict edge is causally attributable. *)
 let note_nack t ~requester ~by =
   match t.ledger with
   | None -> ()
-  | Some l -> Lk_engine.Ledger.emit l ~core:requester Lk_engine.Ledger.Nack ~arg:by
+  | Some l ->
+    Lk_engine.Ledger.emit l ~core:requester Lk_engine.Ledger.Nack
+      ~arg:
+        (Lk_engine.Ledger.pack_attr ~who:by
+           ~age:(t.client.Client.tx_age requester))
 
 let note_kill t ~victim ~aggressor =
   match t.ledger with
   | None -> ()
   | Some l ->
     Lk_engine.Ledger.emit l ~core:victim Lk_engine.Ledger.Abort_kill
-      ~arg:aggressor
+      ~arg:
+        (Lk_engine.Ledger.pack_attr ~who:aggressor
+           ~age:(t.client.Client.tx_age victim))
 let sim t = t.sim
 let network t = t.net
 let config t = t.cfg

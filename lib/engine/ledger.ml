@@ -80,6 +80,42 @@ let kind_label = function
   | Sw_abort -> "swabort"
   | Clock_advance -> "clock"
 
+(* Attribution packing. Conflict records ([Nack], [Reject],
+   [Abort_kill]) and abort records ([Tx_abort], [Sw_abort]) carry the
+   responsible core and the victim's cycles-since-begin in one int arg:
+   11 bits of [who + 1] (cores are bounded by 1024; -1 = environmental)
+   plus the age in the bits above, with aborts keeping their reason
+   code in the low 4 bits. 63-bit ints absorb any realistic age. *)
+
+let attr_who_bits = 11
+let attr_who_mask = (1 lsl attr_who_bits) - 1
+let reason_bits = 4
+let reason_mask = (1 lsl reason_bits) - 1
+
+let pack_attr ~who ~age =
+  ((who + 1) land attr_who_mask) lor (Int.max 0 age lsl attr_who_bits)
+
+let attr_who arg = (arg land attr_who_mask) - 1
+let attr_age arg = arg lsr attr_who_bits
+
+let pack_abort ~reason ~who ~age =
+  (reason land reason_mask)
+  lor (((who + 1) land attr_who_mask) lsl reason_bits)
+  lor (Int.max 0 age lsl (reason_bits + attr_who_bits))
+
+let abort_reason arg = arg land reason_mask
+let abort_who arg = ((arg lsr reason_bits) land attr_who_mask) - 1
+let abort_age arg = arg lsr (reason_bits + attr_who_bits)
+
+let discard_bits = 16
+let discard_mask = (1 lsl discard_bits) - 1
+
+let pack_discard ~writes ~age =
+  Int.min writes discard_mask lor (Int.max 0 age lsl discard_bits)
+
+let discard_writes arg = arg land discard_mask
+let discard_age arg = arg lsr discard_bits
+
 (* Four machine words per record — time, core, code, arg — in one flat
    preallocated array, so [emit] writes four slots and touches nothing
    else. *)
@@ -88,17 +124,20 @@ type t = {
   data : int array;
   cap : int;
   mutable next : int;  (* total recorded *)
-  (* Live tap on [emit] for the invariant sanitizer; [None] costs one
+  (* Live taps on [emit]: [sink] for the invariant sanitizer, [tap] for
+     the causal profiler's streaming fold. Each [None] costs one
      immediate-vs-block branch per event, like [Sim]'s hooks. *)
   mutable sink : (time:int -> core:int -> kind:kind -> arg:int -> unit) option;
+  mutable tap : (time:int -> core:int -> kind:kind -> arg:int -> unit) option;
 }
 
 let create ?(capacity = 65536) sim =
   if capacity <= 0 then invalid_arg "Ledger.create: capacity must be positive";
   { sim; data = Array.make (4 * capacity) 0; cap = capacity; next = 0;
-    sink = None }
+    sink = None; tap = None }
 
 let set_sink t sink = t.sink <- sink
+let set_tap t tap = t.tap <- tap
 
 let emit t ~core kind ~arg =
   let base = 4 * (t.next mod t.cap) in
@@ -108,7 +147,8 @@ let emit t ~core kind ~arg =
   t.data.(base + 2) <- kind_code kind;
   t.data.(base + 3) <- arg;
   t.next <- t.next + 1;
-  match t.sink with None -> () | Some f -> f ~time ~core ~kind ~arg
+  (match t.sink with None -> () | Some f -> f ~time ~core ~kind ~arg);
+  match t.tap with None -> () | Some f -> f ~time ~core ~kind ~arg
 
 let capacity t = t.cap
 let recorded t = t.next

@@ -28,23 +28,28 @@
     - [Tx_begin]: the attempt number for this critical section (0 on
       the first try).
     - [Tx_commit]: attempts the commit needed (= final attempt + 1).
-    - [Tx_abort]: the abort-reason code ([Lk_htm.Reason.index]; the
-      engine stores the code, higher layers decode it).
-    - [Nack]: coherence layer sent a reject to [core]; the holder that
-      won the arbitration, or [-1] when the LLC overflow signatures
-      rejected.
+    - [Tx_abort]: {!pack_abort} of the abort-reason code
+      ([Lk_htm.Reason.index]), the aggressor core (-1 when
+      environmental: capacity, fault) and the victim's attempt age
+      (stall-excluded cycles of work in this attempt).
+    - [Nack]: coherence layer sent a reject to [core]; {!pack_attr} of
+      the holder that won the arbitration (or [-1] when the LLC
+      overflow signatures rejected) and the requester's attempt
+      age.
     - [Reject]: the runtime observed the reject reply at [core]; same
       argument convention as [Nack].
     - [Abort_kill]: coherence-level conflict abort (the paper's
-      friendly fire): [core] is the victim, [arg] the aggressor.
+      friendly fire): [core] is the victim, [arg] {!pack_attr} of the
+      aggressor and the victim's attempt age.
     - [Park] / [Wake]: 0.
     - [Lock_acquire] / [Lock_release]: 0 (the fallback spinlock).
     - [Hl_begin]: 0. [Hl_end]: 1 if the section ran in STL mode,
       0 for TL.
     - [Switch_granted] / [Switch_denied]: 0.
     - [Spill]: the line spilled into the LLC overflow signatures.
-    - [Spec_publish] / [Spec_discard]: buffered speculative writes
-      applied to (resp. dropped from) committed memory.
+    - [Spec_publish]: buffered speculative writes applied to committed
+      memory. [Spec_discard]: {!pack_discard} of the writes dropped
+      and the victim's attempt age.
     - [Sw_begin]: a TL2-style software transaction started; [arg] is
       its read version (the global-clock sample).
     - [Sw_commit]: it committed; [arg] is the version its write set was
@@ -88,6 +93,39 @@ val kind_label : kind -> string
 (** Short stable label ("xbegin", "nack", "kill", ...) used by the
     text dump and the Perfetto exporter. *)
 
+(** {2 Argument packing}
+
+    Conflict and abort records pack the responsible core and the
+    victim's attempt age into the single int argument. "Age" is the
+    victim's stall-excluded work clock: cycles since its current
+    attempt began, minus any deliberate waits (reject back-off,
+    parked time) — the cycles it actually spent computing. All
+    codecs below are pure int arithmetic (allocation-free on the emit
+    path); [who] is a core id in [[-1, 1022]] where [-1] means "no
+    core" (environmental cause, overflow signatures), and [age] is a
+    non-negative cycle count (negative values are clamped to 0). *)
+
+val pack_attr : who:int -> age:int -> int
+(** For [Nack] / [Reject] / [Abort_kill]. *)
+
+val attr_who : int -> int
+val attr_age : int -> int
+
+val pack_abort : reason:int -> who:int -> age:int -> int
+(** For [Tx_abort] / [Sw_abort]: the low bits keep the
+    [Lk_htm.Reason.index] code so reason decoding stays where it was. *)
+
+val abort_reason : int -> int
+val abort_who : int -> int
+val abort_age : int -> int
+
+val pack_discard : writes:int -> age:int -> int
+(** For [Spec_discard]: discarded-write count (saturating at 65535)
+    plus the victim's attempt age. *)
+
+val discard_writes : int -> int
+val discard_age : int -> int
+
 type t
 
 val create : ?capacity:int -> Sim.t -> t
@@ -97,8 +135,9 @@ val create : ?capacity:int -> Sim.t -> t
 
 val emit : t -> core:int -> kind -> arg:int -> unit
 (** Record one event at the current simulated cycle. Allocation-free;
-    overwrites the oldest record when the ring is full. When a sink is
-    installed it is called with the same record after it is stored. *)
+    overwrites the oldest record when the ring is full. When a sink or
+    tap is installed it is called with the same record after it is
+    stored (sink first). *)
 
 val set_sink :
   t -> (time:int -> core:int -> kind:kind -> arg:int -> unit) option -> unit
@@ -108,6 +147,14 @@ val set_sink :
     meaningful protocol transitions (commits, parks, lock hand-offs), so
     a sink checks exactly where violations can first appear. [None]
     (the default) costs one branch per emit. *)
+
+val set_tap :
+  t -> (time:int -> core:int -> kind:kind -> arg:int -> unit) option -> unit
+(** A second, independent live tap with the same contract as
+    {!set_sink} (called after it). The causal profiler's streaming
+    fold uses this slot, so profiling can run alongside the invariant
+    sanitizer: records reach the tap even when ring wraparound later
+    overwrites them. *)
 
 val capacity : t -> int
 

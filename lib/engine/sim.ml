@@ -144,6 +144,13 @@ let pdes_stats t =
     race_violations = (match t.race with None -> 0 | Some st -> st.count);
   }
 
+(* Allocation-free projections of [pdes_stats] for the telemetry
+   sampler, which reads them every interval and must not box a
+   record. *)
+let pdes_windows t = t.windows
+let pdes_cross_events t = t.cross_events
+let pdes_short_hops t = t.short_hops
+
 let set_tile_map t f = t.tile_map <- f
 
 (* --- race detector API ------------------------------------------------- *)

@@ -87,6 +87,13 @@ val pdes_stats : t -> pdes_stats
 (** Accounting of the partitioned run. Diagnostic only — never part of
     result JSON, which must stay byte-identical across domain counts. *)
 
+val pdes_windows : t -> int
+val pdes_cross_events : t -> int
+val pdes_short_hops : t -> int
+(** Allocation-free projections of the corresponding {!pdes_stats}
+    fields, for samplers that poll them on a hot path (the telemetry
+    gauges). Same diagnostic-only caveat. *)
+
 (** {1 Partition-ownership race detection}
 
     The partitioned kernel rests on an ownership convention: every

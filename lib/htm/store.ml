@@ -15,6 +15,10 @@ type t = {
      region witness; committed memory is deliberately not hooked — a
      commit publishes from whatever event performs it. *)
   mutable witness : int -> unit;
+  (* Cycles since the core's current attempt began, for the wasted-work
+     attribution packed into [Spec_discard]; installed by the runtime,
+     0 outside an attempt. *)
+  mutable age_of : int -> int;
 }
 
 let create ~cores =
@@ -25,10 +29,12 @@ let create ~cores =
       Array.init cores (fun _ -> Int_table.create ~capacity:64 ~dummy:0 ());
     ledger = None;
     witness = ignore;
+    age_of = (fun _ -> 0);
   }
 
 let set_ledger t ledger = t.ledger <- Some ledger
 let set_witness t f = t.witness <- f
+let set_age_of t f = t.age_of <- f
 
 let committed t addr = Int_table.find t.mem addr ~default:0
 
@@ -64,7 +70,9 @@ let discard t ~core =
   Int_table.reset buf;
   (match t.ledger with
   | None -> ()
-  | Some l -> Lk_engine.Ledger.emit l ~core Lk_engine.Ledger.Spec_discard ~arg:n);
+  | Some l ->
+    Lk_engine.Ledger.emit l ~core Lk_engine.Ledger.Spec_discard
+      ~arg:(Lk_engine.Ledger.pack_discard ~writes:n ~age:(t.age_of core)));
   n
 
 let buffered t ~core = Int_table.length t.buffers.(core)

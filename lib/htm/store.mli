@@ -18,11 +18,19 @@ val create : cores:int -> t
 
 val set_ledger : t -> Lk_engine.Ledger.t -> unit
 (** Feed the value layer's lifecycle into an event ledger: every
-    {!commit} emits [Spec_publish] and every {!discard} emits
-    [Spec_discard], each carrying the number of buffered speculative
-    writes involved. Normally wired by
-    [Lk_lockiller.Runtime.enable_ledger], which attaches one ledger to
-    all three emitting layers at once. *)
+    {!commit} emits [Spec_publish] carrying the number of buffered
+    speculative writes applied, and every {!discard} emits
+    [Spec_discard] with [Lk_engine.Ledger.pack_discard] of the writes
+    dropped and the victim's attempt age (see {!set_age_of}).
+    Normally wired by [Lk_lockiller.Runtime.enable_ledger], which
+    attaches one ledger to all three emitting layers at once. *)
+
+val set_age_of : t -> (Lk_coherence.Types.core_id -> int) -> unit
+(** Install the attempt-age probe used by the [Spec_discard] packing:
+    cycles of actual work since the core's current transactional
+    attempt began (deliberate stalls excluded), 0 outside one. The
+    runtime wires this to its per-core attempt clocks; defaults to a
+    constant 0. Must not allocate. *)
 
 val set_witness : t -> (Lk_coherence.Types.core_id -> unit) -> unit
 (** Install a race-detector witness, called with [core] on every

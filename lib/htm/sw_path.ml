@@ -116,6 +116,10 @@ let iter_writes t ~core f =
 
 let owner t slot = if t.owners.(slot) < 0 then None else Some t.owners.(slot)
 
+(* Allocation-free variant for the abort-attribution hot path: -1 when
+   the slot's write lock is free. *)
+let owner_id t slot = t.owners.(slot)
+
 let try_lock t ~core slot =
   if t.owners.(slot) < 0 then begin
     t.owners.(slot) <- core;

@@ -100,6 +100,12 @@ val iter_writes : t -> core:int -> (int -> unit) -> unit
 (** {1 Commit-time write locks} *)
 
 val owner : t -> int -> int option
+
+val owner_id : t -> int -> int
+(** Like {!owner} but allocation-free: the core holding the slot's
+    write lock, or -1 when free. The validation-abort attribution path
+    reads this to name the aggressor without boxing an option. *)
+
 val try_lock : t -> core:int -> int -> bool
 (** Take [slot]'s lock for [core]; true if acquired (or already held
     by [core]), false if another core holds it. *)

@@ -49,6 +49,13 @@ type core_stats = {
       (* Sum over HTM commits of the attempts each needed (>= commits);
          attempts_at_commit / commits = the paper's wasted-work
          intuition in one number. *)
+  mutable wasted : int;
+      (* Cycles spent in attempts that aborted: at every abort, the
+         distance from the attempt's begin. Always on (a handful of int
+         stores per abort) so results never depend on whether the
+         causal profiler was attached. *)
+  wasted_by_reason : int array;
+      (* [wasted] split by {!Lk_htm.Reason.index}. *)
 }
 
 type t = {
@@ -80,6 +87,21 @@ type t = {
      histograms below. *)
   section_start : int array;
   last_abort : int array;
+  (* Cycle at which the core's *current attempt* began (every xbegin /
+     hlbegin / swbegin, unlike [section_start] which spans retries);
+     -1 outside one. Feeds the wasted-cycle accounting and the
+     aggressor/age attribution packed into abort-edge ledger events. *)
+  attempt_start : int array;
+  (* Deliberate waiting inside the current attempt — reject backoff
+     pauses and parked time — accumulated so the attempt age used for
+     wasted-work accounting measures discarded *work*, not stall: a
+     NACK-stalled requester that eventually dies wasted the cycles it
+     spent computing, not the cycles it spent politely waiting.
+     [attempt_stall] is the closed total; [stall_since] is the start of
+     a wait still in progress (-1 when none), so aborts landing
+     mid-wait subtract the elapsed portion too. *)
+  attempt_stall : int array;
+  stall_since : int array;
   (* Per-core operation log of the current critical section (reversed),
      and whether the core is inside a plain (lock-protected,
      non-transactional) section that should be logged. *)
@@ -406,7 +428,54 @@ let park t core ~rejector_alive resume =
 
 (* --- Abort ------------------------------------------------------------ *)
 
-let abort_core t core reason =
+(* Work cycles of the core's current attempt — elapsed time since
+   xbegin minus the deliberate waits ([attempt_stall] plus any wait
+   still open); 0 outside an attempt. The age half of every abort-edge
+   attribution, and the increment the wasted-cycle counters take when
+   the attempt dies. Excluding stall keeps the metric comparable
+   across reject policies: a NACK-stall-and-retry system (LockillerTM)
+   parks its requesters instead of killing work, and that waiting is
+   the policy working, not work destroyed. *)
+let attempt_age t core =
+  let s = t.attempt_start.(core) in
+  if s < 0 then 0
+  else begin
+    let now = Sim.now t.sim in
+    let live =
+      let w = t.stall_since.(core) in
+      if w >= 0 then now - w else 0
+    in
+    let age = now - s - t.attempt_stall.(core) - live in
+    if age > 0 then age else 0
+  end
+
+(* A deliberate wait opens here and closes at the top of the issue
+   retry loop (or implicitly when the attempt dies and its stall state
+   is reset): both ends are plain array stores, so the reject path
+   stays allocation-free. *)
+let stall_begin t core = t.stall_since.(core) <- Sim.now t.sim
+
+let stall_end t core =
+  let w = t.stall_since.(core) in
+  if w >= 0 then begin
+    t.attempt_stall.(core) <- t.attempt_stall.(core) + (Sim.now t.sim - w);
+    t.stall_since.(core) <- -1
+  end
+
+let attempt_clock_reset t core =
+  t.attempt_start.(core) <- -1;
+  t.attempt_stall.(core) <- 0;
+  t.stall_since.(core) <- -1
+
+let attempt_clock_start t core =
+  t.attempt_start.(core) <- Sim.now t.sim;
+  t.attempt_stall.(core) <- 0;
+  t.stall_since.(core) <- -1
+
+(* [aggressor] is the core whose access killed the victim, or -1 for
+   environmental aborts (capacity, faults, mutex subscriptions) with
+   no single core to blame. *)
+let abort_core ?(aggressor = -1) t core reason =
   let c = t.ctxs.(core) in
   (match c.Txstate.mode with
   | Txstate.Tl | Txstate.Stl ->
@@ -418,11 +487,19 @@ let abort_core t core reason =
   cs.aborts <- cs.aborts + 1;
   cs.abort_reasons.(Reason.index reason) <-
     cs.abort_reasons.(Reason.index reason) + 1;
+  let age = attempt_age t core in
+  cs.wasted <- cs.wasted + age;
+  cs.wasted_by_reason.(Reason.index reason) <-
+    cs.wasted_by_reason.(Reason.index reason) + age;
   t.last_abort.(core) <- Sim.now t.sim;
   Stats.incr t.s_aborts;
   trace t core (Txtrace.Abort reason);
-  emit t core Ledger.Tx_abort ~arg:(Reason.index reason);
+  emit t core Ledger.Tx_abort
+    ~arg:(Ledger.pack_abort ~reason:(Reason.index reason) ~who:aggressor ~age);
+  (* The discard's [Spec_discard] packs the same attempt age, so the
+     attempt clock resets only after it. *)
   ignore (Store.discard t.store ~core);
+  attempt_clock_reset t core;
   clear_log t core;
   Txstate.abort c reason;
   ignore (Protocol.abort_flush t.proto core);
@@ -473,6 +550,10 @@ let issue t core line what ~epoch k =
      contention. *)
   let attempt = ref 0 in
   let rec go () =
+    (* Every reject-wait resumes through here (backoff timers and park
+       wake-ups both schedule [go]), so this one call closes any open
+       stall span before the retry does more work. *)
+    stall_end t core;
     if c.Txstate.epoch <> epoch then k `Aborted
     else Protocol.access t.proto ~core ~line ~what ~epoch ~k:handle
   and handle outcome =
@@ -486,7 +567,10 @@ let issue t core line what ~epoch k =
         Stats.incr t.s_rejects;
         trace t core (Txtrace.Rejected { by });
         emit t core Ledger.Reject
-          ~arg:(match by with Some r -> r | None -> -1);
+          ~arg:
+            (Ledger.pack_attr
+               ~who:(match by with Some r -> r | None -> -1)
+               ~age:(attempt_age t core));
         match c.Txstate.mode with
         | Txstate.Idle | Txstate.Sw ->
           (* Plain accesses cannot abort: bounded retry. *)
@@ -494,22 +578,27 @@ let issue t core line what ~epoch k =
             Policy.backoff_delay t.sysconf.Sysconf.retry ~attempt:!attempt
           in
           incr attempt;
+          stall_begin t core;
           Sim.schedule_tile t.sim ~tile:core ~delay go
         | Txstate.Tl | Txstate.Stl ->
           (* Lock transactions carry top priority and are never
              rejected by arbitration; be robust anyway. *)
           incr attempt;
+          stall_begin t core;
           Sim.schedule_tile t.sim ~tile:core ~delay:16 go
         | Txstate.Htm -> (
           match t.sysconf.Sysconf.reject_policy with
           | Policy.Self_abort ->
-            abort_core t core (reject_reason t ~by);
+            abort_core t core (reject_reason t ~by)
+              ~aggressor:(match by with Some r -> r | None -> -1);
             k `Aborted
           | Policy.Retry_later pause ->
             incr attempt;
+            stall_begin t core;
             Sim.schedule_tile t.sim ~tile:core ~delay:pause go
           | Policy.Wait_wakeup ->
             incr attempt;
+            stall_begin t core;
             park t core ~rejector_alive:(rejector_alive t ~by) go)
       end
   in
@@ -605,12 +694,13 @@ let client t =
     resolve = (fun ~requester ~holder ~line ~write ->
         resolve t ~requester ~holder ~line ~write);
     abort =
-      (fun ~victim ~aggressor:_ ~aggressor_mode ~line ->
+      (fun ~victim ~aggressor ~aggressor_mode ~line ->
         let reason =
           Reason.classify_conflict ~aggressor_mode ~line
             ~lock_line:t.lock_line
         in
-        abort_core t victim reason);
+        abort_core t victim reason ~aggressor);
+    tx_age = (fun core -> attempt_age t core);
     on_tx_eviction = (fun ~core ~view -> on_tx_eviction t ~core ~view);
     llc_check =
       (fun ~requester ~requester_mode ~line ~write ~would_be_exclusive ->
@@ -658,6 +748,9 @@ let create ?(costs = default_costs) ?inject_bug ~protocol:proto ~store ~sysconf
       lock_held_since = Array.make cores (-1);
       section_start = Array.make cores (-1);
       last_abort = Array.make cores (-1);
+      attempt_start = Array.make cores (-1);
+      attempt_stall = Array.make cores 0;
+      stall_since = Array.make cores (-1);
       op_logs = Array.make cores [];
       plain_section = Array.make cores false;
       sw = Sw_path.create ~cores;
@@ -679,6 +772,8 @@ let create ?(costs = default_costs) ?inject_bug ~protocol:proto ~store ~sysconf
               rejects_received = 0;
               parks = 0;
               attempts_at_commit = 0;
+              wasted = 0;
+              wasted_by_reason = Array.make Reason.count 0;
             });
       stats;
       s_commits = Stats.counter stats "commits";
@@ -705,6 +800,9 @@ let create ?(costs = default_costs) ?inject_bug ~protocol:proto ~store ~sysconf
      buffer writes and software-set updates are witnessed too. *)
   Store.set_witness store (fun core -> witness_core t core);
   Sw_path.set_witness t.sw (fun core -> witness_core t core);
+  (* The value layer's [Spec_discard] packing wants the victim's
+     attempt age at the moment the buffer is dropped. *)
+  Store.set_age_of store (fun core -> attempt_age t core);
   (* The coherence-level mutation lives in the protocol; the others are
      handled here and ignored there. *)
   Protocol.set_inject_bug proto inject_bug;
@@ -733,6 +831,7 @@ let xbegin t core ~k =
   Txstate.begin_htm c;
   trace t core Txtrace.Xbegin;
   emit t core Ledger.Tx_begin ~arg:c.Txstate.attempt;
+  attempt_clock_start t core;
   (* First attempt opens the critical section for the latency
      histogram; retries record the abort-to-retry gap. *)
   if c.Txstate.attempt = 0 then t.section_start.(core) <- Sim.now t.sim
@@ -807,7 +906,8 @@ let close_section t core =
     Stats.record t.d_tx_latency (Sim.now t.sim - ss);
     t.section_start.(core) <- -1
   end;
-  t.last_abort.(core) <- -1
+  t.last_abort.(core) <- -1;
+  attempt_clock_reset t core
 
 let xend t core ~k =
   let c = t.ctxs.(core) in
@@ -886,6 +986,7 @@ let hlbegin t core ~k =
           clear_log t core;
           if t.section_start.(core) < 0 then
             t.section_start.(core) <- Sim.now t.sim;
+          attempt_clock_start t core;
           trace t core Txtrace.Hlbegin;
           emit t core Ledger.Hl_begin ~arg:0;
           k ()
@@ -906,6 +1007,7 @@ let hlbegin t core ~k =
         clear_log t core;
         if t.section_start.(core) < 0 then
           t.section_start.(core) <- Sim.now t.sim;
+        attempt_clock_start t core;
         trace t core Txtrace.Hlbegin;
         emit t core Ledger.Hl_begin ~arg:0;
         k ())
@@ -986,7 +1088,7 @@ let sw_gate_leave t core ~k =
 (* Abort the running software transaction: restore the stamp word of
    every commit-time lock we hold, drop the read/write sets and the
    speculative buffer, then leave the gate. *)
-let sw_abort t core reason ~k =
+let sw_abort ?(aggressor = -1) t core reason ~k =
   let c = t.ctxs.(core) in
   if c.Txstate.mode <> Txstate.Sw then
     invalid_arg "Runtime.sw_abort: not in a software transaction";
@@ -1003,12 +1105,18 @@ let sw_abort t core reason ~k =
   cs.aborts <- cs.aborts + 1;
   cs.abort_reasons.(Reason.index reason) <-
     cs.abort_reasons.(Reason.index reason) + 1;
+  let age = attempt_age t core in
+  cs.wasted <- cs.wasted + age;
+  cs.wasted_by_reason.(Reason.index reason) <-
+    cs.wasted_by_reason.(Reason.index reason) + age;
   t.last_abort.(core) <- Sim.now t.sim;
   Stats.incr t.s_aborts;
   Stats.incr t.s_sw_aborts;
   trace t core (Txtrace.Abort reason);
-  emit t core Ledger.Sw_abort ~arg:(Reason.index reason);
+  emit t core Ledger.Sw_abort
+    ~arg:(Ledger.pack_abort ~reason:(Reason.index reason) ~who:aggressor ~age);
   ignore (Store.discard t.store ~core);
+  attempt_clock_reset t core;
   clear_log t core;
   t.sw_now <- t.sw_now - 1;
   Txstate.abort c reason;
@@ -1031,6 +1139,7 @@ let swbegin t core ~k =
   end;
   let cs = t.per_core.(core) in
   cs.starts <- cs.starts + 1;
+  attempt_clock_start t core;
   t.sw_now <- t.sw_now + 1;
   t.sw_peak <- Int.max t.sw_peak t.sw_now;
   let epoch = c.Txstate.epoch in
@@ -1065,22 +1174,21 @@ let sw_read t core ~addr ~k =
     | `Granted ->
       let word = Store.committed t.store (Sw_path.meta_addr_of_slot slot) in
       let version = Sw_path.version_of word in
-      let locked_by_other =
-        Sw_path.locked word
-        &&
-        match Sw_path.owner t.sw slot with
-        | Some o -> o <> core
-        | None -> true
+      let holder = Sw_path.owner_id t.sw slot in
+      let locked_by_other = Sw_path.locked word && holder <> core in
+      let abort ~aggressor =
+        sw_abort t core ~aggressor Reason.Validation
+          ~k:(fun () -> k Tx_aborted)
       in
-      let abort () = sw_abort t core Reason.Validation ~k:(fun () -> k Tx_aborted) in
       if version > c.Txstate.rv then
         (* Clock catch-up — needed under GV5 by design, and under GV1
            whenever an instrumented hardware commit stamped
-           [clock + 1] without advancing the clock. *)
+           [clock + 1] without advancing the clock. The stamping
+           committer is long gone, so the edge is environmental. *)
         issue t core Global_clock.line Types.Rmw ~epoch (fun _ ->
             advance_clock t core ~to_:version;
-            abort ())
-      else if locked_by_other then abort ()
+            abort ~aggressor:(-1))
+      else if locked_by_other then abort ~aggressor:holder
       else
         issue t core line Types.Read ~epoch (function
           | `Aborted -> k Tx_aborted
@@ -1123,9 +1231,9 @@ let sw_commit t core ~k =
   Sw_path.iter_writes t.sw ~core (fun s -> wslots := s :: !wslots);
   let wslots = List.rev !wslots in
   let read_check = t.sysconf.Sysconf.instrumentation = Policy.Read_check in
-  let fail () =
+  let fail ~aggressor () =
     if read_check && nwrites > 0 then Global_clock.set_commit_flag t.store false;
-    sw_abort t core Reason.Validation ~k:(fun () -> k `Aborted)
+    sw_abort t core ~aggressor Reason.Validation ~k:(fun () -> k `Aborted)
   in
   (* Phase 1 — commit-time write locks, in ascending slot order (the
      RMW on each stamp line also kills, under Access_check, every
@@ -1136,7 +1244,7 @@ let sw_commit t core ~k =
     | slot :: rest ->
       issue t core (Sw_path.meta_line_of_slot slot) Types.Rmw ~epoch
         (function
-        | `Aborted -> fail ()
+        | `Aborted -> fail ~aggressor:(-1) ()
         | `Granted ->
           if Sw_path.try_lock t.sw ~core slot then begin
             let a = Sw_path.meta_addr_of_slot slot in
@@ -1145,7 +1253,10 @@ let sw_commit t core ~k =
               (Sw_path.lock_word old);
             lock_phase rest k2
           end
-          else fail ())
+          else
+            (* Lost the lock race: the slot's current holder is the
+               aggressor. *)
+            fail ~aggressor:(Sw_path.owner_id t.sw slot) ())
   in
   (* Phase 2 — the write stamp. GV1 RMWs the clock (killing, under
      Read_check, every hardware transaction subscribed to it — and
@@ -1172,6 +1283,10 @@ let sw_commit t core ~k =
      kill hardware transactions still holding stale copies) after. *)
   let finish ~wt =
     let valid = ref true in
+    (* First failing slot's lock holder, if one exists: the committer
+       that invalidated us. A bare version mismatch (the writer already
+       unlocked) stays environmental. *)
+    let culprit = ref (-1) in
     Sw_path.iter_reads t.sw ~core (fun slot version ->
         let word = Store.committed t.store (Sw_path.meta_addr_of_slot slot) in
         let ok =
@@ -1179,8 +1294,14 @@ let sw_commit t core ~k =
           && ((not (Sw_path.locked word))
              || Sw_path.owner t.sw slot = Some core)
         in
-        if not ok then valid := false);
-    if not !valid then fail ()
+        if not ok then begin
+          if !valid && !culprit < 0 then begin
+            let o = Sw_path.owner_id t.sw slot in
+            if o >= 0 && o <> core then culprit := o
+          end;
+          valid := false
+        end);
+    if not !valid then fail ~aggressor:!culprit ()
     else begin
       let published = ref [] in
       Store.iter_buffered t.store ~core (fun a _ ->

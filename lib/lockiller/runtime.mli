@@ -204,6 +204,14 @@ val enable_ledger : ?capacity:int -> t -> Lk_engine.Ledger.t
     protocol ([Nack]/[Abort_kill], via
     {!Lk_coherence.Protocol.set_ledger}) and the value layer
     ([Spec_publish]/[Spec_discard], via {!Lk_htm.Store.set_ledger}).
+    Abort-edge events ([Tx_abort], [Sw_abort], [Nack], [Reject],
+    [Abort_kill], [Spec_discard]) carry the aggressor core and the
+    victim's attempt age packed into [arg] — cycles since the attempt
+    began minus any deliberate stalls (reject back-off pauses, time
+    parked on a wake-up list), i.e. cycles the core actually spent
+    computing; see the packing helpers in {!Lk_engine.Ledger} — so a
+    causal profiler can reconstruct who killed whom and how much work
+    died.
     Until called the runtime performs no ledger work at all (a single
     [None] test per would-be event). [capacity] bounds the ring (default
     65536 records); older records are dropped, see
@@ -234,6 +242,13 @@ type core_stats = {
   mutable attempts_at_commit : int;
       (** Sum over HTM commits of the attempt number each needed (1 =
           first try); divide by [commits] for the mean. *)
+  mutable wasted : int;
+      (** Cycles spent in attempts that aborted: every abort adds the
+          distance from its attempt's begin (xbegin / swbegin). Always
+          on and ledger-independent, so results are identical whether
+          or not the causal profiler is attached. *)
+  wasted_by_reason : int array;
+      (** [wasted] split by {!Lk_htm.Reason.index}. *)
 }
 
 val core_stats : t -> Lk_coherence.Types.core_id -> core_stats

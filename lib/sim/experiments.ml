@@ -1367,6 +1367,246 @@ let hytm =
         ]);
   }
 
+(* --- Wasted-work accounting (causal profiler) --------------------------- *)
+
+let wasted_systems = [ Sysconf.baseline; Sysconf.losa_safu; Sysconf.lockiller ]
+
+let wasted_workloads =
+  List.filter
+    (fun w ->
+      List.mem w.Workload.name [ "genome"; "intruder"; "kmeans+"; "vacation" ])
+    Suite.all
+
+(* Moderate contention, deliberately: at the saturated end every
+   LosaTM-SAFU attempt dies on its first conflict and the system
+   collapses onto the fallback lock — it stops speculating, so its
+   wasted share falls while its total time balloons, and a wasted-work
+   comparison degenerates into comparing serialization. The claim the
+   paper makes ("progression priority converts wasted work into
+   committed work") is about the regime where both systems actually
+   speculate. *)
+let wasted_threads ctx = min 8 (List.fold_left max 2 ctx.threads)
+
+(* Run with the causal profiler streaming through the ledger tap. The
+   [on_runtime] hook is a closure the result cache cannot key on, so
+   these runs bypass the plan/prefetch machinery; the renderer memoises
+   them locally instead. Attaching the profiler changes no simulated
+   outcome — the result is byte-identical to a plain run. *)
+let wasted_profiled ctx ~sysconf ~source ~threads =
+  let prof = ref None in
+  let options =
+    {
+      Runner.default_options with
+      seed = ctx.seed;
+      scale = ctx.scale;
+      machine = Config.machine ~cores:ctx.cores ();
+      oracle =
+        (* The oracle stores every committed section, which defeats
+           bounded-memory replay (see Runner.replay); closed-loop runs
+           keep it. *)
+        (match source with Workload_source.Replay _ -> false | _ -> true);
+      on_runtime =
+        (fun rt ->
+          let l = Lk_lockiller.Runtime.enable_ledger ~capacity:1024 rt in
+          let p = Profile.create ~cores:ctx.cores in
+          Profile.attach p l;
+          prof := Some p);
+    }
+  in
+  let r =
+    match source with
+    | Workload_source.Workload w ->
+      Runner.run ~options ~sysconf ~workload:w ~threads ()
+    | Workload_source.Replay ol ->
+      Runner.replay ~options ~sysconf ~open_loop:ol ~threads ()
+    | Workload_source.Program _ ->
+      invalid_arg "Experiments.wasted: program source"
+  in
+  ctx.simulated <- ctx.simulated + 1;
+  match !prof with
+  | Some p -> (r, p)
+  | None -> assert false (* on_runtime always fires: these runs are uncached *)
+
+(* A moderately contended open-loop arrival stream for the replay leg:
+   steady Poisson arrivals (no diurnal swing or bursts, for a clean
+   wasted-work signal) whose footprints land on the vacation body,
+   regenerated deterministically from the context seed for every
+   system. The arrival rate is pitched at the same regime as the
+   closed-loop leg — heavy enough that attempts conflict, light enough
+   that LosaTM-SAFU still speculates rather than convoying on the
+   fallback lock. *)
+let wasted_trace_records ctx =
+  let profile =
+    {
+      Lk_trace.Gen.default with
+      Lk_trace.Gen.users = 100;
+      think_time = 8_000.0;
+      duration = max 5_000 (int_of_float (40_000.0 *. ctx.scale));
+      diurnal_amp = 0.0;
+      burst_every = 0;
+      reads_per_tx = (4, 8);
+      writes_per_tx = (2, 4);
+      cores = ctx.cores;
+      affinity = Lk_trace.Gen.Any;
+    }
+  in
+  let acc = ref [] in
+  (match
+     Lk_trace.Gen.generate profile ~seed:ctx.seed ~emit:(fun r ->
+         acc := r :: !acc)
+   with
+  | Ok _ -> ()
+  | Error msg -> failwith ("Experiments.wasted: trace generation: " ^ msg));
+  Array.of_list (List.rev !acc)
+
+let wasted_open_loop ~body records =
+  let i = ref 0 in
+  {
+    Workload_source.trace_name = "gen-contended";
+    next =
+      (fun () ->
+        if !i >= Array.length records then Ok None
+        else begin
+          let r = records.(!i) in
+          incr i;
+          Ok (Some r)
+        end);
+    body;
+  }
+
+let wasted =
+  {
+    id = "wasted";
+    artefact = "Wasted-work ratio (Fig 10 companion)";
+    describe =
+      "Causal-profiler wasted-cycle accounting: Baseline vs LosaTM-SAFU vs \
+       LockillerTM on the contended STAMP profiles, closed-loop and \
+       open-loop replay — progression priority converts wasted aborted \
+       work into committed work";
+    plan = no_plan (* profiled runs carry an uncacheable runtime hook *);
+    render =
+      (fun ctx ->
+        let threads = wasted_threads ctx in
+        let fraction r =
+          float_of_int r.Runner.wasted_cycles
+          /. float_of_int (threads * max 1 r.Runner.cycles)
+        in
+        let closed_rows =
+          List.concat_map
+            (fun w ->
+              List.map
+                (fun sysconf ->
+                  let r, p =
+                    wasted_profiled ctx ~sysconf
+                      ~source:(Workload_source.Workload w) ~threads
+                  in
+                  [
+                    w.Workload.name;
+                    sysconf.Sysconf.name;
+                    string_of_int r.Runner.cycles;
+                    string_of_int r.Runner.aborts;
+                    Printf.sprintf "%d = %d + %d" (Profile.total_aborts p)
+                      (Profile.attributed p)
+                      (Profile.environmental p);
+                    string_of_int r.Runner.wasted_cycles;
+                    Report.pct (fraction r);
+                  ])
+                wasted_systems)
+            wasted_workloads
+        in
+        let records = wasted_trace_records ctx in
+        let body =
+          match Suite.find "vacation" with
+          | Some w -> w
+          | None -> assert false
+        in
+        let replay_rows =
+          List.map
+            (fun sysconf ->
+              let r, p =
+                wasted_profiled ctx ~sysconf
+                  ~source:
+                    (Workload_source.Replay (wasted_open_loop ~body records))
+                  ~threads
+              in
+              let backlog =
+                match r.Runner.open_loop with
+                | Some o -> string_of_int o.Runner.max_backlog
+                | None -> "-"
+              in
+              [
+                sysconf.Sysconf.name;
+                string_of_int r.Runner.cycles;
+                string_of_int r.Runner.aborts;
+                Printf.sprintf "%d = %d + %d" (Profile.total_aborts p)
+                  (Profile.attributed p)
+                  (Profile.environmental p);
+                string_of_int r.Runner.wasted_cycles;
+                Report.pct (fraction r);
+                backlog;
+              ])
+            wasted_systems
+        in
+        [
+          Report.table
+            ~title:
+              (Printf.sprintf
+                 "Wasted work, closed loop (%d threads): cycles inside \
+                  aborted attempts as a share of total core-cycles"
+                 threads)
+            ~headers:
+              [
+                "workload";
+                "system";
+                "cycles";
+                "aborts";
+                "edges (attr + env)";
+                "wasted";
+                "wasted %";
+              ]
+            ~notes:
+              [
+                "wasted % = wasted cycles / (threads * run cycles); every \
+                 abort contributes exactly one attribution edge, so the \
+                 edge total equals the abort count.";
+                "Wasted counts speculative work only: cycles a core spent \
+                 deliberately stalled (reject back-off, parked on a \
+                 wake-up list) are excluded from the victim's age.";
+                "The paper's direction: LockillerTM's wasted share sits \
+                 below LosaTM-SAFU's on the contended profiles — \
+                 progression priority stops doomed attempts earlier.";
+                "The comparison is pinned at moderate contention (8 \
+                 threads): past saturation LosaTM-SAFU collapses onto the \
+                 fallback lock and stops speculating, so its waste moves \
+                 into serialization this metric deliberately ignores.";
+              ]
+            closed_rows;
+          Report.table
+            ~title:
+              (Printf.sprintf
+                 "Wasted work, open-loop replay (%d stream cores, %d \
+                  arrivals, vacation body)"
+                 threads (Array.length records))
+            ~headers:
+              [
+                "system";
+                "cycles";
+                "aborts";
+                "edges (attr + env)";
+                "wasted";
+                "wasted %";
+                "max backlog";
+              ]
+            ~notes:
+              [
+                "Arrivals come on their own clock, so wasted work here \
+                 also delays every queued successor — the open-loop view \
+                 of the same ordering.";
+              ]
+            replay_rows;
+        ]);
+  }
+
 let all =
   [
     table1;
@@ -1389,6 +1629,7 @@ let all =
     variance;
     latency;
     hytm;
+    wasted;
   ]
 
 let find id =

@@ -149,6 +149,15 @@ val hytm : experiment
     three contention levels — speedup over SW-TL2 plus per-path
     commit/abort and version-clock detail. See docs/HYBRID.md. *)
 
+val wasted : experiment
+(** Causal-profiler companion to Fig 10: wasted-cycle share (cycles
+    inside aborted attempts over total core-cycles) for Baseline,
+    LosaTM-SAFU and LockillerTM on the contended STAMP profiles, in
+    both closed-loop and open-loop replay form, with each run's
+    aggressor-attribution split (attributed + environmental = aborts)
+    from a streaming {!Profile} tap. Plans no cacheable jobs — the
+    profiler hook bypasses the result cache. *)
+
 val all : experiment list
 (** Paper order; [find] looks one up by id. *)
 

@@ -42,6 +42,8 @@ type result = {
   sw_commits : int;
   aborts : int;
   abort_mix : (Reason.t * int) list;
+  wasted_cycles : int;
+  wasted_by_reason : (Reason.t * int) list;
   breakdown : (Accounting.category * int) list;
   rejects : int;
   parks : int;
@@ -183,6 +185,14 @@ let execute ?queue_backend ?(pdes_domains = 1) ?(check = false)
       and completed = ref 0
       and inflight = ref 0
       and max_backlog = ref 0 in
+      (* Surface the open-loop backlog as a telemetry gauge (and
+         Perfetto counter track): the replay overlay the closed-loop
+         channels cannot see. Observational only — the probe never
+         perturbs the run. *)
+      (match tele with
+      | Some (_, handle) ->
+        Telemetry.set_backlog_probe handle (fun () -> !inflight)
+      | None -> ());
       let feed_error = ref None in
       let rr = ref 0 in
       let dispatch (r : Lk_trace.Record.t) =
@@ -346,8 +356,10 @@ let execute ?queue_backend ?(pdes_domains = 1) ?(check = false)
   and aborts = ref 0
   and rejects = ref 0
   and parks = ref 0
-  and attempts = ref 0 in
+  and attempts = ref 0
+  and wasted = ref 0 in
   let mix = Array.make Reason.count 0 in
+  let wasted_mix = Array.make Reason.count 0 in
   for i = 0 to threads - 1 do
     let cs = Runtime.core_stats runtime (core_of i) in
     htm_commits := !htm_commits + cs.Runtime.commits;
@@ -358,9 +370,13 @@ let execute ?queue_backend ?(pdes_domains = 1) ?(check = false)
     rejects := !rejects + cs.Runtime.rejects_received;
     parks := !parks + cs.Runtime.parks;
     attempts := !attempts + cs.Runtime.attempts_at_commit;
+    wasted := !wasted + cs.Runtime.wasted;
     Array.iteri
       (fun i n -> mix.(i) <- mix.(i) + n)
-      cs.Runtime.abort_reasons
+      cs.Runtime.abort_reasons;
+    Array.iteri
+      (fun i n -> wasted_mix.(i) <- wasted_mix.(i) + n)
+      cs.Runtime.wasted_by_reason
   done;
   (match tele with
   | Some (req, handle) -> req.consume handle
@@ -381,6 +397,9 @@ let execute ?queue_backend ?(pdes_domains = 1) ?(check = false)
     sw_commits = !sw_commits;
     aborts = !aborts;
     abort_mix = List.map (fun r -> (r, mix.(Reason.index r))) Reason.all;
+    wasted_cycles = !wasted;
+    wasted_by_reason =
+      List.map (fun r -> (r, wasted_mix.(Reason.index r))) Reason.all;
     breakdown = Accounting.total acct;
     rejects = !rejects;
     parks = !parks;
@@ -632,6 +651,12 @@ let json_of_result r =
           (List.map
              (fun (reason, n) -> (Reason.label reason, Json.Int n))
              r.abort_mix) );
+      ("wasted_cycles", Json.Int r.wasted_cycles);
+      ( "wasted_by_reason",
+        Json.Obj
+          (List.map
+             (fun (reason, n) -> (Reason.label reason, Json.Int n))
+             r.wasted_by_reason) );
       ( "breakdown",
         Json.Obj
           (List.map
@@ -755,6 +780,10 @@ let result_of_json_value v =
   let* sw_commits = int "sw_commits" in
   let* aborts = int "aborts" in
   let* abort_mix = labelled "abort_mix" Reason.all Reason.label Fun.id in
+  let* wasted_cycles = int "wasted_cycles" in
+  let* wasted_by_reason =
+    labelled "wasted_by_reason" Reason.all Reason.label Fun.id
+  in
   let* breakdown =
     labelled "breakdown" Accounting.categories Accounting.label Fun.id
   in
@@ -794,6 +823,8 @@ let result_of_json_value v =
       sw_commits;
       aborts;
       abort_mix;
+      wasted_cycles;
+      wasted_by_reason;
       breakdown;
       rejects;
       parks;

@@ -57,6 +57,16 @@ type result = {
   aborts : int;
   abort_mix : (Lk_htm.Reason.t * int) list;
       (** Counts per reason, paper order. *)
+  wasted_cycles : int;
+      (** Cycles of work inside transactional attempts that aborted,
+          summed over every abort on every participating core.
+          Deliberate stalls (reject back-off pauses, time parked on a
+          wake-up list) are excluded — a stalled core wastes nothing
+          while it waits, so systems that stall-and-retry are not
+          charged for their patience. Always on: the accounting never
+          depends on the ledger or the profiler being attached. *)
+  wasted_by_reason : (Lk_htm.Reason.t * int) list;
+      (** [wasted_cycles] split by abort reason, paper order. *)
   breakdown : (Lk_cpu.Accounting.category * int) list;
       (** Execution-time categories summed over participating cores. *)
   rejects : int;

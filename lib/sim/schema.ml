@@ -1,4 +1,4 @@
-let version = 5
+let version = 6
 let version_string = string_of_int version
 
 let history =
@@ -9,6 +9,8 @@ let history =
     (4, "embedded schema member and open-loop replay statistics added");
     (5, "hybrid-TM software-path counters (sw_commits, clock advances, \
          validation aborts, sw breakdown category) added");
+    (6, "always-on wasted-cycle accounting (wasted_cycles, \
+         wasted_by_reason) added");
   ]
 
 let check v =

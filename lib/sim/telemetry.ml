@@ -38,6 +38,10 @@ let gauge_channels =
     "messages";  (* cumulative network messages sent *)
     "clock";  (* global version-clock value (hybrid-TM comparators) *)
     "sw_mode";  (* cores running a software (TL2) transaction *)
+    "backlog";  (* open-loop replay: transactions arrived but unfinished *)
+    "pdes_windows";  (* lookahead windows opened (PDES diagnostics) *)
+    "pdes_cross_events";  (* events scheduled across a partition boundary *)
+    "pdes_short_hops";  (* cross-partition events under the lookahead *)
   ]
 
 let g_lock_holders = 0
@@ -53,6 +57,10 @@ let g_flits = 9
 let g_messages = 10
 let g_clock = 11
 let g_sw_mode = 12
+let g_backlog = 13
+let g_pdes_windows = 14
+let g_pdes_cross_events = 15
+let g_pdes_short_hops = 16
 
 type t = {
   rt : Runtime.t;
@@ -68,9 +76,14 @@ type t = {
   (* Scratch accumulator for the counting loops below: sampling must
      not allocate, so no refs and no closures on this path. *)
   mutable acc : int;
+  (* Open-loop backlog gauge. The replay runner installs a probe over
+     its in-flight counter; closed-loop runs leave the default constant
+     0. Must not allocate. *)
+  mutable backlog_probe : unit -> int;
 }
 
 let interval t = t.interval
+let set_backlog_probe t f = t.backlog_probe <- f
 let phases t = t.phases
 let gauges t = t.gauges
 let links t = t.links
@@ -111,6 +124,10 @@ let sample_now t =
   Timeseries.set t.gauges g_messages (Network.messages_sent t.net);
   Timeseries.set t.gauges g_clock (Runtime.clock_value t.rt);
   Timeseries.set t.gauges g_sw_mode (Runtime.sw_population t.rt);
+  Timeseries.set t.gauges g_backlog (t.backlog_probe ());
+  Timeseries.set t.gauges g_pdes_windows (Sim.pdes_windows t.sim);
+  Timeseries.set t.gauges g_pdes_cross_events (Sim.pdes_cross_events t.sim);
+  Timeseries.set t.gauges g_pdes_short_hops (Sim.pdes_short_hops t.sim);
   Timeseries.commit t.gauges ~time;
   (* Per-link cumulative flit counters. *)
   let nlinks = Network.num_links t.net in
@@ -143,6 +160,7 @@ let attach ?(interval = 1024) ?(capacity = 4096) rt =
       gauges = Timeseries.create ~capacity ~channels:gauge_channels ();
       links = Timeseries.create ~capacity ~channels:link_channels ();
       acc = 0;
+      backlog_probe = (fun () -> 0);
     }
   in
   (* One closure, allocated here once; the wheel backend recycles the
@@ -230,6 +248,17 @@ let perfetto_counters t =
              [
                ("clock", Json.Int row.(g_clock));
                ("sw_mode", Json.Int row.(g_sw_mode));
+             ]);
+      push
+        (counter ~name:"backlog" ~ts:time
+           ~args:[ ("inflight", Json.Int row.(g_backlog)) ]);
+      push
+        (counter ~name:"pdes" ~ts:time
+           ~args:
+             [
+               ("windows", Json.Int row.(g_pdes_windows));
+               ("cross_events", Json.Int row.(g_pdes_cross_events));
+               ("short_hops", Json.Int row.(g_pdes_short_hops));
              ]));
   (* Link counters are cumulative; the track shows per-sample deltas
      (flits moved since the previous sample) summed over all links. *)

@@ -11,8 +11,11 @@
       hold state, overflow-signature populations, parked cores,
       wake-table occupancy, event-queue depth, transactional L1 lines,
       resident LLC lines, cumulative network flits and messages, the
-      global version-clock value and the count of cores in a software
-      (TL2) transaction;
+      global version-clock value, the count of cores in a software
+      (TL2) transaction, the open-loop replay backlog (see
+      {!set_backlog_probe}; constant 0 in closed-loop runs) and the
+      cumulative PDES diagnostics (lookahead windows, cross-partition
+      events, short hops — constant 0 under one domain);
     - {!links}: one channel per mesh link with its cumulative flit
       counter.
 
@@ -39,6 +42,14 @@ val attach :
     @raise Invalid_argument if [interval <= 0]. *)
 
 val interval : t -> int
+
+val set_backlog_probe : t -> (unit -> int) -> unit
+(** Install the gauge behind the [backlog] channel (and Perfetto
+    counter track). The open-loop replay runner points this at its
+    in-flight transaction counter; the default is a constant 0. The
+    probe runs on the sampling path and must not allocate or perturb
+    the machine. *)
+
 val samples : t -> int
 (** Total samples taken (including any no longer retained). *)
 
@@ -65,8 +76,10 @@ val perfetto_counters : t -> Json.t list
     ["C"]): one [phase core N] track per core, [signature fill]
     (rd/wr series), [queue depth], [cores waiting]
     (lock-holders/parked series), [hybrid sw] (clock value and
-    software-transaction population) and [link utilization]
-    (per-sample flit deltas summed over all links).
+    software-transaction population), [backlog] (open-loop in-flight
+    transactions), [pdes] (windows / cross-partition events / short
+    hops) and [link utilization] (per-sample flit deltas summed over
+    all links).
     {!Tracing.write_perfetto} appends these to the slice/instant
     events. *)
 

@@ -35,10 +35,11 @@ let abort_breakdown l =
       | Ledger.Tx_abort | Ledger.Sw_abort -> (
         (* Software aborts carry a reason index too (typically
            Validation or a lock conflict), so they fold into the same
-           per-cause table as hardware aborts. *)
+           per-cause table as hardware aborts. The reason shares the
+           packed arg with the aggressor and the victim's age. *)
         incr aborts;
         if kind = Ledger.Sw_abort then incr sw_aborts;
-        match reason_of_index arg with
+        match reason_of_index (Ledger.abort_reason arg) with
         | Some r -> by.(Reason.index r) <- by.(Reason.index r) + 1
         | None -> ())
       | Ledger.Nack -> incr nacks
@@ -143,6 +144,23 @@ let instant ~name ~ts ~tid ~args =
      ]
     @ match args with [] -> [] | a -> [ ("args", Json.Obj a) ])
 
+(* Flow events: a "s"/"f" pair with one id draws an arrow from the
+   aggressor's track to the victim's abort at the kill instant —
+   Perfetto renders the who-killed-whom graph directly on the
+   timeline. [bp:"e"] binds the finish to the enclosing slice. *)
+let flow ~phase ~id ~ts ~tid =
+  Json.Obj
+    ([
+       ("name", Json.String "kill");
+       ("cat", Json.String "abort");
+       ("ph", Json.String phase);
+       ("id", Json.Int id);
+       ("ts", Json.Int ts);
+       ("pid", Json.Int 0);
+       ("tid", Json.Int tid);
+     ]
+    @ if phase = "f" then [ ("bp", Json.String "e") ] else [])
+
 let metadata ~name ~tid value =
   Json.Obj
     [
@@ -167,6 +185,16 @@ let perfetto_json ?telemetry l =
   let sw_open = Array.make (max cores 1) None in
   let events = ref [] in
   let push e = events := e :: !events in
+  (* One fresh id per attributed abort edge, sequential in ledger
+     order — deterministic across backends. *)
+  let flow_seq = ref 0 in
+  let push_kill_flow ~time ~aggressor ~victim =
+    if aggressor >= 0 && aggressor <> victim then begin
+      incr flow_seq;
+      push (flow ~phase:"s" ~id:!flow_seq ~ts:time ~tid:aggressor);
+      push (flow ~phase:"f" ~id:!flow_seq ~ts:time ~tid:victim)
+    end
+  in
   List.iter
     (fun { Ledger.time; core; kind; arg } ->
       match kind with
@@ -180,21 +208,29 @@ let perfetto_json ?telemetry l =
                ~args:[ ("attempt", Json.Int attempt);
                        ("attempts", Json.Int arg) ])
         | None -> push (instant ~name:"commit" ~ts:time ~tid:core ~args:[]))
-      | Ledger.Tx_abort -> (
+      | Ledger.Tx_abort ->
         let label =
-          match reason_of_index arg with
+          match reason_of_index (Ledger.abort_reason arg) with
           | Some r -> Reason.label r
           | None -> "?"
         in
-        let args = [ ("reason", Json.String label) ] in
-        match tx_open.(core) with
+        let who = Ledger.abort_who arg in
+        let args =
+          [
+            ("reason", Json.String label);
+            ("by", Json.Int who);
+            ("age", Json.Int (Ledger.abort_age arg));
+          ]
+        in
+        (match tx_open.(core) with
         | Some (t0, attempt) ->
           tx_open.(core) <- None;
           push
             (slice ~name:("abort:" ^ label) ~ts:t0 ~dur:(time - t0) ~tid:core
                ~args:(("attempt", Json.Int attempt) :: args))
         | None ->
-          push (instant ~name:("abort:" ^ label) ~ts:time ~tid:core ~args))
+          push (instant ~name:("abort:" ^ label) ~ts:time ~tid:core ~args));
+        push_kill_flow ~time ~aggressor:who ~victim:core
       | Ledger.Hl_begin -> hl_open.(core) <- Some time
       | Ledger.Hl_end -> (
         let name = if arg = 1 then "STL" else "TL" in
@@ -214,15 +250,27 @@ let perfetto_json ?telemetry l =
       | Ledger.Nack ->
         push
           (instant ~name:"nack" ~ts:time ~tid:core
-             ~args:[ ("by", Json.Int arg) ])
+             ~args:
+               [
+                 ("by", Json.Int (Ledger.attr_who arg));
+                 ("age", Json.Int (Ledger.attr_age arg));
+               ])
       | Ledger.Reject ->
         push
           (instant ~name:"reject" ~ts:time ~tid:core
-             ~args:[ ("by", Json.Int arg) ])
+             ~args:
+               [
+                 ("by", Json.Int (Ledger.attr_who arg));
+                 ("age", Json.Int (Ledger.attr_age arg));
+               ])
       | Ledger.Abort_kill ->
         push
           (instant ~name:"kill" ~ts:time ~tid:core
-             ~args:[ ("by", Json.Int arg) ])
+             ~args:
+               [
+                 ("by", Json.Int (Ledger.attr_who arg));
+                 ("age", Json.Int (Ledger.attr_age arg));
+               ])
       | Ledger.Park | Ledger.Wake | Ledger.Switch_granted
       | Ledger.Switch_denied ->
         push (instant ~name:(Ledger.kind_label kind) ~ts:time ~tid:core ~args:[])
@@ -230,10 +278,18 @@ let perfetto_json ?telemetry l =
         push
           (instant ~name:"spill" ~ts:time ~tid:core
              ~args:[ ("line", Json.Int arg) ])
-      | Ledger.Spec_publish | Ledger.Spec_discard ->
+      | Ledger.Spec_publish ->
         push
           (instant ~name:(Ledger.kind_label kind) ~ts:time ~tid:core
              ~args:[ ("writes", Json.Int arg) ])
+      | Ledger.Spec_discard ->
+        push
+          (instant ~name:(Ledger.kind_label kind) ~ts:time ~tid:core
+             ~args:
+               [
+                 ("writes", Json.Int (Ledger.discard_writes arg));
+                 ("age", Json.Int (Ledger.discard_age arg));
+               ])
       | Ledger.Sw_begin -> sw_open.(core) <- Some (time, arg)
       | Ledger.Sw_commit -> (
         match sw_open.(core) with
@@ -243,14 +299,21 @@ let perfetto_json ?telemetry l =
             (slice ~name:"sw" ~ts:t0 ~dur:(time - t0) ~tid:core
                ~args:[ ("rv", Json.Int rv); ("wt", Json.Int arg) ])
         | None -> push (instant ~name:"sw-commit" ~ts:time ~tid:core ~args:[]))
-      | Ledger.Sw_abort -> (
+      | Ledger.Sw_abort ->
         let label =
-          match reason_of_index arg with
+          match reason_of_index (Ledger.abort_reason arg) with
           | Some r -> Reason.label r
           | None -> "?"
         in
-        let args = [ ("reason", Json.String label) ] in
-        match sw_open.(core) with
+        let who = Ledger.abort_who arg in
+        let args =
+          [
+            ("reason", Json.String label);
+            ("by", Json.Int who);
+            ("age", Json.Int (Ledger.abort_age arg));
+          ]
+        in
+        (match sw_open.(core) with
         | Some (t0, rv) ->
           sw_open.(core) <- None;
           push
@@ -259,7 +322,8 @@ let perfetto_json ?telemetry l =
                ~ts:t0 ~dur:(time - t0) ~tid:core
                ~args:(("rv", Json.Int rv) :: args))
         | None ->
-          push (instant ~name:("sw-abort:" ^ label) ~ts:time ~tid:core ~args))
+          push (instant ~name:("sw-abort:" ^ label) ~ts:time ~tid:core ~args));
+        push_kill_flow ~time ~aggressor:who ~victim:core
       | Ledger.Clock_advance ->
         push
           (instant ~name:"clock" ~ts:time ~tid:core

@@ -58,7 +58,9 @@ val json_of_breakdown : breakdown -> Json.t
     - [Tx_begin]..[Tx_commit] becomes a ["tx"] slice (args: attempt
       number and attempts-to-commit);
     - [Tx_begin]..[Tx_abort] becomes an ["abort:<reason>"] slice
-      tagged with the {!Lk_htm.Reason.label};
+      tagged with the {!Lk_htm.Reason.label}, the aggressor core
+      ([by], -1 environmental) and the victim's stall-excluded
+      attempt age ([age]);
     - [Hl_begin]..[Hl_end] becomes ["TL"] or ["STL"];
     - [Lock_acquire]..[Lock_release] becomes ["lock"];
     - [Sw_begin]..[Sw_commit] becomes an ["sw"] slice (args: the read
@@ -71,6 +73,13 @@ val json_of_breakdown : breakdown -> Json.t
     instant event on the core's track. Spans still open when the ledger
     ends are closed at the last recorded timestamp with an ["(open)"]
     suffix.
+
+    Every abort attributed to an aggressor core additionally emits a
+    {e flow-event} pair (ph ["s"] on the aggressor's track, ph ["f"]
+    with [bp:"e"] on the victim's, one fresh id per edge): Perfetto
+    draws the kill as an arrow from the aggressor's slice to the
+    victim's abort, the timeline rendering of the causal profiler's
+    who-killed-whom graph.
 
     With [?telemetry] the sampled gauges are appended as counter
     tracks (ph ["C"]) alongside the slices: per-core phase, signature

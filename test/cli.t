@@ -60,6 +60,7 @@ Listing systems, workloads and experiments:
     variance   Statistical robustness (extension)
     latency    Tx-latency percentiles (extension)
     hytm       HyTM instrumentation-cost sweep (extension)
+    wasted     Wasted-work ratio (Fig 10 companion)
 
 
 
@@ -103,7 +104,7 @@ Unknown names are reported, not crashed on:
   $ lockiller_sim run -s NoSuchSystem -w genome -t 2 --cores 4 2>&1 | head -1
   lockiller_sim: unknown system NoSuchSystem
   $ lockiller_sim experiment fig99 2>&1 | head -1
-  lockiller_sim: unknown experiment "fig99"; try: table1, table2, fig1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, headline, ablation, txsize, noc, topology, placement, protocol, variance, latency, hytm
+  lockiller_sim: unknown experiment "fig99"; try: table1, table2, fig1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, headline, ablation, txsize, noc, topology, placement, protocol, variance, latency, hytm, wasted
 
 The machine-readable results API: --format json emits one object with
 every result field, --format csv one header and one value row:
@@ -136,7 +137,7 @@ abort-cause table (totals match the abort statistics exactly), and
   
 
   $ ./json_check.exe --trace < trace.json
-  valid trace (275 events)
+  valid trace (309 events)
 
 Time-series telemetry: --telemetry samples per-core phases, machine
 gauges and link counters through the run's own event queue and writes
@@ -172,14 +173,14 @@ trace checker validates:
   # trace-events: wrote trace2.json (307 events, 0 dropped)
 
   $ ./json_check.exe --trace < trace2.json
-  valid trace (743 events)
+  valid trace (881 events)
 
 Two saved results diff into a metric-by-metric comparison (the
 fixtures are committed outputs of 'run --format json'):
 
   $ lockiller_sim compare compare_a.json compare_b.json | sed -n '1,7p'
-  # compare: compare_a.json is schema v5 (this build reads v5)
-  # compare: compare_b.json is schema v5 (this build reads v5)
+  # compare: compare_a.json is schema v6 (this build reads v6)
+  # compare: compare_b.json is schema v6 (this build reads v6)
   == compare: A=Baseline/intruder t4 vs B=LockillerTM/intruder t4 ==
   metric          A       B       delta    B/A  
   --------------  ------  ------  -------  -----
@@ -189,19 +190,19 @@ fixtures are committed outputs of 'run --format json'):
   stl_commits     0       0       +0       -    
 
   $ lockiller_sim compare compare_a.json compare_b.json | grep -E 'speedup|tx_latency_p50'
-  # compare: compare_a.json is schema v5 (this build reads v5)
-  # compare: compare_b.json is schema v5 (this build reads v5)
+  # compare: compare_a.json is schema v6 (this build reads v6)
+  # compare: compare_b.json is schema v6 (this build reads v6)
   tx_latency_p50  1215    1375    +160     1.132
   speedup (A cycles / B cycles): 1.512
 
 A result written by an older build is refused with a named error that
 states which schema version each input carries and what changed since:
 
-  $ sed 's/"schema":5/"schema":4/' compare_a.json > stale.json
+  $ sed 's/"schema":6/"schema":5/' compare_a.json > stale.json
   $ lockiller_sim compare stale.json compare_b.json
-  # compare: stale.json is schema v4 (this build reads v5)
-  # compare: compare_b.json is schema v5 (this build reads v5)
-  lockiller_sim: stale.json: schema-mismatch: result schema v4 predates this build (v5); re-run the simulation to regenerate it (changed since: v5: hybrid-TM software-path counters (sw_commits, clock advances, validation aborts, sw breakdown category) added)
+  # compare: stale.json is schema v5 (this build reads v6)
+  # compare: compare_b.json is schema v6 (this build reads v6)
+  lockiller_sim: stale.json: schema-mismatch: result schema v5 predates this build (v6); re-run the simulation to regenerate it (changed since: v6: always-on wasted-cycle accounting (wasted_cycles, wasted_by_reason) added)
   [124]
 
 The hybrid-TM comparator family (docs/HYBRID.md) runs through the same
@@ -258,8 +259,8 @@ trace file side by side:
 
   $ lockiller_sim replay t.lkt -s Baseline -s LockillerTM --threads 4 --cores 4 --format csv | cut -d, -f1-6
   schema,system,workload,threads,cache,cycles
-  5,Baseline,t,4,typical,68864
-  5,LockillerTM,t,4,typical,65382
+  6,Baseline,t,4,typical,68864
+  6,LockillerTM,t,4,typical,65382
 
 Replay is deterministic for any worker count — --jobs 4 must produce
 byte-identical output to the sequential run:
@@ -290,7 +291,7 @@ clear empties the directory:
   valid json
 
   $ lockiller_sim cache stats --cache-dir ./cache | grep -v -e directory -e entries
-  schema        v5
+  schema        v6
   lifetime      0 hits, 18 misses, 18 stores
 
   $ lockiller_sim cache clear --cache-dir ./cache | cut -d' ' -f1-3

@@ -41,6 +41,14 @@ let check_trace input =
       | "i" | "M" ->
         let* _ = Result.bind (Json.member "tid" e) Json.to_int in
         ()
+      | "s" | "t" | "f" ->
+        (* Flow events (kill arrows): need a track, a timestamp and a
+           binding id; finish steps additionally bind to the enclosing
+           slice, which Perfetto accepts with or without bp. *)
+        let* _ = Result.bind (Json.member "tid" e) Json.to_int in
+        let* _ = Result.bind (Json.member "ts" e) Json.to_int in
+        let* _ = Result.bind (Json.member "id" e) Json.to_int in
+        ()
       | "C" -> (
         (* Counter tracks: a timestamp plus at least one numeric
            series in args (tid is optional for counters). *)

@@ -531,6 +531,7 @@ let make_script p =
              ~would_be_exclusive:_ -> None);
       on_reject =
         (fun ~requester ~by ~line:_ -> s.rejected <- (requester, by) :: s.rejected);
+      tx_age = (fun _ -> 0);
     }
   in
   Protocol.set_client p client;

@@ -614,6 +614,139 @@ let test_perfetto_export_wellformed () =
     check_int "abort slices" r.Runner.aborts !aborts
   | _ -> Alcotest.fail "expected {\"traceEvents\": [...]}"
 
+(* --- Causal profile --------------------------------------------------------- *)
+
+module Profile = Lk_sim.Profile
+
+(* One profiled run: the streaming tap and the retained ring observe
+   the same events, so the tap-fed profile and a post-hoc fold of the
+   ledger must agree exactly (when nothing wrapped). *)
+let run_with_profile ?(capacity = 1 lsl 18) () =
+  let w = Option.get (Suite.find "intruder") in
+  let state = ref None in
+  let r =
+    Runner.run
+      ~options:
+        {
+          Runner.default_options with
+          scale = 0.2;
+          machine = Config.machine ~cores:4 ();
+          on_runtime =
+            (fun rt ->
+              let l = Runtime.enable_ledger ~capacity rt in
+              let p = Profile.create ~cores:4 in
+              Profile.attach p l;
+              state := Some (l, p));
+        }
+      ~sysconf:Sysconf.lockiller ~workload:w ~threads:4 ()
+  in
+  let l, p = Option.get !state in
+  (r, l, p)
+
+let test_profile_stream_matches_fold () =
+  let r, l, streamed = run_with_profile () in
+  check_int "nothing dropped" 0 (Ledger.dropped l);
+  let folded = Profile.of_ledger ~cores:4 l in
+  check_int "fold sees no drops" 0 (Profile.dropped folded);
+  check_int "total aborts" (Profile.total_aborts folded)
+    (Profile.total_aborts streamed);
+  check_int "attributed" (Profile.attributed folded)
+    (Profile.attributed streamed);
+  check_int "environmental" (Profile.environmental folded)
+    (Profile.environmental streamed);
+  check_int "wasted" (Profile.wasted folded) (Profile.wasted streamed);
+  check_int "nacks" (Profile.nacks folded) (Profile.nacks streamed);
+  check_int "rejects" (Profile.rejects folded) (Profile.rejects streamed);
+  check_int "protocol kills" (Profile.protocol_kills folded)
+    (Profile.protocol_kills streamed);
+  check_int "commits" (Profile.commits folded) (Profile.commits streamed);
+  check_int "chain depth" (Profile.max_chain_depth folded)
+    (Profile.max_chain_depth streamed);
+  check_int "serial commit cycles"
+    (Profile.serial_commit_cycles folded)
+    (Profile.serial_commit_cycles streamed);
+  check_int "discarded writes" (Profile.discarded_writes folded)
+    (Profile.discarded_writes streamed);
+  check_int "lock acquisitions" (Profile.lock_acquisitions folded)
+    (Profile.lock_acquisitions streamed);
+  check_int "lock handoffs" (Profile.lock_handoffs folded)
+    (Profile.lock_handoffs streamed);
+  for core = 0 to 3 do
+    check_int
+      (Printf.sprintf "wasted core %d" core)
+      (Profile.wasted_of folded ~core)
+      (Profile.wasted_of streamed ~core);
+    check_int
+      (Printf.sprintf "killed_by core %d" core)
+      (Profile.killed_by folded ~victim:core)
+      (Profile.killed_by streamed ~victim:core)
+  done;
+  check_bool "same top pairs" true
+    (Profile.top_pairs folded ~k:10 = Profile.top_pairs streamed ~k:10);
+  (* And both agree with the runner's own always-on accounting. *)
+  check_int "edge total = runner aborts" r.Runner.aborts
+    (Profile.total_aborts streamed);
+  check_int "wasted = runner wasted" r.Runner.wasted_cycles
+    (Profile.wasted streamed);
+  List.iter
+    (fun (reason, n) ->
+      check_int
+        ("wasted by " ^ Reason.label reason)
+        n
+        (Profile.wasted_by_reason streamed reason))
+    r.Runner.wasted_by_reason
+
+let test_profile_stream_survives_wraparound () =
+  (* A tiny ring wraps long before the run ends; the streaming tap
+     still sees every record (its totals match the big-ring run, which
+     is deterministic across ledger capacities), while a post-hoc fold
+     can only cover the retained suffix. *)
+  let _, big_l, big_p = run_with_profile () in
+  let _, small_l, small_p = run_with_profile ~capacity:256 () in
+  check_bool "ring wrapped" true (Ledger.dropped small_l > 0);
+  check_int "streamed aborts immune to wrap" (Profile.total_aborts big_p)
+    (Profile.total_aborts small_p);
+  check_int "streamed wasted immune to wrap" (Profile.wasted big_p)
+    (Profile.wasted small_p);
+  check_int "ledgers saw the same stream" (Ledger.recorded big_l)
+    (Ledger.recorded small_l);
+  let folded = Profile.of_ledger ~cores:4 small_l in
+  check_bool "fold reports the loss" true (Profile.dropped folded > 0);
+  check_bool "fold covers at most the stream" true
+    (Profile.total_aborts folded <= Profile.total_aborts small_p)
+
+let test_profile_feed_no_alloc () =
+  (* The tap runs on the simulator's emit path, so feeding a record —
+     including the abort/commit bookkeeping — must not allocate. *)
+  let sim = Lk_engine.Sim.create () in
+  let l = Ledger.create ~capacity:1024 sim in
+  let p = Profile.create ~cores:4 in
+  Profile.attach p l;
+  let emit_round i =
+    Ledger.emit l ~core:(i land 3) Ledger.Tx_begin ~arg:0;
+    Ledger.emit l ~core:(i land 3) Ledger.Nack
+      ~arg:(Ledger.pack_attr ~who:((i + 1) land 3) ~age:17);
+    Ledger.emit l ~core:(i land 3) Ledger.Tx_abort
+      ~arg:(Ledger.pack_abort ~reason:0 ~who:((i + 1) land 3) ~age:42);
+    Ledger.emit l ~core:(i land 3) Ledger.Spec_discard
+      ~arg:(Ledger.pack_discard ~writes:3 ~age:42);
+    Ledger.emit l ~core:(i land 3) Ledger.Tx_commit ~arg:1;
+    Ledger.emit l ~core:(i land 3) Ledger.Lock_acquire ~arg:0;
+    Ledger.emit l ~core:(i land 3) Ledger.Lock_release ~arg:0
+  in
+  for i = 1 to 100 do
+    emit_round i
+  done;
+  let w0 = Gc.minor_words () in
+  for i = 1 to 10_000 do
+    emit_round i
+  done;
+  let per_event = (Gc.minor_words () -. w0) /. 70_000.0 in
+  check_bool
+    (Printf.sprintf "allocation-free feed (%.4f words/event)" per_event)
+    true
+    (per_event < 0.01)
+
 (* --- Telemetry ------------------------------------------------------------- *)
 
 module Telemetry = Lk_sim.Telemetry
@@ -741,8 +874,8 @@ let test_telemetry_perfetto_counters () =
   let retained = Timeseries.length (Telemetry.phases t) in
   let cores = Timeseries.width (Telemetry.phases t) in
   (* Per sample: one counter per core plus signature fill, queue depth,
-     cores waiting, hybrid sw and link utilization. *)
-  check_int "event count" (retained * (cores + 5)) (List.length events);
+     cores waiting, hybrid sw, backlog, pdes and link utilization. *)
+  check_int "event count" (retained * (cores + 7)) (List.length events);
   List.iter
     (fun e ->
       let member name =
@@ -1076,6 +1209,14 @@ let () =
             test_ledger_jobs_differential;
           Alcotest.test_case "perfetto well-formed" `Quick
             test_perfetto_export_wellformed;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "stream matches fold" `Quick
+            test_profile_stream_matches_fold;
+          Alcotest.test_case "stream survives wraparound" `Quick
+            test_profile_stream_survives_wraparound;
+          Alcotest.test_case "feed no alloc" `Quick test_profile_feed_no_alloc;
         ] );
       ( "hybrid",
         [
